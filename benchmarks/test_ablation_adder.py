@@ -1,0 +1,75 @@
+"""Ablation: the paper's carry-ripple adder choice vs carry-lookahead.
+
+Table II fixes "the N-bit adder employs the carry-ripple structure."
+This bench swaps in a first-order carry-lookahead model for the adder
+trees of a 64K INT8 macro shape and reports how the clock period and
+area would move — quantifying what the ripple choice costs and saves.
+"""
+
+import pytest
+
+from repro.model.components import adder_tree
+from repro.model.logic import adder, adder_cla
+from repro.reporting import ascii_table
+from repro.tech import GENERIC28
+from repro.tech.cells import CellLibrary
+
+LIB = CellLibrary.default()
+SHAPES = [(64, 8), (128, 8), (512, 8), (1024, 8), (2048, 8)]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    out = []
+    for h, k in SHAPES:
+        ripple = adder_tree(LIB, h, k)
+        cla = adder_tree(LIB, h, k, adder_fn=adder_cla)
+        out.append((h, k, ripple, cla))
+    return out
+
+
+def test_adder_ablation_table(sweep, record):
+    rows = [
+        (
+            f"H={h}",
+            f"{GENERIC28.delay_ns(ripple.delay):.2f}",
+            f"{GENERIC28.delay_ns(cla.delay):.2f}",
+            f"{ripple.delay / cla.delay:.2f}x",
+            f"{cla.area / ripple.area:.2f}x",
+        )
+        for h, k, ripple, cla in sweep
+    ]
+    record(
+        "ablation_adder",
+        "Ripple (paper) vs carry-lookahead adder trees (k=8):\n"
+        + ascii_table(
+            ["tree", "ripple ns", "CLA ns", "speedup", "area cost"], rows
+        ),
+    )
+
+
+def test_cla_speedup_grows_with_height(sweep):
+    speedups = [ripple.delay / cla.delay for _, _, ripple, cla in sweep]
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > 2.0  # deep trees leave real speed on the table
+
+
+def test_cla_pays_area(sweep):
+    for _, _, ripple, cla in sweep:
+        assert cla.area >= ripple.area
+
+
+def test_single_adder_widths_unchanged_below_group_size(record):
+    # The two models agree where lookahead cannot help.
+    for n in (1, 2, 4):
+        assert adder_cla(LIB, n) == adder(LIB, n)
+
+
+def test_adder_ablation_benchmark(benchmark):
+    def evaluate():
+        return [
+            adder_tree(LIB, h, k, adder_fn=adder_cla) for h, k in SHAPES
+        ]
+
+    costs = benchmark(evaluate)
+    assert len(costs) == len(SHAPES)

@@ -1,0 +1,111 @@
+"""Ablations on architecture/model design choices from DESIGN.md.
+
+1. **L sharing**: larger L packs more weights per compute unit (area
+   per stored weight drops) but serialises reuse — density vs
+   throughput.
+2. **Pipelining**: the macro delay is the max pipeline stage (the shift
+   accumulator's registers cut the path); an unpipelined design would
+   pay the *sum* of stages.
+3. **FP overhead decomposition**: where the pre-aligned FP macro spends
+   its extra area relative to INT8.
+"""
+
+import pytest
+
+from repro.core.spec import DesignPoint
+from repro.reporting import ascii_table
+from repro.tech import GENERIC28
+
+
+@pytest.fixture(scope="module")
+def l_sweep():
+    # Wstore fixed at 64K INT8: N*H*L = 512K with N=64 -> H*L = 8192.
+    out = []
+    for l, h in ((1, 8192 // 1), (4, 2048), (16, 512), (64, 128)):
+        design = DesignPoint(precision="INT8", n=64, h=h, l=l, k=8)
+        assert design.wstore == 64 * 1024
+        out.append((l, h, design.metrics(GENERIC28)))
+    return out
+
+
+def test_l_sharing_table(l_sweep, record):
+    rows = [
+        (
+            l,
+            h,
+            f"{m.layout_area_mm2:.3f}",
+            f"{m.layout_area_mm2 * 1e6 / (64 * 1024):.1f}",
+            f"{m.tops:.2f}",
+        )
+        for l, h, m in l_sweep
+    ]
+    record(
+        "ablation_l_sharing",
+        "L-sharing ablation (INT8, Wstore=64K, N=64, k=8):\n"
+        + ascii_table(
+            ["L", "H", "area mm2", "um2/weight", "peak TOPS"], rows
+        ),
+    )
+
+
+def test_density_improves_with_l(l_sweep):
+    per_weight = [m.layout_area_mm2 / (64 * 1024) for _, _, m in l_sweep]
+    assert per_weight == sorted(per_weight, reverse=True)
+
+
+def test_throughput_drops_with_l(l_sweep):
+    tops = [m.tops for _, _, m in l_sweep]
+    assert tops == sorted(tops, reverse=True)
+
+
+class TestPipelining:
+    def test_max_vs_sum_of_stages(self, record):
+        design = DesignPoint(precision="BF16", n=64, h=1024, l=8, k=8)
+        cost = design.macro_cost()
+        pipelined = cost.delay
+        unpipelined = sum(cost.stage_delays.values())
+        speedup = unpipelined / pipelined
+        rows = [
+            (stage, f"{GENERIC28.delay_ns(d):.2f}")
+            for stage, d in cost.stage_delays.items()
+        ]
+        rows.append(("pipelined period (max)", f"{GENERIC28.delay_ns(pipelined):.2f}"))
+        rows.append(("unpipelined (sum)", f"{GENERIC28.delay_ns(unpipelined):.2f}"))
+        record(
+            "ablation_pipelining",
+            f"Pipeline ablation (BF16 64K): {speedup:.2f}x clock speedup\n"
+            + ascii_table(["stage", "delay ns"], rows),
+        )
+        assert speedup > 1.2
+        assert cost.critical_stage == "array"
+
+
+class TestFpOverhead:
+    def test_fp_overhead_decomposition(self, record):
+        int8 = DesignPoint(precision="INT8", n=64, h=128, l=64, k=8)
+        bf16 = DesignPoint(precision="BF16", n=64, h=128, l=64, k=8)
+        ci, cf = int8.macro_cost(), bf16.macro_cost()
+        fp_only = [
+            (name, f"{GENERIC28.area_mm2(c.area) * 1e3:.2f}")
+            for name, c in cf.breakdown.items()
+            if name not in ci.breakdown
+        ]
+        overhead = cf.area / ci.area - 1
+        record(
+            "ablation_fp_overhead",
+            f"FP-only blocks (BF16 vs INT8 overhead {overhead * 100:.1f}%):\n"
+            + ascii_table(["block", "area 1e-3 mm2"], fp_only),
+        )
+        assert {"prealign", "exponent_regs", "int_to_fp"} == {n for n, _ in fp_only}
+        assert overhead < 0.25
+
+
+def test_l_sweep_benchmark(benchmark):
+    def evaluate():
+        return [
+            DesignPoint(precision="INT8", n=64, h=8192 // l, l=l, k=8).macro_cost()
+            for l in (1, 4, 16, 64)
+        ]
+
+    costs = benchmark(evaluate)
+    assert len(costs) == 4

@@ -1,0 +1,71 @@
+"""Ablation: the bit-serial slice width ``k`` (Fig. 3 trade-off).
+
+"The smaller k is, the smaller the area of digital circuits in the
+DCIM array.  However, the number of computation cycles Bx/k increases,
+which in turn reduces the throughput."  Regenerated over the full k
+range for a fixed 64K INT8 array shape.
+"""
+
+import pytest
+
+from repro.core.spec import DesignPoint
+from repro.reporting import ascii_table
+from repro.tech import GENERIC28
+
+SHAPE = {"n": 64, "h": 1024, "l": 8}  # Wstore = 64K at INT8
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    out = []
+    for k in (1, 2, 4, 8):
+        design = DesignPoint(precision="INT8", k=k, **SHAPE)
+        out.append((k, design.metrics(GENERIC28), design.macro_cost()))
+    return out
+
+
+def test_k_tradeoff_table(sweep, record):
+    rows = [
+        (
+            k,
+            cost.cycles_per_pass,
+            f"{m.layout_area_mm2:.3f}",
+            f"{m.tops:.2f}",
+            f"{m.tops_per_watt:.1f}",
+            f"{m.delay_ns:.2f}",
+        )
+        for k, m, cost in sweep
+    ]
+    record(
+        "ablation_k",
+        "k ablation (INT8, N=64 H=1024 L=8, Wstore=64K):\n"
+        + ascii_table(
+            ["k", "cycles/pass", "area mm2", "TOPS", "TOPS/W", "delay ns"], rows
+        ),
+    )
+
+
+def test_area_monotone_in_k(sweep):
+    areas = [m.layout_area_mm2 for _, m, _ in sweep]
+    assert areas == sorted(areas)
+
+
+def test_cycles_inverse_in_k(sweep):
+    cycles = [c.cycles_per_pass for _, _, c in sweep]
+    assert cycles == [8, 4, 2, 1]
+
+
+def test_throughput_monotone_in_k(sweep):
+    tops = [m.tops for _, m, _ in sweep]
+    assert tops == sorted(tops)
+
+
+def test_k_sweep_benchmark(benchmark):
+    def evaluate_all():
+        return [
+            DesignPoint(precision="INT8", k=k, **SHAPE).metrics(GENERIC28)
+            for k in (1, 2, 4, 8)
+        ]
+
+    metrics = benchmark(evaluate_all)
+    assert len(metrics) == 4

@@ -1,0 +1,77 @@
+"""Ablation: supply voltage and PVT corners.
+
+The paper quotes Fig. 8 efficiencies at 0.9 V; this bench sweeps the
+supply (first-order V^2 energy / 1/V delay scaling) and the standard
+corners on the 64K INT8 design-A analogue, showing the efficiency/
+frequency trade-off a deployment would tune.
+"""
+
+import pytest
+
+from repro.core.spec import DesignPoint
+from repro.reporting import ascii_table
+from repro.tech import GENERIC28, STANDARD_CORNERS, apply_corner
+
+DESIGN = DesignPoint(precision="INT8", n=64, h=128, l=64, k=8)
+VOLTAGES = (0.6, 0.72, 0.81, 0.9, 1.0)
+
+
+@pytest.fixture(scope="module")
+def voltage_sweep():
+    return {
+        v: DESIGN.metrics(GENERIC28.with_voltage(v)) for v in VOLTAGES
+    }
+
+
+def test_voltage_table(voltage_sweep, record):
+    rows = [
+        (
+            f"{v:.2f}",
+            f"{m.frequency_ghz:.2f}",
+            f"{m.tops:.2f}",
+            f"{m.tops_per_watt:.1f}",
+            f"{m.power_w * 1e3:.1f}",
+        )
+        for v, m in voltage_sweep.items()
+    ]
+    corner_rows = [
+        (
+            name,
+            f"{DESIGN.metrics(apply_corner(GENERIC28, name)).frequency_ghz:.2f}",
+            f"{DESIGN.metrics(apply_corner(GENERIC28, name)).tops_per_watt:.1f}",
+        )
+        for name in sorted(STANDARD_CORNERS)
+    ]
+    record(
+        "ablation_voltage",
+        "Voltage sweep (64K INT8 design-A analogue):\n"
+        + ascii_table(["V", "GHz", "TOPS", "TOPS/W", "mW"], rows)
+        + "\n\nCorners:\n"
+        + ascii_table(["corner", "GHz", "TOPS/W"], corner_rows),
+    )
+
+
+def test_efficiency_improves_at_low_voltage(voltage_sweep):
+    # TOPS/W ~ 1/V^2.
+    assert voltage_sweep[0.6].tops_per_watt > voltage_sweep[0.9].tops_per_watt
+    ratio = voltage_sweep[0.6].tops_per_watt / voltage_sweep[0.9].tops_per_watt
+    assert ratio == pytest.approx((0.9 / 0.6) ** 2, rel=1e-6)
+
+
+def test_throughput_drops_at_low_voltage(voltage_sweep):
+    assert voltage_sweep[0.6].tops < voltage_sweep[0.9].tops
+
+
+def test_paper_operating_point_is_nominal(voltage_sweep):
+    # Fig. 8's 0.9 V equals the calibration nominal: 22ish TOPS/W.
+    assert voltage_sweep[0.9].tops_per_watt == pytest.approx(22.4, rel=0.05)
+
+
+def test_voltage_benchmark(benchmark):
+    def sweep():
+        return [
+            DESIGN.metrics(GENERIC28.with_voltage(v)) for v in VOLTAGES
+        ]
+
+    metrics = benchmark(sweep)
+    assert len(metrics) == len(VOLTAGES)

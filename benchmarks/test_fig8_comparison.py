@@ -1,0 +1,164 @@
+"""Fig. 8: efficiency comparison against fabricated SOTA DCIM macros.
+
+Paper setup: energy efficiency (TOPS/W) at 0.9 V and 10 % sparsity and
+area efficiency (TOPS/mm^2), sweeping Wstore with fixed precision.
+
+* Fig. 8(a), INT8: design A (64K weights) reaches 22 TOPS/W and
+  1.9 TOPS/mm^2 vs. TSMC's 22nm ISSCC'21 macro [5] at 15 TOPS/W and
+  4.1 TOPS/mm^2 — higher energy efficiency, lower area efficiency
+  (TSMC uses foundry SRAM arrays).
+* Fig. 8(b), BF16: design B (64K) reaches 20.2 TOPS/W and
+  1.8 TOPS/mm^2 vs. ISSCC'23-7.2 [7] at 14.1 TOPS/W and 2.05 TOPS/mm^2
+  — same relationship.
+
+Design A/B are the paper's hand-picked balanced designs; we reproduce
+them as the *densest full-rate* front member: maximum compute-unit
+sharing (largest L) with the full input slice (k = Bx), which matches
+the published numbers closely.
+"""
+
+import pytest
+
+from repro.core.spec import DcimSpec
+from repro.dse import DesignSpaceExplorer, distill
+from repro.reporting import ascii_table, format_si
+from repro.tech import GENERIC28
+
+#: Published reference points (fabricated 22nm macros).
+REFERENCES = {
+    "INT8": {"name": "TSMC ISSCC'21 [5]", "tops_w": 15.0, "tops_mm2": 4.1},
+    "BF16": {"name": "ISSCC'23-7.2 [7]", "tops_w": 14.1, "tops_mm2": 2.05},
+}
+PAPER_DESIGNS = {
+    "INT8": {"tops_w": 22.0, "tops_mm2": 1.9},
+    "BF16": {"tops_w": 20.2, "tops_mm2": 1.8},
+}
+WSTORES = [4 * 1024, 8 * 1024, 16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024]
+
+
+def densest_full_rate(pairs, precision):
+    """The paper's design A/B analogue: max L, k = full input width."""
+    bx = precision.input_bits
+    full_rate = [(p, m) for p, m in pairs if p.k == bx]
+    assert full_rate, "front should contain full-rate designs"
+    max_l = max(p.l for p, _ in full_rate)
+    dense = [(p, m) for p, m in full_rate if p.l == max_l]
+    return min(dense, key=lambda pm: pm[1].layout_area_mm2)
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    explorer = DesignSpaceExplorer()
+    out = {}
+    for precision in ("INT8", "BF16"):
+        per_size = {}
+        for wstore in WSTORES:
+            spec = DcimSpec(wstore=wstore, precision=precision)
+            result = explorer.explore_exhaustive(spec)
+            pairs = distill(result.points, GENERIC28)
+            per_size[wstore] = densest_full_rate(pairs, spec.precision)
+        out[precision] = per_size
+    return out
+
+
+def test_fig8_sweep_tables(sweeps, record):
+    blocks = []
+    for precision in ("INT8", "BF16"):
+        rows = []
+        for wstore, (point, metrics) in sweeps[precision].items():
+            rows.append(
+                (
+                    format_si(wstore),
+                    f"N={point.n} H={point.h} L={point.l} k={point.k}",
+                    f"{metrics.tops_per_watt:.1f}",
+                    f"{metrics.tops_per_mm2:.2f}",
+                    f"{metrics.layout_area_mm2:.3f}",
+                )
+            )
+        ref = REFERENCES[precision]
+        paper = PAPER_DESIGNS[precision]
+        blocks.append(
+            f"Fig. 8 {precision}: reference {ref['name']} = "
+            f"{ref['tops_w']} TOPS/W, {ref['tops_mm2']} TOPS/mm2; "
+            f"paper design = {paper['tops_w']} TOPS/W, "
+            f"{paper['tops_mm2']} TOPS/mm2\n"
+            + ascii_table(
+                ["Wstore", "design", "TOPS/W", "TOPS/mm2", "area mm2"], rows
+            )
+        )
+    record("fig8_comparison", "\n\n".join(blocks))
+
+
+def test_fig8_scatter_plot(sweeps, record):
+    # The figure: efficiency trajectories over Wstore with the
+    # fabricated reference points overlaid.
+    from repro.reporting.plots import ascii_scatter
+
+    series = {}
+    for precision in ("INT8", "BF16"):
+        pairs = sweeps[precision]
+        series[precision] = (
+            [m.tops_per_mm2 for _, m in pairs.values()],
+            [m.tops_per_watt for _, m in pairs.values()],
+        )
+    series["references"] = (
+        [REFERENCES["INT8"]["tops_mm2"], REFERENCES["BF16"]["tops_mm2"]],
+        [REFERENCES["INT8"]["tops_w"], REFERENCES["BF16"]["tops_w"]],
+    )
+    record(
+        "fig8_scatter",
+        "Fig. 8 (TOPS/mm2 vs TOPS/W; sweeps over Wstore 4K..128K):\n"
+        + ascii_scatter(
+            series,
+            width=70,
+            height=22,
+            x_label="TOPS/mm2",
+            y_label="TOPS/W",
+        ),
+    )
+
+
+@pytest.mark.parametrize("precision", ["INT8", "BF16"])
+def test_fig8_design_matches_paper(sweeps, precision):
+    _, metrics = sweeps[precision][64 * 1024]
+    paper = PAPER_DESIGNS[precision]
+    assert metrics.tops_per_watt == pytest.approx(paper["tops_w"], rel=0.25)
+    assert metrics.tops_per_mm2 == pytest.approx(paper["tops_mm2"], rel=0.25)
+
+
+@pytest.mark.parametrize("precision", ["INT8", "BF16"])
+def test_fig8_shape_vs_references(sweeps, precision):
+    # The headline shape: we win on TOPS/W, lose on TOPS/mm2.
+    _, metrics = sweeps[precision][64 * 1024]
+    ref = REFERENCES[precision]
+    assert metrics.tops_per_watt > ref["tops_w"]
+    assert metrics.tops_per_mm2 < ref["tops_mm2"]
+
+
+def test_fig8_bf16_slightly_below_int8(sweeps):
+    # Paper: design B (20.2 TOPS/W) < design A (22 TOPS/W): the FP
+    # front end costs a little efficiency.
+    int8 = sweeps["INT8"][64 * 1024][1].tops_per_watt
+    bf16 = sweeps["BF16"][64 * 1024][1].tops_per_watt
+    assert bf16 < int8
+
+
+def test_fig8_efficiency_grows_with_wstore(sweeps):
+    # Larger arrays amortise peripherals: the 128K design is more
+    # energy-efficient than the 4K design.
+    eff = {w: m.tops_per_watt for w, (_, m) in sweeps["INT8"].items()}
+    assert eff[128 * 1024] > eff[4 * 1024]
+
+
+def test_fig8_sweep_benchmark(benchmark):
+    explorer = DesignSpaceExplorer()
+
+    def one_point():
+        spec = DcimSpec(wstore=16 * 1024, precision="INT8")
+        pairs = distill(
+            explorer.explore_exhaustive(spec).points, GENERIC28
+        )
+        return densest_full_rate(pairs, spec.precision)
+
+    point, metrics = benchmark(one_point)
+    assert metrics.tops_per_watt > 0

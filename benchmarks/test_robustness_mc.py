@@ -1,0 +1,73 @@
+"""Robustness: Monte-Carlo process variation on the Fig. 8 designs.
+
+The conclusion claims "the experimental results demonstrate the
+robustness and benefits of SEGA-DCIM"; this bench puts a number on
+robustness: distribution of clock period and efficiency across sampled
+die-to-die variation, and parametric yield at the nominal-period
+budget.
+"""
+
+import pytest
+
+from repro.core.spec import DesignPoint
+from repro.model.variation import monte_carlo
+from repro.reporting import ascii_table
+from repro.tech import GENERIC28
+
+DESIGNS = {
+    "INT8 64K (design A)": DesignPoint(precision="INT8", n=64, h=128, l=64, k=8),
+    "BF16 64K (design B)": DesignPoint(precision="BF16", n=64, h=128, l=64, k=8),
+}
+
+
+@pytest.fixture(scope="module")
+def mc():
+    return {
+        name: monte_carlo(design, GENERIC28, samples=1000, seed=3)
+        for name, design in DESIGNS.items()
+    }
+
+
+def test_robustness_table(mc, record):
+    rows = []
+    for name, result in mc.items():
+        s = result.summary()
+        nominal_delay = DESIGNS[name].metrics(GENERIC28).delay_ns
+        rows.append(
+            (
+                name,
+                f"{s['delay_ns_p50']:.2f}",
+                f"{s['delay_ns_p99']:.2f}",
+                f"{s['tops_per_watt_p50']:.1f}",
+                f"{s['tops_per_watt_p1']:.1f}",
+                f"{result.yield_at(nominal_delay * 1.1):.2%}",
+            )
+        )
+    record(
+        "robustness_mc",
+        "Monte-Carlo variation (1000 dies, 5% sigma on delay/energy):\n"
+        + ascii_table(
+            ["design", "delay p50 ns", "delay p99 ns", "TOPS/W p50",
+             "TOPS/W p1", "yield @ +10% period"],
+            rows,
+        ),
+    )
+
+
+def test_yield_high_at_relaxed_budget(mc):
+    for name, result in mc.items():
+        nominal = DESIGNS[name].metrics(GENERIC28).delay_ns
+        assert result.yield_at(nominal * 1.2) > 0.98
+
+
+def test_efficiency_spread_contained(mc):
+    for result in mc.values():
+        p50 = result.percentile("tops_per_watt", 50)
+        p1 = result.percentile("tops_per_watt", 1)
+        assert p1 > 0.8 * p50  # 5% sigma keeps the tail within ~20%
+
+
+def test_mc_benchmark(benchmark):
+    design = DESIGNS["INT8 64K (design A)"]
+    result = benchmark(monte_carlo, design, GENERIC28, 500)
+    assert result.samples == 500

@@ -1,0 +1,43 @@
+"""Table I: feature comparison with other CIM design flows.
+
+Qualitative table reproduced verbatim from the paper, with the
+SEGA-DCIM column checked against what this reproduction actually
+implements (each claim is asserted against the codebase).
+"""
+
+from repro.dse import SELECTION_STRATEGIES
+from repro.reporting import ascii_table
+
+HEADERS = ["Entry", "EasyACIM [15]", "AutoDCIM [16]", "SEGA-DCIM"]
+ROWS = [
+    ("Design type", "Analog", "Digital", "Digital"),
+    ("Support precision", "INT", "INT", "INT & Float"),
+    ("Estimation model", "Yes", "No", "Yes"),
+    ("Design space", "Pareto frontier", "Unoptimized", "Pareto frontier"),
+    ("Determination of trade-offs", "Automatic", "User-defined", "Automatic"),
+]
+
+
+def render_table1() -> str:
+    return ascii_table(HEADERS, ROWS)
+
+
+def test_table1_claims_hold_in_this_repo(record):
+    """The SEGA-DCIM column is backed by actual code in this repo."""
+    from repro import STANDARD_PRECISIONS
+    from repro.dse.explorer import DesignSpaceExplorer
+
+    # "INT & Float" precision support.
+    kinds = {p.kind for p in STANDARD_PRECISIONS.values()}
+    assert kinds == {"int", "float"}
+    # "Estimation model: Yes".
+    from repro.model import int_macro_cost, fp_macro_cost  # noqa: F401
+    # "Design space: Pareto frontier" + "Automatic trade-offs".
+    assert hasattr(DesignSpaceExplorer, "explore")
+    assert "knee" in SELECTION_STRATEGIES
+    record("table1_features", render_table1())
+
+
+def test_table1_render_benchmark(benchmark):
+    table = benchmark(render_table1)
+    assert "SEGA-DCIM" in table

@@ -1,0 +1,94 @@
+"""Validation: analytical energy model vs toggle-measured power.
+
+The estimation model charges every component's gates each cycle, scaled
+by one global activity factor (Technology.activity, 0.1 at the paper's
+"10 % sparsity" point).  This bench measures *actual* switching on the
+gate-level adder trees and compute fabric under controlled input
+densities and reports measured/model ratios — validating that a single
+activity scalar is a reasonable abstraction, and locating its value.
+"""
+
+import pytest
+
+from repro.model.components import adder_tree
+from repro.netlist import build_adder_tree
+from repro.netlist.power import measure_power
+from repro.reporting import ascii_table
+from repro.tech.cells import CellLibrary
+
+LIB = CellLibrary.default()
+HEIGHTS = (8, 32, 128)
+DENSITIES = (0.1, 0.3, 0.5)
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    out = {}
+    for h in HEIGHTS:
+        netlist = build_adder_tree(h, 8)
+        model = adder_tree(LIB, h, 8).energy
+        out[h] = {
+            d: (measure_power(netlist, vectors=150, seed=1, density=d), model)
+            for d in DENSITIES
+        }
+    return out
+
+
+def test_power_validation_table(measurements, record):
+    rows = []
+    for h, per_density in measurements.items():
+        for d, (m, model) in per_density.items():
+            rows.append(
+                (
+                    f"tree h={h}",
+                    f"{d:.1f}",
+                    f"{m.energy_per_vector:.0f}",
+                    f"{model:.0f}",
+                    f"{m.energy_per_vector / model:.2f}",
+                    f"{m.activity:.2f}",
+                )
+            )
+    record(
+        "validation_power",
+        "Measured switching energy vs analytical model (NOR units):\n"
+        + ascii_table(
+            ["block", "input density", "measured/vec", "model@act=1",
+             "ratio", "toggle activity"],
+            rows,
+        )
+        + "\n(one global activity scalar captures the density dependence; "
+        "the paper's\n10% sparsity point corresponds to the low-density "
+        "rows.)",
+    )
+
+
+def test_ratio_stable_across_sizes(measurements):
+    # The measured/model ratio at a fixed density must not drift with
+    # array height, otherwise one activity scalar could not serve the
+    # whole design space.
+    ratios = [
+        measurements[h][0.5][0].energy_per_vector / measurements[h][0.5][1]
+        for h in HEIGHTS
+    ]
+    assert max(ratios) / min(ratios) < 1.25
+
+
+def test_sparser_inputs_switch_less(measurements):
+    for h in HEIGHTS:
+        sparse = measurements[h][0.1][0].energy_per_vector
+        dense = measurements[h][0.5][0].energy_per_vector
+        assert sparse < dense
+
+
+def test_measured_below_full_activity_model(measurements):
+    # The model at activity=1 is an upper bound on random stimulus.
+    for h in HEIGHTS:
+        for d in DENSITIES:
+            m, model = measurements[h][d]
+            assert m.energy_per_vector < model
+
+
+def test_power_measurement_benchmark(benchmark):
+    netlist = build_adder_tree(32, 8)
+    result = benchmark(measure_power, netlist, 50)
+    assert result.toggles > 0

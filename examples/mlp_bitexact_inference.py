@@ -1,0 +1,108 @@
+"""Bit-exact NN inference on the behavioural macro models.
+
+Runs a small two-layer MLP classifier on synthetic data three ways —
+float64 reference, INT8 DCIM macro (sign-magnitude passes), and BF16
+pre-aligned DCIM macro — using the *same* cycle-level models that the
+gate-level netlists were verified against.  This is the end-to-end
+accuracy story for the compiler's two architectures.
+
+Usage::
+
+    python examples/mlp_bitexact_inference.py
+"""
+
+import numpy as np
+
+from repro import DesignPoint
+from repro.func import FpMacroModel, IntMacroModel
+from repro.reporting import ascii_table
+
+
+def make_dataset(n=256, dim=16, classes=4, seed=0):
+    """Gaussian blobs: linearly separable-ish synthetic classification."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=2.0, size=(classes, dim))
+    labels = rng.integers(0, classes, size=n)
+    x = centers[labels] + rng.normal(scale=0.7, size=(n, dim))
+    return x, labels
+
+
+def make_mlp(x, labels, hidden=32, classes=4, seed=1):
+    """Random-feature MLP: random w1, least-squares-trained w2."""
+    rng = np.random.default_rng(seed)
+    w1 = rng.normal(scale=0.5, size=(x.shape[1], hidden))
+    features = np.maximum(x @ w1, 0.0)
+    onehot = np.eye(classes)[labels]
+    w2, *_ = np.linalg.lstsq(features, onehot, rcond=None)
+    return w1, w2
+
+
+def reference_forward(x, w1, w2):
+    return np.maximum(x @ w1, 0.0) @ w2
+
+
+def int8_forward(x, w1, w2):
+    """Quantise to signed INT8 and run each layer on the integer macro."""
+    def quant(a):
+        scale = np.abs(a).max() / 127.0
+        return np.clip(np.rint(a / scale), -127, 127).astype(np.int64), scale
+
+    w1_q, s_w1 = quant(w1)
+    w2_q, s_w2 = quant(w2)
+    m1 = IntMacroModel(DesignPoint(precision="INT8", n=w1.shape[1] * 8,
+                                   h=w1.shape[0], l=1, k=8))
+    m2 = IntMacroModel(DesignPoint(precision="INT8", n=w2.shape[1] * 8,
+                                   h=w2.shape[0], l=1, k=8))
+    outputs = []
+    for row in x:
+        x_q, s_x = quant(row)
+        h = m1.matvec_signed(w1_q, x_q).astype(float) * (s_w1 * s_x)
+        h = np.maximum(h, 0.0)
+        h_q, s_h = quant(h)
+        y = m2.matvec_signed(w2_q, h_q).astype(float) * (s_w2 * s_h)
+        outputs.append(y)
+    return np.array(outputs)
+
+
+def bf16_forward(x, w1, w2):
+    """Run each layer on the pre-aligned BF16 macro."""
+    m1 = FpMacroModel(DesignPoint(precision="BF16", n=w1.shape[1] * 8,
+                                  h=w1.shape[0], l=1, k=8))
+    m1.load_weights(w1)
+    m2 = FpMacroModel(DesignPoint(precision="BF16", n=w2.shape[1] * 8,
+                                  h=w2.shape[0], l=1, k=8))
+    m2.load_weights(w2)
+    outputs = []
+    for row in x:
+        h = np.maximum(m1.matvec(row), 0.0)
+        outputs.append(m2.matvec(h))
+    return np.array(outputs)
+
+
+def main() -> None:
+    x, labels = make_dataset()
+    w1, w2 = make_mlp(x, labels)
+
+    ref = reference_forward(x, w1, w2)
+    ref_acc = float((ref.argmax(axis=1) == labels).mean())
+
+    rows = [("float64 reference", f"{ref_acc:.3f}", "-", "-")]
+    for name, forward in (("INT8 macro", int8_forward), ("BF16 macro", bf16_forward)):
+        out = forward(x, w1, w2)
+        acc = float((out.argmax(axis=1) == labels).mean())
+        agreement = float((out.argmax(axis=1) == ref.argmax(axis=1)).mean())
+        err = float(np.median(np.abs(out - ref) / np.maximum(np.abs(ref), 1e-9)))
+        rows.append((name, f"{acc:.3f}", f"{agreement:.3f}", f"{err:.2e}"))
+
+    print("Two-layer MLP, 256 samples, 4 classes "
+          "(cycle-level macro models, bit-exact datapaths):")
+    print(ascii_table(
+        ["engine", "accuracy", "argmax agreement", "median rel err"], rows
+    ))
+    print("\nBoth DCIM engines track the float64 classifier; BF16 keeps\n"
+          "near-reference logits while INT8 absorbs quantisation error —\n"
+          "the accuracy side of the paper's multi-precision argument.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Size a DCIM macro for a Transformer encoder block (Fig. 1 scenario).
+
+Derives the specification from the workload, explores both an INT8 and
+a BF16 macro for it, maps every layer, and compares the two precisions
+on latency, energy and achieved throughput — the kind of application
+trade-off the paper's design space explorer is built to answer.
+
+Usage::
+
+    python examples/transformer_accelerator.py
+"""
+
+from repro import DcimSpec, SegaDcim
+from repro.reporting import ascii_table, format_si
+from repro.workloads import map_network, recommend_spec, transformer_block
+
+
+def main() -> None:
+    layers = transformer_block(d_model=256, seq_len=128)
+    compiler = SegaDcim()
+
+    print("Transformer block workload:")
+    rows = [
+        (l.name, l.rows, l.cols, l.vectors, format_si(l.weight_count))
+        for l in layers
+    ]
+    print(ascii_table(["layer", "rows", "cols", "vectors", "weights"], rows))
+
+    comparison = []
+    for precision in ("INT8", "BF16"):
+        spec = recommend_spec(layers, precision)
+        print(f"\n=== {precision}: exploring Wstore={format_si(spec.wstore)} ===")
+        result = compiler.compile(spec, exhaustive=True, generate=False, layout=False)
+        design = result.selected
+        mapping = map_network(layers, design, compiler.tech)
+        print(f"selected: {design.describe()}")
+        per_layer = [
+            (
+                m.layer.name,
+                f"{m.row_tiles}x{m.col_tiles}",
+                m.passes,
+                f"{m.latency_us:.1f}",
+                f"{m.energy_uj:.2f}",
+                f"{m.utilization:.2f}",
+            )
+            for m in mapping.layers
+        ]
+        print(
+            ascii_table(
+                ["layer", "tiles", "passes", "latency_us", "energy_uJ", "util"],
+                per_layer,
+            )
+        )
+        comparison.append(
+            (
+                precision,
+                f"{result.metrics.layout_area_mm2:.3f}",
+                f"{mapping.latency_us:.1f}",
+                f"{mapping.energy_uj:.1f}",
+                f"{mapping.tops_effective:.2f}",
+                f"{result.metrics.tops_per_watt:.1f}",
+            )
+        )
+
+    print("\n=== Precision comparison (one encoder block inference) ===")
+    print(
+        ascii_table(
+            ["precision", "area_mm2", "latency_us", "energy_uJ",
+             "effective_TOPS", "peak_TOPS/W"],
+            comparison,
+        )
+    )
+    print(
+        "\nThe BF16 macro tracks the INT8 macro closely on area and energy\n"
+        "(the pre-aligned architecture's headline property) while keeping\n"
+        "floating-point range for attention scores."
+    )
+
+
+if __name__ == "__main__":
+    main()

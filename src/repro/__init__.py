@@ -1,0 +1,45 @@
+"""SEGA-DCIM reproduction: DSE-guided automatic digital CIM compiler.
+
+Reproduction of *SEGA-DCIM: Design Space Exploration-Guided Automatic
+Digital CIM Compiler with Multiple Precision Support* (DATE 2025).
+
+Quickstart::
+
+    from repro import SegaDcim, DcimSpec
+
+    compiler = SegaDcim()
+    result = compiler.compile(DcimSpec(wstore=8 * 1024, precision="INT8"))
+    print(result.summary())
+"""
+
+from repro.core import (
+    DcimSpec,
+    DesignPoint,
+    Precision,
+    STANDARD_PRECISIONS,
+    parse_precision,
+)
+from repro.core.compiler import CompilationResult, SegaDcim
+from repro.dse import NSGA2Config, Requirements
+from repro.model import MacroCost, MacroMetrics, evaluate_macro
+from repro.tech import GENERIC28, CellLibrary, Technology
+
+__all__ = [
+    "SegaDcim",
+    "CompilationResult",
+    "DcimSpec",
+    "DesignPoint",
+    "Precision",
+    "parse_precision",
+    "STANDARD_PRECISIONS",
+    "Requirements",
+    "NSGA2Config",
+    "MacroCost",
+    "MacroMetrics",
+    "evaluate_macro",
+    "CellLibrary",
+    "Technology",
+    "GENERIC28",
+]
+
+__version__ = "1.0.0"

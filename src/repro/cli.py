@@ -1,0 +1,306 @@
+"""Command-line interface for the SEGA-DCIM compiler.
+
+Usage (also via ``python -m repro``)::
+
+    repro precisions
+    repro pdks
+    repro explore --wstore 65536 --precision INT8 --limit 10
+    repro compile --wstore 8192 --precision BF16 --out build/macro
+    repro report  --precision INT8 --n 64 --h 128 --l 64 --k 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.precision import STANDARD_PRECISIONS, parse_precision
+from repro.core.spec import DcimSpec, DesignPoint
+from repro.reporting.tables import ascii_table, format_si
+from repro.tech.corners import STANDARD_CORNERS, apply_corner
+from repro.tech.pdk import available_pdks, load_pdk
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SEGA-DCIM: DSE-guided automatic digital CIM compiler",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("precisions", help="list supported precisions")
+
+    sub.add_parser("pdks", help="list bundled PDKs and corners")
+
+    def add_spec_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--wstore", type=int, required=True,
+                       help="number of stored weights (power of two)")
+        p.add_argument("--precision", required=True,
+                       help="computing precision, e.g. INT8 or BF16")
+        p.add_argument("--pdk", default="generic28", help="technology node")
+        p.add_argument("--corner", default="tt",
+                       choices=sorted(STANDARD_CORNERS),
+                       help="PVT corner")
+        p.add_argument("--seed", type=int, default=0, help="GA seed")
+        p.add_argument("--ga", action="store_true",
+                       help="use NSGA-II instead of exhaustive enumeration")
+
+    explore = sub.add_parser("explore", help="print the Pareto frontier")
+    add_spec_args(explore)
+    explore.add_argument("--limit", type=int, default=20,
+                         help="max rows to print")
+
+    compile_p = sub.add_parser("compile", help="run the full pipeline")
+    add_spec_args(compile_p)
+    compile_p.add_argument("--strategy", default="knee",
+                           help="selection strategy (knee, min_area, ...)")
+    compile_p.add_argument("--max-area", type=float, default=None,
+                           help="distillation budget: layout area in mm2")
+    compile_p.add_argument("--min-tops", type=float, default=None,
+                           help="distillation budget: peak TOPS")
+    compile_p.add_argument("--out", default=None,
+                           help="write RTL/layout/report artifacts here")
+    compile_p.add_argument("--verify", action="store_true",
+                           help="run scaled gate-level verification")
+
+    report = sub.add_parser("report", help="area/timing/power of one design")
+    report.add_argument("--precision", required=True)
+    report.add_argument("--n", type=int, required=True)
+    report.add_argument("--h", type=int, required=True)
+    report.add_argument("--l", type=int, required=True)
+    report.add_argument("--k", type=int, required=True)
+    report.add_argument("--pdk", default="generic28")
+    report.add_argument("--corner", default="tt",
+                        choices=sorted(STANDARD_CORNERS))
+
+    lint = sub.add_parser("lint", help="lint generated Verilog files")
+    lint.add_argument("paths", nargs="+", help="Verilog files to lint")
+
+    sweep = sub.add_parser(
+        "sweep", help="efficiency sweep over Wstore (Fig. 8 style)"
+    )
+    sweep.add_argument("--precision", required=True)
+    sweep.add_argument("--wstores", default="4096,8192,16384,32768,65536",
+                       help="comma-separated Wstore values")
+    sweep.add_argument("--pdk", default="generic28")
+    sweep.add_argument("--corner", default="tt",
+                       choices=sorted(STANDARD_CORNERS))
+
+    mc = sub.add_parser("mc", help="Monte-Carlo variation of one design")
+    mc.add_argument("--precision", required=True)
+    mc.add_argument("--n", type=int, required=True)
+    mc.add_argument("--h", type=int, required=True)
+    mc.add_argument("--l", type=int, required=True)
+    mc.add_argument("--k", type=int, required=True)
+    mc.add_argument("--samples", type=int, default=500)
+    mc.add_argument("--pdk", default="generic28")
+    mc.add_argument("--corner", default="tt",
+                    choices=sorted(STANDARD_CORNERS))
+    return parser
+
+
+def _tech(args) -> object:
+    return apply_corner(load_pdk(args.pdk), args.corner)
+
+
+def _cmd_precisions() -> int:
+    rows = []
+    for p in STANDARD_PRECISIONS.values():
+        rows.append(
+            (p.name, p.kind, p.bits, p.exponent_bits or "-",
+             p.mantissa_bits or "-")
+        )
+    print(ascii_table(["name", "kind", "bits", "BE", "BM"], rows))
+    return 0
+
+
+def _cmd_pdks() -> int:
+    rows = []
+    for name in available_pdks():
+        tech = load_pdk(name)
+        rows.append(
+            (name, f"{tech.node_nm:g}", tech.gate_area_um2,
+             tech.gate_delay_ps, tech.gate_energy_fj)
+        )
+    print(ascii_table(["pdk", "node nm", "gate um2", "gate ps", "gate fJ"], rows))
+    print(f"corners: {', '.join(sorted(STANDARD_CORNERS))}")
+    return 0
+
+
+def _cmd_explore(args) -> int:
+    from repro.core.compiler import SegaDcim
+    from repro.dse.distill import distill
+
+    tech = _tech(args)
+    compiler = SegaDcim(tech=tech)
+    spec = DcimSpec(wstore=args.wstore, precision=args.precision)
+    result = compiler.explore(spec, seed=args.seed, exhaustive=not args.ga)
+    pairs = distill(result.points, tech)
+    rows = [
+        (
+            p.n, p.h, p.l, p.k,
+            f"{m.layout_area_mm2:.3f}", f"{m.delay_ns:.2f}",
+            f"{m.tops:.2f}", f"{m.tops_per_watt:.1f}",
+        )
+        for p, m in pairs[: args.limit]
+    ]
+    print(
+        f"Pareto frontier for Wstore={format_si(spec.wstore)} "
+        f"{spec.precision.name} ({len(pairs)} designs, showing "
+        f"{len(rows)}):"
+    )
+    print(
+        ascii_table(
+            ["N", "H", "L", "k", "area mm2", "delay ns", "TOPS", "TOPS/W"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    from repro.core.compiler import SegaDcim
+    from repro.core.manifest import write_artifacts
+    from repro.dse.distill import Requirements
+
+    tech = _tech(args)
+    compiler = SegaDcim(tech=tech)
+    spec = DcimSpec(wstore=args.wstore, precision=args.precision)
+    requirements = Requirements(
+        max_area_mm2=args.max_area, min_tops=args.min_tops
+    )
+    try:
+        result = compiler.compile(
+            spec,
+            requirements=requirements,
+            strategy=args.strategy,
+            seed=args.seed,
+            exhaustive=not args.ga,
+            verify=args.verify,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(result.summary())
+    if args.verify:
+        print(f"verification: {result.verification}")
+    if args.out:
+        manifest = write_artifacts(result, args.out, tech)
+        print(f"artifacts written to {manifest.parent} (manifest.json)")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.reporting.power import full_report
+
+    tech = _tech(args)
+    try:
+        design = DesignPoint(
+            precision=parse_precision(args.precision),
+            n=args.n, h=args.h, l=args.l, k=args.k,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(design.describe())
+    print(full_report(design.macro_cost(), tech))
+    return 0
+
+
+def _cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from repro.rtl.lint import lint_source
+
+    source = "\n".join(Path(p).read_text() for p in args.paths)
+    report = lint_source(source)
+    if report.passed:
+        print(f"lint: CLEAN ({len(report.modules)} modules)")
+        return 0
+    for error in report.errors:
+        print(f"lint error: {error}", file=sys.stderr)
+    return 1
+
+
+def _cmd_sweep(args) -> int:
+    from repro.core.compiler import SegaDcim
+    from repro.dse.distill import distill
+
+    tech = _tech(args)
+    compiler = SegaDcim(tech=tech)
+    precision = parse_precision(args.precision)
+    rows = []
+    for wstore_text in args.wstores.split(","):
+        wstore = int(wstore_text)
+        spec = DcimSpec(wstore=wstore, precision=precision)
+        pairs = distill(
+            compiler.explore(spec, exhaustive=True).points, tech
+        )
+        # Densest full-rate pick (the Fig. 8 design-A analogue).
+        full_rate = [(p, m) for p, m in pairs if p.k == precision.input_bits]
+        max_l = max(p.l for p, _ in full_rate)
+        point, metrics = min(
+            ((p, m) for p, m in full_rate if p.l == max_l),
+            key=lambda pm: pm[1].layout_area_mm2,
+        )
+        rows.append(
+            (
+                format_si(wstore),
+                f"N={point.n} H={point.h} L={point.l} k={point.k}",
+                f"{metrics.tops_per_watt:.1f}",
+                f"{metrics.tops_per_mm2:.2f}",
+                f"{metrics.layout_area_mm2:.3f}",
+            )
+        )
+    print(ascii_table(
+        ["Wstore", "design", "TOPS/W", "TOPS/mm2", "area mm2"], rows
+    ))
+    return 0
+
+
+def _cmd_mc(args) -> int:
+    from repro.model.variation import monte_carlo
+
+    tech = _tech(args)
+    try:
+        design = DesignPoint(
+            precision=parse_precision(args.precision),
+            n=args.n, h=args.h, l=args.l, k=args.k,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    result = monte_carlo(design, tech, samples=args.samples)
+    rows = [(key, f"{value:.3f}") for key, value in result.summary().items()]
+    print(design.describe())
+    print(ascii_table(["statistic", "value"], rows))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "precisions":
+        return _cmd_precisions()
+    if args.command == "pdks":
+        return _cmd_pdks()
+    if args.command == "explore":
+        return _cmd_explore(args)
+    if args.command == "compile":
+        return _cmd_compile(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "mc":
+        return _cmd_mc(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

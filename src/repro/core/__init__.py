@@ -1,0 +1,28 @@
+"""Core public types of the SEGA-DCIM reproduction."""
+
+from repro.core.pareto import (
+    dominates,
+    hypervolume,
+    knee_point,
+    normalize_objectives,
+    pareto_front,
+    pareto_mask,
+)
+from repro.core.precision import STANDARD_PRECISIONS, Precision, parse_precision
+from repro.core.spec import FP_ARCH, INT_ARCH, DcimSpec, DesignPoint
+
+__all__ = [
+    "Precision",
+    "parse_precision",
+    "STANDARD_PRECISIONS",
+    "DcimSpec",
+    "DesignPoint",
+    "INT_ARCH",
+    "FP_ARCH",
+    "dominates",
+    "pareto_mask",
+    "pareto_front",
+    "hypervolume",
+    "knee_point",
+    "normalize_objectives",
+]

@@ -1,0 +1,140 @@
+"""Pareto dominance, front extraction and front quality metrics.
+
+Implements Eq. (1) of the paper (Pareto dominance in a minimisation
+context) plus the utilities the explorer and the distillation step rely
+on: non-dominated filtering, hypervolume (for front-quality ablations)
+and knee-point selection.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import TypeVar
+
+import numpy as np
+
+__all__ = [
+    "dominates",
+    "pareto_mask",
+    "pareto_front",
+    "hypervolume",
+    "knee_point",
+    "normalize_objectives",
+]
+
+T = TypeVar("T")
+
+
+def dominates(u: Sequence[float], v: Sequence[float]) -> bool:
+    """Eq. (1): ``u`` Pareto-dominates ``v`` (all <=, at least one <).
+
+    Both vectors are minimised component-wise and must share a length.
+    """
+    if len(u) != len(v):
+        raise ValueError(f"objective vectors differ in length: {len(u)} vs {len(v)}")
+    not_worse = all(a <= b for a, b in zip(u, v))
+    strictly_better = any(a < b for a, b in zip(u, v))
+    return not_worse and strictly_better
+
+
+def pareto_mask(objectives: np.ndarray) -> np.ndarray:
+    """Boolean mask of non-dominated rows of an ``(n, m)`` objective array.
+
+    Duplicate rows are all kept (none strictly dominates its twin).
+    """
+    points = np.asarray(objectives, dtype=float)
+    if points.ndim != 2:
+        raise ValueError(f"expected a 2-D objective array, got shape {points.shape}")
+    n = len(points)
+    mask = np.ones(n, dtype=bool)
+    for i in range(n):
+        if not mask[i]:
+            continue
+        # A row is dominated if some other row is <= everywhere and <
+        # somewhere.
+        not_worse = (points <= points[i]).all(axis=1)
+        strictly = (points < points[i]).any(axis=1)
+        dominators = not_worse & strictly
+        dominators[i] = False
+        if dominators.any():
+            mask[i] = False
+    return mask
+
+
+def pareto_front(
+    items: Sequence[T], objectives: Sequence[Sequence[float]]
+) -> list[T]:
+    """Return the non-dominated subset of ``items``.
+
+    Args:
+        items: candidate objects.
+        objectives: one minimised objective vector per item.
+    """
+    if len(items) != len(objectives):
+        raise ValueError("items and objectives must have the same length")
+    if not items:
+        return []
+    mask = pareto_mask(np.asarray(objectives, dtype=float))
+    return [item for item, keep in zip(items, mask) if keep]
+
+
+def normalize_objectives(objectives: np.ndarray) -> np.ndarray:
+    """Scale each objective column to [0, 1] (constant columns become 0)."""
+    points = np.asarray(objectives, dtype=float)
+    lo = points.min(axis=0)
+    hi = points.max(axis=0)
+    span = np.where(hi > lo, hi - lo, 1.0)
+    return (points - lo) / span
+
+
+def hypervolume(objectives: np.ndarray, reference: Sequence[float]) -> float:
+    """Hypervolume dominated by a front w.r.t. a reference point.
+
+    Exact inclusion-exclusion-free sweep for 2-D fronts; Monte-Carlo-free
+    recursive slicing (WFG-style) for higher dimensions.  All objectives
+    minimised; points beyond the reference are clipped out.
+    """
+    points = np.asarray(objectives, dtype=float)
+    ref = np.asarray(reference, dtype=float)
+    if points.ndim != 2 or points.shape[1] != len(ref):
+        raise ValueError("objectives and reference dimensionality mismatch")
+    points = points[(points < ref).all(axis=1)]
+    if len(points) == 0:
+        return 0.0
+    points = points[pareto_mask(points)]
+    if points.shape[1] == 1:
+        return float(ref[0] - points[:, 0].min())
+    if points.shape[1] == 2:
+        order = np.argsort(points[:, 0])
+        pts = points[order]
+        volume = 0.0
+        prev_y = ref[1]
+        for x, y in pts:
+            volume += (ref[0] - x) * (prev_y - y)
+            prev_y = y
+        return float(volume)
+    # WFG-style recursive slicing on the last objective.
+    order = np.argsort(points[:, -1])
+    pts = points[order]
+    volume = 0.0
+    for i, point in enumerate(pts):
+        upper = ref[-1] if i == len(pts) - 1 else pts[i + 1, -1]
+        slab = upper - point[-1]
+        if slab <= 0:
+            continue
+        slice_pts = pts[: i + 1, :-1]
+        volume += slab * hypervolume(slice_pts, ref[:-1])
+    return float(volume)
+
+
+def knee_point(objectives: np.ndarray) -> int:
+    """Index of the knee of a front: closest to the normalised ideal point.
+
+    A common automatic trade-off pick when the user gives no preference.
+    """
+    points = np.asarray(objectives, dtype=float)
+    if points.ndim != 2 or len(points) == 0:
+        raise ValueError("need a non-empty 2-D objective array")
+    unit = normalize_objectives(points)
+    distance = np.linalg.norm(unit, axis=1)
+    return int(np.argmin(distance))

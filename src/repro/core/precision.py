@@ -1,0 +1,146 @@
+"""Computing-precision descriptions used throughout SEGA-DCIM.
+
+The paper supports integer precisions (INT2, INT4, INT8, INT16) and
+floating-point precisions (FP8, FP16, FP32, BF16).  A precision fixes the
+bit-level parameters that drive both the estimation models and the RTL
+generator:
+
+``Bx``
+    bit-width of the input operand fed to the DCIM array.  For integer
+    formats this is the integer width; for floating-point formats it is
+    the mantissa datapath width ``BM`` (the aligned mantissa is what the
+    array computes on).
+``Bw``
+    bit-width of the stored weight.  For floating-point formats the
+    weights are stored as pre-aligned mantissas of width ``BM``.
+``BE`` / ``BM``
+    exponent width and mantissa datapath width for floating-point
+    formats.  ``BM`` counts the stored mantissa field plus the implicit
+    leading (hidden) bit, because the pre-aligned array operates on the
+    full significand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Precision", "parse_precision", "STANDARD_PRECISIONS"]
+
+
+@dataclass(frozen=True)
+class Precision:
+    """A computing precision supported by the compiler.
+
+    Attributes:
+        name: canonical name such as ``"INT8"`` or ``"BF16"``.
+        is_float: ``True`` for floating-point formats.
+        bits: total storage width of one operand (e.g. 16 for BF16).
+        exponent_bits: exponent field width ``BE`` (0 for integers).
+        mantissa_bits: mantissa *datapath* width ``BM`` including the
+            hidden bit (0 for integers).
+    """
+
+    name: str
+    is_float: bool
+    bits: int
+    exponent_bits: int = 0
+    mantissa_bits: int = 0
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0:
+            raise ValueError(f"precision bits must be positive, got {self.bits}")
+        if self.is_float:
+            if self.exponent_bits <= 0 or self.mantissa_bits <= 0:
+                raise ValueError(
+                    f"float precision {self.name!r} needs exponent and mantissa bits"
+                )
+        elif self.exponent_bits or self.mantissa_bits:
+            raise ValueError(
+                f"integer precision {self.name!r} cannot carry exponent/mantissa bits"
+            )
+
+    @property
+    def input_bits(self) -> int:
+        """``Bx``: width of the operand entering the DCIM array."""
+        return self.mantissa_bits if self.is_float else self.bits
+
+    @property
+    def weight_bits(self) -> int:
+        """``Bw``: width of the stored weight (aligned mantissa for FP)."""
+        return self.mantissa_bits if self.is_float else self.bits
+
+    @property
+    def mantissa_field_bits(self) -> int:
+        """Stored mantissa field width (excluding the hidden bit)."""
+        return self.mantissa_bits - 1 if self.is_float else 0
+
+    @property
+    def kind(self) -> str:
+        """``"float"`` or ``"int"``."""
+        return "float" if self.is_float else "int"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+def _int(bits: int) -> Precision:
+    return Precision(name=f"INT{bits}", is_float=False, bits=bits)
+
+
+def _float(name: str, bits: int, be: int, mantissa_field: int) -> Precision:
+    return Precision(
+        name=name,
+        is_float=True,
+        bits=bits,
+        exponent_bits=be,
+        mantissa_bits=mantissa_field + 1,  # plus the hidden bit
+    )
+
+
+#: The eight precisions evaluated in the paper (Section IV).
+STANDARD_PRECISIONS: dict[str, Precision] = {
+    p.name: p
+    for p in (
+        _int(2),
+        _int(4),
+        _int(8),
+        _int(16),
+        # FP8 follows the E4M3 variant (4 exponent, 3 mantissa field bits).
+        _float("FP8", 8, be=4, mantissa_field=3),
+        # IEEE-754 half: 5 exponent, 10 mantissa field bits.
+        _float("FP16", 16, be=5, mantissa_field=10),
+        # bfloat16: 8 exponent, 7 mantissa field bits.
+        _float("BF16", 16, be=8, mantissa_field=7),
+        # IEEE-754 single: 8 exponent, 23 mantissa field bits.
+        _float("FP32", 32, be=8, mantissa_field=23),
+    )
+}
+
+
+def parse_precision(spec: str | Precision) -> Precision:
+    """Resolve a precision from its name.
+
+    Accepts an existing :class:`Precision` unchanged, a standard name such
+    as ``"INT8"`` / ``"bf16"``, or a generic ``INT<n>`` form for custom
+    integer widths.
+
+    Raises:
+        ValueError: if the name cannot be interpreted.
+    """
+    if isinstance(spec, Precision):
+        return spec
+    name = spec.strip().upper()
+    if name in STANDARD_PRECISIONS:
+        return STANDARD_PRECISIONS[name]
+    if name.startswith("INT"):
+        try:
+            bits = int(name[3:])
+        except ValueError:
+            raise ValueError(f"unknown precision {spec!r}") from None
+        if bits < 1:
+            raise ValueError(f"integer precision must be >= 1 bit, got {spec!r}")
+        return _int(bits)
+    raise ValueError(
+        f"unknown precision {spec!r}; expected one of "
+        f"{sorted(STANDARD_PRECISIONS)} or INT<n>"
+    )

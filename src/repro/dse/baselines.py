@@ -1,0 +1,95 @@
+"""Baseline explorers for the DSE ablation studies.
+
+The paper motivates NSGA-II by noting that "single-objective
+optimization often introduces a fixed human experience that is not
+suitable for multiple architectures and versatile user requirements"
+(Section II-B).  These baselines make that claim measurable:
+
+* :func:`random_search` — uniform sampling with the same evaluation
+  budget,
+* :func:`weighted_sum_search` — a sweep of scalarised single-objective
+  searches (the "fixed human experience" approach): each weight vector
+  is optimised greedily, and the union of winners forms the front.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.core.pareto import pareto_front
+from repro.core.spec import DcimSpec, DesignPoint
+from repro.dse.problem import DcimProblem, objectives_of
+from repro.tech.cells import CellLibrary
+
+__all__ = ["random_search", "weighted_sum_search"]
+
+
+def random_search(
+    spec: DcimSpec,
+    budget: int,
+    seed: int = 0,
+    library: CellLibrary | None = None,
+) -> list[DesignPoint]:
+    """Uniformly sample ``budget`` genomes; return their Pareto front."""
+    problem = DcimProblem(spec, library or CellLibrary.default())
+    rng = random.Random(seed)
+    seen = set()
+    points, objectives = [], []
+    for _ in range(budget):
+        genome = problem.sample(rng)
+        if genome in seen:
+            continue
+        seen.add(genome)
+        point = problem.decode(genome)
+        points.append(point)
+        objectives.append(objectives_of(point.macro_cost(problem.library)))
+    return pareto_front(points, objectives)
+
+
+def weighted_sum_search(
+    spec: DcimSpec,
+    n_weight_vectors: int = 8,
+    samples_per_vector: int = 64,
+    seed: int = 0,
+    library: CellLibrary | None = None,
+) -> list[DesignPoint]:
+    """Scalarised single-objective sweep (the classic transformation).
+
+    Each weight vector ``w`` (drawn from a Dirichlet-ish simplex grid)
+    scores candidates by ``w . normalized_objectives`` and keeps the
+    single best; the union of the per-vector winners is returned after
+    a final dominance filter.  With few weight vectors this recovers
+    only the convex, well-spread part of the front — the behaviour the
+    paper argues against.
+    """
+    problem = DcimProblem(spec, library or CellLibrary.default())
+    rng = random.Random(seed)
+    # A shared candidate pool so every scalarisation sees the same
+    # evaluations (isolates the selection rule, not the sampling).
+    pool = []
+    seen = set()
+    for _ in range(samples_per_vector):
+        genome = problem.sample(rng)
+        if genome not in seen:
+            seen.add(genome)
+            pool.append(genome)
+    objs = np.array([problem.evaluate(g) for g in pool])
+    lo, hi = objs.min(axis=0), objs.max(axis=0)
+    span = np.where(hi > lo, hi - lo, 1.0)
+    unit = (objs - lo) / span
+
+    np_rng = np.random.default_rng(seed)
+    winners = []
+    for i in range(n_weight_vectors):
+        if i == 0:
+            weights = np.full(objs.shape[1], 1.0 / objs.shape[1])
+        else:
+            raw = np_rng.exponential(size=objs.shape[1])
+            weights = raw / raw.sum()
+        best = int(np.argmin(unit @ weights))
+        winners.append(pool[best])
+    points = [problem.decode(g) for g in dict.fromkeys(winners)]
+    objectives = [objectives_of(p.macro_cost(problem.library)) for p in points]
+    return pareto_front(points, objectives)

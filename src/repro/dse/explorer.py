@@ -1,0 +1,140 @@
+"""MOGA-based design space explorer (Fig. 4 centre block).
+
+Runs NSGA-II for a specification, decodes the resulting front into
+:class:`~repro.core.spec.DesignPoint` objects, and can merge fronts from
+several specifications (e.g. an INT and an FP candidate precision for
+the same application) into one cross-architecture frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.pareto import hypervolume, normalize_objectives, pareto_front
+from repro.core.spec import DcimSpec, DesignPoint
+from repro.dse.nsga2 import NSGA2Config, NSGA2Result, nsga2
+from repro.dse.problem import DcimProblem, objectives_of
+from repro.tech.cells import CellLibrary
+
+__all__ = ["ExplorationResult", "DesignSpaceExplorer"]
+
+
+@dataclass
+class ExplorationResult:
+    """The Pareto frontier for one specification.
+
+    Attributes:
+        spec: the explored specification.
+        points: non-dominated design points, sorted by area.
+        objectives: matching ``[A, D, E, -T]`` normalised objective rows.
+        evaluations: objective evaluations spent by the GA.
+        history: per-generation rank-0 objective snapshots.
+    """
+
+    spec: DcimSpec
+    points: list[DesignPoint]
+    objectives: np.ndarray
+    evaluations: int = 0
+    history: list[list[tuple[float, ...]]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def front_hypervolume(self) -> float:
+        """Hypervolume of the normalised front w.r.t. the (1.1, ...) box.
+
+        A scalar front-quality figure used by the convergence ablation.
+        """
+        if len(self.points) == 0:
+            return 0.0
+        unit = normalize_objectives(self.objectives)
+        return hypervolume(unit, [1.1] * unit.shape[1])
+
+
+class DesignSpaceExplorer:
+    """Drives NSGA-II per architecture and merges the outcomes.
+
+    Args:
+        library: normalised cell library (the "Customized Cell Library"
+            input of Fig. 4).
+        config: NSGA-II hyper-parameters.
+    """
+
+    def __init__(
+        self,
+        library: CellLibrary | None = None,
+        config: NSGA2Config | None = None,
+    ) -> None:
+        self.library = library or CellLibrary.default()
+        self.config = config or NSGA2Config()
+
+    def explore(self, spec: DcimSpec, seed: int | None = None) -> ExplorationResult:
+        """Explore one specification and return its Pareto frontier."""
+        problem = DcimProblem(spec, self.library)
+        config = self.config
+        if seed is not None:
+            config = NSGA2Config(
+                population_size=config.population_size,
+                generations=config.generations,
+                crossover_prob=config.crossover_prob,
+                mutation_prob=config.mutation_prob,
+                seed=seed,
+            )
+        result: NSGA2Result = nsga2(problem, config)
+        points = [problem.decode(ind.genome) for ind in result.front]
+        objectives = [ind.objectives for ind in result.front]
+        order = np.argsort([o[0] for o in objectives]) if objectives else []
+        points = [points[i] for i in order]
+        objectives = [objectives[i] for i in order]
+        return ExplorationResult(
+            spec=spec,
+            points=points,
+            objectives=np.array(objectives, dtype=float).reshape(len(points), -1),
+            evaluations=result.evaluations,
+            history=result.history,
+        )
+
+    def explore_exhaustive(self, spec: DcimSpec) -> ExplorationResult:
+        """Exact frontier by enumeration (baseline / small spaces)."""
+        problem = DcimProblem(spec, self.library)
+        points = problem.exhaustive_front()
+        objectives = [
+            objectives_of(p.macro_cost(self.library)) for p in points
+        ]
+        order = np.argsort([o[0] for o in objectives]) if objectives else []
+        points = [points[i] for i in order]
+        objectives = [objectives[i] for i in order]
+        return ExplorationResult(
+            spec=spec,
+            points=points,
+            objectives=np.array(objectives, dtype=float).reshape(len(points), -1),
+            evaluations=len(problem.codec.enumerate()),
+        )
+
+    def explore_many(
+        self, specs: list[DcimSpec], seed: int | None = None
+    ) -> list[ExplorationResult]:
+        """Explore several specifications (one NSGA-II run each)."""
+        return [
+            self.explore(spec, None if seed is None else seed + i)
+            for i, spec in enumerate(specs)
+        ]
+
+    @staticmethod
+    def merge_fronts(results: list[ExplorationResult]) -> list[DesignPoint]:
+        """Cross-architecture non-dominated merge of several frontiers.
+
+        This yields the paper's "high-quality Pareto-frontier set
+        containing both integer and floating-point solutions": objective
+        vectors from all runs compete in one dominance filter.
+        """
+        points: list[DesignPoint] = []
+        objectives: list[tuple[float, ...]] = []
+        for result in results:
+            points.extend(result.points)
+            objectives.extend(map(tuple, result.objectives))
+        if not points:
+            return []
+        return pareto_front(points, objectives)

@@ -1,0 +1,219 @@
+"""Design-point encoding for the genetic explorer.
+
+The storage constraint of Eqs. (2)/(3) — ``N * H * L / Bw == Wstore``
+(``Bw -> BM`` for FP) — is satisfied *by construction* rather than by
+penalty: we encode
+
+* ``N = Bw * 2^a`` (so ``N`` is always a multiple of the weight width,
+  as the column grouping requires),
+* ``H = 2^b``,
+* ``L = 2^c``,
+
+which turns the constraint into the integer identity
+``a + b + c == log2(Wstore)``.  The fourth gene indexes the sorted list
+of divisors of the input width, giving a legal bit-serial slice ``k``.
+
+A :class:`GenomeCodec` owns the bounds derived from a
+:class:`~repro.core.spec.DcimSpec` (``N > 4*Bw``, ``L <= 64``,
+``H <= 2048``) and provides sampling, repair, and decode.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.core.precision import Precision
+from repro.core.spec import DcimSpec, DesignPoint
+
+__all__ = ["Genome", "GenomeCodec", "divisors"]
+
+#: A genome is the integer tuple (a, b, c, k_idx).
+Genome = tuple[int, int, int, int]
+
+
+def divisors(n: int) -> list[int]:
+    """Sorted positive divisors of ``n`` (legal ``k`` values for width n)."""
+    if n < 1:
+        raise ValueError(f"need a positive width, got {n}")
+    small, large = [], []
+    for d in range(1, int(math.isqrt(n)) + 1):
+        if n % d == 0:
+            small.append(d)
+            if d != n // d:
+                large.append(n // d)
+    return small + large[::-1]
+
+
+@dataclass(frozen=True)
+class GenomeCodec:
+    """Encode/decode design points for one :class:`DcimSpec`.
+
+    Attributes:
+        spec: the user specification the codec serves.
+    """
+
+    spec: DcimSpec
+
+    def __post_init__(self) -> None:
+        wstore = self.spec.wstore
+        exponent = math.log2(wstore)
+        if exponent != int(exponent):
+            raise ValueError(
+                f"Wstore must be a power of two for the exponent encoding, "
+                f"got {wstore}"
+            )
+        if self.total_exponent > self.max_a + self.max_b + self.max_c:
+            raise ValueError(
+                f"Wstore={wstore} cannot fit the bounds "
+                f"L<={self.spec.max_l}, H<={self.spec.max_h}"
+            )
+        if self.total_exponent < self.min_a:
+            raise ValueError(
+                f"Wstore={wstore} is too small for the bound N>{4 * self.weight_bits}"
+            )
+
+    # Derived bounds -------------------------------------------------------
+    @property
+    def precision(self) -> Precision:
+        return self.spec.precision
+
+    @property
+    def weight_bits(self) -> int:
+        """``Bw`` (INT) or ``BM`` (FP): the encoded column-group width."""
+        return self.precision.weight_bits
+
+    @property
+    def total_exponent(self) -> int:
+        """``a + b + c`` must equal ``log2(Wstore)``."""
+        return int(math.log2(self.spec.wstore))
+
+    @property
+    def min_a(self) -> int:
+        """Smallest ``a`` with ``N = Bw * 2^a > min_n_factor * Bw``."""
+        factor = self.spec.min_n_factor
+        if factor == 0:
+            return 0
+        return int(math.floor(math.log2(factor))) + 1
+
+    @property
+    def max_a(self) -> int:
+        if self.spec.max_n is None:
+            return self.total_exponent
+        return min(
+            int(math.log2(self.spec.max_n // self.weight_bits)),
+            self.total_exponent,
+        )
+
+    @property
+    def max_b(self) -> int:
+        """Largest ``b`` with ``H = 2^b <= max_h``."""
+        return min(int(math.log2(self.spec.max_h)), self.total_exponent)
+
+    @property
+    def max_c(self) -> int:
+        """Largest ``c`` with ``L = 2^c <= max_l``."""
+        return min(int(math.log2(self.spec.max_l)), self.total_exponent)
+
+    @property
+    def k_choices(self) -> list[int]:
+        """Legal per-cycle input slices: divisors of the input width."""
+        return divisors(self.precision.input_bits)
+
+    # Sampling / repair ----------------------------------------------------
+    def sample(self, rng: random.Random) -> Genome:
+        """Draw a random feasible genome (uniform over repaired draws)."""
+        a = rng.randint(self.min_a, self.max_a)
+        b = rng.randint(0, self.max_b)
+        c = rng.randint(0, self.max_c)
+        k_idx = rng.randrange(len(self.k_choices))
+        return self.repair((a, b, c, k_idx), rng)
+
+    def repair(self, genome: Genome, rng: random.Random) -> Genome:
+        """Project an arbitrary integer genome back into the feasible set.
+
+        Clips each gene into its box, then redistributes the exponent
+        surplus/deficit among ``(a, b, c)`` in random order so the sum
+        constraint holds exactly.
+        """
+        a, b, c, k_idx = genome
+        a = min(max(a, self.min_a), self.max_a)
+        b = min(max(b, 0), self.max_b)
+        c = min(max(c, 0), self.max_c)
+        k_idx = min(max(k_idx, 0), len(self.k_choices) - 1)
+
+        lows = {"a": self.min_a, "b": 0, "c": 0}
+        highs = {"a": self.max_a, "b": self.max_b, "c": self.max_c}
+        genes = {"a": a, "b": b, "c": c}
+        delta = self.total_exponent - (a + b + c)
+        names = ["a", "b", "c"]
+        rng.shuffle(names)
+        for name in names:
+            if delta == 0:
+                break
+            if delta > 0:
+                room = highs[name] - genes[name]
+                step = min(room, delta)
+            else:
+                room = genes[name] - lows[name]
+                step = -min(room, -delta)
+            genes[name] += step
+            delta -= step
+        if delta != 0:  # pragma: no cover - excluded by codec validation
+            raise RuntimeError("repair failed; bounds validated at construction")
+        return (genes["a"], genes["b"], genes["c"], k_idx)
+
+    def is_feasible(self, genome: Genome) -> bool:
+        """True when a genome decodes to a design meeting the spec."""
+        a, b, c, k_idx = genome
+        return (
+            self.min_a <= a <= self.max_a
+            and 0 <= b <= self.max_b
+            and 0 <= c <= self.max_c
+            and 0 <= k_idx < len(self.k_choices)
+            and a + b + c == self.total_exponent
+        )
+
+    # Decoding -------------------------------------------------------------
+    def decode(self, genome: Genome) -> DesignPoint:
+        """Materialise the genome as a validated :class:`DesignPoint`."""
+        if not self.is_feasible(genome):
+            raise ValueError(f"infeasible genome {genome}")
+        a, b, c, k_idx = genome
+        return DesignPoint(
+            precision=self.precision,
+            n=self.weight_bits * 2**a,
+            h=2**b,
+            l=2**c,
+            k=self.k_choices[k_idx],
+        )
+
+    def encode(self, point: DesignPoint) -> Genome:
+        """Inverse of :meth:`decode` for seeding known-good designs."""
+        bw = self.weight_bits
+        if point.n % bw:
+            raise ValueError(f"N={point.n} is not a multiple of {bw}")
+        a = int(math.log2(point.n // bw))
+        b = int(math.log2(point.h))
+        c = int(math.log2(point.l))
+        k_idx = self.k_choices.index(point.k)
+        genome = (a, b, c, k_idx)
+        if not self.is_feasible(genome):
+            raise ValueError(f"design {point.describe()} violates the spec bounds")
+        return genome
+
+    def enumerate(self) -> list[Genome]:
+        """All feasible genomes (the space is small enough to exhaust).
+
+        Used by the brute-force baseline that validates NSGA-II and by
+        the design-space ablation benches.
+        """
+        out = []
+        for a in range(self.min_a, self.max_a + 1):
+            for b in range(0, self.max_b + 1):
+                c = self.total_exponent - a - b
+                if 0 <= c <= self.max_c:
+                    for k_idx in range(len(self.k_choices)):
+                        out.append((a, b, c, k_idx))
+        return out

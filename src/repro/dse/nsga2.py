@@ -1,0 +1,285 @@
+"""NSGA-II, implemented from scratch (Deb et al., 2002).
+
+The paper's design space explorer runs "a classic NSGA-II algorithm" per
+architecture.  This module provides a self-contained integer-genome
+NSGA-II with:
+
+* fast non-dominated sorting,
+* crowding-distance assignment,
+* binary tournament selection on (rank, crowding),
+* uniform crossover and random-step mutation followed by the problem's
+  *repair* operator (keeping the storage constraint exact), and
+* elitist (mu + lambda) environmental selection.
+
+It is deliberately independent of DCIM specifics: anything implementing
+the small :class:`Problem` protocol can be optimised.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+__all__ = [
+    "Problem",
+    "Individual",
+    "NSGA2Config",
+    "NSGA2Result",
+    "nsga2",
+    "fast_non_dominated_sort",
+    "crowding_distance",
+]
+
+Genome = tuple[int, ...]
+INFINITY = float("inf")
+
+
+class Problem(Protocol):
+    """Minimal interface the optimiser needs."""
+
+    def sample(self, rng: random.Random) -> Genome:
+        """Draw a random feasible genome."""
+
+    def repair(self, genome: Genome, rng: random.Random) -> Genome:
+        """Project a genome back into the feasible set."""
+
+    def evaluate(self, genome: Genome) -> tuple[float, ...]:
+        """Minimised objective vector for a feasible genome."""
+
+    def mutation_steps(self) -> Sequence[int]:
+        """Per-gene maximum mutation step sizes."""
+
+
+@dataclass
+class Individual:
+    """A genome with its cached objectives and NSGA-II bookkeeping."""
+
+    genome: Genome
+    objectives: tuple[float, ...]
+    rank: int = 0
+    crowding: float = 0.0
+
+
+@dataclass(frozen=True)
+class NSGA2Config:
+    """Hyper-parameters of the explorer.
+
+    The defaults are sized so one (Wstore, precision) exploration runs in
+    seconds (the paper quotes "within 30 minutes" on their server; our
+    analytical models are much cheaper to evaluate).
+    """
+
+    population_size: int = 64
+    generations: int = 60
+    crossover_prob: float = 0.9
+    mutation_prob: float = 0.3
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.population_size < 4 or self.population_size % 2:
+            raise ValueError("population_size must be an even number >= 4")
+        if self.generations < 1:
+            raise ValueError("generations must be >= 1")
+        for p in (self.crossover_prob, self.mutation_prob):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError("probabilities must lie in [0, 1]")
+
+
+@dataclass
+class NSGA2Result:
+    """Outcome of one NSGA-II run.
+
+    Attributes:
+        front: the non-dominated set over *every* genome the run ever
+            evaluated (an external archive), deduplicated by genome.
+            With four objectives the true front is often larger than the
+            population, so archiving recovers points the fixed-size
+            population had to crowd out.
+        population: the full final population.
+        history: per-generation copies of the rank-0 objective vectors,
+            for convergence ablations.
+        evaluations: number of objective evaluations performed (cached
+            duplicates excluded).
+    """
+
+    front: list[Individual]
+    population: list[Individual]
+    history: list[list[tuple[float, ...]]] = field(default_factory=list)
+    evaluations: int = 0
+
+
+def dominates(u: Sequence[float], v: Sequence[float]) -> bool:
+    """Pareto dominance (minimisation), as Eq. (1) of the paper."""
+    return all(a <= b for a, b in zip(u, v)) and any(a < b for a, b in zip(u, v))
+
+
+def fast_non_dominated_sort(population: list[Individual]) -> list[list[Individual]]:
+    """Deb's fast non-dominated sort; assigns ranks and returns the fronts."""
+    dominated_by: list[list[int]] = [[] for _ in population]
+    domination_count = [0] * len(population)
+    fronts: list[list[int]] = [[]]
+    for i, p in enumerate(population):
+        for j, q in enumerate(population):
+            if i == j:
+                continue
+            if dominates(p.objectives, q.objectives):
+                dominated_by[i].append(j)
+            elif dominates(q.objectives, p.objectives):
+                domination_count[i] += 1
+        if domination_count[i] == 0:
+            p.rank = 0
+            fronts[0].append(i)
+    current = 0
+    while fronts[current]:
+        next_front: list[int] = []
+        for i in fronts[current]:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    population[j].rank = current + 1
+                    next_front.append(j)
+        current += 1
+        fronts.append(next_front)
+    return [[population[i] for i in front] for front in fronts[:-1]]
+
+
+def crowding_distance(front: list[Individual]) -> None:
+    """Assign crowding distances in place (boundary points get infinity)."""
+    n = len(front)
+    for ind in front:
+        ind.crowding = 0.0
+    if n == 0:
+        return
+    if n <= 2:
+        for ind in front:
+            ind.crowding = INFINITY
+        return
+    n_obj = len(front[0].objectives)
+    for m in range(n_obj):
+        front.sort(key=lambda ind: ind.objectives[m])
+        lo = front[0].objectives[m]
+        hi = front[-1].objectives[m]
+        front[0].crowding = INFINITY
+        front[-1].crowding = INFINITY
+        span = hi - lo
+        if span == 0:
+            continue
+        for i in range(1, n - 1):
+            gap = front[i + 1].objectives[m] - front[i - 1].objectives[m]
+            front[i].crowding += gap / span
+
+
+def _tournament(rng: random.Random, population: list[Individual]) -> Individual:
+    a, b = rng.sample(population, 2)
+    if a.rank != b.rank:
+        return a if a.rank < b.rank else b
+    return a if a.crowding > b.crowding else b
+
+
+def _crossover(
+    rng: random.Random, mother: Genome, father: Genome, prob: float
+) -> tuple[Genome, Genome]:
+    if rng.random() >= prob:
+        return mother, father
+    child_a = list(mother)
+    child_b = list(father)
+    for i in range(len(mother)):
+        if rng.random() < 0.5:
+            child_a[i], child_b[i] = child_b[i], child_a[i]
+    return tuple(child_a), tuple(child_b)
+
+
+def _mutate(
+    rng: random.Random, genome: Genome, steps: Sequence[int], prob: float
+) -> Genome:
+    genes = list(genome)
+    for i, step in enumerate(steps):
+        if rng.random() < prob:
+            delta = rng.randint(-step, step)
+            genes[i] += delta
+    return tuple(genes)
+
+
+def _dedup_front(front: list[Individual]) -> list[Individual]:
+    seen: set[Genome] = set()
+    unique = []
+    for ind in front:
+        if ind.genome not in seen:
+            seen.add(ind.genome)
+            unique.append(ind)
+    return unique
+
+
+def nsga2(problem: Problem, config: NSGA2Config | None = None) -> NSGA2Result:
+    """Run NSGA-II on ``problem`` and return the final Pareto front.
+
+    Objective evaluations are memoised per genome: the DCIM space is
+    discrete and the GA revisits points frequently.
+    """
+    config = config or NSGA2Config()
+    rng = random.Random(config.seed)
+    cache: dict[Genome, tuple[float, ...]] = {}
+    evaluations = 0
+
+    def evaluate(genome: Genome) -> tuple[float, ...]:
+        nonlocal evaluations
+        if genome not in cache:
+            cache[genome] = problem.evaluate(genome)
+            evaluations += 1
+        return cache[genome]
+
+    population = []
+    for _ in range(config.population_size):
+        genome = problem.sample(rng)
+        population.append(Individual(genome, evaluate(genome)))
+
+    history: list[list[tuple[float, ...]]] = []
+    steps = problem.mutation_steps()
+
+    for _ in range(config.generations):
+        fronts = fast_non_dominated_sort(population)
+        for front in fronts:
+            crowding_distance(front)
+        # Variation: fill an offspring population of equal size.
+        offspring: list[Individual] = []
+        while len(offspring) < config.population_size:
+            mother = _tournament(rng, population)
+            father = _tournament(rng, population)
+            for child in _crossover(
+                rng, mother.genome, father.genome, config.crossover_prob
+            ):
+                child = _mutate(rng, child, steps, config.mutation_prob)
+                child = problem.repair(child, rng)
+                offspring.append(Individual(child, evaluate(child)))
+        offspring = offspring[: config.population_size]
+        # Elitist environmental selection over parents + offspring.
+        merged = population + offspring
+        fronts = fast_non_dominated_sort(merged)
+        survivors: list[Individual] = []
+        for front in fronts:
+            crowding_distance(front)
+            if len(survivors) + len(front) <= config.population_size:
+                survivors.extend(front)
+            else:
+                front.sort(key=lambda ind: ind.crowding, reverse=True)
+                survivors.extend(front[: config.population_size - len(survivors)])
+                break
+        population = survivors
+        history.append(
+            [ind.objectives for ind in population if ind.rank == 0]
+        )
+
+    # Final front over the archive of everything evaluated, not just the
+    # surviving population.
+    archive = [Individual(g, o) for g, o in cache.items()]
+    archive_fronts = fast_non_dominated_sort(archive)
+    for front in archive_fronts:
+        crowding_distance(front)
+    front = _dedup_front(archive_fronts[0]) if archive_fronts else []
+    return NSGA2Result(
+        front=front,
+        population=population,
+        history=history,
+        evaluations=evaluations,
+    )

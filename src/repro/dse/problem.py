@@ -1,0 +1,89 @@
+"""Multi-objective problem formulations (paper Eqs. 2 and 3).
+
+Both architectures minimise ``[A, D, E, -T]``: area, clock period,
+energy per pass, and negated peak throughput.  The storage constraint is
+satisfied by the genome encoding (see :mod:`repro.dse.genome`), so the
+GA never sees infeasible points.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.spec import DcimSpec, DesignPoint
+from repro.dse.genome import Genome, GenomeCodec
+from repro.model.macro import MacroCost
+from repro.tech.cells import CellLibrary
+
+__all__ = ["DcimProblem", "OBJECTIVE_NAMES", "objectives_of"]
+
+#: Order of the objective vector (all minimised; throughput negated).
+OBJECTIVE_NAMES = ("area", "delay", "energy", "neg_throughput")
+
+
+def objectives_of(cost: MacroCost) -> tuple[float, float, float, float]:
+    """Map a macro cost onto the minimised objective vector of Eq. 2/3."""
+    return (
+        cost.area,
+        cost.delay,
+        cost.energy_per_pass,
+        -cost.throughput,
+    )
+
+
+@dataclass
+class DcimProblem:
+    """The DSE problem for one (Wstore, precision) specification.
+
+    Implements the :class:`repro.dse.nsga2.Problem` protocol.  Objective
+    values are normalised NOR-gate units: converting to physical units is
+    a strictly monotone per-objective transform, so the Pareto set is
+    identical — physical metrics are attached after exploration.
+
+    Attributes:
+        spec: the user specification (Fig. 4 "User Defined" inputs).
+        library: normalised standard-cell library.
+    """
+
+    spec: DcimSpec
+    library: CellLibrary = field(default_factory=CellLibrary.default)
+
+    def __post_init__(self) -> None:
+        self.codec = GenomeCodec(self.spec)
+
+    # Problem protocol -----------------------------------------------------
+    def sample(self, rng: random.Random) -> Genome:
+        return self.codec.sample(rng)
+
+    def repair(self, genome: Genome, rng: random.Random) -> Genome:
+        return self.codec.repair(genome, rng)
+
+    def evaluate(self, genome: Genome) -> tuple[float, ...]:
+        point = self.codec.decode(genome)
+        return objectives_of(point.macro_cost(self.library))
+
+    def mutation_steps(self) -> tuple[int, int, int, int]:
+        # Exponent genes move a couple of octaves; the k index can jump
+        # across its whole (short) list.
+        k_span = max(len(self.codec.k_choices) - 1, 1)
+        return (2, 2, 2, k_span)
+
+    # Conveniences -----------------------------------------------------------
+    def decode(self, genome: Genome) -> DesignPoint:
+        """Materialise a genome as a design point."""
+        return self.codec.decode(genome)
+
+    def exhaustive_front(self) -> list[DesignPoint]:
+        """Brute-force true Pareto front by enumerating the whole space.
+
+        The exponent encoding keeps the space small (hundreds of points),
+        which makes this exact baseline cheap; the explorer tests compare
+        NSGA-II's front against it.
+        """
+        from repro.core.pareto import pareto_front
+
+        genomes = self.codec.enumerate()
+        points = [self.codec.decode(g) for g in genomes]
+        objs = [objectives_of(p.macro_cost(self.library)) for p in points]
+        return pareto_front(points, objs)

@@ -1,0 +1,39 @@
+"""Functional golden models: formats, MVM references, macro behaviour."""
+
+from repro.func.formats import FloatFormat, FpFields, max_unsigned, quantize_unsigned
+from repro.func.int2fp_model import ConversionResult, int_to_fp, pack_to_format
+from repro.func.macro_model import FpMacroModel, IntMacroModel
+from repro.func.mvm import (
+    bit_serial_mvm,
+    golden_mvm,
+    input_slices,
+    signed_matvec,
+    weight_bitplanes,
+)
+from repro.func.prealign_model import (
+    AlignedVector,
+    aligned_dot,
+    alignment_error,
+    prealign,
+)
+
+__all__ = [
+    "FloatFormat",
+    "FpFields",
+    "max_unsigned",
+    "quantize_unsigned",
+    "golden_mvm",
+    "bit_serial_mvm",
+    "weight_bitplanes",
+    "input_slices",
+    "signed_matvec",
+    "AlignedVector",
+    "prealign",
+    "aligned_dot",
+    "alignment_error",
+    "IntMacroModel",
+    "FpMacroModel",
+    "ConversionResult",
+    "int_to_fp",
+    "pack_to_format",
+]

@@ -1,0 +1,158 @@
+"""Bit-exact number formats for the functional models.
+
+Implements encode/decode for the paper's floating-point precisions (FP8
+E4M3, FP16, BF16, FP32) plus unsigned-integer quantisation helpers.  The
+encoder rounds to nearest-even, flushes subnormals to zero (the
+pre-aligned datapath has no subnormal support) and saturates overflow to
+the largest finite value; these choices are documented here because the
+macro model's bit-exactness claims are relative to them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.precision import Precision, parse_precision
+
+__all__ = ["FpFields", "FloatFormat", "quantize_unsigned", "max_unsigned"]
+
+
+@dataclass(frozen=True)
+class FpFields:
+    """Decomposed floating-point value.
+
+    Attributes:
+        sign: 0 or 1.
+        exponent: biased exponent field.
+        significand: mantissa *with* the hidden bit prepended
+            (``mantissa_bits`` wide), zero for the value zero.
+    """
+
+    sign: int
+    exponent: int
+    significand: int
+
+
+@dataclass(frozen=True)
+class FloatFormat:
+    """A binary floating-point format parameterised like the paper.
+
+    Attributes:
+        name: format name.
+        exponent_bits: width of the exponent field ``BE``.
+        mantissa_bits: significand width ``BM`` *including* the hidden
+            bit (so the stored field is ``mantissa_bits - 1`` wide).
+    """
+
+    name: str
+    exponent_bits: int
+    mantissa_bits: int
+
+    def __post_init__(self) -> None:
+        if self.exponent_bits < 1 or self.mantissa_bits < 1:
+            raise ValueError("format needs positive exponent and mantissa widths")
+
+    @classmethod
+    def from_precision(cls, precision: Precision | str) -> "FloatFormat":
+        """Build the format matching a floating-point :class:`Precision`."""
+        p = parse_precision(precision)
+        if not p.is_float:
+            raise ValueError(f"{p.name} is not a floating-point precision")
+        return cls(p.name, p.exponent_bits, p.mantissa_bits)
+
+    # Derived constants ----------------------------------------------------
+    @property
+    def bias(self) -> int:
+        """IEEE-style exponent bias."""
+        return (1 << (self.exponent_bits - 1)) - 1
+
+    @property
+    def max_exponent_field(self) -> int:
+        """Largest biased exponent used for finite values.
+
+        We use the full field range for normal numbers (no inf/NaN
+        encodings — the hardware datapath has none either).
+        """
+        return (1 << self.exponent_bits) - 1
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable finite magnitude."""
+        frac = (1 << self.mantissa_bits) - 1
+        return frac * 2.0 ** (
+            self.max_exponent_field - self.bias - (self.mantissa_bits - 1)
+        )
+
+    @property
+    def min_normal(self) -> float:
+        """Smallest positive normal magnitude."""
+        return 2.0 ** (1 - self.bias)
+
+    # Encode/decode ----------------------------------------------------------
+    def encode(self, value: float) -> FpFields:
+        """Encode a Python float (round-to-nearest-even, saturating).
+
+        Subnormal magnitudes flush to zero; NaN raises.
+        """
+        if math.isnan(value):
+            raise ValueError("cannot encode NaN")
+        sign = 1 if math.copysign(1.0, value) < 0 else 0
+        mag = abs(value)
+        if math.isinf(mag) or mag >= self.max_value:
+            return FpFields(
+                sign, self.max_exponent_field, (1 << self.mantissa_bits) - 1
+            )
+        if mag == 0.0:
+            return FpFields(sign, 0, 0)
+        exp = math.floor(math.log2(mag))
+        # Guard against log2 rounding at binade edges.
+        if mag < 2.0**exp:
+            exp -= 1
+        elif mag >= 2.0 ** (exp + 1):
+            exp += 1
+        biased = exp + self.bias
+        if biased < 1:
+            return FpFields(sign, 0, 0)  # flush subnormals to zero
+        scale = self.mantissa_bits - 1 - exp
+        significand = round(mag * 2.0**scale)  # ties-to-even via round()
+        if significand >= (1 << self.mantissa_bits):  # rounding overflowed
+            significand >>= 1
+            biased += 1
+            if biased > self.max_exponent_field:
+                return FpFields(
+                    sign, self.max_exponent_field, (1 << self.mantissa_bits) - 1
+                )
+        return FpFields(sign, biased, significand)
+
+    def decode(self, fields: FpFields) -> float:
+        """Decode fields back to a Python float."""
+        if fields.significand == 0:
+            return -0.0 if fields.sign else 0.0
+        value = fields.significand * 2.0 ** (
+            fields.exponent - self.bias - (self.mantissa_bits - 1)
+        )
+        return -value if fields.sign else value
+
+    def quantize(self, value: float) -> float:
+        """Round a float to the nearest representable value."""
+        return self.decode(self.encode(value))
+
+    def decode_raw(self, sign: int, exponent: int, significand: int) -> float:
+        """Decode from loose integer fields (used by the macro model)."""
+        return self.decode(FpFields(sign, exponent, significand))
+
+
+def max_unsigned(bits: int) -> int:
+    """Largest value of an unsigned ``bits``-wide integer."""
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    return (1 << bits) - 1
+
+
+def quantize_unsigned(values, bits: int):
+    """Clip-and-round an array-like to unsigned ``bits``-wide integers."""
+    import numpy as np
+
+    arr = np.asarray(values)
+    return np.clip(np.rint(arr), 0, max_unsigned(bits)).astype(np.int64)

@@ -1,0 +1,83 @@
+"""Functional model of the INT-to-FP converter (Fig. 3 back end).
+
+Mirrors the RTL template semantics exactly: a leading-one detector over
+the ``Br``-bit fused magnitude, a normalising left shift, and the
+exponent ``base_exp + lead``.  Sign handling is sign-magnitude (the
+fused result's sign is tracked beside the magnitude), and packing into
+a target :class:`~repro.func.formats.FloatFormat` truncates the
+normalised mantissa to the field width (round-to-zero, like the
+hardware's wire slice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.func.formats import FloatFormat
+
+__all__ = ["ConversionResult", "int_to_fp", "pack_to_format"]
+
+
+@dataclass(frozen=True)
+class ConversionResult:
+    """Raw converter outputs (matching the RTL ports).
+
+    Attributes:
+        mantissa: ``br``-bit normalised mantissa (MSB = the leading one),
+            0 for a zero input.
+        exponent: ``base_exp + lead`` (0 for a zero input).
+        lead: index of the leading one (0 for a zero input).
+        is_zero: zero-input flag.
+        br: converter width.
+    """
+
+    mantissa: int
+    exponent: int
+    lead: int
+    is_zero: bool
+    br: int
+
+
+def int_to_fp(value: int, base_exp: int, br: int) -> ConversionResult:
+    """Normalise a ``br``-bit unsigned magnitude (RTL-exact).
+
+    Args:
+        value: the fused integer result (``0 <= value < 2**br``).
+        base_exp: shared exponent base (``XEmax + WEmax`` in the macro).
+        br: converter width ``Br = Bw + BM + log2 H``.
+
+    Raises:
+        ValueError: when the value does not fit ``br`` bits.
+    """
+    if br < 1:
+        raise ValueError(f"br must be >= 1, got {br}")
+    if not 0 <= value < (1 << br):
+        raise ValueError(f"value {value} does not fit {br} bits")
+    if value == 0:
+        return ConversionResult(0, 0, 0, True, br)
+    lead = value.bit_length() - 1
+    mantissa = (value << (br - 1 - lead)) & ((1 << br) - 1)
+    return ConversionResult(mantissa, base_exp + lead, lead, False, br)
+
+
+def pack_to_format(
+    result: ConversionResult, sign: int, fmt: FloatFormat
+) -> float:
+    """Pack raw converter outputs into a float of ``fmt``.
+
+    The normalised ``br``-bit mantissa is truncated to the format's
+    significand width (the hardware slices the top ``BM`` bits); the
+    exponent is used as the biased exponent field, saturating at the
+    format's range.
+    """
+    if result.is_zero:
+        return -0.0 if sign else 0.0
+    shift = result.br - fmt.mantissa_bits
+    if shift >= 0:
+        significand = result.mantissa >> shift
+    else:
+        significand = result.mantissa << -shift
+    exponent = min(max(result.exponent, 0), fmt.max_exponent_field)
+    if exponent != result.exponent:  # saturated: clamp the magnitude too
+        significand = (1 << fmt.mantissa_bits) - 1 if result.exponent > 0 else 0
+    return fmt.decode_raw(sign, exponent, significand)

@@ -1,0 +1,193 @@
+"""Cycle-level behavioural models of the generated DCIM macros.
+
+These models execute the *same dataflow* as the generated RTL (weight
+bit-planes per column, MSB-first ``k``-bit input slices, shift
+accumulation, bit-position fusion) and are the functional reference the
+gate-level netlists are verified against.
+
+Hardware computes on unsigned magnitudes; signed operation uses the
+sign-magnitude decomposition of :func:`repro.func.mvm.signed_matvec`
+(four unsigned passes), and the FP model applies it to mantissas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.spec import DesignPoint
+from repro.func.formats import FloatFormat, max_unsigned
+from repro.func.mvm import input_slices, signed_matvec, weight_bitplanes
+from repro.func.prealign_model import prealign
+
+__all__ = ["IntMacroModel", "FpMacroModel"]
+
+
+class IntMacroModel:
+    """Behavioural multiplier-based integer macro.
+
+    The array stores ``L`` selectable weight sets; each set is an
+    ``(H, N/Bw)`` matrix of ``Bw``-bit weights.  One pass computes
+    ``weights[sel].T @ x`` in ``Bx/k`` cycles.
+
+    Args:
+        design: an integer-precision design point.
+    """
+
+    def __init__(self, design: DesignPoint) -> None:
+        if design.precision.is_float:
+            raise ValueError("IntMacroModel needs an integer design point")
+        self.design = design
+        self.bx = design.precision.input_bits
+        self.bw = design.precision.weight_bits
+        self.groups = design.n // self.bw
+        self.weights = np.zeros((design.l, design.h, self.groups), dtype=np.int64)
+
+    @property
+    def cycles_per_pass(self) -> int:
+        """Cycles per matrix-vector pass (``Bx / k``)."""
+        return self.bx // self.design.k
+
+    def load_weights(self, weights, sel: int = 0) -> None:
+        """Store one ``(H, N/Bw)`` unsigned weight set at index ``sel``.
+
+        Raises:
+            ValueError: on shape mismatch or out-of-range values.
+        """
+        w = np.asarray(weights, dtype=np.int64)
+        expected = (self.design.h, self.groups)
+        if w.shape != expected:
+            raise ValueError(f"weights must have shape {expected}, got {w.shape}")
+        if w.min(initial=0) < 0 or w.max(initial=0) > max_unsigned(self.bw):
+            raise ValueError(f"weights must be unsigned {self.bw}-bit values")
+        if not 0 <= sel < self.design.l:
+            raise ValueError(f"sel must be in [0, {self.design.l}), got {sel}")
+        self.weights[sel] = w
+
+    def matvec(self, x, sel: int = 0) -> np.ndarray:
+        """One pass: ``weights[sel].T @ x`` through the DCIM dataflow."""
+        trace = self.matvec_trace(x, sel)
+        return trace["outputs"]
+
+    def matvec_trace(self, x, sel: int = 0) -> dict:
+        """Like :meth:`matvec` but returns per-cycle internals.
+
+        The trace exposes each cycle's adder-tree partials and
+        accumulator states, which the gate-level verification compares
+        flop-for-flop.
+        """
+        xv = np.asarray(x, dtype=np.int64)
+        if xv.shape != (self.design.h,):
+            raise ValueError(f"x must have shape ({self.design.h},), got {xv.shape}")
+        if xv.min(initial=0) < 0 or xv.max(initial=0) > max_unsigned(self.bx):
+            raise ValueError(f"inputs must be unsigned {self.bx}-bit values")
+        if not 0 <= sel < self.design.l:
+            raise ValueError(f"sel must be in [0, {self.design.l})")
+        w = self.weights[sel]
+        planes = weight_bitplanes(w, self.bw)  # LSB-first bit planes
+        slices = input_slices(xv, self.bx, self.design.k)
+        acc = np.zeros((self.bw, self.groups), dtype=np.int64)
+        partials_log, acc_log = [], []
+        for slice_c in slices:
+            partial = np.stack([p.T @ slice_c for p in planes])  # adder trees
+            acc = (acc << self.design.k) + partial  # shift accumulators
+            partials_log.append(partial)
+            acc_log.append(acc.copy())
+        fused = np.zeros(self.groups, dtype=np.int64)
+        for j in range(self.bw):
+            fused += acc[j] << j  # result fusion
+        return {
+            "outputs": fused,
+            "partials": partials_log,
+            "accumulators": acc_log,
+            "cycles": len(slices),
+        }
+
+    def matvec_signed(self, weights, x) -> np.ndarray:
+        """Signed MVM via four unsigned passes (sign-magnitude split).
+
+        Temporarily uses weight sets 0 (positive part) and, when ``L >
+        1``, set 1 (negative part); with ``L == 1`` the negative pass
+        reloads set 0.  Weight state is restored afterwards.
+        """
+        saved = self.weights.copy()
+        try:
+
+            def unsigned(wm, xv):
+                self.load_weights(wm, sel=0)
+                return self.matvec(xv, sel=0)
+
+            return signed_matvec(weights, x, unsigned)
+        finally:
+            self.weights = saved
+
+
+class FpMacroModel:
+    """Behavioural pre-aligned floating-point macro.
+
+    Weights are aligned offline against their global maximum exponent
+    and stored as sign-magnitude mantissas; inputs are aligned at run
+    time by the pre-alignment front end.  The mantissa MAC reuses the
+    integer dataflow with ``Bx = Bw = BM``.
+    """
+
+    def __init__(self, design: DesignPoint) -> None:
+        if not design.precision.is_float:
+            raise ValueError("FpMacroModel needs a floating-point design point")
+        self.design = design
+        self.fmt = FloatFormat.from_precision(design.precision)
+        self.bm = design.precision.mantissa_bits
+        self.groups = design.n // self.bm
+        self._mantissas: np.ndarray | None = None
+        self._signs: np.ndarray | None = None
+        self._wemax: int = 0
+
+    @property
+    def cycles_per_pass(self) -> int:
+        """Cycles per pass (``BM / k``)."""
+        return self.bm // self.design.k
+
+    def load_weights(self, weights) -> None:
+        """Offline-align and store an ``(H, N/BM)`` float weight matrix."""
+        w = np.asarray(weights, dtype=float)
+        expected = (self.design.h, self.groups)
+        if w.shape != expected:
+            raise ValueError(f"weights must have shape {expected}, got {w.shape}")
+        aligned = prealign(w.ravel(), self.fmt)
+        self._mantissas = aligned.mantissas.reshape(expected)
+        self._signs = aligned.signs.reshape(expected)
+        self._wemax = aligned.max_exponent
+
+    def matvec(self, x) -> np.ndarray:
+        """One pass over float inputs; returns float outputs.
+
+        Bit-exact with respect to the pre-aligned datapath semantics
+        (truncating alignment, exact integer MAC, exact rescale).
+        """
+        if self._mantissas is None:
+            raise RuntimeError("load_weights must be called first")
+        xv = np.asarray(x, dtype=float)
+        if xv.shape != (self.design.h,):
+            raise ValueError(f"x must have shape ({self.design.h},), got {xv.shape}")
+        xa = prealign(xv, self.fmt)  # the pre-alignment front end
+        x_signed = np.where(xa.signs == 1, -xa.mantissas, xa.mantissas)
+        w_signed = np.where(self._signs == 1, -self._mantissas, self._mantissas)
+
+        def unsigned(wm, xvec):
+            planes = weight_bitplanes(wm, self.bm)
+            slices = input_slices(xvec, self.bm, self.design.k)
+            acc = np.zeros((self.bm, wm.shape[1]), dtype=np.int64)
+            for slice_c in slices:
+                partial = np.stack([p.T @ slice_c for p in planes])
+                acc = (acc << self.design.k) + partial
+            fused = np.zeros(wm.shape[1], dtype=np.int64)
+            for j in range(self.bm):
+                fused += acc[j] << j
+            return fused
+
+        acc = signed_matvec(w_signed, x_signed, unsigned)
+        # INT-to-FP conversion: rescale by the two shared exponents.
+        scale = 2.0 ** (
+            (xa.max_exponent - self.fmt.bias - (self.bm - 1))
+            + (self._wemax - self.fmt.bias - (self.bm - 1))
+        )
+        return acc.astype(float) * scale

@@ -1,0 +1,118 @@
+"""Golden matrix-vector multiplication references.
+
+These are the specifications the hardware models are verified against:
+
+* :func:`golden_mvm` — plain integer MVM (`y = W @ x`).
+* :func:`bit_serial_mvm` — the DCIM dataflow spelled out: weight
+  bit-planes map to columns, inputs stream MSB-first in ``k``-bit
+  slices, partial sums shift-accumulate, column results fuse by bit
+  position.  Bit-for-bit identical to :func:`golden_mvm` by
+  construction, which the property tests assert.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.func.formats import max_unsigned
+
+__all__ = ["golden_mvm", "bit_serial_mvm", "weight_bitplanes", "input_slices"]
+
+
+def _check_operands(weights: np.ndarray, x: np.ndarray, bw: int, bx: int) -> None:
+    if weights.ndim != 2:
+        raise ValueError(f"weights must be 2-D (H, M), got shape {weights.shape}")
+    if x.ndim != 1 or x.shape[0] != weights.shape[0]:
+        raise ValueError(
+            f"x must be 1-D with length {weights.shape[0]}, got shape {x.shape}"
+        )
+    if weights.min(initial=0) < 0 or x.min(initial=0) < 0:
+        raise ValueError("operands must be unsigned (see signed wrapper)")
+    if weights.max(initial=0) > max_unsigned(bw):
+        raise ValueError(f"weights exceed {bw} bits")
+    if x.max(initial=0) > max_unsigned(bx):
+        raise ValueError(f"inputs exceed {bx} bits")
+
+
+def golden_mvm(weights, x, bw: int = 8, bx: int = 8) -> np.ndarray:
+    """Reference ``y = W.T @ x`` for unsigned operands.
+
+    Args:
+        weights: ``(H, M)`` array of ``bw``-bit weights (H inputs fan in
+            to each of M outputs, matching Fig. 2).
+        x: length-``H`` input vector of ``bx``-bit values.
+    """
+    w = np.asarray(weights, dtype=np.int64)
+    xv = np.asarray(x, dtype=np.int64)
+    _check_operands(w, xv, bw, bx)
+    return w.T @ xv
+
+
+def weight_bitplanes(weights, bw: int) -> list[np.ndarray]:
+    """Split weights into ``bw`` bit-planes; plane ``j`` is bit ``j`` (LSB first).
+
+    Plane ``j`` is what column ``j`` of a fusion group stores.
+    """
+    w = np.asarray(weights, dtype=np.int64)
+    return [(w >> j) & 1 for j in range(bw)]
+
+
+def input_slices(x, bx: int, k: int) -> list[np.ndarray]:
+    """Split inputs into MSB-first ``k``-bit slices (``bx / k`` of them)."""
+    if bx % k:
+        raise ValueError(f"k={k} must divide bx={bx}")
+    xv = np.asarray(x, dtype=np.int64)
+    slices = []
+    for c in range(bx // k):
+        shift = bx - (c + 1) * k
+        slices.append((xv >> shift) & max_unsigned(k))
+    return slices
+
+
+def bit_serial_mvm(weights, x, bw: int = 8, bx: int = 8, k: int = 1) -> np.ndarray:
+    """DCIM-dataflow MVM: bit-planes x MSB-first slices x shift-accumulate.
+
+    Mirrors the hardware exactly:
+
+    1. weight bit-plane ``j`` lives in column ``j`` of each group;
+    2. each cycle, every column computes ``plane_j . slice_c`` with the
+       adder tree;
+    3. the shift accumulator folds cycles: ``acc = (acc << k) + partial``;
+    4. the result fusion weights column ``j`` by ``2^j`` and sums.
+    """
+    w = np.asarray(weights, dtype=np.int64)
+    xv = np.asarray(x, dtype=np.int64)
+    _check_operands(w, xv, bw, bx)
+    planes = weight_bitplanes(w, bw)
+    slices = input_slices(xv, bx, k)
+    outputs = np.zeros(w.shape[1], dtype=np.int64)
+    for j, plane in enumerate(planes):
+        acc = np.zeros(w.shape[1], dtype=np.int64)
+        for slice_c in slices:
+            partial = plane.T @ slice_c  # the adder tree, one per column
+            acc = (acc << k) + partial  # the shift accumulator
+        outputs += acc << j  # the result fusion
+    return outputs
+
+
+def signed_matvec(weights, x, matvec) -> np.ndarray:
+    """Run a signed MVM on an unsigned engine via sign-magnitude split.
+
+    ``matvec(W, x)`` must compute the unsigned product.  The engine runs
+    four passes: ``(W+ - W-) @ (x+ - x-)`` expanded.
+
+    Args:
+        weights: signed ``(H, M)`` integer array.
+        x: signed length-``H`` integer vector.
+        matvec: callable implementing the unsigned MVM.
+    """
+    w = np.asarray(weights, dtype=np.int64)
+    xv = np.asarray(x, dtype=np.int64)
+    w_pos, w_neg = np.maximum(w, 0), np.maximum(-w, 0)
+    x_pos, x_neg = np.maximum(xv, 0), np.maximum(-xv, 0)
+    return (
+        matvec(w_pos, x_pos)
+        - matvec(w_pos, x_neg)
+        - matvec(w_neg, x_pos)
+        + matvec(w_neg, x_neg)
+    )

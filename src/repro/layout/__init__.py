@@ -1,0 +1,25 @@
+"""Layout substrate: floorplanning, DEF dumps, mock P&R."""
+
+from repro.layout.checks import CheckReport, DrcRules, run_drc, run_lvs
+from repro.layout.def_writer import DBU_PER_MICRON, dump_def, load_def
+from repro.layout.floorplan import Block, Floorplan, slicing_floorplan
+from repro.layout.geometry import Placement, Rect
+from repro.layout.pnr import PART_GROUPS, LayoutResult, PnrFlow
+
+__all__ = [
+    "Rect",
+    "DrcRules",
+    "CheckReport",
+    "run_drc",
+    "run_lvs",
+    "Placement",
+    "Block",
+    "Floorplan",
+    "slicing_floorplan",
+    "dump_def",
+    "load_def",
+    "DBU_PER_MICRON",
+    "PnrFlow",
+    "LayoutResult",
+    "PART_GROUPS",
+]

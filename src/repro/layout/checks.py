@@ -1,0 +1,126 @@
+"""Physical verification substitutes: DRC and LVS checks.
+
+The paper's technology files include "DRC rules, LVS rules, etc."; the
+mock flow implements the corresponding *checks* at floorplan
+granularity:
+
+* **DRC** — geometric rules on the layout: blocks inside the die,
+  no overlaps, minimum block dimension, minimum spacing between blocks
+  and to the die edge, die utilisation within the legal window.
+* **LVS** — layout-vs-schematic: the placed part groups must match the
+  groups implied by the design's cost-model breakdown (the "schematic"
+  of the mock flow), with matching areas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.layout.pnr import LayoutResult, PART_GROUPS
+
+__all__ = ["DrcRules", "CheckReport", "run_drc", "run_lvs"]
+
+
+@dataclass(frozen=True)
+class DrcRules:
+    """Geometric rule deck for the floorplan-level DRC.
+
+    Attributes:
+        min_dimension_um: smallest legal block width/height.
+        min_spacing_um: required clearance between blocks (0 allows
+            abutment, which the slicing floorplan produces by design).
+        min_utilization / max_utilization: legal die-usage window.
+    """
+
+    min_dimension_um: float = 1.0
+    min_spacing_um: float = 0.0
+    min_utilization: float = 0.3
+    max_utilization: float = 0.95
+
+
+@dataclass
+class CheckReport:
+    """Outcome of a DRC or LVS run."""
+
+    check: str
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when no violations were found."""
+        return not self.violations
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        status = "CLEAN" if self.passed else f"{len(self.violations)} violations"
+        return f"{self.check}: {status}"
+
+
+def run_drc(layout: LayoutResult, rules: DrcRules | None = None) -> CheckReport:
+    """Run the floorplan DRC on a P&R result."""
+    rules = rules or DrcRules()
+    report = CheckReport("DRC")
+    die = layout.floorplan.die
+    placements = layout.floorplan.placements
+    for p in placements:
+        if not die.contains(p.rect):
+            report.violations.append(f"{p.name}: outside die")
+        if min(p.rect.w, p.rect.h) < rules.min_dimension_um:
+            report.violations.append(
+                f"{p.name}: dimension {min(p.rect.w, p.rect.h):.2f}um below "
+                f"minimum {rules.min_dimension_um}um"
+            )
+    for i, a in enumerate(placements):
+        for b in placements[i + 1 :]:
+            if a.rect.overlaps(b.rect):
+                report.violations.append(f"{a.name} overlaps {b.name}")
+            elif rules.min_spacing_um > 0:
+                dx = max(b.rect.x - a.rect.x2, a.rect.x - b.rect.x2, 0.0)
+                dy = max(b.rect.y - a.rect.y2, a.rect.y - b.rect.y2, 0.0)
+                if 0 < max(dx, dy) < rules.min_spacing_um and min(dx, dy) == 0:
+                    report.violations.append(
+                        f"{a.name}/{b.name}: spacing {max(dx, dy):.2f}um below "
+                        f"{rules.min_spacing_um}um"
+                    )
+    utilization = layout.utilization
+    if not rules.min_utilization <= utilization <= rules.max_utilization:
+        report.violations.append(
+            f"die utilization {utilization:.2f} outside "
+            f"[{rules.min_utilization}, {rules.max_utilization}]"
+        )
+    return report
+
+
+def run_lvs(layout: LayoutResult) -> CheckReport:
+    """Layout-vs-schematic on the part-group granularity.
+
+    The "schematic" is the estimation-model breakdown of the design:
+    every non-empty part group must be placed, no extra blocks may
+    exist, and each placed area must match the schematic area scaled by
+    the achieved utilisation.
+    """
+    report = CheckReport("LVS")
+    cost = layout.design.macro_cost()
+    tech_area = layout.cell_area_mm2 * 1e6  # um^2 of all cells
+    expected_groups = {}
+    for group, components in PART_GROUPS.items():
+        area_norm = sum(
+            cost.breakdown[c].area for c in components if c in cost.breakdown
+        )
+        if area_norm > 0:
+            expected_groups[group] = area_norm / cost.area * tech_area
+    placed = {p.name: p.rect.area for p in layout.floorplan.placements}
+    for group in expected_groups:
+        if group not in placed:
+            report.violations.append(f"schematic group {group!r} not placed")
+    for group in placed:
+        if group not in expected_groups:
+            report.violations.append(f"layout block {group!r} not in schematic")
+    for group in expected_groups.keys() & placed.keys():
+        expected = expected_groups[group]
+        got = placed[group]
+        if abs(got - expected) > 0.02 * expected:
+            report.violations.append(
+                f"{group}: placed area {got:.0f}um2 vs schematic "
+                f"{expected:.0f}um2"
+            )
+    return report

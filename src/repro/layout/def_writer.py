@@ -1,0 +1,80 @@
+"""A DEF-flavoured textual dump of layout results.
+
+Real flows exchange placements as DEF; this writer keeps the DEF shape
+(DESIGN / DIEAREA / COMPONENTS sections, database units) so downstream
+tooling has something structured to parse, plus a matching reader for
+round-trips.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.layout.floorplan import Floorplan
+from repro.layout.geometry import Placement, Rect
+
+__all__ = ["dump_def", "load_def", "DBU_PER_MICRON"]
+
+#: Database units per micron (standard choice).
+DBU_PER_MICRON = 1000
+
+_DESIGN_RE = re.compile(r"DESIGN\s+(\S+)\s*;")
+_DIE_RE = re.compile(r"DIEAREA\s+\(\s*(-?\d+)\s+(-?\d+)\s*\)\s+\(\s*(-?\d+)\s+(-?\d+)\s*\)\s*;")
+_COMP_RE = re.compile(
+    r"-\s+(\S+)\s+BLOCK\s+\+\s+PLACED\s+\(\s*(-?\d+)\s+(-?\d+)\s*\)\s+"
+    r"SIZE\s+\(\s*(\d+)\s+(\d+)\s*\)\s*;"
+)
+
+
+def _dbu(value: float) -> int:
+    return round(value * DBU_PER_MICRON)
+
+
+def dump_def(name: str, floorplan: Floorplan) -> str:
+    """Serialise a floorplan as DEF-flavoured text."""
+    lines = [
+        "VERSION 5.8 ;",
+        f"DESIGN {name} ;",
+        f"UNITS DISTANCE MICRONS {DBU_PER_MICRON} ;",
+        f"DIEAREA ( {_dbu(floorplan.die.x)} {_dbu(floorplan.die.y)} ) "
+        f"( {_dbu(floorplan.die.x2)} {_dbu(floorplan.die.y2)} ) ;",
+        f"COMPONENTS {len(floorplan.placements)} ;",
+    ]
+    for p in floorplan.placements:
+        lines.append(
+            f"  - {p.name} BLOCK + PLACED ( {_dbu(p.rect.x)} {_dbu(p.rect.y)} ) "
+            f"SIZE ( {_dbu(p.rect.w)} {_dbu(p.rect.h)} ) ;"
+        )
+    lines.append("END COMPONENTS")
+    lines.append("END DESIGN")
+    return "\n".join(lines) + "\n"
+
+
+def load_def(text: str) -> tuple[str, Floorplan]:
+    """Parse DEF-flavoured text back into (design name, floorplan).
+
+    Raises:
+        ValueError: if mandatory sections are missing.
+    """
+    design = _DESIGN_RE.search(text)
+    if design is None:
+        raise ValueError("missing DESIGN statement")
+    die = _DIE_RE.search(text)
+    if die is None:
+        raise ValueError("missing DIEAREA statement")
+    x1, y1, x2, y2 = (int(v) / DBU_PER_MICRON for v in die.groups())
+    placements = [
+        Placement(
+            name,
+            Rect(
+                int(px) / DBU_PER_MICRON,
+                int(py) / DBU_PER_MICRON,
+                int(w) / DBU_PER_MICRON,
+                int(h) / DBU_PER_MICRON,
+            ),
+        )
+        for name, px, py, w, h in _COMP_RE.findall(text)
+    ]
+    return design.group(1), Floorplan(
+        die=Rect(x1, y1, x2 - x1, y2 - y1), placements=placements
+    )

@@ -1,0 +1,128 @@
+"""Slicing-tree floorplanner.
+
+A deterministic area-driven slicing floorplan: blocks are recursively
+bipartitioned into area-balanced groups, and the enclosing rectangle is
+sliced (alternating vertical/horizontal, always across the long side)
+proportionally to group area.  Every block receives a rectangle of
+exactly its requested area inside the die, with no overlaps — the role
+Innovus's floorplanning step plays for the macro's three part groups
+(memory array, compute components, digital peripherals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.layout.geometry import Placement, Rect
+
+__all__ = ["Block", "Floorplan", "slicing_floorplan"]
+
+
+@dataclass(frozen=True)
+class Block:
+    """A block to place: a name and its required area (um^2)."""
+
+    name: str
+    area: float
+
+    def __post_init__(self) -> None:
+        if self.area <= 0:
+            raise ValueError(f"block {self.name!r} needs positive area")
+
+
+@dataclass(frozen=True)
+class Floorplan:
+    """The result: a die rectangle and one placement per block."""
+
+    die: Rect
+    placements: list[Placement]
+
+    @property
+    def utilization(self) -> float:
+        """Placed area over die area."""
+        return sum(p.rect.area for p in self.placements) / self.die.area
+
+    def placement(self, name: str) -> Placement:
+        """Look up a placement by block name."""
+        for p in self.placements:
+            if p.name == name:
+                return p
+        raise KeyError(f"no block named {name!r}")
+
+
+def _partition(blocks: list[Block]) -> tuple[list[Block], list[Block]]:
+    """Greedy area-balanced bipartition (largest-first)."""
+    left: list[Block] = []
+    right: list[Block] = []
+    area_l = area_r = 0.0
+    for block in sorted(blocks, key=lambda b: b.area, reverse=True):
+        if area_l <= area_r:
+            left.append(block)
+            area_l += block.area
+        else:
+            right.append(block)
+            area_r += block.area
+    return left, right
+
+
+def _place(blocks: list[Block], region: Rect, out: list[Placement]) -> None:
+    if len(blocks) == 1:
+        out.append(Placement(blocks[0].name, region))
+        return
+    left, right = _partition(blocks)
+    frac = sum(b.area for b in left) / sum(b.area for b in blocks)
+    if region.w >= region.h:  # slice across the long side
+        cut = region.w * frac
+        _place(left, Rect(region.x, region.y, cut, region.h), out)
+        _place(right, Rect(region.x + cut, region.y, region.w - cut, region.h), out)
+    else:
+        cut = region.h * frac
+        _place(left, Rect(region.x, region.y, region.w, cut), out)
+        _place(right, Rect(region.x, region.y + cut, region.w, region.h - cut), out)
+
+
+def slicing_floorplan(
+    blocks: list[Block],
+    utilization: float = 0.75,
+    aspect: float = 1.5,
+) -> Floorplan:
+    """Floorplan ``blocks`` into a fresh die.
+
+    Args:
+        blocks: blocks with their cell areas (um^2).
+        utilization: placed-area / die-area target; the die is sized as
+            ``sum(areas) / utilization``.
+        aspect: die width / height (Fig. 6's macros are ~1.5).
+
+    Returns:
+        A :class:`Floorplan` whose placements exactly tile a
+        ``utilization`` fraction of the die.
+
+    Raises:
+        ValueError: for an empty block list or bad parameters.
+    """
+    if not blocks:
+        raise ValueError("need at least one block")
+    if not 0 < utilization <= 1:
+        raise ValueError(f"utilization must be in (0, 1], got {utilization}")
+    if aspect <= 0:
+        raise ValueError(f"aspect must be positive, got {aspect}")
+    total = sum(b.area for b in blocks)
+    die_area = total / utilization
+    height = (die_area / aspect) ** 0.5
+    width = die_area / height
+    die = Rect(0.0, 0.0, width, height)
+    # Blocks are placed inside a shrunken core so the die keeps the
+    # utilization margin around and between groups.
+    core_scale = utilization**0.5
+    core = Rect(
+        die.w * (1 - core_scale) / 2,
+        die.h * (1 - core_scale) / 2,
+        die.w * core_scale,
+        die.h * core_scale,
+    )
+    placements: list[Placement] = []
+    _place(list(blocks), core, placements)
+    # The slicing proportions guarantee each leaf rect area ~ block area
+    # scaled by core/total; rescale check happens in tests.
+    return Floorplan(die=die, placements=placements)

@@ -1,0 +1,79 @@
+"""Planar geometry for the layout substrate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Rect", "Placement"]
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Axis-aligned rectangle (micrometre coordinates).
+
+    Attributes:
+        x, y: lower-left corner.
+        w, h: width and height (must be positive).
+    """
+
+    x: float
+    y: float
+    w: float
+    h: float
+
+    def __post_init__(self) -> None:
+        if self.w <= 0 or self.h <= 0:
+            raise ValueError(f"rectangle needs positive dimensions: {self}")
+
+    @property
+    def area(self) -> float:
+        """Area in um^2."""
+        return self.w * self.h
+
+    @property
+    def x2(self) -> float:
+        """Right edge."""
+        return self.x + self.w
+
+    @property
+    def y2(self) -> float:
+        """Top edge."""
+        return self.y + self.h
+
+    @property
+    def center(self) -> tuple[float, float]:
+        """Centre point."""
+        return (self.x + self.w / 2, self.y + self.h / 2)
+
+    @property
+    def aspect(self) -> float:
+        """Width / height."""
+        return self.w / self.h
+
+    def overlaps(self, other: "Rect") -> bool:
+        """True when the interiors intersect (edge contact is fine)."""
+        eps = 1e-9
+        return not (
+            self.x2 <= other.x + eps
+            or other.x2 <= self.x + eps
+            or self.y2 <= other.y + eps
+            or other.y2 <= self.y + eps
+        )
+
+    def contains(self, other: "Rect") -> bool:
+        """True when ``other`` lies fully inside (with tolerance)."""
+        eps = 1e-6
+        return (
+            other.x >= self.x - eps
+            and other.y >= self.y - eps
+            and other.x2 <= self.x2 + eps
+            and other.y2 <= self.y2 + eps
+        )
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One placed block."""
+
+    name: str
+    rect: Rect

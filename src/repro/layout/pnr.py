@@ -1,0 +1,118 @@
+"""Mock place-and-route flow — the Innovus substitute.
+
+The paper hands the generated netlists to Cadence Innovus for synthesis
+and P&R; here a deterministic flow produces the same *artifacts*: a die,
+per-group placements (memory array / DCIM compute components / digital
+peripherals, the three generation parts of Section III-C), a DEF dump
+and the final area report whose numbers track the estimation model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.spec import DesignPoint
+from repro.layout.def_writer import dump_def
+from repro.layout.floorplan import Block, Floorplan, slicing_floorplan
+from repro.tech.cells import CellLibrary
+from repro.tech.technology import Technology
+
+__all__ = ["LayoutResult", "PnrFlow", "PART_GROUPS"]
+
+#: Section III-C's three generation parts mapped onto the cost-model
+#: breakdown components.
+PART_GROUPS: dict[str, tuple[str, ...]] = {
+    "memory_array": ("sram",),
+    "compute_components": ("weight_select", "multiply", "adder_tree"),
+    "digital_peripherals": (
+        "accumulator",
+        "fusion",
+        "input_buffer",
+        "prealign",
+        "exponent_regs",
+        "int_to_fp",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class LayoutResult:
+    """Outcome of the mock P&R flow for one design.
+
+    Attributes:
+        design: the implemented design point.
+        floorplan: die + placements of the three part groups.
+        width_um / height_um: die dimensions.
+        area_mm2: die area (the number Fig. 6 reports).
+        cell_area_mm2: summed standard-cell area before utilisation.
+        utilization: achieved placement utilisation.
+        wirelength_mm: half-perimeter wirelength proxy over group pins.
+        def_text: the DEF-flavoured dump.
+    """
+
+    design: DesignPoint
+    floorplan: Floorplan
+    width_um: float
+    height_um: float
+    area_mm2: float
+    cell_area_mm2: float
+    utilization: float
+    wirelength_mm: float
+    def_text: str
+
+    def group_area_mm2(self, group: str) -> float:
+        """Layout area of one part group in mm^2."""
+        return self.floorplan.placement(group).rect.area * 1e-6 / self.utilization
+
+
+class PnrFlow:
+    """Deterministic floorplan + area roll-up standing in for Innovus.
+
+    Args:
+        tech: technology providing gate area and target utilisation.
+        aspect: die aspect ratio (Fig. 6 macros are ~1.5).
+    """
+
+    def __init__(self, tech: Technology, aspect: float = 1.5) -> None:
+        if aspect <= 0:
+            raise ValueError("aspect must be positive")
+        self.tech = tech
+        self.aspect = aspect
+
+    def run(
+        self, design: DesignPoint, library: CellLibrary | None = None
+    ) -> LayoutResult:
+        """Produce the layout record for one design point."""
+        cost = design.macro_cost(library)
+        blocks = []
+        for group, components in PART_GROUPS.items():
+            area_norm = sum(
+                cost.breakdown[c].area for c in components if c in cost.breakdown
+            )
+            if area_norm > 0:
+                blocks.append(Block(group, self.tech.area_um2(area_norm)))
+        floorplan = slicing_floorplan(
+            blocks, utilization=self.tech.utilization, aspect=self.aspect
+        )
+        # Wirelength proxy: half-perimeter between every pair of group
+        # centres, weighted equally — enough to compare floorplans.
+        centers = [p.rect.center for p in floorplan.placements]
+        wirelength_um = 0.0
+        for i in range(len(centers)):
+            for j in range(i + 1, len(centers)):
+                wirelength_um += abs(centers[i][0] - centers[j][0]) + abs(
+                    centers[i][1] - centers[j][1]
+                )
+        die = floorplan.die
+        name = f"{design.arch.replace('-', '_')}_{design.precision.name.lower()}"
+        return LayoutResult(
+            design=design,
+            floorplan=floorplan,
+            width_um=die.w,
+            height_um=die.h,
+            area_mm2=die.area * 1e-6,
+            cell_area_mm2=self.tech.area_mm2(cost.area),
+            utilization=floorplan.utilization,
+            wirelength_mm=wirelength_um * 1e-3,
+            def_text=dump_def(name, floorplan),
+        )

@@ -1,0 +1,166 @@
+"""DCIM component cost models (paper Table IV, reconstructed).
+
+Table IV of the paper renders as an image in the PDF, so the formulas
+here are reconstructed from the prose of Sections III-A / III-B-1 and
+standard digital design; DESIGN.md documents each choice.  All costs are
+normalised NOR-gate units for ONE instance of the component.
+"""
+
+from __future__ import annotations
+
+from repro.model.cost import Cost
+from repro.model.logic import adder, barrel_shifter, clog2, comparator, mux, register_bank
+from repro.tech.cells import CellLibrary
+
+__all__ = [
+    "adder_tree",
+    "shift_accumulator",
+    "result_fusion",
+    "prealignment",
+    "int_to_fp_converter",
+    "input_buffer",
+    "accumulator_width",
+    "fusion_width",
+    "converter_width",
+]
+
+
+def accumulator_width(bx: int, h: int) -> int:
+    """Shift-accumulator operand width ``Ba = Bx + log2(H)`` (prose III-B-1)."""
+    return bx + clog2(h)
+
+
+def fusion_width(bw: int, bx: int, h: int) -> int:
+    """Result-fusion output width ``Bw + Bx + log2(H)``."""
+    return bw + bx + clog2(h)
+
+
+def converter_width(bw: int, bm: int, h: int) -> int:
+    """INT-to-FP converter input width ``Br = Bw + BM + log2(H)`` (prose)."""
+    return bw + bm + clog2(h)
+
+
+def adder_tree(lib: CellLibrary, h: int, k: int, adder_fn=adder) -> Cost:
+    """Adder tree summing ``h`` operands of ``k`` bits.
+
+    Reconstruction: a balanced binary tree.  Level *i* (1-indexed from
+    the leaves) pairs up the surviving operands with ripple adders whose
+    width grows by one bit per level (``k + i - 1`` in, ``k + i`` out).
+    Area/energy accumulate over all adders; delay accumulates one adder
+    per level along the critical path.  Non-power-of-two ``h`` is handled
+    by carrying the odd operand up a level.
+
+    Args:
+        adder_fn: per-level adder cost model; defaults to the paper's
+            carry-ripple :func:`~repro.model.logic.adder`.  The ablation
+            benches pass :func:`~repro.model.logic.adder_cla` here.
+    """
+    if h < 1:
+        raise ValueError(f"adder tree needs h >= 1, got {h}")
+    if k < 1:
+        raise ValueError(f"adder tree needs k >= 1, got {k}")
+    area = energy = delay = 0.0
+    operands = h
+    width = k
+    while operands > 1:
+        pairs, odd = divmod(operands, 2)
+        level_adder = adder_fn(lib, width)
+        area += pairs * level_adder.area
+        energy += pairs * level_adder.energy
+        delay += level_adder.delay
+        operands = pairs + odd
+        width += 1
+    return Cost(area, delay, energy)
+
+
+def shift_accumulator(lib: CellLibrary, bx: int, h: int) -> Cost:
+    """Shift accumulator collecting bit-serial partial sums.
+
+    Per the prose: ``(Bx + log2 H)`` registers, one ``(Bx + log2 H)``-bit
+    barrel shifter and one ``(Bx + log2 H)``-bit adder.  The combinational
+    path each cycle is shifter + adder; the registers pipeline the loop.
+    """
+    ba = accumulator_width(bx, h)
+    regs = register_bank(lib, ba)
+    shift = barrel_shifter(lib, ba)
+    add = adder(lib, ba)
+    return Cost(
+        regs.area + shift.area + add.area,
+        shift.delay + add.delay,
+        regs.energy + shift.energy + add.energy,
+    )
+
+
+def result_fusion(lib: CellLibrary, bw: int, bx: int, h: int) -> Cost:
+    """Result fusion unit: weighted sum of ``bw`` column results.
+
+    Each of the ``bw`` columns delivers a ``(Bx + log2 H)``-bit partial
+    result that must be shifted by its bit position and summed.  The
+    shifts are hard-wired (they are constant per column), so the cost is
+    ``bw - 1`` adders of the full fused width arranged as a balanced tree
+    (``log2(bw)`` adders on the critical path).  ``bw == 1`` is a wire.
+    """
+    if bw < 1:
+        raise ValueError(f"result fusion needs bw >= 1, got {bw}")
+    if bw == 1:
+        return Cost(0.0, 0.0, 0.0)
+    width = fusion_width(bw, bx, h)
+    add = adder(lib, width)
+    return Cost(
+        (bw - 1) * add.area,
+        clog2(bw) * add.delay,
+        (bw - 1) * add.energy,
+    )
+
+
+def prealignment(lib: CellLibrary, h: int, be: int, bm: int) -> Cost:
+    """FP pre-alignment for ``h`` inputs (exponent ``be``, mantissa ``bm``).
+
+    Two parts per the prose: (1) a comparison tree finding the maximum
+    exponent ``XEmax`` — ``h - 1`` BE-bit comparators, each followed by a
+    BE-bit bank of 2:1 muxes forwarding the winner; (2) per input, a
+    BE-bit subtractor computing ``XEmax - XE`` and a BM-bit barrel
+    shifter aligning the mantissa.  The critical path walks the
+    ``log2(h)`` tree levels then one subtract and one shift.
+    """
+    if h < 1:
+        raise ValueError(f"prealignment needs h >= 1, got {h}")
+    comp = comparator(lib, be)
+    sel = mux(lib, 2)  # one MUX2 per forwarded exponent bit
+    sub = adder(lib, be)
+    shift = barrel_shifter(lib, bm)
+    tree_nodes = h - 1
+    area = tree_nodes * (comp.area + be * sel.area) + h * (sub.area + shift.area)
+    energy = tree_nodes * (comp.energy + be * sel.energy) + h * (sub.energy + shift.energy)
+    delay = clog2(h) * (comp.delay + sel.delay) + sub.delay + shift.delay
+    return Cost(area, delay, energy)
+
+
+def int_to_fp_converter(lib: CellLibrary, bw: int, bm: int, h: int, be: int) -> Cost:
+    """INT-to-FP converter normalising the ``Br``-bit fused result.
+
+    ``Br = Bw + BM + log2 H``.  Reconstruction: a tree-structured
+    leading-one detector over the ``Br`` result bits (one OR gate per
+    bit, ``log2(Br)`` levels deep), a ``Br``-bit normalising barrel
+    shifter, and a BE-bit exponent adder; sign/packing is wiring.
+    """
+    br = converter_width(bw, bm, h)
+    or_gate = lib.or_gate
+    shift = barrel_shifter(lib, br)
+    exp_add = adder(lib, be)
+    return Cost(
+        br * or_gate.area + shift.area + exp_add.area,
+        clog2(br) * or_gate.delay + shift.delay + exp_add.delay,
+        br * or_gate.energy + shift.energy + exp_add.energy,
+    )
+
+
+def input_buffer(lib: CellLibrary, h: int, bx: int) -> Cost:
+    """Input buffer holding ``h`` operands of ``bx`` bits in DFFs.
+
+    The buffer feeds ``h * k`` bits per cycle to the array; its storage
+    is one register per buffered input bit.
+    """
+    if h < 1 or bx < 1:
+        raise ValueError("input buffer needs h >= 1 and bx >= 1")
+    return register_bank(lib, h * bx)

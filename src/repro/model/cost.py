@@ -1,0 +1,59 @@
+"""Normalised hardware cost triples (area, delay, energy).
+
+Every estimation-model quantity in SEGA-DCIM is expressed in NOR-gate
+units (Table III of the paper): one unit of area is the area of a NOR2
+cell, one unit of delay is a NOR2 propagation delay, one unit of energy
+is the switching energy of a NOR2.  A :class:`repro.tech.technology.
+Technology` converts these normalised units into um^2 / ns / fJ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Cost", "parallel", "series", "ZERO_COST"]
+
+
+@dataclass(frozen=True)
+class Cost:
+    """An (area, delay, energy) triple in NOR-normalised units.
+
+    ``delay`` is a critical-path delay, so composition rules differ per
+    dimension: replicating a block multiplies area and energy but keeps
+    delay; cascading blocks adds all three.  Use :func:`parallel` and
+    :func:`series` rather than ad-hoc arithmetic.
+    """
+
+    area: float
+    delay: float
+    energy: float
+
+    def __post_init__(self) -> None:
+        if self.area < 0 or self.delay < 0 or self.energy < 0:
+            raise ValueError(f"cost components must be non-negative: {self}")
+
+    def scaled(self, area: float = 1.0, delay: float = 1.0, energy: float = 1.0) -> "Cost":
+        """Return a copy with per-dimension multiplicative factors."""
+        return Cost(self.area * area, self.delay * delay, self.energy * energy)
+
+
+#: The cost of nothing (useful as a reduction identity).
+ZERO_COST = Cost(0.0, 0.0, 0.0)
+
+
+def parallel(cost: Cost, n: float) -> Cost:
+    """Replicate a block ``n`` times side by side.
+
+    Area and energy scale by ``n``; the critical path is unchanged.
+    """
+    if n < 0:
+        raise ValueError(f"replication count must be non-negative, got {n}")
+    return Cost(cost.area * n, cost.delay, cost.energy * n)
+
+
+def series(*costs: Cost) -> Cost:
+    """Cascade blocks on one path: all three dimensions accumulate."""
+    area = sum(c.area for c in costs)
+    delay = sum(c.delay for c in costs)
+    energy = sum(c.energy for c in costs)
+    return Cost(area, delay, energy)

@@ -1,0 +1,151 @@
+"""Full-macro cost model for the pre-aligned floating-point DCIM (Table VI).
+
+The FP macro wraps the integer mantissa array with:
+
+* an **FP pre-alignment** front end that finds the maximum input
+  exponent ``XEmax`` with a comparator tree, subtracts each exponent
+  from it, and right-shifts each mantissa by the offset, and
+* an **INT-to-FP converter** back end that normalises the fused
+  ``Br = Bw + BM + log2(H)``-bit integer result and re-packs sign,
+  exponent and mantissa.
+
+The weight mantissas are aligned offline and pre-stored, so the array
+stores ``Wstore = N * H * L / BM`` weights; the mantissa MAC inside the
+array is exactly the integer model with ``Bx = Bw = BM``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.model.components import (
+    adder_tree,
+    input_buffer,
+    int_to_fp_converter,
+    prealignment,
+    result_fusion,
+    shift_accumulator,
+)
+from repro.model.cost import Cost
+from repro.model.logic import multiplier_1xn, mux, register_bank
+from repro.model.macro import MacroCost
+from repro.model.integer import validate_int_params
+from repro.tech.cells import CellLibrary
+
+__all__ = ["fp_macro_cost", "validate_fp_params", "fp_weights_stored"]
+
+
+def fp_weights_stored(n: int, h: int, l: int, bm: int) -> int:
+    """Number of FP weights stored: ``N*H*L / BM`` (Eq. 3 constraint)."""
+    return (n * h * l) // bm
+
+
+def validate_fp_params(n: int, h: int, l: int, k: int, be: int, bm: int) -> None:
+    """Check the structural constraints of the FP architecture.
+
+    The mantissa datapath reuses the integer constraints with
+    ``Bx = Bw = BM``; additionally the exponent width must be positive.
+    """
+    if be < 1:
+        raise ValueError(f"exponent width BE must be >= 1, got {be}")
+    validate_int_params(n, h, l, k, bx=bm, bw=bm)
+
+
+def fp_macro_cost(
+    lib: CellLibrary,
+    *,
+    n: int,
+    h: int,
+    l: int,
+    k: int,
+    be: int,
+    bm: int,
+) -> MacroCost:
+    """Cost of a pre-aligned floating-point DCIM macro.
+
+    Args:
+        lib: normalised standard-cell library.
+        n: number of columns.
+        h: column height.
+        l: weights sharing one compute unit.
+        k: mantissa bits fed per cycle (``1 <= k <= bm``, ``k | bm``).
+        be: exponent width ``BE``.
+        bm: mantissa datapath width ``BM`` (with hidden bit).
+
+    Returns:
+        The macro's :class:`~repro.model.macro.MacroCost`.
+    """
+    validate_fp_params(n, h, l, k, be, bm)
+
+    select = mux(lib, l)
+    mult = multiplier_1xn(lib, k)
+    tree = adder_tree(lib, h, k)
+    accu = shift_accumulator(lib, bm, h)
+    fusion = result_fusion(lib, bm, bm, h)
+    buffer = input_buffer(lib, h, bm)
+    align = prealignment(lib, h, be, bm)
+    convert = int_to_fp_converter(lib, bm, bm, h, be)
+    exp_regs = register_bank(lib, h * be)
+    sram = lib.sram
+
+    fusion_units = n // bm
+    breakdown: dict[str, Cost] = {
+        "sram": Cost(n * h * l * sram.area, 0.0, 0.0),
+        "weight_select": Cost(n * h * select.area, select.delay, n * h * select.energy),
+        "multiply": Cost(n * h * mult.area, mult.delay, n * h * mult.energy),
+        "adder_tree": Cost(n * tree.area, tree.delay, n * tree.energy),
+        "accumulator": Cost(n * accu.area, accu.delay, n * accu.energy),
+        "fusion": Cost(
+            fusion_units * fusion.area, fusion.delay, fusion_units * fusion.energy
+        ),
+        "input_buffer": buffer,
+        "prealign": align,
+        "exponent_regs": exp_regs,
+        "int_to_fp": Cost(
+            fusion_units * convert.area, convert.delay, fusion_units * convert.energy
+        ),
+    }
+
+    cycles = math.ceil(bm / k)
+    per_cycle_energy = (
+        breakdown["weight_select"].energy
+        + breakdown["multiply"].energy
+        + breakdown["adder_tree"].energy
+        + breakdown["accumulator"].energy
+    )
+    # Alignment, buffering, fusion and conversion happen once per pass.
+    per_pass_energy = (
+        breakdown["input_buffer"].energy
+        + breakdown["prealign"].energy
+        + breakdown["exponent_regs"].energy
+        + breakdown["fusion"].energy
+        + breakdown["int_to_fp"].energy
+    )
+    energy_per_pass = per_cycle_energy * cycles + per_pass_energy
+
+    stage_delays = {
+        # Stage 0: exponent-max tree, subtract and mantissa shift.
+        "prealign": align.delay,
+        # Stage 1: weight selection -> NOR multiply -> adder tree.
+        "array": select.delay + mult.delay + tree.delay,
+        # Stage 2: the shift accumulator's shifter + adder loop.
+        "accumulate": accu.delay,
+        # Stage 3: result fusion combine.
+        "fusion": fusion.delay,
+        # Stage 4: normalise and re-pack to FP.
+        "convert": convert.delay,
+    }
+
+    ops_per_pass = 2.0 * h * (n / bm)
+
+    return MacroCost(
+        arch="fp-prealign",
+        params={"n": n, "h": h, "l": l, "k": k, "be": be, "bm": bm},
+        area=sum(c.area for c in breakdown.values()),
+        stage_delays=stage_delays,
+        energy_per_pass=energy_per_pass,
+        cycles_per_pass=cycles,
+        ops_per_pass=ops_per_pass,
+        sram_bits=n * h * l,
+        breakdown=breakdown,
+    )

@@ -1,0 +1,140 @@
+"""Full-macro cost model for the multiplier-based integer DCIM (Table V).
+
+The array stores ``Wstore = N * H * L / Bw`` weights in ``N * H * L``
+SRAM cells.  Each of the ``N`` columns holds ``H`` compute units; every
+compute unit serves ``L`` weight bits through an L:1 selection gate and
+multiplies the selected bit with the ``k``-bit input slice using ``k``
+NOR gates (Fig. 5).  Per column, an adder tree sums the ``H`` products
+and a shift accumulator folds the ``ceil(Bx/k)`` bit-serial cycles.
+Groups of ``Bw`` columns share a result fusion unit that weights each
+column by its bit position.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.model.components import (
+    adder_tree,
+    input_buffer,
+    result_fusion,
+    shift_accumulator,
+)
+from repro.model.cost import Cost
+from repro.model.logic import multiplier_1xn, mux
+from repro.model.macro import MacroCost
+from repro.tech.cells import CellLibrary
+
+__all__ = ["int_macro_cost", "validate_int_params", "int_weights_stored"]
+
+
+def int_weights_stored(n: int, h: int, l: int, bw: int) -> int:
+    """Number of ``Bw``-bit weights the array stores: ``N*H*L / Bw``."""
+    return (n * h * l) // bw
+
+
+def validate_int_params(n: int, h: int, l: int, k: int, bx: int, bw: int) -> None:
+    """Check the structural constraints of the integer architecture.
+
+    Raises:
+        ValueError: on any violated constraint, with the reason.
+    """
+    if min(n, h, l, k, bx, bw) < 1:
+        raise ValueError("all integer-macro parameters must be >= 1")
+    if k > bx:
+        # Eq. (2) prints "k - Bx >= 0" but the prose requires the
+        # single-round input slice to fit in the input: 1 <= k <= Bx.
+        raise ValueError(f"k={k} exceeds the input width Bx={bx}")
+    if bx % k:
+        raise ValueError(f"k={k} must divide the input width Bx={bx}")
+    if n % bw:
+        raise ValueError(
+            f"N={n} must be a multiple of Bw={bw} (columns fuse in Bw-groups)"
+        )
+    if (n * h * l) % bw:
+        raise ValueError("N*H*L must be a multiple of Bw")
+
+
+def int_macro_cost(
+    lib: CellLibrary,
+    *,
+    n: int,
+    h: int,
+    l: int,
+    k: int,
+    bx: int,
+    bw: int,
+) -> MacroCost:
+    """Cost of a multiplier-based integer DCIM macro.
+
+    Args:
+        lib: normalised standard-cell library.
+        n: number of columns (each storing one weight bit position).
+        h: column height (compute units / adder-tree inputs per column).
+        l: weights sharing one compute unit (storage density factor).
+        k: input bits fed per cycle (``1 <= k <= bx``, ``k | bx``).
+        bx: input operand width ``Bx``.
+        bw: weight width ``Bw``.
+
+    Returns:
+        The macro's :class:`~repro.model.macro.MacroCost`.
+    """
+    validate_int_params(n, h, l, k, bx, bw)
+
+    select = mux(lib, l)
+    mult = multiplier_1xn(lib, k)
+    tree = adder_tree(lib, h, k)
+    accu = shift_accumulator(lib, bx, h)
+    fusion = result_fusion(lib, bw, bx, h)
+    buffer = input_buffer(lib, h, bx)
+    sram = lib.sram
+
+    fusion_units = n // bw
+    breakdown: dict[str, Cost] = {
+        "sram": Cost(n * h * l * sram.area, 0.0, 0.0),
+        "weight_select": Cost(n * h * select.area, select.delay, n * h * select.energy),
+        "multiply": Cost(n * h * mult.area, mult.delay, n * h * mult.energy),
+        "adder_tree": Cost(n * tree.area, tree.delay, n * tree.energy),
+        "accumulator": Cost(n * accu.area, accu.delay, n * accu.energy),
+        "fusion": Cost(
+            fusion_units * fusion.area, fusion.delay, fusion_units * fusion.energy
+        ),
+        "input_buffer": buffer,
+    }
+
+    cycles = math.ceil(bx / k)
+    # Per-cycle consumers: selection, multiply, adder trees, accumulators.
+    per_cycle_energy = (
+        breakdown["weight_select"].energy
+        + breakdown["multiply"].energy
+        + breakdown["adder_tree"].energy
+        + breakdown["accumulator"].energy
+    )
+    # Once-per-pass consumers: input-buffer load and the final fusion.
+    per_pass_energy = breakdown["input_buffer"].energy + breakdown["fusion"].energy
+    energy_per_pass = per_cycle_energy * cycles + per_pass_energy
+
+    stage_delays = {
+        # Stage 1: weight selection -> NOR multiply -> adder tree.
+        "array": select.delay + mult.delay + tree.delay,
+        # Stage 2: the shift accumulator's shifter + adder loop.
+        "accumulate": accu.delay,
+        # Stage 3: the result fusion combine.
+        "fusion": fusion.delay,
+    }
+
+    # Each Bw-column group produces one full-precision output of H MACs
+    # per pass; one MAC counts as 2 operations (multiply + add).
+    ops_per_pass = 2.0 * h * (n / bw)
+
+    return MacroCost(
+        arch="int-mul",
+        params={"n": n, "h": h, "l": l, "k": k, "bx": bx, "bw": bw},
+        area=sum(c.area for c in breakdown.values()),
+        stage_delays=stage_delays,
+        energy_per_pass=energy_per_pass,
+        cycles_per_pass=cycles,
+        ops_per_pass=ops_per_pass,
+        sram_bits=n * h * l,
+        breakdown=breakdown,
+    )

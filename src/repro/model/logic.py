@@ -1,0 +1,136 @@
+"""Digital logic-module cost models (paper Table II).
+
+Each function returns a normalised :class:`~repro.model.cost.Cost` for one
+instance of the module, built from the standard-cell costs of a
+:class:`~repro.tech.cells.CellLibrary`:
+
+* 1-bit x N-bit multiplier — N NOR gates (Fig. 5 compute unit style).
+* N-bit adder — carry-ripple: (N-1) full adders plus one half adder.
+* N:1 multiplexer — (N-1) MUX2 cells, log2(N) on the select path.
+* N-bit barrel shifter — N selectors of N:1 each (the paper's literal
+  ``A_shift(N) = N * A_sel(N)`` / ``D_shift(N) = log2(N) * D_sel(N)``).
+* N-bit comparator — simplified to an N-bit adder (it only selects the
+  larger of two values in the exponent-max tree).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.model.cost import Cost
+from repro.tech.cells import CellLibrary
+
+__all__ = [
+    "multiplier_1xn",
+    "adder",
+    "adder_cla",
+    "mux",
+    "barrel_shifter",
+    "comparator",
+    "register_bank",
+    "clog2",
+]
+
+
+def clog2(n: int | float) -> int:
+    """Ceiling of log2, with ``clog2(1) == 0``.
+
+    Structural depths (mux trees, adder trees, max trees) use this; the
+    paper assumes power-of-two parameters, for which it is exact.
+    """
+    if n < 1:
+        raise ValueError(f"clog2 requires n >= 1, got {n}")
+    return math.ceil(math.log2(n))
+
+
+def _check_width(n: int) -> None:
+    if n < 1:
+        raise ValueError(f"bit width must be >= 1, got {n}")
+
+
+def multiplier_1xn(lib: CellLibrary, n: int) -> Cost:
+    """1-bit x N-bit multiplier: N NOR gates in parallel (Table II row 1).
+
+    The multiplication ``IN x W = INB NOR WB`` uses one NOR per input
+    bit; all N gates switch in parallel, so delay is a single NOR.
+    """
+    _check_width(n)
+    nor = lib.nor
+    return Cost(n * nor.area, nor.delay, n * nor.energy)
+
+
+def adder(lib: CellLibrary, n: int) -> Cost:
+    """N-bit carry-ripple adder: (N-1) FA + 1 HA (Table II row 2).
+
+    The ripple carry makes delay linear in the width.  ``n == 1``
+    degenerates to a single half adder.
+    """
+    _check_width(n)
+    fa, ha = lib.full_adder, lib.half_adder
+    return Cost(
+        (n - 1) * fa.area + ha.area,
+        (n - 1) * fa.delay + ha.delay,
+        (n - 1) * fa.energy + ha.energy,
+    )
+
+
+def adder_cla(lib: CellLibrary, n: int) -> Cost:
+    """N-bit carry-lookahead adder (extension, not in Table II).
+
+    The paper fixes the carry-ripple structure; this alternative lets
+    the ablation benches quantify that choice.  First-order model:
+    4-bit lookahead groups in a tree — area/energy ~1.6x the ripple
+    adder (the lookahead fabric), delay logarithmic: one FA stage per
+    ``log2(ceil(n/4)) + 1`` group levels plus the final sum XOR.
+    """
+    _check_width(n)
+    ripple = adder(lib, n)
+    if n <= 4:
+        return ripple
+    groups = math.ceil(n / 4)
+    levels = clog2(groups) + 1
+    fa = lib.full_adder
+    return Cost(
+        1.6 * ripple.area,
+        levels * fa.delay + lib.half_adder.delay,
+        1.6 * ripple.energy,
+    )
+
+
+def mux(lib: CellLibrary, n: int) -> Cost:
+    """N:1 multiplexer: (N-1) MUX2 in a tree (Table II row 3).
+
+    Delay is the tree depth ``log2(N)`` MUX2 delays.  ``n == 1`` is a
+    wire (zero cost).
+    """
+    _check_width(n)
+    if n == 1:
+        return Cost(0.0, 0.0, 0.0)
+    m = lib.mux2
+    return Cost((n - 1) * m.area, clog2(n) * m.delay, (n - 1) * m.energy)
+
+
+def barrel_shifter(lib: CellLibrary, n: int) -> Cost:
+    """N-bit barrel shifter (Table II row 4).
+
+    The paper's literal formulas are kept: area and energy are ``N``
+    copies of an N:1 selector (one per output bit), and delay is
+    ``log2(N)`` selector delays.  ``n == 1`` is a wire.
+    """
+    _check_width(n)
+    if n == 1:
+        return Cost(0.0, 0.0, 0.0)
+    sel = mux(lib, n)
+    return Cost(n * sel.area, clog2(n) * sel.delay, n * sel.energy)
+
+
+def comparator(lib: CellLibrary, n: int) -> Cost:
+    """N-bit comparator, simplified to an N-bit adder (Table II row 5)."""
+    return adder(lib, n)
+
+
+def register_bank(lib: CellLibrary, n: int) -> Cost:
+    """N DFFs (not in Table II, used by buffers and accumulators)."""
+    _check_width(n)
+    dff = lib.dff
+    return Cost(n * dff.area, dff.delay, n * dff.energy)

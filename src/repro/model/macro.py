@@ -1,0 +1,84 @@
+"""Macro-level cost record shared by the INT and FP estimation models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model.cost import Cost
+
+__all__ = ["MacroCost"]
+
+
+@dataclass(frozen=True)
+class MacroCost:
+    """Normalised cost summary of one complete DCIM macro.
+
+    All quantities are NOR-gate units (see :mod:`repro.model.cost`).  A
+    *pass* is one full matrix-vector multiplication round: the input
+    buffer streams the ``Bx``-bit (or ``BM``-bit) inputs ``k`` bits per
+    cycle, so a pass takes ``cycles_per_pass = ceil(Bx / k)`` cycles.
+
+    Attributes:
+        arch: architecture template name (``"int-mul"`` / ``"fp-prealign"``).
+        params: the design parameters that produced this cost.
+        area: total normalised cell area.
+        stage_delays: critical-path delay of each pipeline stage; the
+            macro delay (clock period) is their maximum, because the
+            shift accumulator's registers pipeline the stages.
+        energy_per_pass: normalised switching energy of one full pass.
+        cycles_per_pass: cycles per pass (``ceil(Bx / k)``).
+        ops_per_pass: MAC operations per pass, counted as 2 ops
+            (multiply + add) per weight-input product at full precision.
+        sram_bits: SRAM bit-cells in the array (``N * H * L``).
+        breakdown: per-component normalised costs for reporting.
+    """
+
+    arch: str
+    params: dict[str, int]
+    area: float
+    stage_delays: dict[str, float]
+    energy_per_pass: float
+    cycles_per_pass: int
+    ops_per_pass: float
+    sram_bits: int
+    breakdown: dict[str, Cost] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.stage_delays:
+            raise ValueError("a macro needs at least one pipeline stage")
+        if self.cycles_per_pass < 1:
+            raise ValueError("cycles_per_pass must be >= 1")
+
+    @property
+    def delay(self) -> float:
+        """Clock period in NOR delays: the slowest pipeline stage."""
+        return max(self.stage_delays.values())
+
+    @property
+    def critical_stage(self) -> str:
+        """Name of the pipeline stage that sets the clock period."""
+        return max(self.stage_delays, key=self.stage_delays.__getitem__)
+
+    @property
+    def energy_per_cycle(self) -> float:
+        """Average normalised energy per cycle."""
+        return self.energy_per_pass / self.cycles_per_pass
+
+    @property
+    def ops_per_cycle(self) -> float:
+        """Average MAC operations per cycle."""
+        return self.ops_per_pass / self.cycles_per_pass
+
+    @property
+    def throughput(self) -> float:
+        """Normalised throughput: operations per NOR-delay unit.
+
+        Multiply by ``1 / Technology.gate_delay`` to obtain ops/s.
+        """
+        return self.ops_per_pass / (self.cycles_per_pass * self.delay)
+
+    def area_fraction(self, component: str) -> float:
+        """Fraction of total area taken by one breakdown component."""
+        if self.area == 0:
+            return 0.0
+        return self.breakdown[component].area / self.area

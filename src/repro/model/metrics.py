@@ -1,0 +1,75 @@
+"""Physical metrics: bind a normalised macro cost to a technology node.
+
+Produces the quantities the paper reports: area (mm^2), clock period
+(ns), power (W), per-pass energy (nJ), TOPS, TOPS/W and TOPS/mm^2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.macro import MacroCost
+from repro.tech.technology import Technology
+
+__all__ = ["MacroMetrics", "evaluate_macro"]
+
+
+@dataclass(frozen=True)
+class MacroMetrics:
+    """Absolute performance numbers of a macro on a technology node.
+
+    Attributes:
+        area_mm2: standard-cell area from the estimation model.
+        layout_area_mm2: post-P&R area (cell area / utilisation) — the
+            quantity a measured macro reports, used for TOPS/mm^2.
+        delay_ns: clock period (slowest pipeline stage).
+        frequency_ghz: ``1 / delay_ns``.
+        cycles_per_pass: cycles per matrix-vector pass.
+        energy_per_pass_nj: switching energy of one pass.
+        power_w: average dynamic power at full duty.
+        tops: peak throughput in tera-operations per second.
+        tops_per_watt: energy efficiency.
+        tops_per_mm2: area efficiency (on the layout area).
+    """
+
+    area_mm2: float
+    layout_area_mm2: float
+    delay_ns: float
+    frequency_ghz: float
+    cycles_per_pass: int
+    energy_per_pass_nj: float
+    power_w: float
+    tops: float
+    tops_per_watt: float
+    tops_per_mm2: float
+
+
+def evaluate_macro(cost: MacroCost, tech: Technology) -> MacroMetrics:
+    """Convert a normalised :class:`MacroCost` into :class:`MacroMetrics`.
+
+    Energy uses the technology's activity factor (the paper quotes
+    efficiency at 10 % sparsity); delay and energy include the first-
+    order supply-voltage scaling of :class:`Technology`.
+    """
+    area_mm2 = tech.area_mm2(cost.area)
+    layout_area_mm2 = area_mm2 / tech.utilization
+    delay_ns = tech.delay_ns(cost.delay)
+    frequency_ghz = 1.0 / delay_ns
+    energy_pass_j = tech.energy_fj(cost.energy_per_pass) * 1e-15
+    pass_time_s = cost.cycles_per_pass * delay_ns * 1e-9
+    power_w = energy_pass_j / pass_time_s
+    ops_per_s = cost.ops_per_pass / pass_time_s
+    tops = ops_per_s * 1e-12
+    tops_per_watt = cost.ops_per_pass / energy_pass_j * 1e-12
+    return MacroMetrics(
+        area_mm2=area_mm2,
+        layout_area_mm2=layout_area_mm2,
+        delay_ns=delay_ns,
+        frequency_ghz=frequency_ghz,
+        cycles_per_pass=cost.cycles_per_pass,
+        energy_per_pass_nj=energy_pass_j * 1e9,
+        power_w=power_w,
+        tops=tops,
+        tops_per_watt=tops_per_watt,
+        tops_per_mm2=tops / layout_area_mm2,
+    )

@@ -1,0 +1,57 @@
+"""Gate-level netlist IR, simulator and verification for SEGA-DCIM."""
+
+from repro.netlist.builders import (
+    build_adder_tree,
+    build_column,
+    build_compute_unit,
+    build_int2fp,
+    build_int_macro,
+    build_prealign,
+    build_result_fusion,
+    build_shift_accumulator,
+)
+from repro.netlist.export import PRIMITIVE_LIBRARY_VERILOG, netlist_to_verilog
+from repro.netlist.importer import verilog_to_netlist
+from repro.netlist.timing import GATE_DELAYS, TimingReport, analyze_timing
+from repro.netlist.ir import Dff, Gate, GATE_KINDS, Netlist
+from repro.netlist.simulate import GateSimulator
+from repro.netlist.verify import (
+    VerificationReport,
+    verify_adder_tree,
+    verify_compute_unit,
+    verify_fp_datapath,
+    verify_int2fp,
+    verify_int_macro,
+    verify_prealign,
+    verify_shift_accumulator,
+)
+
+__all__ = [
+    "netlist_to_verilog",
+    "PRIMITIVE_LIBRARY_VERILOG",
+    "verilog_to_netlist",
+    "analyze_timing",
+    "TimingReport",
+    "GATE_DELAYS",
+    "Netlist",
+    "Gate",
+    "Dff",
+    "GATE_KINDS",
+    "GateSimulator",
+    "build_compute_unit",
+    "build_adder_tree",
+    "build_shift_accumulator",
+    "build_result_fusion",
+    "build_column",
+    "build_int_macro",
+    "build_prealign",
+    "build_int2fp",
+    "VerificationReport",
+    "verify_compute_unit",
+    "verify_adder_tree",
+    "verify_shift_accumulator",
+    "verify_prealign",
+    "verify_int2fp",
+    "verify_int_macro",
+    "verify_fp_datapath",
+]

@@ -1,0 +1,292 @@
+"""Gate-level netlist builders for the DCIM datapath.
+
+Each builder constructs a :class:`~repro.netlist.ir.Netlist` for one
+architecture block with the *same semantics* as the RTL templates and
+the behavioural model, so the three views can be cross-verified.  Weight
+storage appears as input buses (the SRAM read path is hard-wired; write
+timing is not part of the compute semantics), and the input buffer is
+driven one slice per cycle by the testbench.
+"""
+
+from __future__ import annotations
+
+from repro.model.logic import clog2
+from repro.netlist.ir import Netlist
+from repro.netlist.primitives import (
+    barrel_shifter_right,
+    constant_shift_left,
+    greater_than,
+    mux2_bus,
+    mux_tree,
+    nor_multiplier,
+    resize,
+    ripple_adder,
+    ripple_subtractor,
+    zero_extend,
+)
+
+__all__ = [
+    "build_compute_unit",
+    "build_adder_tree",
+    "build_shift_accumulator",
+    "build_result_fusion",
+    "build_column",
+    "build_int_macro",
+    "build_prealign",
+]
+
+
+def _selection(nl: Netlist, weights: list[int], sel: list[int]) -> int:
+    """L:1 selection gate: pick one weight bit."""
+    if len(weights) == 1:
+        return weights[0]
+    choice = mux_tree(nl, sel, [[w] for w in weights])
+    return choice[0]
+
+
+def build_compute_unit(l: int, k: int) -> Netlist:
+    """Compute unit (Fig. 5): selection gate + k-NOR multiplier.
+
+    Ports: ``weights`` (L), ``sel`` (log2 L), ``din`` (k) -> ``product`` (k).
+    """
+    nl = Netlist(f"cu_l{l}_k{k}")
+    weights = nl.input_bus("weights", l)
+    selw = max(clog2(l), 1)
+    sel = nl.input_bus("sel", selw)
+    din = nl.input_bus("din", k)
+    wbit = _selection(nl, weights, sel)
+    product = nor_multiplier(nl, din, wbit)
+    nl.output_bus("product", product)
+    return nl
+
+
+def _adder_tree(nl: Netlist, operands: list[list[int]]) -> list[int]:
+    """Reduce operand buses pairwise with ripple adders."""
+    level = list(operands)
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(ripple_adder(nl, level[i], level[i + 1]))
+        if len(level) % 2:
+            nxt.append(zero_extend(nl, level[-1], len(level[-1]) + 1))
+        level = nxt
+    return level[0]
+
+
+def build_adder_tree(h: int, k: int) -> Netlist:
+    """Adder tree: ``terms`` (h*k) -> ``total`` (k + clog2 h)."""
+    nl = Netlist(f"tree_h{h}_k{k}")
+    terms = nl.input_bus("terms", h * k)
+    operands = [terms[i * k : (i + 1) * k] for i in range(h)]
+    total = _adder_tree(nl, operands)
+    nl.output_bus("total", total[: k + clog2(h)])
+    return nl
+
+
+def build_shift_accumulator(bx: int, k: int, h: int) -> Netlist:
+    """Shift accumulator: ``acc <= clear ? 0 : (acc << k) + partial``.
+
+    Ports: ``partial`` (k + clog2 h), ``clear`` (1) -> ``acc`` (bx + clog2 h).
+    """
+    nl = Netlist(f"accu_b{bx}_k{k}_h{h}")
+    in_w = k + clog2(h)
+    acc_w = bx + clog2(h)
+    partial = nl.input_bus("partial", in_w)
+    clear = nl.input_bus("clear", 1)[0]
+    # Registers first (their q nets feed the adder), d patched after.
+    placeholder_d = [nl.new_net() for _ in range(acc_w)]
+    q = [nl.add_dff(d, clear) for d in placeholder_d]
+    shifted = constant_shift_left(nl, q, k)[:acc_w]
+    nxt = ripple_adder(nl, shifted, partial, width=acc_w)
+    # Patch: alias each placeholder d to the computed next-state net by
+    # inserting buffers (NOT-NOT would cost gates; instead rewrite DFFs).
+    nl.dffs = [
+        type(dff)(d=new_d, q=dff.q, clear=dff.clear)
+        for dff, new_d in zip(nl.dffs, nxt)
+    ]
+    nl.output_bus("acc", q)
+    return nl
+
+
+def build_result_fusion(bw: int, bx: int, h: int) -> Netlist:
+    """Result fusion: ``columns`` (bw * colw) -> ``fused`` (bw + colw).
+
+    Column ``j`` is weighted by ``2^j`` with wiring, then summed.
+    """
+    nl = Netlist(f"fusion_w{bw}_b{bx}_h{h}")
+    col_w = bx + clog2(h)
+    out_w = bw + col_w
+    columns = nl.input_bus("columns", bw * col_w)
+    shifted = [
+        constant_shift_left(nl, columns[j * col_w : (j + 1) * col_w], j)
+        for j in range(bw)
+    ]
+    total = _adder_tree(nl, shifted)
+    nl.output_bus("fused", resize(nl, total, out_w))
+    return nl
+
+
+def _column_fabric(
+    nl: Netlist,
+    weights: list[int],
+    sel: list[int],
+    din: list[int],
+    h: int,
+    l: int,
+    k: int,
+) -> list[int]:
+    """Compute units + adder tree for one column; returns the tree bus."""
+    products = []
+    for row in range(h):
+        w_bank = weights[row * l : (row + 1) * l]
+        wbit = _selection(nl, w_bank, sel)
+        products.append(nor_multiplier(nl, din[row * k : (row + 1) * k], wbit))
+    return _adder_tree(nl, products)[: k + clog2(h)]
+
+
+def build_column(h: int, l: int, k: int, bx: int) -> Netlist:
+    """One clocked column: units -> tree -> shift accumulator.
+
+    Ports: ``weights`` (h*l), ``sel``, ``din`` (h*k per cycle),
+    ``clear`` -> ``acc`` (bx + clog2 h).
+    """
+    nl = Netlist(f"column_h{h}_l{l}_k{k}_b{bx}")
+    weights = nl.input_bus("weights", h * l)
+    sel = nl.input_bus("sel", max(clog2(l), 1))
+    din = nl.input_bus("din", h * k)
+    clear = nl.input_bus("clear", 1)[0]
+    tree = _column_fabric(nl, weights, sel, din, h, l, k)
+    acc_w = bx + clog2(h)
+    placeholder_d = [nl.new_net() for _ in range(acc_w)]
+    q = [nl.add_dff(d, clear) for d in placeholder_d]
+    shifted = constant_shift_left(nl, q, k)[:acc_w]
+    nxt = ripple_adder(nl, shifted, tree, width=acc_w)
+    nl.dffs = [
+        type(dff)(d=new_d, q=dff.q, clear=dff.clear)
+        for dff, new_d in zip(nl.dffs, nxt)
+    ]
+    nl.output_bus("acc", q)
+    return nl
+
+
+def build_int_macro(n: int, h: int, l: int, k: int, bx: int, bw: int) -> Netlist:
+    """A complete (small) integer macro at gate level.
+
+    Ports: ``weights`` (n*h*l, column-major: column c's bank at offset
+    ``c*h*l``), ``sel``, ``din`` (h*k, one slice per cycle), ``clear``
+    -> ``y`` (groups * (bw + bx + clog2 h)).
+
+    Intended for verification-sized parameters; a 64K-weight instance
+    would be millions of gates.
+    """
+    if n % bw:
+        raise ValueError("n must be a multiple of bw")
+    nl = Netlist(f"macro_n{n}_h{h}_l{l}_k{k}")
+    weights = nl.input_bus("weights", n * h * l)
+    sel = nl.input_bus("sel", max(clog2(l), 1))
+    din = nl.input_bus("din", h * k)
+    clear = nl.input_bus("clear", 1)[0]
+    acc_w = bx + clog2(h)
+    col_accs: list[list[int]] = []
+    for c in range(n):
+        bank = weights[c * h * l : (c + 1) * h * l]
+        tree = _column_fabric(nl, bank, sel, din, h, l, k)
+        placeholder_d = [nl.new_net() for _ in range(acc_w)]
+        q = [nl.add_dff(d, clear) for d in placeholder_d]
+        shifted = constant_shift_left(nl, q, k)[:acc_w]
+        nxt = ripple_adder(nl, shifted, tree, width=acc_w)
+        start = len(nl.dffs) - acc_w
+        for offset, new_d in enumerate(nxt):
+            dff = nl.dffs[start + offset]
+            nl.dffs[start + offset] = type(dff)(d=new_d, q=dff.q, clear=dff.clear)
+        col_accs.append(q)
+    out_w = bw + acc_w
+    y_nets: list[int] = []
+    for g in range(n // bw):
+        shifted = [
+            constant_shift_left(nl, col_accs[g * bw + j], j) for j in range(bw)
+        ]
+        fused = _adder_tree(nl, shifted)
+        y_nets.extend(resize(nl, fused, out_w))
+    nl.output_bus("y", y_nets)
+    return nl
+
+
+def build_prealign(h: int, be: int, bm: int) -> Netlist:
+    """FP pre-alignment at gate level.
+
+    Ports: ``exponents`` (h*be), ``mantissas`` (h*bm) ->
+    ``aligned`` (h*bm), ``xemax`` (be).
+    """
+    nl = Netlist(f"prealign_h{h}_e{be}_m{bm}")
+    exponents = nl.input_bus("exponents", h * be)
+    mantissas = nl.input_bus("mantissas", h * bm)
+    exp_buses = [exponents[i * be : (i + 1) * be] for i in range(h)]
+    # Max tree: pairwise comparator + mux.
+    level = list(exp_buses)
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            a, b = level[i], level[i + 1]
+            a_gt = greater_than(nl, a, b)
+            nxt.append(mux2_bus(nl, a_gt, b, a))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    xemax = level[0]
+    stages = clog2(bm) + 1
+    aligned: list[int] = []
+    for i in range(h):
+        offset, _ = ripple_subtractor(nl, xemax, exp_buses[i])
+        mant = mantissas[i * bm : (i + 1) * bm]
+        shifted = barrel_shifter_right(nl, mant, offset[:stages])
+        # Offsets beyond the shifter range flush the mantissa to zero.
+        overflow = nl.ZERO
+        for bit in offset[stages:]:
+            overflow = nl.add_gate("OR", overflow, bit)
+        aligned.extend(mux2_bus(nl, overflow, shifted, [nl.ZERO] * bm))
+    nl.output_bus("aligned", aligned)
+    nl.output_bus("xemax", xemax)
+    return nl
+
+
+def build_int2fp(br: int, be: int) -> Netlist:
+    """INT-to-FP converter at gate level (leading-one detect + normalise).
+
+    Ports: ``value`` (br), ``base_exp`` (be) -> ``mantissa`` (br),
+    ``exponent`` (be + 2), ``is_zero`` (1).  Semantics match
+    :func:`repro.func.int2fp_model.int_to_fp`.
+    """
+    from repro.netlist.primitives import barrel_shifter_left, constant_bus
+
+    if br < 1 or be < 1:
+        raise ValueError("int2fp needs br >= 1 and be >= 1")
+    nl = Netlist(f"int2fp_r{br}_e{be}")
+    value = nl.input_bus("value", br)
+    base_exp = nl.input_bus("base_exp", be)
+    posw = max(clog2(br + 1), 1)
+    expw = be + 2
+
+    # Priority scan from the MSB: capture the first set bit's index and
+    # the left-shift amount that normalises it to the MSB.
+    found = nl.ZERO
+    lead = constant_bus(nl, 0, posw)
+    amount = constant_bus(nl, 0, posw)
+    for i in range(br - 1, -1, -1):
+        not_found = nl.add_gate("NOT", found)
+        take = nl.add_gate("AND", value[i], not_found)
+        lead = mux2_bus(nl, take, lead, constant_bus(nl, i, posw))
+        amount = mux2_bus(nl, take, amount, constant_bus(nl, br - 1 - i, posw))
+        found = nl.add_gate("OR", found, value[i])
+    is_zero = nl.add_gate("NOT", found)
+
+    shifted = barrel_shifter_left(nl, value, amount)
+    mantissa = mux2_bus(nl, is_zero, shifted, constant_bus(nl, 0, br))
+    exp_sum = ripple_adder(
+        nl, zero_extend(nl, base_exp, expw), zero_extend(nl, lead, expw), width=expw
+    )
+    exponent = mux2_bus(nl, is_zero, exp_sum, constant_bus(nl, 0, expw))
+    nl.output_bus("mantissa", mantissa)
+    nl.output_bus("exponent", exponent)
+    nl.output_bus("is_zero", [is_zero])
+    return nl

@@ -1,0 +1,95 @@
+"""Export a gate-level netlist as structural Verilog.
+
+Bridges the verification substrate and the RTL flow: the gate-level IR
+used by the simulator can be dumped as a flat structural Verilog module
+over a tiny primitive-cell library (emitted alongside), so the exact
+netlist that passed equivalence checking can be handed to an external
+tool.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.ir import GATE_KINDS, Netlist
+
+__all__ = ["netlist_to_verilog", "PRIMITIVE_LIBRARY_VERILOG"]
+
+#: Behavioural definitions of the primitive cells the export references.
+PRIMITIVE_LIBRARY_VERILOG = """\
+// Primitive cell library for exported gate-level netlists.
+module prim_not (input a, output y);          assign y = ~a;          endmodule
+module prim_and (input a, b, output y);       assign y = a & b;       endmodule
+module prim_or  (input a, b, output y);       assign y = a | b;       endmodule
+module prim_nor (input a, b, output y);       assign y = ~(a | b);    endmodule
+module prim_xor (input a, b, output y);       assign y = a ^ b;       endmodule
+module prim_mux2 (input s, a, b, output y);   assign y = s ? b : a;   endmodule
+module prim_dff (input clk, clr, d, output reg q);
+  always @(posedge clk) q <= clr ? 1'b0 : d;
+endmodule
+"""
+
+_CELL_NAMES = {kind: f"prim_{kind.lower()}" for kind in GATE_KINDS}
+_PIN_ORDERS = {
+    "NOT": ("a",),
+    "AND": ("a", "b"),
+    "OR": ("a", "b"),
+    "NOR": ("a", "b"),
+    "XOR": ("a", "b"),
+    "MUX2": ("s", "a", "b"),
+}
+
+
+def netlist_to_verilog(netlist: Netlist, module_name: str | None = None) -> str:
+    """Render a :class:`Netlist` as one flat structural Verilog module.
+
+    Nets become ``n<i>`` wires; input/output buses keep their names; a
+    ``clk`` port is added when the netlist contains flip-flops.
+    """
+    name = module_name or netlist.name
+    has_dffs = bool(netlist.dffs)
+    ports: list[str] = []
+    decls: list[str] = []
+    body: list[str] = []
+
+    if has_dffs:
+        ports.append("clk")
+        decls.append("  input clk;")
+    for bus_name, nets in netlist.inputs.items():
+        ports.append(bus_name)
+        width = f"[{len(nets) - 1}:0] " if len(nets) > 1 else ""
+        decls.append(f"  input {width}{bus_name};")
+    for bus_name, nets in netlist.outputs.items():
+        ports.append(bus_name)
+        width = f"[{len(nets) - 1}:0] " if len(nets) > 1 else ""
+        decls.append(f"  output {width}{bus_name};")
+
+    decls.append(f"  wire [{netlist.n_nets - 1}:0] n;")
+    body.append("  assign n[0] = 1'b0;")
+    body.append("  assign n[1] = 1'b1;")
+    for bus_name, nets in netlist.inputs.items():
+        for i, net in enumerate(nets):
+            index = f"[{i}]" if len(nets) > 1 else ""
+            body.append(f"  assign n[{net}] = {bus_name}{index};")
+    for bus_name, nets in netlist.outputs.items():
+        for i, net in enumerate(nets):
+            index = f"[{i}]" if len(nets) > 1 else ""
+            body.append(f"  assign {bus_name}{index} = n[{net}];")
+
+    for g_index, gate in enumerate(netlist.gates):
+        cell = _CELL_NAMES[gate.kind]
+        pins = ", ".join(
+            f".{pin}(n[{net}])"
+            for pin, net in zip(_PIN_ORDERS[gate.kind], gate.inputs)
+        )
+        body.append(f"  {cell} g{g_index} ({pins}, .y(n[{gate.output}]));")
+    for d_index, dff in enumerate(netlist.dffs):
+        clr = f"n[{dff.clear}]" if dff.clear is not None else "1'b0"
+        body.append(
+            f"  prim_dff r{d_index} (.clk(clk), .clr({clr}), "
+            f".d(n[{dff.d}]), .q(n[{dff.q}]));"
+        )
+
+    lines = [f"module {name} ({', '.join(ports)});"]
+    lines.extend(decls)
+    lines.extend(body)
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,130 @@
+"""Import structural Verilog (the export dialect) back into the IR.
+
+Closes the netlist loop: a netlist exported with
+:func:`repro.netlist.export.netlist_to_verilog` — or any flat module
+using the ``prim_*`` cells and the same net-array convention — can be
+parsed back into a :class:`~repro.netlist.ir.Netlist` and re-simulated.
+The round-trip property (export -> import -> identical simulation) is
+part of the test suite.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.netlist.ir import Dff, Gate, Netlist
+
+__all__ = ["verilog_to_netlist"]
+
+_MODULE_RE = re.compile(r"module\s+(\w+)\s*\(([^)]*)\)\s*;")
+_DECL_RE = re.compile(
+    r"^\s*(input|output)\s+(?:\[(\d+):0\]\s+)?(\w+)\s*;", re.M
+)
+_WIRE_RE = re.compile(r"^\s*wire\s+\[(\d+):0\]\s+n\s*;", re.M)
+_ALIAS_IN_RE = re.compile(
+    r"^\s*assign\s+n\[(\d+)\]\s*=\s*(\w+)(?:\[(\d+)\])?\s*;", re.M
+)
+_ALIAS_OUT_RE = re.compile(
+    r"^\s*assign\s+(\w+)(?:\[(\d+)\])?\s*=\s*n\[(\d+)\]\s*;", re.M
+)
+_GATE_RE = re.compile(
+    r"^\s*prim_(\w+)\s+\w+\s*\(([^;]*)\)\s*;", re.M
+)
+_PIN_RE = re.compile(r"\.(\w+)\(([^)]*)\)")
+
+_GATE_PINS = {
+    "not": ("NOT", ("a",)),
+    "and": ("AND", ("a", "b")),
+    "or": ("OR", ("a", "b")),
+    "nor": ("NOR", ("a", "b")),
+    "xor": ("XOR", ("a", "b")),
+    "mux2": ("MUX2", ("s", "a", "b")),
+}
+
+
+def _net_ref(token: str) -> int | None:
+    token = token.strip()
+    match = re.fullmatch(r"n\[(\d+)\]", token)
+    if match:
+        return int(match.group(1))
+    if token == "1'b0":
+        return Netlist.ZERO
+    if token == "1'b1":
+        return Netlist.ONE
+    return None
+
+
+def verilog_to_netlist(source: str) -> Netlist:
+    """Parse one exported structural module back into a Netlist.
+
+    Raises:
+        ValueError: when the source does not follow the export dialect
+            (single module, one flat ``n`` wire array, prim_* cells).
+    """
+    header = _MODULE_RE.search(source)
+    if header is None:
+        raise ValueError("no module header found")
+    name = header.group(1)
+
+    wire = _WIRE_RE.search(source)
+    if wire is None:
+        raise ValueError("missing flat net array 'wire [..:0] n;'")
+    n_nets = int(wire.group(1)) + 1
+
+    netlist = Netlist(name)
+    netlist.n_nets = n_nets
+
+    # Port declarations with widths.
+    widths: dict[str, int] = {}
+    directions: dict[str, str] = {}
+    for direction, msb, port in _DECL_RE.findall(source):
+        widths[port] = int(msb) + 1 if msb else 1
+        directions[port] = direction
+
+    # Input aliases: n[<id>] = port[idx]  ->  input bus mapping.
+    input_nets: dict[str, dict[int, int]] = {}
+    for net_id, port, index in _ALIAS_IN_RE.findall(source):
+        if port in ("1'b0", "1'b1"):
+            continue
+        if directions.get(port) != "input":
+            continue
+        input_nets.setdefault(port, {})[int(index) if index else 0] = int(net_id)
+    for port, lanes in input_nets.items():
+        bus = [lanes[i] for i in range(widths[port])]
+        netlist.inputs[port] = bus
+
+    # Output aliases: port[idx] = n[<id>].
+    output_nets: dict[str, dict[int, int]] = {}
+    for port, index, net_id in _ALIAS_OUT_RE.findall(source):
+        if directions.get(port) != "output":
+            continue
+        output_nets.setdefault(port, {})[int(index) if index else 0] = int(net_id)
+    for port, lanes in output_nets.items():
+        netlist.outputs[port] = [lanes[i] for i in range(widths[port])]
+
+    # Gates and flops.
+    for kind_token, pin_blob in _GATE_RE.findall(source):
+        pins = {pin: value for pin, value in _PIN_RE.findall(pin_blob)}
+        if kind_token == "dff":
+            d = _net_ref(pins["d"])
+            q = _net_ref(pins["q"])
+            clr_token = pins.get("clr", "1'b0").strip()
+            clr = None if clr_token == "1'b0" else _net_ref(clr_token)
+            if d is None or q is None:
+                raise ValueError(f"malformed dff pins: {pins}")
+            netlist.dffs.append(Dff(d=d, q=q, clear=clr))
+            continue
+        if kind_token not in _GATE_PINS:
+            raise ValueError(f"unknown primitive prim_{kind_token}")
+        kind, order = _GATE_PINS[kind_token]
+        inputs = []
+        for pin in order:
+            ref = _net_ref(pins[pin])
+            if ref is None:
+                raise ValueError(f"malformed pin .{pin}({pins[pin]})")
+            inputs.append(ref)
+        out = _net_ref(pins["y"])
+        if out is None:
+            raise ValueError(f"malformed output pin .y({pins['y']})")
+        netlist.gates.append(Gate(kind, tuple(inputs), out))
+    return netlist

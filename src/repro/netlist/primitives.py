@@ -1,0 +1,179 @@
+"""Composite gate-level building blocks (adders, muxes, shifters).
+
+These mirror the logic modules of paper Table II at the bit level:
+ripple-carry adders from HA/FA gate patterns, mux trees, and barrel
+shifters built from MUX2 levels.  All buses are LSB-first net lists.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.ir import Netlist
+
+__all__ = [
+    "half_adder",
+    "full_adder",
+    "ripple_adder",
+    "mux2_bus",
+    "mux_tree",
+    "barrel_shifter_right",
+    "constant_shift_left",
+    "zero_extend",
+    "nor_multiplier",
+    "ripple_subtractor",
+    "greater_than",
+]
+
+
+def half_adder(nl: Netlist, a: int, b: int) -> tuple[int, int]:
+    """(sum, carry) = a + b."""
+    return nl.add_gate("XOR", a, b), nl.add_gate("AND", a, b)
+
+
+def full_adder(nl: Netlist, a: int, b: int, cin: int) -> tuple[int, int]:
+    """(sum, carry) = a + b + cin."""
+    s1 = nl.add_gate("XOR", a, b)
+    total = nl.add_gate("XOR", s1, cin)
+    c1 = nl.add_gate("AND", a, b)
+    c2 = nl.add_gate("AND", s1, cin)
+    return total, nl.add_gate("OR", c1, c2)
+
+
+def zero_extend(nl: Netlist, bus: list[int], width: int) -> list[int]:
+    """Pad a bus with constant-0 nets up to ``width``."""
+    if width < len(bus):
+        raise ValueError(f"cannot zero-extend {len(bus)} bits down to {width}")
+    return list(bus) + [nl.ZERO] * (width - len(bus))
+
+
+def resize(nl: Netlist, bus: list[int], width: int) -> list[int]:
+    """Zero-extend or truncate a bus to exactly ``width`` bits.
+
+    Truncation is only sound when the value provably fits ``width``
+    (e.g. conservative adder-tree growth bits that are always zero).
+    """
+    if width <= len(bus):
+        return list(bus[:width])
+    return zero_extend(nl, bus, width)
+
+
+def ripple_adder(nl: Netlist, a: list[int], b: list[int], width: int | None = None) -> list[int]:
+    """Unsigned ripple-carry sum of two buses.
+
+    Output width defaults to ``max(len(a), len(b)) + 1`` (no overflow);
+    pass ``width`` to truncate or extend.
+    """
+    out_w = width if width is not None else max(len(a), len(b)) + 1
+    av = zero_extend(nl, a, out_w)
+    bv = zero_extend(nl, b, out_w)
+    result = []
+    carry = None
+    for i in range(out_w):
+        if carry is None:
+            s, carry = half_adder(nl, av[i], bv[i])
+        else:
+            s, carry = full_adder(nl, av[i], bv[i], carry)
+        result.append(s)
+    return result
+
+
+def ripple_subtractor(nl: Netlist, a: list[int], b: list[int]) -> tuple[list[int], int]:
+    """Unsigned ``a - b``: (difference, borrow).
+
+    Implemented as ``a + ~b + 1``; ``borrow`` is 1 when ``a < b``.
+    """
+    width = max(len(a), len(b))
+    av = zero_extend(nl, a, width)
+    bv = zero_extend(nl, b, width)
+    diff = []
+    carry = nl.ONE  # +1 of the two's complement
+    for i in range(width):
+        nb = nl.add_gate("NOT", bv[i])
+        s, carry = full_adder(nl, av[i], nb, carry)
+        diff.append(s)
+    borrow = nl.add_gate("NOT", carry)
+    return diff, borrow
+
+
+def greater_than(nl: Netlist, a: list[int], b: list[int]) -> int:
+    """Net that is 1 when unsigned ``a > b`` (comparator = subtractor)."""
+    _, borrow = ripple_subtractor(nl, b, a)  # b - a borrows iff b < a
+    return borrow
+
+
+def mux2_bus(nl: Netlist, sel: int, a: list[int], b: list[int]) -> list[int]:
+    """Per-bit 2:1 mux: ``sel ? b : a`` (buses zero-extended to match)."""
+    width = max(len(a), len(b))
+    av = zero_extend(nl, a, width)
+    bv = zero_extend(nl, b, width)
+    return [nl.add_gate("MUX2", sel, av[i], bv[i]) for i in range(width)]
+
+
+def mux_tree(nl: Netlist, sel: list[int], choices: list[list[int]]) -> list[int]:
+    """N:1 bus mux from MUX2 levels; ``sel`` is LSB-first binary."""
+    if not choices:
+        raise ValueError("mux tree needs at least one choice")
+    level = list(choices)
+    for bit in sel:
+        if len(level) == 1:
+            break
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(mux2_bus(nl, bit, level[i], level[i + 1]))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+def barrel_shifter_right(nl: Netlist, value: list[int], amount: list[int]) -> list[int]:
+    """Logical right shift of ``value`` by the binary ``amount`` bus."""
+    current = list(value)
+    width = len(value)
+    for stage, bit in enumerate(amount):
+        shift = 1 << stage
+        shifted = current[shift:] + [nl.ZERO] * min(shift, width)
+        shifted = shifted[:width]
+        current = mux2_bus(nl, bit, current, shifted)
+    return current
+
+
+def constant_shift_left(nl: Netlist, value: list[int], amount: int) -> list[int]:
+    """Shift left by a constant: pure wiring (zero nets appended)."""
+    if amount < 0:
+        raise ValueError("shift amount must be >= 0")
+    return [nl.ZERO] * amount + list(value)
+
+
+def nor_multiplier(nl: Netlist, din: list[int], wbit: int) -> list[int]:
+    """1-bit x k-bit multiply as k NOR gates (Fig. 5).
+
+    ``product = NOR(~din, ~wbit) = din AND wbit`` per bit.
+    """
+    wbit_b = nl.add_gate("NOT", wbit)
+    out = []
+    for bit in din:
+        bit_b = nl.add_gate("NOT", bit)
+        out.append(nl.add_gate("NOR", bit_b, wbit_b))
+    return out
+
+
+def constant_bus(nl: Netlist, value: int, width: int) -> list[int]:
+    """A bus hard-wired to ``value`` using the constant nets."""
+    if not 0 <= value < (1 << width):
+        raise ValueError(f"value {value} does not fit {width} bits")
+    return [nl.ONE if (value >> i) & 1 else nl.ZERO for i in range(width)]
+
+
+def barrel_shifter_left(nl: Netlist, value: list[int], amount: list[int]) -> list[int]:
+    """Logical left shift of ``value`` by the binary ``amount`` bus.
+
+    Output width equals the input width (bits shifted past the MSB are
+    dropped, as in the fixed-width RTL).
+    """
+    current = list(value)
+    width = len(value)
+    for stage, bit in enumerate(amount):
+        shift = 1 << stage
+        shifted = ([nl.ZERO] * min(shift, width) + current)[:width]
+        current = mux2_bus(nl, bit, current, shifted)
+    return current

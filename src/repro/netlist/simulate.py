@@ -1,0 +1,145 @@
+"""Event-driven two-value simulator for gate-level netlists.
+
+Stands in for the commercial logic simulator of a real flow.  The
+combinational fabric is levelised once (topological order); ``eval``
+propagates input changes through the ordered gates, and ``step`` clocks
+every DFF simultaneously, then re-evaluates.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.ir import Netlist
+
+__all__ = ["GateSimulator"]
+
+_EVAL = {
+    "NOT": lambda v: 1 - v[0],
+    "AND": lambda v: v[0] & v[1],
+    "OR": lambda v: v[0] | v[1],
+    "NOR": lambda v: 1 - (v[0] | v[1]),
+    "XOR": lambda v: v[0] ^ v[1],
+    "MUX2": lambda v: v[2] if v[0] else v[1],
+}
+
+
+class GateSimulator:
+    """Simulates one :class:`~repro.netlist.ir.Netlist`.
+
+    Raises:
+        ValueError: if the combinational fabric contains a cycle (only
+            DFFs may close loops).
+    """
+
+    def __init__(self, netlist: Netlist, count_toggles: bool = False) -> None:
+        self.netlist = netlist
+        self.values = [0] * netlist.n_nets
+        self.values[netlist.ONE] = 1
+        #: Per-gate output-toggle counters (enabled by ``count_toggles``);
+        #: the power-measurement substrate reads these.
+        self.count_toggles = count_toggles
+        self.gate_toggles = [0] * len(netlist.gates)
+        self.dff_toggles = [0] * len(netlist.dffs)
+        self._order = self._levelize()
+        self._eval_all()
+
+    def _levelize(self) -> list[int]:
+        """Topological order of gate indices (Kahn's algorithm)."""
+        gates = self.netlist.gates
+        consumers: dict[int, list[int]] = {}
+        indegree = [0] * len(gates)
+        driven_by: dict[int, int] = {g.output: i for i, g in enumerate(gates)}
+        if len(driven_by) != len(gates):
+            raise ValueError("multiple drivers on one net")
+        for i, gate in enumerate(gates):
+            for net in gate.inputs:
+                if net in driven_by:
+                    consumers.setdefault(net, []).append(i)
+                    indegree[i] += 1
+        ready = [i for i, deg in enumerate(indegree) if deg == 0]
+        order: list[int] = []
+        while ready:
+            i = ready.pop()
+            order.append(i)
+            for j in consumers.get(gates[i].output, ()):
+                indegree[j] -= 1
+                if indegree[j] == 0:
+                    ready.append(j)
+        if len(order) != len(gates):
+            raise ValueError("combinational cycle detected")
+        return order
+
+    # Stimulus ---------------------------------------------------------------
+    def set_bus(self, name: str, value: int) -> None:
+        """Drive a named input bus with an unsigned integer."""
+        try:
+            bus = self.netlist.inputs[name]
+        except KeyError:
+            raise KeyError(f"no input bus {name!r}") from None
+        if value < 0 or value >= (1 << len(bus)):
+            raise ValueError(
+                f"value {value} does not fit input {name!r} ({len(bus)} bits)"
+            )
+        for i, net in enumerate(bus):
+            self.values[net] = (value >> i) & 1
+
+    def get_bus(self, name: str) -> int:
+        """Read a named output bus as an unsigned integer."""
+        try:
+            bus = self.netlist.outputs[name]
+        except KeyError:
+            raise KeyError(f"no output bus {name!r}") from None
+        return sum(self.values[net] << i for i, net in enumerate(bus))
+
+    def peek(self, nets: list[int]) -> int:
+        """Read an arbitrary LSB-first net list as an integer."""
+        return sum(self.values[net] << i for i, net in enumerate(nets))
+
+    # Execution ---------------------------------------------------------------
+    def _eval_all(self) -> None:
+        gates = self.netlist.gates
+        values = self.values
+        if self.count_toggles:
+            toggles = self.gate_toggles
+            for i in self._order:
+                gate = gates[i]
+                new = _EVAL[gate.kind]([values[net] for net in gate.inputs])
+                if new != values[gate.output]:
+                    toggles[i] += 1
+                    values[gate.output] = new
+            return
+        for i in self._order:
+            gate = gates[i]
+            values[gate.output] = _EVAL[gate.kind](
+                [values[net] for net in gate.inputs]
+            )
+
+    def eval(self) -> None:
+        """Propagate current input values through the combinational fabric."""
+        self._eval_all()
+
+    def step(self, cycles: int = 1) -> None:
+        """Advance ``cycles`` clock edges (latch all DFFs, then settle)."""
+        for _ in range(cycles):
+            self.eval()
+            latched = []
+            for dff in self.netlist.dffs:
+                if dff.clear is not None and self.values[dff.clear]:
+                    latched.append(0)
+                else:
+                    latched.append(self.values[dff.d])
+            for index, (dff, value) in enumerate(zip(self.netlist.dffs, latched)):
+                if self.count_toggles and self.values[dff.q] != value:
+                    self.dff_toggles[index] += 1
+                self.values[dff.q] = value
+            self.eval()
+
+    def reset_toggles(self) -> None:
+        """Zero the toggle counters (power-measurement windows)."""
+        self.gate_toggles = [0] * len(self.netlist.gates)
+        self.dff_toggles = [0] * len(self.netlist.dffs)
+
+    def reset_state(self) -> None:
+        """Zero every flip-flop output and re-evaluate."""
+        for dff in self.netlist.dffs:
+            self.values[dff.q] = 0
+        self.eval()

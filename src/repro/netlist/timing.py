@@ -1,0 +1,126 @@
+"""Static timing analysis over gate-level netlists.
+
+A miniature STA engine: every primitive gets a delay (NOR-normalised,
+derived from the Table III cells), arrival times propagate through the
+levelised fabric, and the worst register-to-register / input-to-output
+path is reported with its gate trace.
+
+This provides an independent check of the analytical delay models of
+``repro.model`` — the cost model predicts component delays from
+composition rules; the STA *measures* them on the actual gate netlist.
+The two use different decompositions (the cost model's FA is one cell,
+the netlist builds it from XOR/AND/OR), so agreement is expected within
+a small constant factor, which the validation bench pins down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.ir import Netlist
+
+__all__ = ["GATE_DELAYS", "TimingReport", "analyze_timing"]
+
+#: Per-primitive delays in NOR units.  NOT/NOR/OR/AND are single-stage
+#: CMOS (≈1 NOR); XOR is a two-stage structure; MUX2 matches Table III.
+GATE_DELAYS: dict[str, float] = {
+    "NOT": 0.6,
+    "AND": 1.0,
+    "OR": 1.0,
+    "NOR": 1.0,
+    "XOR": 1.6,
+    "MUX2": 2.2,
+}
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Result of one STA run.
+
+    Attributes:
+        critical_delay: worst arrival time at any timing endpoint
+            (DFF d-pin or primary output), NOR units.
+        critical_path: gate indices along the worst path, source first.
+        endpoint: net id of the worst endpoint.
+        arrival: per-net arrival times (list indexed by net id).
+    """
+
+    critical_delay: float
+    critical_path: tuple[int, ...]
+    endpoint: int
+    arrival: list[float]
+
+    @property
+    def logic_depth(self) -> int:
+        """Gates on the critical path."""
+        return len(self.critical_path)
+
+
+def analyze_timing(
+    netlist: Netlist, delays: dict[str, float] | None = None
+) -> TimingReport:
+    """Compute arrival times and the critical path of a netlist.
+
+    Timing startpoints are primary inputs, constants and DFF outputs
+    (arrival 0); endpoints are DFF inputs and primary outputs.  DFF
+    clk->q delay is folded into the startpoint (zero, matching the cost
+    model's "DFF delay N/A" convention).
+
+    Raises:
+        ValueError: on combinational cycles (via levelisation).
+    """
+    delays = delays or GATE_DELAYS
+    # Levelise (same algorithm as the simulator; duplicated to keep the
+    # two engines independent and separately testable).
+    gates = netlist.gates
+    driven_by = {g.output: i for i, g in enumerate(gates)}
+    consumers: dict[int, list[int]] = {}
+    indegree = [0] * len(gates)
+    for i, gate in enumerate(gates):
+        for net in gate.inputs:
+            if net in driven_by:
+                consumers.setdefault(net, []).append(i)
+                indegree[i] += 1
+    ready = [i for i, deg in enumerate(indegree) if deg == 0]
+    order: list[int] = []
+    while ready:
+        i = ready.pop()
+        order.append(i)
+        for j in consumers.get(gates[i].output, ()):
+            indegree[j] -= 1
+            if indegree[j] == 0:
+                ready.append(j)
+    if len(order) != len(gates):
+        raise ValueError("combinational cycle detected")
+
+    arrival = [0.0] * netlist.n_nets
+    through: list[int | None] = [None] * netlist.n_nets  # worst driver gate
+    for i in order:
+        gate = gates[i]
+        worst = max((arrival[net] for net in gate.inputs), default=0.0)
+        arrival[gate.output] = worst + delays[gate.kind]
+        through[gate.output] = i
+
+    endpoints = [dff.d for dff in netlist.dffs]
+    for bus in netlist.outputs.values():
+        endpoints.extend(bus)
+    if not endpoints:
+        endpoints = [g.output for g in gates] or [0]
+    worst_net = max(endpoints, key=lambda net: arrival[net])
+
+    # Trace the path back through worst-arrival fan-ins.
+    path: list[int] = []
+    net = worst_net
+    while through[net] is not None:
+        gate_index = through[net]
+        path.append(gate_index)
+        gate = gates[gate_index]
+        net = max(gate.inputs, key=lambda n: arrival[n], default=None)
+        if net is None:  # pragma: no cover - gates always have inputs
+            break
+    return TimingReport(
+        critical_delay=arrival[worst_net],
+        critical_path=tuple(reversed(path)),
+        endpoint=worst_net,
+        arrival=arrival,
+    )

@@ -1,0 +1,327 @@
+"""Equivalence checks: gate-level netlists vs. golden models.
+
+Randomised functional verification of every gate-level block against
+the behavioural reference — the role a commercial simulator plus a
+testbench plays in the authors' flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.spec import DesignPoint
+from repro.func.formats import max_unsigned
+from repro.func.macro_model import IntMacroModel
+from repro.model.logic import clog2
+from repro.netlist.builders import (
+    build_adder_tree,
+    build_compute_unit,
+    build_int_macro,
+    build_prealign,
+    build_shift_accumulator,
+)
+from repro.netlist.simulate import GateSimulator
+
+__all__ = [
+    "VerificationReport",
+    "verify_compute_unit",
+    "verify_adder_tree",
+    "verify_shift_accumulator",
+    "verify_prealign",
+    "verify_int_macro",
+]
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of one randomised equivalence run."""
+
+    block: str
+    trials: int
+    mismatches: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when every trial matched the golden model."""
+        return not self.mismatches
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        status = "PASS" if self.passed else f"FAIL ({len(self.mismatches)})"
+        return f"{self.block}: {status} over {self.trials} trials"
+
+
+def verify_compute_unit(l: int, k: int, trials: int = 50, seed: int = 0) -> VerificationReport:
+    """Compute unit: product == din * selected weight bit."""
+    report = VerificationReport(f"compute_unit(l={l}, k={k})", trials)
+    sim = GateSimulator(build_compute_unit(l, k))
+    rng = np.random.default_rng(seed)
+    for _ in range(trials):
+        weights = int(rng.integers(0, 2**l))
+        sel = int(rng.integers(0, l))
+        din = int(rng.integers(0, 2**k))
+        sim.set_bus("weights", weights)
+        sim.set_bus("sel", sel)
+        sim.set_bus("din", din)
+        sim.eval()
+        expected = din if (weights >> sel) & 1 else 0
+        got = sim.get_bus("product")
+        if got != expected:
+            report.mismatches.append(
+                f"w={weights:0{l}b} sel={sel} din={din}: got {got}, want {expected}"
+            )
+    return report
+
+
+def verify_adder_tree(h: int, k: int, trials: int = 50, seed: int = 0) -> VerificationReport:
+    """Adder tree: total == sum of the h operands."""
+    report = VerificationReport(f"adder_tree(h={h}, k={k})", trials)
+    sim = GateSimulator(build_adder_tree(h, k))
+    rng = np.random.default_rng(seed)
+    for _ in range(trials):
+        terms = rng.integers(0, 2**k, size=h)
+        packed = 0
+        for i, t in enumerate(terms):
+            packed |= int(t) << (i * k)
+        sim.set_bus("terms", packed)
+        sim.eval()
+        got = sim.get_bus("total")
+        expected = int(terms.sum())
+        if got != expected:
+            report.mismatches.append(f"terms={terms}: got {got}, want {expected}")
+    return report
+
+
+def verify_shift_accumulator(
+    bx: int, k: int, h: int, trials: int = 20, seed: int = 0
+) -> VerificationReport:
+    """Shift accumulator over full passes of ``bx/k`` cycles."""
+    report = VerificationReport(f"shift_accumulator(bx={bx}, k={k}, h={h})", trials)
+    sim = GateSimulator(build_shift_accumulator(bx, k, h))
+    rng = np.random.default_rng(seed)
+    cycles = bx // k
+    in_max = (2**k - 1) * h  # adder-tree output bound
+    in_cap = 2 ** (k + clog2(h)) - 1
+    for _ in range(trials):
+        # Clear, then stream one pass.
+        sim.set_bus("clear", 1)
+        sim.step()
+        sim.set_bus("clear", 0)
+        expected = 0
+        for _c in range(cycles):
+            partial = int(rng.integers(0, min(in_max, in_cap) + 1))
+            sim.set_bus("partial", partial)
+            sim.step()
+            expected = (expected << k) + partial
+        got = sim.get_bus("acc")
+        if got != expected:
+            report.mismatches.append(f"got {got}, want {expected}")
+    return report
+
+
+def verify_prealign(
+    h: int, be: int, bm: int, trials: int = 30, seed: int = 0
+) -> VerificationReport:
+    """Pre-alignment: max exponent + truncating right shifts."""
+    report = VerificationReport(f"prealign(h={h}, be={be}, bm={bm})", trials)
+    sim = GateSimulator(build_prealign(h, be, bm))
+    rng = np.random.default_rng(seed)
+    for _ in range(trials):
+        exps = rng.integers(0, 2**be, size=h)
+        mants = rng.integers(0, 2**bm, size=h)
+        packed_e = 0
+        packed_m = 0
+        for i in range(h):
+            packed_e |= int(exps[i]) << (i * be)
+            packed_m |= int(mants[i]) << (i * bm)
+        sim.set_bus("exponents", packed_e)
+        sim.set_bus("mantissas", packed_m)
+        sim.eval()
+        xemax = int(exps.max())
+        if sim.get_bus("xemax") != xemax:
+            report.mismatches.append(
+                f"xemax: got {sim.get_bus('xemax')}, want {xemax}"
+            )
+            continue
+        got = sim.get_bus("aligned")
+        for i in range(h):
+            lane = (got >> (i * bm)) & max_unsigned(bm)
+            expected = int(mants[i]) >> (xemax - int(exps[i]))
+            if lane != expected:
+                report.mismatches.append(
+                    f"lane {i}: got {lane}, want {expected}"
+                )
+    return report
+
+
+def verify_int_macro(
+    design: DesignPoint, trials: int = 10, seed: int = 0
+) -> VerificationReport:
+    """Full small macro vs. the behavioural :class:`IntMacroModel`.
+
+    Streams ``Bx/k``-cycle passes with random weights/inputs/selection
+    and compares every fused output word.
+    """
+    p = design.precision
+    if p.is_float:
+        raise ValueError("verify_int_macro needs an integer design")
+    bx = bw = p.bits
+    report = VerificationReport(f"int_macro({design.describe()})", trials)
+    netlist = build_int_macro(design.n, design.h, design.l, design.k, bx, bw)
+    sim = GateSimulator(netlist)
+    model = IntMacroModel(design)
+    rng = np.random.default_rng(seed)
+    groups = design.n // bw
+    out_w = bw + bx + clog2(design.h)
+    cycles = bx // design.k
+    for _ in range(trials):
+        sel = int(rng.integers(0, design.l))
+        # One (H, groups) weight matrix for the selected set; other sets
+        # random (they must not disturb the result).
+        w_sets = rng.integers(0, 2**bw, size=(design.l, design.h, groups))
+        x = rng.integers(0, 2**bx, size=design.h)
+        model.weights = w_sets.astype(np.int64)
+        expected = model.matvec(x, sel=sel)
+        # Pack weights column-major: column c = (group g, bit j) with
+        # c = g*bw + j; its bank holds, for each row, bit j of the L
+        # weight sets at (row, g).
+        packed_w = 0
+        bit_index = 0
+        for g in range(groups):
+            for j in range(bw):
+                for row in range(design.h):
+                    for li in range(design.l):
+                        bit = (int(w_sets[li, row, g]) >> j) & 1
+                        packed_w |= bit << bit_index
+                        bit_index += 1
+        sim.set_bus("weights", packed_w)
+        sim.set_bus("sel", sel)
+        sim.set_bus("clear", 1)
+        sim.step()
+        sim.set_bus("clear", 0)
+        for c in range(cycles):
+            packed_din = 0
+            shift = bx - (c + 1) * design.k
+            for row in range(design.h):
+                slice_v = (int(x[row]) >> shift) & max_unsigned(design.k)
+                packed_din |= slice_v << (row * design.k)
+            sim.set_bus("din", packed_din)
+            sim.step()
+        got_all = sim.get_bus("y")
+        for g in range(groups):
+            got = (got_all >> (g * out_w)) & max_unsigned(out_w)
+            if got != int(expected[g]):
+                report.mismatches.append(
+                    f"group {g}: got {got}, want {int(expected[g])}"
+                )
+    return report
+
+
+def verify_int2fp(br: int, be: int, trials: int = 40, seed: int = 0) -> VerificationReport:
+    """INT-to-FP converter vs the functional model (RTL-exact)."""
+    from repro.func.int2fp_model import int_to_fp
+    from repro.netlist.builders import build_int2fp
+
+    report = VerificationReport(f"int2fp(br={br}, be={be})", trials)
+    sim = GateSimulator(build_int2fp(br, be))
+    rng = np.random.default_rng(seed)
+    for t in range(trials):
+        value = 0 if t == 0 else int(rng.integers(0, 2**br))  # cover zero
+        base = int(rng.integers(0, 2**be))
+        sim.set_bus("value", value)
+        sim.set_bus("base_exp", base)
+        sim.eval()
+        expected = int_to_fp(value, base, br)
+        got_m = sim.get_bus("mantissa")
+        got_e = sim.get_bus("exponent")
+        got_z = sim.get_bus("is_zero")
+        if (got_m, got_e, bool(got_z)) != (
+            expected.mantissa, expected.exponent, expected.is_zero
+        ):
+            report.mismatches.append(
+                f"value={value} base={base}: got (m={got_m}, e={got_e}, "
+                f"z={got_z}), want (m={expected.mantissa}, "
+                f"e={expected.exponent}, z={expected.is_zero})"
+            )
+    return report
+
+
+def verify_fp_datapath(
+    h: int, be: int, bm: int, trials: int = 8, seed: int = 0
+) -> VerificationReport:
+    """End-to-end FP path: prealign -> mantissa MAC -> INT-to-FP.
+
+    Drives positive floats through the three gate-level stages (the
+    array stage as a one-group, single-pass integer macro with
+    ``k = BM``) and checks the fused integer and the converter fields
+    against the functional models.  Signs are handled outside the array
+    by sign-magnitude in the full macro, so positive stimulus covers
+    the datapath logic.
+    """
+    from repro.func.formats import FloatFormat
+    from repro.func.int2fp_model import int_to_fp
+    from repro.func.prealign_model import prealign
+    from repro.netlist.builders import build_int2fp, build_int_macro
+
+    fmt = FloatFormat("fmt", exponent_bits=be, mantissa_bits=bm)
+    report = VerificationReport(f"fp_datapath(h={h}, be={be}, bm={bm})", trials)
+    align_sim = GateSimulator(build_prealign(h, be, bm))
+    macro_sim = GateSimulator(build_int_macro(bm, h, 1, bm, bm, bm))
+    br = bm + bm + clog2(h)
+    convert_sim = GateSimulator(build_int2fp(br, be + 1))
+    rng = np.random.default_rng(seed)
+    for _ in range(trials):
+        x = rng.uniform(0.01, 8.0, size=h)
+        w = rng.uniform(0.01, 8.0, size=h)
+        # Offline weight alignment (done in software in the real flow).
+        wa = prealign(w, fmt)
+        xf = [fmt.encode(float(v)) for v in x]
+        packed_e = packed_m = 0
+        for i, fields in enumerate(xf):
+            packed_e |= fields.exponent << (i * be)
+            packed_m |= fields.significand << (i * bm)
+        align_sim.set_bus("exponents", packed_e)
+        align_sim.set_bus("mantissas", packed_m)
+        align_sim.eval()
+        xemax = align_sim.get_bus("xemax")
+        aligned = align_sim.get_bus("aligned")
+        # Expected alignment from the functional model.
+        xa = prealign(x, fmt)
+        if xemax != xa.max_exponent:
+            report.mismatches.append(f"xemax {xemax} != {xa.max_exponent}")
+            continue
+        # Mantissa MAC: one pass, k = bm.
+        packed_w = 0
+        bit_index = 0
+        for j in range(bm):  # column j stores weight-mantissa bit j
+            for row in range(h):
+                packed_w |= ((int(wa.mantissas[row]) >> j) & 1) << bit_index
+                bit_index += 1
+        macro_sim.set_bus("weights", packed_w)
+        macro_sim.set_bus("sel", 0)
+        macro_sim.set_bus("clear", 1)
+        macro_sim.step()
+        macro_sim.set_bus("clear", 0)
+        macro_sim.set_bus("din", aligned)
+        macro_sim.step()
+        fused = macro_sim.get_bus("y")
+        expected_acc = int(np.dot(xa.mantissas, wa.mantissas))
+        if fused != expected_acc:
+            report.mismatches.append(f"acc {fused} != {expected_acc}")
+            continue
+        # INT-to-FP conversion with the shared exponent base.
+        base = xa.max_exponent + wa.max_exponent
+        convert_sim.set_bus("value", fused)
+        convert_sim.set_bus("base_exp", base)
+        convert_sim.eval()
+        expected_fields = int_to_fp(fused, base, br)
+        if convert_sim.get_bus("mantissa") != expected_fields.mantissa or (
+            convert_sim.get_bus("exponent") != expected_fields.exponent
+        ):
+            report.mismatches.append(
+                f"convert: got (m={convert_sim.get_bus('mantissa')}, "
+                f"e={convert_sim.get_bus('exponent')}), want "
+                f"(m={expected_fields.mantissa}, e={expected_fields.exponent})"
+            )
+    return report

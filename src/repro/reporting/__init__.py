@@ -1,0 +1,16 @@
+"""Reporting utilities for benches and examples."""
+
+from repro.reporting.plots import ascii_scatter
+from repro.reporting.power import area_report, full_report, power_report, timing_report
+from repro.reporting.tables import ascii_table, csv_table, format_si
+
+__all__ = [
+    "ascii_table",
+    "csv_table",
+    "format_si",
+    "ascii_scatter",
+    "area_report",
+    "power_report",
+    "timing_report",
+    "full_report",
+]

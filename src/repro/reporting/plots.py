@@ -1,0 +1,87 @@
+"""ASCII scatter plots for the figure-reproduction harness.
+
+The paper's Fig. 7/8 are scatter plots; with no plotting stack offline,
+the benches render them as text grids good enough to see trends and
+crossovers in a terminal or a results file.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+__all__ = ["ascii_scatter"]
+
+_MARKERS = "xo+*#@%&"
+
+
+def _transform(values: Sequence[float], log: bool) -> list[float]:
+    if not log:
+        return list(values)
+    out = []
+    for v in values:
+        if v <= 0:
+            raise ValueError("log-scale axes need positive values")
+        out.append(math.log10(v))
+    return out
+
+
+def ascii_scatter(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 60,
+    height: int = 20,
+    log_x: bool = False,
+    log_y: bool = False,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one or more (xs, ys) series as an ASCII scatter plot.
+
+    Args:
+        series: name -> (xs, ys); each series gets its own marker.
+        width, height: plot grid size in characters.
+        log_x, log_y: log10 axes.
+        x_label, y_label: axis captions.
+
+    Raises:
+        ValueError: for empty input or non-positive values on log axes.
+    """
+    if not series or all(len(xs) == 0 for xs, _ in series.values()):
+        raise ValueError("need at least one non-empty series")
+    points = []
+    for name, (xs, ys) in series.items():
+        if len(xs) != len(ys):
+            raise ValueError(f"series {name!r}: xs and ys differ in length")
+        points.append((name, _transform(xs, log_x), _transform(ys, log_y)))
+
+    all_x = [v for _, xs, _ in points for v in xs]
+    all_y = [v for _, _, ys in points for v in ys]
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, xs, ys) in enumerate(points):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(xs, ys):
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    def fmt(v: float, log: bool) -> str:
+        return f"1e{v:.1f}" if log else f"{v:.3g}"
+
+    lines = [f"{y_label} ({fmt(y_hi, log_y)} top, {fmt(y_lo, log_y)} bottom)"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(
+        f" {x_label}: {fmt(x_lo, log_x)} .. {fmt(x_hi, log_x)}"
+        + ("  [log x]" if log_x else "")
+        + ("  [log y]" if log_y else "")
+    )
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f" legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""EDA-style area/power report for a macro design.
+
+Renders the per-component breakdown of the estimation model the way a
+synthesis tool reports it: absolute units, percentage of total, and the
+pipeline-stage timing summary.
+"""
+
+from __future__ import annotations
+
+from repro.model.macro import MacroCost
+from repro.model.metrics import evaluate_macro
+from repro.reporting.tables import ascii_table
+from repro.tech.technology import Technology
+
+__all__ = ["area_report", "power_report", "timing_report", "full_report"]
+
+
+def area_report(cost: MacroCost, tech: Technology) -> str:
+    """Per-component area table (um^2 and % of total)."""
+    rows = []
+    for name, component in sorted(
+        cost.breakdown.items(), key=lambda kv: kv[1].area, reverse=True
+    ):
+        rows.append(
+            (
+                name,
+                f"{tech.area_um2(component.area):.1f}",
+                f"{100 * cost.area_fraction(name):.1f}%",
+            )
+        )
+    rows.append(("TOTAL", f"{tech.area_um2(cost.area):.1f}", "100.0%"))
+    return "Area report\n" + ascii_table(["component", "um2", "share"], rows)
+
+
+def power_report(cost: MacroCost, tech: Technology) -> str:
+    """Per-component dynamic energy table for one pass.
+
+    SRAM shows zero (hard-wired read, leakage neglected — Table III);
+    per-cycle consumers are scaled by the pass cycle count.
+    """
+    metrics = evaluate_macro(cost, tech)
+    per_cycle = {"weight_select", "multiply", "adder_tree", "accumulator"}
+    rows = []
+    for name, component in sorted(
+        cost.breakdown.items(), key=lambda kv: kv[1].energy, reverse=True
+    ):
+        factor = cost.cycles_per_pass if name in per_cycle else 1
+        energy = tech.energy_fj(component.energy * factor)
+        share = (
+            energy / tech.energy_fj(cost.energy_per_pass)
+            if cost.energy_per_pass
+            else 0.0
+        )
+        rows.append((name, f"{energy:.1f}", f"{100 * share:.1f}%"))
+    rows.append(
+        ("TOTAL/pass", f"{tech.energy_fj(cost.energy_per_pass):.1f}", "100.0%")
+    )
+    return (
+        f"Power report (avg {metrics.power_w:.3f} W at "
+        f"{metrics.frequency_ghz:.2f} GHz, {tech.activity:.0%} activity)\n"
+        + ascii_table(["component", "fJ", "share"], rows)
+    )
+
+
+def timing_report(cost: MacroCost, tech: Technology) -> str:
+    """Pipeline-stage timing table; the max stage sets the clock."""
+    rows = []
+    for stage, delay in cost.stage_delays.items():
+        marker = " <- critical" if stage == cost.critical_stage else ""
+        rows.append((stage, f"{tech.delay_ns(delay):.3f}{marker}"))
+    rows.append(("clock period", f"{tech.delay_ns(cost.delay):.3f}"))
+    return "Timing report\n" + ascii_table(["stage", "ns"], rows)
+
+
+def full_report(cost: MacroCost, tech: Technology) -> str:
+    """Area + timing + power, concatenated."""
+    return "\n\n".join(
+        (area_report(cost, tech), timing_report(cost, tech), power_report(cost, tech))
+    )

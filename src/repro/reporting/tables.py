@@ -1,0 +1,78 @@
+"""ASCII table / CSV rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["ascii_table", "csv_table", "format_si"]
+
+
+def _stringify(row: Sequence) -> list[str]:
+    out = []
+    for cell in row:
+        if isinstance(cell, float):
+            out.append(f"{cell:.4g}")
+        else:
+            out.append(str(cell))
+    return out
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render a fixed-width ASCII table.
+
+    Args:
+        headers: column titles.
+        rows: row cells (floats formatted to 4 significant digits).
+    """
+    head = [str(h) for h in headers]
+    body = [_stringify(r) for r in rows]
+    for r in body:
+        if len(r) != len(head):
+            raise ValueError(
+                f"row width {len(r)} does not match header width {len(head)}"
+            )
+    widths = [
+        max(len(head[c]), *(len(r[c]) for r in body)) if body else len(head[c])
+        for c in range(len(head))
+    ]
+    def fmt(cells: list[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines = [sep, fmt(head), sep]
+    lines.extend(fmt(r) for r in body)
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def csv_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render rows as simple CSV (no quoting; cells must be plain)."""
+    lines = [",".join(str(h) for h in headers)]
+    for row in rows:
+        cells = _stringify(row)
+        if any("," in c for c in cells):
+            raise ValueError("CSV cells must not contain commas")
+        lines.append(",".join(cells))
+    return "\n".join(lines) + "\n"
+
+
+_SI = [(1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "K")]
+_BINARY = [(2**40, "T"), (2**30, "G"), (2**20, "M"), (2**10, "K")]
+
+
+def format_si(value: float, unit: str = "") -> str:
+    """Human-readable magnitude formatting (e.g. ``65536 -> '64K'``).
+
+    Exact multiples of 1024 use binary prefixes (the paper's ``8K`` /
+    ``64K`` weight counts are binary); everything else is decimal SI.
+    """
+    if value and value == int(value) and int(value) % 1024 == 0:
+        for scale, prefix in _BINARY:
+            if abs(value) >= scale and int(value) % scale == 0:
+                return f"{int(value) // scale}{prefix}{unit}"
+    for scale, prefix in _SI:
+        if abs(value) >= scale:
+            scaled = value / scale
+            text = f"{scaled:.0f}" if scaled == int(scaled) else f"{scaled:.1f}"
+            return f"{text}{prefix}{unit}"
+    return f"{value:g}{unit}"

@@ -1,0 +1,34 @@
+"""Template-based RTL generation for SEGA-DCIM."""
+
+from repro.rtl.generator import (
+    ArchitectureTemplate,
+    FpMacroTemplate,
+    IntMacroTemplate,
+    RtlBundle,
+    available_templates,
+    generate_rtl,
+    register_template,
+    write_bundle,
+)
+from repro.rtl.lint import LintReport, lint_bundle, lint_source
+from repro.rtl.testbench import generate_int_testbench
+from repro.rtl.verilog import Instance, Port, VerilogModule, render_modules
+
+__all__ = [
+    "LintReport",
+    "lint_bundle",
+    "lint_source",
+    "generate_int_testbench",
+    "VerilogModule",
+    "Port",
+    "Instance",
+    "render_modules",
+    "RtlBundle",
+    "ArchitectureTemplate",
+    "IntMacroTemplate",
+    "FpMacroTemplate",
+    "register_template",
+    "available_templates",
+    "generate_rtl",
+    "write_bundle",
+]

@@ -1,0 +1,184 @@
+"""Template-based DCIM netlist generator (Section III-C).
+
+Given a selected Pareto design point, the generator specialises the
+architecture template into a bundle of Verilog modules: the memory array
+and compute units, the DCIM compute components, and the digital
+peripherals, plus the macro top.  New architectures can be plugged in by
+registering an :class:`ArchitectureTemplate` (the extensibility claim of
+the paper's contribution list).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.spec import FP_ARCH, INT_ARCH, DesignPoint
+from repro.model.logic import clog2
+from repro.rtl.modules import naming
+from repro.rtl.modules.datapath import (
+    generate_adder_tree,
+    generate_column,
+    generate_compute_unit,
+    generate_input_buffer,
+    generate_result_fusion,
+    generate_shift_accumulator,
+    generate_sram_cell,
+)
+from repro.rtl.modules.fp import generate_int2fp, generate_prealign
+from repro.rtl.modules.macro import generate_fp_macro, generate_int_macro
+from repro.rtl.verilog import VerilogModule
+
+__all__ = [
+    "RtlBundle",
+    "ArchitectureTemplate",
+    "IntMacroTemplate",
+    "FpMacroTemplate",
+    "register_template",
+    "available_templates",
+    "generate_rtl",
+    "write_bundle",
+]
+
+
+@dataclass(frozen=True)
+class RtlBundle:
+    """Generated RTL for one design point.
+
+    Attributes:
+        design: the design point the bundle implements.
+        top: name of the top-level module.
+        modules: module name -> Verilog source, in dependency order.
+    """
+
+    design: DesignPoint
+    top: str
+    modules: dict[str, str]
+
+    @property
+    def source(self) -> str:
+        """All modules concatenated into one source file."""
+        return "\n".join(self.modules.values())
+
+    def module_names(self) -> list[str]:
+        """Names of the generated modules (dependency order)."""
+        return list(self.modules)
+
+
+class ArchitectureTemplate(abc.ABC):
+    """One synthesizable DCIM architecture template."""
+
+    #: Architecture identifier matching ``DesignPoint.arch``.
+    name: str = ""
+
+    @abc.abstractmethod
+    def generate(self, design: DesignPoint) -> RtlBundle:
+        """Specialise the template for a design point."""
+
+    @staticmethod
+    def _collect(design: DesignPoint, top: VerilogModule, parts: list[VerilogModule]) -> RtlBundle:
+        modules = {m.name: m.render() for m in parts}
+        modules[top.name] = top.render()
+        return RtlBundle(design=design, top=top.name, modules=modules)
+
+
+class IntMacroTemplate(ArchitectureTemplate):
+    """Template for the multiplier-based integer architecture."""
+
+    name = INT_ARCH
+
+    def generate(self, design: DesignPoint) -> RtlBundle:
+        p = design.precision
+        if p.is_float:
+            raise ValueError(f"{design.describe()} is not an integer design")
+        bx = bw = p.bits
+        parts = [
+            generate_sram_cell(),
+            generate_compute_unit(design.l, design.k),
+            generate_adder_tree(design.h, design.k),
+            generate_shift_accumulator(bx, design.k, design.h),
+            generate_result_fusion(bw, bx, design.h),
+            generate_input_buffer(design.h, bx, design.k),
+            generate_column(design.h, design.l, design.k, bx),
+        ]
+        top = generate_int_macro(design.n, design.h, design.l, design.k, bx, bw)
+        return self._collect(design, top, parts)
+
+
+class FpMacroTemplate(ArchitectureTemplate):
+    """Template for the pre-aligned floating-point architecture."""
+
+    name = FP_ARCH
+
+    def generate(self, design: DesignPoint) -> RtlBundle:
+        p = design.precision
+        if not p.is_float:
+            raise ValueError(f"{design.describe()} is not a floating-point design")
+        be, bm = p.exponent_bits, p.mantissa_bits
+        bx = bw = bm
+        br = bw + bx + clog2(design.h)
+        parts = [
+            generate_sram_cell(),
+            generate_compute_unit(design.l, design.k),
+            generate_adder_tree(design.h, design.k),
+            generate_shift_accumulator(bx, design.k, design.h),
+            generate_result_fusion(bw, bx, design.h),
+            generate_input_buffer(design.h, bx, design.k),
+            generate_column(design.h, design.l, design.k, bx),
+            generate_prealign(design.h, be, bm),
+            generate_int2fp(br, be),
+        ]
+        top = generate_fp_macro(design.n, design.h, design.l, design.k, be, bm)
+        return self._collect(design, top, parts)
+
+
+_TEMPLATES: dict[str, ArchitectureTemplate] = {}
+
+
+def register_template(template: ArchitectureTemplate) -> None:
+    """Register an architecture template (overrides an existing name)."""
+    if not template.name:
+        raise ValueError("template must define a non-empty name")
+    _TEMPLATES[template.name] = template
+
+
+def available_templates() -> list[str]:
+    """Names of the registered architecture templates."""
+    return sorted(_TEMPLATES)
+
+
+register_template(IntMacroTemplate())
+register_template(FpMacroTemplate())
+
+
+def generate_rtl(design: DesignPoint) -> RtlBundle:
+    """Generate the Verilog bundle for a design point.
+
+    Raises:
+        KeyError: if no template is registered for the design's
+            architecture.
+    """
+    try:
+        template = _TEMPLATES[design.arch]
+    except KeyError:
+        raise KeyError(
+            f"no template for architecture {design.arch!r}; "
+            f"registered: {available_templates()}"
+        ) from None
+    return template.generate(design)
+
+
+def write_bundle(bundle: RtlBundle, out_dir: str | Path) -> list[Path]:
+    """Write one ``.v`` file per module plus a filelist; returns paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for name, source in bundle.modules.items():
+        path = out / f"{name}.v"
+        path.write_text(source)
+        paths.append(path)
+    filelist = out / f"{bundle.top}.f"
+    filelist.write_text("\n".join(f"{name}.v" for name in bundle.modules) + "\n")
+    paths.append(filelist)
+    return paths

@@ -1,0 +1,32 @@
+"""Per-block RTL templates used by the template-based generator."""
+
+from repro.rtl.modules import naming
+from repro.rtl.modules.datapath import (
+    generate_adder_tree,
+    generate_column,
+    generate_compute_unit,
+    generate_input_buffer,
+    generate_result_fusion,
+    generate_shift_accumulator,
+    generate_sram_cell,
+)
+from repro.rtl.modules.fp import generate_int2fp, generate_prealign
+from repro.rtl.modules.memory import generate_sram_array, sram_array_name
+from repro.rtl.modules.macro import generate_fp_macro, generate_int_macro
+
+__all__ = [
+    "naming",
+    "generate_sram_cell",
+    "generate_compute_unit",
+    "generate_adder_tree",
+    "generate_shift_accumulator",
+    "generate_result_fusion",
+    "generate_input_buffer",
+    "generate_column",
+    "generate_prealign",
+    "generate_sram_array",
+    "sram_array_name",
+    "generate_int2fp",
+    "generate_int_macro",
+    "generate_fp_macro",
+]

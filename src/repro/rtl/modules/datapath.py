@@ -1,0 +1,302 @@
+"""RTL templates for the integer DCIM datapath blocks.
+
+Each generator function returns a :class:`~repro.rtl.verilog.
+VerilogModule` whose widths are baked in from the design parameters
+(the template-based method of Section III-C: "the netlist generation
+process is converted into the Verilog code generation").
+
+Semantics (shared with the behavioural golden model and the gate-level
+netlist builders): operands are unsigned; the input streams MSB-first in
+``k``-bit slices, so the shift accumulator left-shifts by ``k`` before
+adding each new partial sum.
+"""
+
+from __future__ import annotations
+
+from repro.model.logic import clog2
+from repro.rtl.modules import naming
+from repro.rtl.verilog import VerilogModule
+
+__all__ = [
+    "generate_sram_cell",
+    "generate_compute_unit",
+    "generate_adder_tree",
+    "generate_shift_accumulator",
+    "generate_result_fusion",
+    "generate_input_buffer",
+    "generate_column",
+]
+
+
+def generate_sram_cell() -> VerilogModule:
+    """Behavioural 6T SRAM bit-cell with a hard-wired read port.
+
+    The read is non-precharged (the stored bit drives the compute unit
+    directly), matching the zero-latency SRAM assumption of Table III.
+    """
+    m = VerilogModule(
+        "dcim_sram_cell",
+        comment="6T SRAM bit-cell (behavioural): write on WL, hard-wired read.",
+    )
+    m.add_port("wl", "input")
+    m.add_port("d", "input")
+    m.add_port("q", "output", is_reg=True)
+    m.add_block(
+        "  always @(wl or d)\n"
+        "    if (wl) q = d;"
+    )
+    return m
+
+
+def generate_compute_unit(l: int, k: int) -> VerilogModule:
+    """Compute unit (Fig. 5): L-weight bank, selection gate, NOR multiply.
+
+    ``IN x W = INB NOR WB``: the 1-bit x k-bit product is the k-bit AND
+    of the input slice with the selected weight bit, realised as NOR of
+    the inverted operands.
+    """
+    if l < 1 or k < 1:
+        raise ValueError("compute unit needs l >= 1 and k >= 1")
+    selw = max(clog2(l), 1)
+    m = VerilogModule(
+        naming.compute_unit_name(l, k),
+        comment=(
+            f"Compute unit: {l} shared weights, 1-bit x {k}-bit NOR multiply.\n"
+            f"Only one weight bit is selected per computation (Fig. 5)."
+        ),
+    )
+    m.add_port("clk", "input")
+    m.add_port("wdata", "input")
+    m.add_port("wsel", "input", l)  # one-hot write wordlines
+    m.add_port("sel", "input", selw)
+    m.add_port("din", "input", k)
+    m.add_port("product", "output", k)
+    m.add_reg("weights", l)
+    m.add_wire("wbit")
+    m.add_wire("wbit_b")
+    m.add_wire("din_b", k)
+    m.add_block(
+        "  // Weight storage: one-hot wordline write (memory array part).\n"
+        "  integer wi;\n"
+        "  always @(posedge clk)\n"
+        "    for (wi = 0; wi < " + str(l) + "; wi = wi + 1)\n"
+        "      if (wsel[wi]) weights[wi] <= wdata;"
+    )
+    m.add_assign("wbit", f"weights[sel]" if l > 1 else "weights[0]")
+    m.add_assign("wbit_b", "~wbit")
+    m.add_assign("din_b", "~din")
+    m.add_assign("product", f"~(din_b | {{{k}{{wbit_b}}}})")
+    return m
+
+
+def generate_adder_tree(h: int, k: int) -> VerilogModule:
+    """Balanced adder tree: ``h`` unsigned ``k``-bit operands.
+
+    Emitted level by level with one-bit width growth per level, exactly
+    mirroring the cost model's reconstruction; odd operands are carried
+    up zero-extended.
+    """
+    if h < 1 or k < 1:
+        raise ValueError("adder tree needs h >= 1 and k >= 1")
+    out_w = k + clog2(h)
+    m = VerilogModule(
+        naming.adder_tree_name(h, k),
+        comment=f"Adder tree: {h} x {k}-bit unsigned operands -> {out_w}-bit sum.",
+    )
+    m.add_port("terms", "input", h * k)
+    m.add_port("total", "output", out_w)
+
+    # Level 0 aliases the input operands.
+    prev_count, prev_w, prev_name = h, k, "lvl0"
+    m.add_wire(prev_name, h * k)
+    m.add_assign(prev_name, "terms")
+    level = 0
+    while prev_count > 1:
+        level += 1
+        pairs, odd = divmod(prev_count, 2)
+        count = pairs + odd
+        width = prev_w + 1
+        name = f"lvl{level}"
+        m.add_wire(name, count * width)
+        for i in range(pairs):
+            a = f"{prev_name}[{(2 * i + 1) * prev_w - 1}:{2 * i * prev_w}]"
+            b = f"{prev_name}[{(2 * i + 2) * prev_w - 1}:{(2 * i + 1) * prev_w}]"
+            lhs = f"{name}[{(i + 1) * width - 1}:{i * width}]"
+            m.add_assign(lhs, f"{{1'b0, {a}}} + {{1'b0, {b}}}")
+        if odd:
+            carried = (
+                f"{prev_name}[{prev_count * prev_w - 1}:{(prev_count - 1) * prev_w}]"
+            )
+            lhs = f"{name}[{count * width - 1}:{pairs * width}]"
+            m.add_assign(lhs, f"{{1'b0, {carried}}}")
+        prev_count, prev_w, prev_name = count, width, name
+    if prev_w == out_w:
+        m.add_assign("total", prev_name)
+    else:  # h == 1: pass-through
+        m.add_assign("total", f"{{{out_w - prev_w}'b0, {prev_name}}}")
+    return m
+
+
+def generate_shift_accumulator(bx: int, k: int, h: int) -> VerilogModule:
+    """Shift accumulator folding the bit-serial partial sums.
+
+    Receives the adder-tree output (``k + log2 H`` bits) each cycle; the
+    input streams MSB-first, so the accumulator left-shifts its state by
+    ``k`` and adds.  After ``Bx / k`` cycles the register holds the full
+    ``Bx``-bit-input column result.  ``clear`` restarts a pass.
+    """
+    in_w = k + clog2(h)
+    acc_w = bx + clog2(h)
+    m = VerilogModule(
+        naming.accumulator_name(bx, k, h),
+        comment=(
+            f"Shift accumulator: acc <= (acc << {k}) + partial;"
+            f" {bx // k if bx % k == 0 else 'Bx/k'} cycles per pass."
+        ),
+    )
+    m.add_port("clk", "input")
+    m.add_port("clear", "input")
+    m.add_port("partial", "input", in_w)
+    m.add_port("acc", "output", acc_w, is_reg=True)
+    m.add_block(
+        "  always @(posedge clk)\n"
+        "    if (clear) acc <= 0;\n"
+        f"    else acc <= (acc << {k}) + partial;"
+    )
+    return m
+
+
+def generate_result_fusion(bw: int, bx: int, h: int) -> VerilogModule:
+    """Result fusion: weighted sum of ``bw`` column accumulators.
+
+    Column ``j`` stores weight-bit position ``j`` (column 1 = LSB), so
+    its result is shifted left by ``j`` before summing; the shifts are
+    constant wiring, the adders are real.
+    """
+    col_w = bx + clog2(h)
+    out_w = bw + bx + clog2(h)
+    m = VerilogModule(
+        naming.fusion_name(bw, bx, h),
+        comment=f"Result fusion: {bw} columns of {col_w} bits -> {out_w}-bit result.",
+    )
+    m.add_port("columns", "input", bw * col_w)
+    m.add_port("fused", "output", out_w)
+    terms = []
+    for j in range(bw):
+        sl = f"columns[{(j + 1) * col_w - 1}:{j * col_w}]"
+        pad = out_w - col_w - j
+        term = f"{{{pad}'b0, {sl}}}" if pad > 0 else sl
+        terms.append(f"({term} << {j})" if j else f"{term}")
+    m.add_assign("fused", " + ".join(terms))
+    return m
+
+
+def generate_input_buffer(h: int, bx: int, k: int) -> VerilogModule:
+    """Input buffer: loads ``h`` operands, streams ``k`` bits per cycle.
+
+    On ``load`` the full ``h * bx`` input vector is captured; every
+    following cycle each operand's next most-significant ``k``-bit slice
+    appears on ``slice_out`` (``h * k`` bits per cycle, Fig. 3).
+    """
+    if bx % k:
+        raise ValueError(f"k={k} must divide bx={bx}")
+    cycles = bx // k
+    cntw = max(clog2(cycles), 1)
+    m = VerilogModule(
+        naming.input_buffer_name(h, bx, k),
+        comment=(
+            f"Input buffer: {h} x {bx}-bit operands, {k} bits/cycle MSB first "
+            f"({cycles} cycles/pass)."
+        ),
+    )
+    m.add_port("clk", "input")
+    m.add_port("load", "input")
+    m.add_port("x", "input", h * bx)
+    m.add_port("slice_out", "output", h * k)
+    m.add_reg("store", h * bx)
+    m.add_reg("cycle", cntw)
+    m.add_block(
+        "  always @(posedge clk)\n"
+        "    if (load) begin\n"
+        "      store <= x;\n"
+        "      cycle <= 0;\n"
+        "    end else begin\n"
+        f"      cycle <= (cycle == {cycles - 1}) ? {cntw}'d0 : cycle + 1'b1;\n"
+        "    end"
+    )
+    # Slice extraction: operand i occupies store[i*bx +: bx]; the slice
+    # for cycle c is bits [bx-1-c*k -: k].
+    m.add_block(
+        "  genvar gi;\n"
+        "  generate\n"
+        f"    for (gi = 0; gi < {h}; gi = gi + 1) begin : slicing\n"
+        f"      assign slice_out[gi*{k} +: {k}] = "
+        f"store[gi*{bx} + {bx - 1} - cycle*{k} -: {k}];\n"
+        "    end\n"
+        "  endgenerate"
+    )
+    return m
+
+
+def generate_column(h: int, l: int, k: int, bx: int) -> VerilogModule:
+    """One DCIM column: ``h`` compute units, adder tree, accumulator."""
+    selw = max(clog2(l), 1)
+    tree_w = k + clog2(h)
+    acc_w = bx + clog2(h)
+    m = VerilogModule(
+        naming.column_name(h, l, k, bx),
+        comment=(
+            f"DCIM column: {h} compute units (L={l}) -> adder tree -> "
+            f"shift accumulator."
+        ),
+    )
+    m.add_port("clk", "input")
+    m.add_port("clear", "input")
+    m.add_port("wdata", "input", h)  # one write bit per compute unit row
+    m.add_port("wsel", "input", l)  # shared one-hot wordlines
+    m.add_port("wrow", "input", h)  # row write enables
+    m.add_port("sel", "input", selw)
+    m.add_port("din", "input", h * k)
+    m.add_port("acc", "output", acc_w)
+    m.add_wire("products", h * k)
+    m.add_wire("tree_total", tree_w)
+    m.add_wire("wsel_gated", h * l)
+    m.add_block(
+        "  genvar gr;\n"
+        "  generate\n"
+        f"    for (gr = 0; gr < {h}; gr = gr + 1) begin : rows\n"
+        f"      assign wsel_gated[gr*{l} +: {l}] = "
+        f"wsel & {{{l}{{wrow[gr]}}}};\n"
+        "    end\n"
+        "  endgenerate"
+    )
+    m.add_block(
+        "  genvar gu;\n"
+        "  generate\n"
+        f"    for (gu = 0; gu < {h}; gu = gu + 1) begin : units\n"
+        f"      {naming.compute_unit_name(l, k)} unit (\n"
+        "        .clk(clk),\n"
+        "        .wdata(wdata[gu]),\n"
+        f"        .wsel(wsel_gated[gu*{l} +: {l}]),\n"
+        "        .sel(sel),\n"
+        f"        .din(din[gu*{k} +: {k}]),\n"
+        f"        .product(products[gu*{k} +: {k}])\n"
+        "      );\n"
+        "    end\n"
+        "  endgenerate"
+    )
+    m.add_instance(
+        naming.adder_tree_name(h, k),
+        "tree",
+        terms="products",
+        total="tree_total",
+    )
+    m.add_instance(
+        naming.accumulator_name(bx, k, h),
+        "accumulator",
+        clk="clk",
+        clear="clear",
+        partial="tree_total",
+        acc="acc",
+    )
+    return m

@@ -1,0 +1,126 @@
+"""RTL templates for the floating-point blocks (pre-alignment, INT-to-FP).
+
+The pre-alignment block implements Fig. 3's "FP Pre-alignment": a
+comparison tree finds the maximum input exponent ``XEmax``; each input's
+mantissa is right-shifted by ``XEmax - XE`` so all mantissas share the
+``XEmax`` scale and can enter the integer array directly.
+
+The INT-to-FP converter normalises the fused integer result back into
+sign/exponent/mantissa form.
+"""
+
+from __future__ import annotations
+
+from repro.model.logic import clog2
+from repro.rtl.modules import naming
+from repro.rtl.verilog import VerilogModule
+
+__all__ = ["generate_prealign", "generate_int2fp"]
+
+
+def generate_prealign(h: int, be: int, bm: int) -> VerilogModule:
+    """FP pre-alignment: max-exponent tree + per-input mantissa shift.
+
+    Ports carry the ``h`` exponents (``be`` bits each) and ``h``
+    significands (``bm`` bits each, hidden bit already prepended); the
+    outputs are the aligned significands and ``XEmax``.
+    """
+    if h < 1 or be < 1 or bm < 1:
+        raise ValueError("prealign needs h, be, bm >= 1")
+    m = VerilogModule(
+        naming.prealign_name(h, be, bm),
+        comment=(
+            f"FP pre-alignment: {h} inputs, {be}-bit exponents, "
+            f"{bm}-bit significands.\n"
+            "Max-exponent comparison tree, then per-input right shift by "
+            "(XEmax - XE)."
+        ),
+    )
+    m.add_port("exponents", "input", h * be)
+    m.add_port("mantissas", "input", h * bm)
+    m.add_port("aligned", "output", h * bm)
+    m.add_port("xemax", "output", be)
+
+    # Max tree, one level at a time (same construction as the adder tree).
+    prev_count, prev_name = h, "max_lvl0"
+    m.add_wire(prev_name, h * be)
+    m.add_assign(prev_name, "exponents")
+    level = 0
+    while prev_count > 1:
+        level += 1
+        pairs, odd = divmod(prev_count, 2)
+        count = pairs + odd
+        name = f"max_lvl{level}"
+        m.add_wire(name, count * be)
+        for i in range(pairs):
+            a = f"{prev_name}[{(2 * i + 1) * be - 1}:{2 * i * be}]"
+            b = f"{prev_name}[{(2 * i + 2) * be - 1}:{(2 * i + 1) * be}]"
+            lhs = f"{name}[{(i + 1) * be - 1}:{i * be}]"
+            m.add_assign(lhs, f"({a} > {b}) ? {a} : {b}")
+        if odd:
+            carried = f"{prev_name}[{prev_count * be - 1}:{(prev_count - 1) * be}]"
+            m.add_assign(f"{name}[{count * be - 1}:{pairs * be}]", carried)
+        prev_count, prev_name = count, name
+    m.add_assign("xemax", prev_name)
+
+    # Offset subtract + barrel shift per input.
+    m.add_block(
+        "  genvar ga;\n"
+        "  generate\n"
+        f"    for (ga = 0; ga < {h}; ga = ga + 1) begin : align\n"
+        f"      wire [{be - 1}:0] offset;\n"
+        f"      assign offset = xemax - exponents[ga*{be} +: {be}];\n"
+        f"      assign aligned[ga*{bm} +: {bm}] = "
+        f"mantissas[ga*{bm} +: {bm}] >> offset;\n"
+        "    end\n"
+        "  endgenerate"
+    )
+    return m
+
+
+def generate_int2fp(br: int, be: int) -> VerilogModule:
+    """INT-to-FP converter: normalise a ``br``-bit magnitude result.
+
+    Finds the leading one, left-aligns the mantissa and computes the
+    exponent as ``base_exp + position``; a zero input maps to exponent
+    zero.  The output keeps the full ``br``-bit normalised mantissa (the
+    consumer truncates/rounds to its format's field width).
+    """
+    if br < 1 or be < 1:
+        raise ValueError("int2fp needs br >= 1 and be >= 1")
+    posw = max(clog2(br + 1), 1)
+    expw = be + 2  # headroom for base + position
+    m = VerilogModule(
+        naming.int2fp_name(br, be),
+        comment=(
+            f"INT-to-FP converter: {br}-bit fused result -> normalised "
+            f"mantissa + exponent."
+        ),
+    )
+    m.add_port("value", "input", br)
+    m.add_port("base_exp", "input", be)
+    m.add_port("mantissa", "output", br, is_reg=True)
+    m.add_port("exponent", "output", expw, is_reg=True)
+    m.add_port("is_zero", "output")
+    m.add_reg("lead", posw)
+    m.add_assign("is_zero", f"(value == {br}'d0)")
+    m.add_block(
+        "  integer li;\n"
+        "  always @* begin\n"
+        f"    lead = {posw}'d0;\n"
+        f"    for (li = 0; li < {br}; li = li + 1)\n"
+        "      if (value[li]) lead = li;\n"
+        "  end"
+    )
+    m.add_block(
+        "  always @* begin\n"
+        "    if (is_zero) begin\n"
+        f"      mantissa = {br}'d0;\n"
+        f"      exponent = {expw}'d0;\n"
+        "    end else begin\n"
+        f"      mantissa = value << ({br - 1} - lead);\n"
+        "      exponent = base_exp + lead;\n"
+        "    end\n"
+        "  end"
+    )
+    return m

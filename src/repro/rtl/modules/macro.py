@@ -1,0 +1,147 @@
+"""Top-level macro RTL templates (integer and floating-point).
+
+The integer macro (Fig. 3 without the shaded FP blocks) wires the input
+buffer to ``N`` columns and groups every ``Bw`` columns into one result
+fusion unit.  The FP macro adds the pre-alignment front end and one
+INT-to-FP converter per fused output.
+"""
+
+from __future__ import annotations
+
+from repro.model.logic import clog2
+from repro.rtl.modules import naming
+from repro.rtl.verilog import VerilogModule
+
+__all__ = ["generate_int_macro", "generate_fp_macro"]
+
+
+def _macro_common(
+    m: VerilogModule, n: int, h: int, l: int, k: int, bx: int, bw: int
+) -> None:
+    """Ports and fabric shared by both macro tops (the integer core)."""
+    selw = max(clog2(l), 1)
+    acc_w = bx + clog2(h)
+    groups = n // bw
+
+    m.add_port("clk", "input")
+    m.add_port("clear", "input")
+    m.add_port("load", "input")
+    # Weight write interface: column address + per-column row data.
+    m.add_port("wdata", "input", n * h)
+    m.add_port("wsel", "input", l)
+    m.add_port("wrow", "input", h)
+    m.add_port("sel", "input", selw)
+
+    m.add_wire("slices", h * k)
+    m.add_wire("accs", n * acc_w)
+
+    m.add_instance(
+        naming.input_buffer_name(h, bx, k),
+        "buffer",
+        clk="clk",
+        load="load",
+        x="x_in",
+        slice_out="slices",
+    )
+    m.add_block(
+        "  genvar gc;\n"
+        "  generate\n"
+        f"    for (gc = 0; gc < {n}; gc = gc + 1) begin : columns\n"
+        f"      {naming.column_name(h, l, k, bx)} column (\n"
+        "        .clk(clk),\n"
+        "        .clear(clear),\n"
+        f"        .wdata(wdata[gc*{h} +: {h}]),\n"
+        "        .wsel(wsel),\n"
+        "        .wrow(wrow),\n"
+        "        .sel(sel),\n"
+        "        .din(slices),\n"
+        f"        .acc(accs[gc*{acc_w} +: {acc_w}])\n"
+        "      );\n"
+        "    end\n"
+        "  endgenerate"
+    )
+    out_w = bw + bx + clog2(h)
+    m.add_wire("fused_all", groups * out_w)
+    m.add_block(
+        "  genvar gf;\n"
+        "  generate\n"
+        f"    for (gf = 0; gf < {groups}; gf = gf + 1) begin : fusion\n"
+        f"      {naming.fusion_name(bw, bx, h)} fuse (\n"
+        f"        .columns(accs[gf*{bw * acc_w} +: {bw * acc_w}]),\n"
+        f"        .fused(fused_all[gf*{out_w} +: {out_w}])\n"
+        "      );\n"
+        "    end\n"
+        "  endgenerate"
+    )
+
+
+def generate_int_macro(n: int, h: int, l: int, k: int, bx: int, bw: int) -> VerilogModule:
+    """Integer macro top: buffer -> columns -> fusion -> outputs."""
+    groups = n // bw
+    out_w = bw + bx + clog2(h)
+    m = VerilogModule(
+        naming.macro_name("int-mul", n, h, l, k),
+        comment=(
+            f"Multiplier-based integer DCIM macro.\n"
+            f"N={n} H={h} L={l} k={k} Bx={bx} Bw={bw}; "
+            f"Wstore={n * h * l // bw}, SRAM={n * h * l} bits."
+        ),
+    )
+    m.add_port("x_in", "input", h * bx)
+    _macro_common(m, n, h, l, k, bx, bw)
+    m.add_port("y_out", "output", groups * out_w)
+    m.add_assign("y_out", "fused_all")
+    return m
+
+
+def generate_fp_macro(
+    n: int, h: int, l: int, k: int, be: int, bm: int
+) -> VerilogModule:
+    """FP macro top: pre-alignment -> integer core -> INT-to-FP.
+
+    The mantissa core is the integer fabric with ``Bx = Bw = BM``; the
+    converters share ``XEmax`` as the base exponent.
+    """
+    bx = bw = bm
+    groups = n // bw
+    br = bw + bx + clog2(h)
+    expw = be + 2
+    m = VerilogModule(
+        naming.macro_name("fp-prealign", n, h, l, k),
+        comment=(
+            f"Pre-aligned floating-point DCIM macro.\n"
+            f"N={n} H={h} L={l} k={k} BE={be} BM={bm}; "
+            f"Wstore={n * h * l // bm}."
+        ),
+    )
+    m.add_port("xe_in", "input", h * be)
+    m.add_port("xm_in", "input", h * bm)
+    m.add_wire("x_in", h * bm)  # aligned mantissas feed the integer core
+    m.add_instance(
+        naming.prealign_name(h, be, bm),
+        "prealign",
+        exponents="xe_in",
+        mantissas="xm_in",
+        aligned="x_in",
+        xemax="xemax",
+    )
+    m.add_wire("xemax", be)
+    _macro_common(m, n, h, l, k, bx, bw)
+    m.add_port("ym_out", "output", groups * br)
+    m.add_port("ye_out", "output", groups * expw)
+    m.add_port("yzero_out", "output", groups)
+    m.add_block(
+        "  genvar gv;\n"
+        "  generate\n"
+        f"    for (gv = 0; gv < {groups}; gv = gv + 1) begin : converters\n"
+        f"      {naming.int2fp_name(br, be)} convert (\n"
+        f"        .value(fused_all[gv*{br} +: {br}]),\n"
+        "        .base_exp(xemax),\n"
+        f"        .mantissa(ym_out[gv*{br} +: {br}]),\n"
+        f"        .exponent(ye_out[gv*{expw} +: {expw}]),\n"
+        "        .is_zero(yzero_out[gv])\n"
+        "      );\n"
+        "    end\n"
+        "  endgenerate"
+    )
+    return m

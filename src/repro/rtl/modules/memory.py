@@ -1,0 +1,60 @@
+"""Memory-array RTL generation (Section III-C, "memory array" part).
+
+The paper generates the memory array by duplicating a fixed bit-cell
+according to a simple rule.  :func:`generate_sram_array` does exactly
+that: it tiles ``dcim_sram_cell`` instances into a rows x cols array
+with per-row wordlines, matching the weight-bank organisation of the
+compute units (each compute unit reads an ``L``-cell bank hard-wired to
+its selection gate).
+"""
+
+from __future__ import annotations
+
+from repro.rtl.modules import naming
+from repro.rtl.verilog import VerilogModule
+
+__all__ = ["generate_sram_array", "sram_array_name"]
+
+
+def sram_array_name(rows: int, cols: int) -> str:
+    """Module name for a rows x cols SRAM tile."""
+    return f"dcim_sram_array_r{rows}_c{cols}"
+
+
+def generate_sram_array(rows: int, cols: int) -> VerilogModule:
+    """Tile ``rows x cols`` SRAM bit-cells with per-row wordlines.
+
+    Ports: ``wl`` (rows, one-hot write wordlines), ``d`` (cols, write
+    data shared down each column), ``q`` (rows*cols, hard-wired read
+    outputs, row-major).
+
+    The duplication rule is the paper's: the netlist is pure repetition
+    of the user-provided bit-cell (``dcim_sram_cell``).
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("sram array needs rows >= 1 and cols >= 1")
+    m = VerilogModule(
+        sram_array_name(rows, cols),
+        comment=(
+            f"SRAM array: {rows} rows x {cols} cols = {rows * cols} "
+            "bit-cells, duplicated from dcim_sram_cell."
+        ),
+    )
+    m.add_port("wl", "input", rows)
+    m.add_port("d", "input", cols)
+    m.add_port("q", "output", rows * cols)
+    m.add_block(
+        "  genvar gr, gc;\n"
+        "  generate\n"
+        f"    for (gr = 0; gr < {rows}; gr = gr + 1) begin : row\n"
+        f"      for (gc = 0; gc < {cols}; gc = gc + 1) begin : col\n"
+        "        dcim_sram_cell cell (\n"
+        "          .wl(wl[gr]),\n"
+        "          .d(d[gc]),\n"
+        f"          .q(q[gr*{cols} + gc])\n"
+        "        );\n"
+        "      end\n"
+        "    end\n"
+        "  endgenerate"
+    )
+    return m

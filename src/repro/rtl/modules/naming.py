@@ -1,0 +1,66 @@
+"""Deterministic module naming for generated RTL.
+
+Every generated module name encodes its structural parameters so that
+bundles for different design points can coexist in one workspace
+(mirroring how the paper's generator specialises templates per design).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "compute_unit_name",
+    "adder_tree_name",
+    "accumulator_name",
+    "fusion_name",
+    "input_buffer_name",
+    "column_name",
+    "prealign_name",
+    "int2fp_name",
+    "macro_name",
+]
+
+
+def compute_unit_name(l: int, k: int) -> str:
+    """Compute unit serving ``l`` weights with a ``k``-bit multiply."""
+    return f"dcim_compute_unit_l{l}_k{k}"
+
+
+def adder_tree_name(h: int, k: int) -> str:
+    """Adder tree over ``h`` operands of ``k`` bits."""
+    return f"dcim_adder_tree_h{h}_k{k}"
+
+
+def accumulator_name(bx: int, k: int, h: int) -> str:
+    """Shift accumulator for ``bx``-bit inputs streamed ``k`` bits/cycle."""
+    return f"dcim_shift_accumulator_b{bx}_k{k}_h{h}"
+
+
+def fusion_name(bw: int, bx: int, h: int) -> str:
+    """Result fusion over ``bw`` column results."""
+    return f"dcim_result_fusion_w{bw}_b{bx}_h{h}"
+
+
+def input_buffer_name(h: int, bx: int, k: int) -> str:
+    """Input buffer for ``h`` operands of ``bx`` bits, ``k`` bits/cycle."""
+    return f"dcim_input_buffer_h{h}_b{bx}_k{k}"
+
+
+def column_name(h: int, l: int, k: int, bx: int) -> str:
+    """One DCIM column (compute units + tree + accumulator)."""
+    return f"dcim_column_h{h}_l{l}_k{k}_b{bx}"
+
+
+def prealign_name(h: int, be: int, bm: int) -> str:
+    """FP pre-alignment block."""
+    return f"dcim_fp_prealign_h{h}_e{be}_m{bm}"
+
+
+def int2fp_name(br: int, be: int) -> str:
+    """INT-to-FP converter for a ``br``-bit fused result."""
+    return f"dcim_int2fp_r{br}_e{be}"
+
+
+def macro_name(arch: str, n: int, h: int, l: int, k: int) -> str:
+    """Top-level macro."""
+    kind = "int" if arch == "int-mul" else "fp"
+    return f"dcim_macro_{kind}_n{n}_h{h}_l{l}_k{k}"

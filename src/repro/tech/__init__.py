@@ -1,0 +1,25 @@
+"""Technology substrate: cells, nodes, PDKs and liberty I/O."""
+
+from repro.tech.cells import CellLibrary, TABLE3_CELLS
+from repro.tech.corners import Corner, STANDARD_CORNERS, apply_corner
+from repro.tech.liberty import dump_library, load_library
+from repro.tech.techfile import dump_technology, load_technology
+from repro.tech.pdk import GENERIC22, GENERIC28, available_pdks, load_pdk
+from repro.tech.technology import Technology
+
+__all__ = [
+    "CellLibrary",
+    "TABLE3_CELLS",
+    "Technology",
+    "GENERIC28",
+    "GENERIC22",
+    "available_pdks",
+    "load_pdk",
+    "dump_library",
+    "load_library",
+    "dump_technology",
+    "load_technology",
+    "Corner",
+    "STANDARD_CORNERS",
+    "apply_corner",
+]

@@ -1,0 +1,111 @@
+"""Standard-cell library (paper Table III).
+
+The paper normalises every standard cell to a NOR2 gate measured on the
+TSMC28 digital PDK.  The published ratios are reproduced verbatim here as
+the default library; users may build their own :class:`CellLibrary` (the
+"customized cell library" input of the SEGA-DCIM framework, Fig. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model.cost import Cost
+
+__all__ = ["CellLibrary", "TABLE3_CELLS"]
+
+#: Table III of the paper, normalised to the NOR gate.  The DFF delay is
+#: listed as "N/A" because registers bound pipeline stages rather than
+#: sitting on a combinational path; we model it as zero.  SRAM delay and
+#: power are zero because weights are hard-wired to the compute units
+#: (no precharged read) and leakage is neglected.
+TABLE3_CELLS: dict[str, Cost] = {
+    "NOR": Cost(1.0, 1.0, 1.0),
+    "OR": Cost(1.3, 1.0, 2.3),
+    "MUX2": Cost(2.2, 2.2, 3.0),
+    "HA": Cost(4.3, 2.5, 6.9),
+    "FA": Cost(5.7, 3.3, 8.4),
+    "DFF": Cost(6.6, 0.0, 9.6),
+    "SRAM": Cost(2.2, 0.0, 0.0),
+}
+
+_REQUIRED_CELLS = frozenset(TABLE3_CELLS)
+
+
+@dataclass(frozen=True)
+class CellLibrary:
+    """A set of normalised standard-cell costs.
+
+    Attributes:
+        name: identifier of the library (used in reports and liberty
+            dumps).
+        cells: mapping from cell name to its normalised :class:`Cost`.
+            Must provide at least the seven cells of Table III.
+    """
+
+    name: str = "table3"
+    cells: dict[str, Cost] = field(default_factory=lambda: dict(TABLE3_CELLS))
+
+    def __post_init__(self) -> None:
+        missing = _REQUIRED_CELLS - set(self.cells)
+        if missing:
+            raise ValueError(
+                f"cell library {self.name!r} is missing required cells: "
+                f"{sorted(missing)}"
+            )
+
+    def __getitem__(self, cell: str) -> Cost:
+        try:
+            return self.cells[cell]
+        except KeyError:
+            raise KeyError(f"cell {cell!r} not in library {self.name!r}") from None
+
+    def __contains__(self, cell: str) -> bool:
+        return cell in self.cells
+
+    def with_cell(self, cell: str, cost: Cost) -> "CellLibrary":
+        """Return a copy of the library with one cell overridden/added."""
+        cells = dict(self.cells)
+        cells[cell] = cost
+        return CellLibrary(name=self.name, cells=cells)
+
+    # Convenience accessors for the Table III cells ---------------------
+    @property
+    def nor(self) -> Cost:
+        """1-bit NOR2 (the normalisation basis)."""
+        return self.cells["NOR"]
+
+    @property
+    def or_gate(self) -> Cost:
+        """1-bit OR2."""
+        return self.cells["OR"]
+
+    @property
+    def mux2(self) -> Cost:
+        """2:1 multiplexer."""
+        return self.cells["MUX2"]
+
+    @property
+    def half_adder(self) -> Cost:
+        """1-bit half adder."""
+        return self.cells["HA"]
+
+    @property
+    def full_adder(self) -> Cost:
+        """1-bit full adder."""
+        return self.cells["FA"]
+
+    @property
+    def dff(self) -> Cost:
+        """Positive-edge D flip-flop."""
+        return self.cells["DFF"]
+
+    @property
+    def sram(self) -> Cost:
+        """6T SRAM bit-cell."""
+        return self.cells["SRAM"]
+
+    @classmethod
+    def default(cls) -> "CellLibrary":
+        """The paper's Table III library."""
+        return cls()

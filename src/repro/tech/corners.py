@@ -1,0 +1,77 @@
+"""Process/voltage/temperature corners for the mock PDK.
+
+Real technology files ship libraries at multiple corners; the
+estimation flow only needs first-order derates on the three gate
+constants.  Standard corners are provided (TT/SS/FF at nominal and low
+voltage) and custom corners can be constructed directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.tech.technology import Technology
+
+__all__ = ["Corner", "STANDARD_CORNERS", "apply_corner"]
+
+
+@dataclass(frozen=True)
+class Corner:
+    """A PVT corner as multiplicative derates on the gate constants.
+
+    Attributes:
+        name: corner label, e.g. ``"ss_0p81v"``.
+        delay_factor: multiplier on gate delay (>1 = slower).
+        energy_factor: multiplier on gate switching energy.
+        voltage_v: operating voltage the corner implies (``None`` keeps
+            the technology's voltage).
+    """
+
+    name: str
+    delay_factor: float = 1.0
+    energy_factor: float = 1.0
+    voltage_v: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.delay_factor <= 0 or self.energy_factor <= 0:
+            raise ValueError("corner factors must be positive")
+
+
+#: Typical sign-off corners: typical, slow (worst timing), fast (worst
+#: power), plus a low-voltage typical point.
+STANDARD_CORNERS: dict[str, Corner] = {
+    "tt": Corner("tt"),
+    "ss": Corner("ss", delay_factor=1.35, energy_factor=0.95),
+    "ff": Corner("ff", delay_factor=0.75, energy_factor=1.15),
+    "tt_lv": Corner("tt_lv", delay_factor=1.0, energy_factor=1.0, voltage_v=0.72),
+}
+
+
+def apply_corner(tech: Technology, corner: Corner | str) -> Technology:
+    """Return ``tech`` derated to a corner.
+
+    Args:
+        tech: base technology (calibrated TT point).
+        corner: a :class:`Corner` or the name of a standard corner.
+
+    Raises:
+        KeyError: for an unknown standard-corner name.
+    """
+    if isinstance(corner, str):
+        try:
+            corner = STANDARD_CORNERS[corner]
+        except KeyError:
+            raise KeyError(
+                f"unknown corner {corner!r}; available: "
+                f"{sorted(STANDARD_CORNERS)}"
+            ) from None
+    derated = dataclasses.replace(
+        tech,
+        name=f"{tech.name}@{corner.name}",
+        gate_delay_ps=tech.gate_delay_ps * corner.delay_factor,
+        gate_energy_fj=tech.gate_energy_fj * corner.energy_factor,
+    )
+    if corner.voltage_v is not None:
+        derated = derated.with_voltage(corner.voltage_v)
+    return derated

@@ -1,0 +1,68 @@
+"""A miniature liberty-like text format for cell libraries.
+
+Real flows exchange standard-cell data as ``.lib`` (Liberty) files.  This
+reproduction uses a drastically simplified dialect that keeps the shape
+of Liberty (``library``/``cell`` groups with attributes) so users can
+provide "customized cell libraries" (Fig. 4 of the paper) as text:
+
+.. code-block:: text
+
+    library (mylib) {
+      cell (NOR) { area: 1.0; delay: 1.0; energy: 1.0; }
+      cell (FA)  { area: 5.7; delay: 3.3; energy: 8.4; }
+      ...
+    }
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.model.cost import Cost
+from repro.tech.cells import CellLibrary
+
+__all__ = ["dump_library", "load_library"]
+
+_LIBRARY_RE = re.compile(r"library\s*\(\s*([\w.-]+)\s*\)\s*\{", re.S)
+_CELL_RE = re.compile(
+    r"cell\s*\(\s*([\w.-]+)\s*\)\s*\{([^{}]*)\}", re.S
+)
+_ATTR_RE = re.compile(r"(\w+)\s*:\s*([-+0-9.eE]+)\s*;")
+
+
+def dump_library(library: CellLibrary) -> str:
+    """Serialise a :class:`CellLibrary` to the mini-liberty dialect."""
+    lines = [f"library ({library.name}) {{"]
+    for name in sorted(library.cells):
+        cost = library.cells[name]
+        lines.append(
+            f"  cell ({name}) {{ area: {cost.area:g}; "
+            f"delay: {cost.delay:g}; energy: {cost.energy:g}; }}"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def load_library(text: str) -> CellLibrary:
+    """Parse the mini-liberty dialect back into a :class:`CellLibrary`.
+
+    Raises:
+        ValueError: on malformed input or missing required cells.
+    """
+    lib_match = _LIBRARY_RE.search(text)
+    if lib_match is None:
+        raise ValueError("no 'library (<name>) {' group found")
+    name = lib_match.group(1)
+    cells: dict[str, Cost] = {}
+    for cell_match in _CELL_RE.finditer(text):
+        cell_name, body = cell_match.groups()
+        attrs = {key: float(value) for key, value in _ATTR_RE.findall(body)}
+        missing = {"area", "delay", "energy"} - set(attrs)
+        if missing:
+            raise ValueError(
+                f"cell {cell_name!r} is missing attributes: {sorted(missing)}"
+            )
+        cells[cell_name] = Cost(attrs["area"], attrs["delay"], attrs["energy"])
+    if not cells:
+        raise ValueError("library contains no cells")
+    return CellLibrary(name=name, cells=cells)

@@ -1,0 +1,61 @@
+"""Mock PDKs standing in for the foundry technology files.
+
+The paper implements SEGA-DCIM on the TSMC28 PDK.  That PDK is
+proprietary, so this reproduction ships ``generic28``, a mock 28 nm node
+whose three absolute constants were *calibrated once* against the
+published anchors (see DESIGN.md, "Calibration"):
+
+* ``gate_area_um2`` — fitted so the Fig. 6 INT8 macro (``N=32, L=16,
+  H=128``, 8K weights) lands near the published 0.079 mm^2 after P&R.
+* ``gate_delay_ps`` — fitted so the Fig. 7 average Pareto delays land in
+  the published 1.2 ns (INT2) .. 10.9 ns (FP32) band.
+* ``gate_energy_fj`` — fitted so the 64K-weight INT8 Pareto knee lands
+  near the published 22 TOPS/W at 0.9 V and 10 % sparsity.
+
+Only these three scalars are foundry-specific; every *relative* trade-off
+derives from the published Table III ratios in :mod:`repro.tech.cells`.
+"""
+
+from __future__ import annotations
+
+from repro.tech.technology import Technology
+
+__all__ = ["GENERIC28", "GENERIC22", "available_pdks", "load_pdk"]
+
+#: Mock TSMC28-like node (see module docstring for the calibration).
+GENERIC28 = Technology(
+    name="generic28",
+    node_nm=28.0,
+    gate_area_um2=0.104,
+    gate_delay_ps=9.5,
+    gate_energy_fj=0.40,
+    voltage_v=0.9,
+    nominal_voltage_v=0.9,
+    activity=0.1,
+    utilization=0.72,
+)
+
+#: A 22 nm point derived by constant-field scaling, used only to put the
+#: fabricated 22 nm references of Fig. 8 in context.
+GENERIC22 = GENERIC28.scaled_to_node(22.0, name="generic22")
+
+_PDKS = {t.name: t for t in (GENERIC28, GENERIC22)}
+
+
+def available_pdks() -> list[str]:
+    """Names of the PDKs bundled with the reproduction."""
+    return sorted(_PDKS)
+
+
+def load_pdk(name: str) -> Technology:
+    """Look up a bundled PDK by name.
+
+    Raises:
+        KeyError: if the PDK is not bundled.
+    """
+    try:
+        return _PDKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown PDK {name!r}; available: {available_pdks()}"
+        ) from None

@@ -1,0 +1,61 @@
+"""Technology-file I/O (the "Technology Files" input of Fig. 4).
+
+Serialises a :class:`~repro.tech.technology.Technology` to a small
+text format shaped like the liberty dialect, so a node can be shipped
+beside a custom cell library:
+
+.. code-block:: text
+
+    technology (generic28) {
+      node_nm: 28; gate_area_um2: 0.104; gate_delay_ps: 9.5;
+      gate_energy_fj: 0.4; voltage_v: 0.9; nominal_voltage_v: 0.9;
+      activity: 0.1; utilization: 0.72;
+    }
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.tech.technology import Technology
+
+__all__ = ["dump_technology", "load_technology"]
+
+_TECH_RE = re.compile(r"technology\s*\(\s*([\w.@-]+)\s*\)\s*\{([^}]*)\}", re.S)
+_ATTR_RE = re.compile(r"(\w+)\s*:\s*([-+0-9.eE]+)\s*;")
+
+_FIELDS = (
+    "node_nm",
+    "gate_area_um2",
+    "gate_delay_ps",
+    "gate_energy_fj",
+    "voltage_v",
+    "nominal_voltage_v",
+    "activity",
+    "utilization",
+)
+
+
+def dump_technology(tech: Technology) -> str:
+    """Serialise a technology to the text format."""
+    attrs = "\n".join(
+        f"  {field}: {getattr(tech, field):g};" for field in _FIELDS
+    )
+    return f"technology ({tech.name}) {{\n{attrs}\n}}\n"
+
+
+def load_technology(text: str) -> Technology:
+    """Parse the text format back into a :class:`Technology`.
+
+    Raises:
+        ValueError: on missing group or attributes.
+    """
+    match = _TECH_RE.search(text)
+    if match is None:
+        raise ValueError("no 'technology (<name>) {' group found")
+    name, body = match.groups()
+    attrs = {key: float(value) for key, value in _ATTR_RE.findall(body)}
+    missing = set(_FIELDS) - set(attrs)
+    if missing:
+        raise ValueError(f"technology file missing fields: {sorted(missing)}")
+    return Technology(name=name, **attrs)

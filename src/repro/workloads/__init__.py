@@ -1,0 +1,43 @@
+"""NN workload descriptions and macro mapping."""
+
+from repro.workloads.layers import (
+    Layer,
+    attention_projection,
+    conv2d,
+    gcn_layer,
+    linear,
+)
+from repro.workloads.mapping import (
+    LayerMapping,
+    NetworkMapping,
+    map_layer,
+    map_network,
+    recommend_spec,
+)
+from repro.workloads.system import SystemMapping, macros_for_residency, map_system
+from repro.workloads.networks import (
+    AVAILABLE_NETWORKS,
+    gcn_network,
+    tiny_cnn,
+    transformer_block,
+)
+
+__all__ = [
+    "SystemMapping",
+    "map_system",
+    "macros_for_residency",
+    "Layer",
+    "linear",
+    "conv2d",
+    "attention_projection",
+    "gcn_layer",
+    "tiny_cnn",
+    "transformer_block",
+    "gcn_network",
+    "AVAILABLE_NETWORKS",
+    "LayerMapping",
+    "NetworkMapping",
+    "map_layer",
+    "map_network",
+    "recommend_spec",
+]

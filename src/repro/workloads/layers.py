@@ -1,0 +1,84 @@
+"""NN layer shape descriptions for application-driven specification.
+
+Fig. 1 of the paper motivates SEGA-DCIM with "versatile applications":
+Transformers, CNNs and GNNs.  A :class:`Layer` captures exactly what the
+mapper needs: weight count, the MVM geometry (fan-in rows x output
+columns) and how many input vectors one inference pushes through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Layer", "linear", "conv2d", "attention_projection", "gcn_layer"]
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One MVM-shaped NN layer.
+
+    Attributes:
+        name: human-readable identifier.
+        rows: dot-product fan-in (input features per output).
+        cols: number of outputs (weight columns).
+        vectors: input vectors per inference (e.g. spatial positions for
+            a conv, sequence length for attention, nodes for a GCN).
+    """
+
+    name: str
+    rows: int
+    cols: int
+    vectors: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.rows, self.cols, self.vectors) < 1:
+            raise ValueError(f"layer {self.name!r} needs positive dimensions")
+
+    @property
+    def weight_count(self) -> int:
+        """Weights in the layer (``rows * cols``)."""
+        return self.rows * self.cols
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulates per inference."""
+        return self.rows * self.cols * self.vectors
+
+
+def linear(name: str, in_features: int, out_features: int, vectors: int = 1) -> Layer:
+    """Fully-connected layer."""
+    return Layer(name, rows=in_features, cols=out_features, vectors=vectors)
+
+
+def conv2d(
+    name: str,
+    in_channels: int,
+    out_channels: int,
+    kernel: int,
+    out_hw: int,
+) -> Layer:
+    """2-D convolution lowered to MVM (im2col).
+
+    Rows are ``Cin * kernel^2``, columns are ``Cout`` and every output
+    spatial position is one input vector.
+    """
+    return Layer(
+        name,
+        rows=in_channels * kernel * kernel,
+        cols=out_channels,
+        vectors=out_hw * out_hw,
+    )
+
+
+def attention_projection(
+    name: str, d_model: int, seq_len: int, heads_dim: int | None = None
+) -> Layer:
+    """One of Q/K/V/O projections of a Transformer block."""
+    return Layer(
+        name, rows=d_model, cols=heads_dim or d_model, vectors=seq_len
+    )
+
+
+def gcn_layer(name: str, in_features: int, out_features: int, nodes: int) -> Layer:
+    """Graph-convolution feature transform (X @ W per node)."""
+    return Layer(name, rows=in_features, cols=out_features, vectors=nodes)

@@ -1,0 +1,51 @@
+"""Predefined example networks (the Fig. 1 application classes)."""
+
+from __future__ import annotations
+
+from repro.workloads.layers import (
+    Layer,
+    attention_projection,
+    conv2d,
+    gcn_layer,
+    linear,
+)
+
+__all__ = ["tiny_cnn", "transformer_block", "gcn_network", "AVAILABLE_NETWORKS"]
+
+
+def tiny_cnn() -> list[Layer]:
+    """A small edge-class CNN (CIFAR-like footprint)."""
+    return [
+        conv2d("conv1", in_channels=3, out_channels=32, kernel=3, out_hw=32),
+        conv2d("conv2", in_channels=32, out_channels=64, kernel=3, out_hw=16),
+        conv2d("conv3", in_channels=64, out_channels=128, kernel=3, out_hw=8),
+        linear("fc", in_features=128 * 4 * 4, out_features=10),
+    ]
+
+
+def transformer_block(d_model: int = 256, seq_len: int = 128) -> list[Layer]:
+    """One encoder block: QKV + output projection + 4x MLP."""
+    return [
+        attention_projection("attn_q", d_model, seq_len),
+        attention_projection("attn_k", d_model, seq_len),
+        attention_projection("attn_v", d_model, seq_len),
+        attention_projection("attn_o", d_model, seq_len),
+        linear("mlp_up", d_model, 4 * d_model, vectors=seq_len),
+        linear("mlp_down", 4 * d_model, d_model, vectors=seq_len),
+    ]
+
+
+def gcn_network(nodes: int = 2048, features: int = 128, classes: int = 16) -> list[Layer]:
+    """A two-layer GCN feature pipeline."""
+    return [
+        gcn_layer("gcn1", in_features=features, out_features=features, nodes=nodes),
+        gcn_layer("gcn2", in_features=features, out_features=classes, nodes=nodes),
+    ]
+
+
+#: Named network factories for the examples and benches.
+AVAILABLE_NETWORKS = {
+    "tiny_cnn": tiny_cnn,
+    "transformer_block": transformer_block,
+    "gcn_network": gcn_network,
+}

@@ -1,0 +1,124 @@
+"""System-level mapping: a network across multiple macro instances.
+
+A single DCIM macro rarely serves a whole model; accelerators tile
+several macro instances and either (a) run layers sequentially with all
+macros teaming on one layer (data-parallel over output columns), or
+(b) pipeline consecutive layers across macros.  This mapper models
+both, on top of the per-layer mapping of :mod:`repro.workloads.
+mapping`, and reports system area/latency/energy/throughput so users
+can trade macro count against performance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.spec import DesignPoint
+from repro.model.metrics import evaluate_macro
+from repro.tech.cells import CellLibrary
+from repro.tech.technology import Technology
+from repro.workloads.layers import Layer
+from repro.workloads.mapping import LayerMapping, map_layer
+
+__all__ = ["SystemMapping", "map_system"]
+
+
+@dataclass(frozen=True)
+class SystemMapping:
+    """A network mapped onto ``n_macros`` identical macro instances.
+
+    Attributes:
+        design: the macro design replicated across the system.
+        n_macros: instances in the system.
+        schedule: ``"sequential"`` (all macros team per layer) or
+            ``"pipelined"`` (layers assigned round-robin; throughput set
+            by the slowest stage).
+        layers: the per-layer mappings (single-macro numbers).
+        latency_us: one-inference latency.
+        energy_uj: one-inference energy (schedule-independent).
+        throughput_inferences_s: steady-state inferences per second.
+        area_mm2: total system macro area.
+    """
+
+    design: DesignPoint
+    n_macros: int
+    schedule: str
+    layers: list[LayerMapping]
+    latency_us: float
+    energy_uj: float
+    throughput_inferences_s: float
+    area_mm2: float
+
+
+def map_system(
+    layers: list[Layer],
+    design: DesignPoint,
+    tech: Technology,
+    n_macros: int = 1,
+    schedule: str = "sequential",
+    library: CellLibrary | None = None,
+) -> SystemMapping:
+    """Map a network onto ``n_macros`` copies of ``design``.
+
+    Sequential schedule: every layer's passes are split evenly over the
+    macros (speedup ``min(n_macros, passes)``); latency is the sum over
+    layers and throughput is ``1/latency``.
+
+    Pipelined schedule: layer ``i`` runs on macro ``i mod n_macros``;
+    the pipeline interval is the slowest macro's total work, so
+    throughput is ``1/interval`` while single-inference latency is the
+    sum of stage latencies.
+
+    Raises:
+        ValueError: on an unknown schedule or non-positive macro count.
+    """
+    if n_macros < 1:
+        raise ValueError(f"n_macros must be >= 1, got {n_macros}")
+    if schedule not in ("sequential", "pipelined"):
+        raise ValueError(f"unknown schedule {schedule!r}")
+    if not layers:
+        raise ValueError("need at least one layer")
+    metrics = evaluate_macro(design.macro_cost(library), tech)
+    mapped = [map_layer(l, design, tech, library, metrics) for l in layers]
+    energy = sum(m.energy_uj for m in mapped)
+    area = n_macros * metrics.layout_area_mm2
+
+    if schedule == "sequential":
+        latency = sum(
+            m.latency_us / min(n_macros, max(m.passes, 1)) for m in mapped
+        )
+        throughput = 1.0 / (latency * 1e-6)
+    else:
+        stage_work = [0.0] * n_macros
+        for i, m in enumerate(mapped):
+            stage_work[i % n_macros] += m.latency_us
+        latency = sum(m.latency_us for m in mapped)
+        interval = max(stage_work)
+        throughput = 1.0 / (interval * 1e-6)
+
+    return SystemMapping(
+        design=design,
+        n_macros=n_macros,
+        schedule=schedule,
+        layers=mapped,
+        latency_us=latency,
+        energy_uj=energy,
+        throughput_inferences_s=throughput,
+        area_mm2=area,
+    )
+
+
+def macros_for_residency(layers: list[Layer], design: DesignPoint) -> int:
+    """Macros needed so every layer's tiles are simultaneously resident.
+
+    Each macro contributes ``L`` resident tile slots; a layer needs
+    ``row_tiles * col_tiles`` slots.
+    """
+    groups = design.n // design.precision.weight_bits
+    slots_needed = 0
+    for layer in layers:
+        row_tiles = math.ceil(layer.rows / design.h)
+        col_tiles = math.ceil(layer.cols / groups)
+        slots_needed += row_tiles * col_tiles
+    return max(1, math.ceil(slots_needed / design.l))

@@ -1,0 +1,118 @@
+"""Tests for repro.dse.baselines and repro.workloads.system."""
+
+import pytest
+
+from repro.core.pareto import dominates
+from repro.core.spec import DcimSpec, DesignPoint
+from repro.dse import DesignSpaceExplorer, random_search, weighted_sum_search
+from repro.dse.problem import objectives_of
+from repro.tech import GENERIC28
+from repro.workloads import (
+    macros_for_residency,
+    map_system,
+    transformer_block,
+)
+from repro.workloads.layers import linear
+
+SPEC = DcimSpec(wstore=16 * 1024, precision="INT8")
+
+
+class TestRandomSearch:
+    def test_front_is_nondominated(self):
+        points = random_search(SPEC, budget=80, seed=1)
+        objs = [objectives_of(p.macro_cost()) for p in points]
+        for i, u in enumerate(objs):
+            for j, v in enumerate(objs):
+                if i != j:
+                    assert not dominates(u, v)
+
+    def test_points_meet_spec(self):
+        for p in random_search(SPEC, budget=40, seed=2):
+            assert p.wstore == SPEC.wstore
+
+    def test_deterministic(self):
+        a = random_search(SPEC, budget=50, seed=3)
+        b = random_search(SPEC, budget=50, seed=3)
+        assert [(p.n, p.h, p.l, p.k) for p in a] == [
+            (p.n, p.h, p.l, p.k) for p in b
+        ]
+
+
+class TestWeightedSumBaseline:
+    def test_recovers_fewer_points_than_moga(self):
+        # The paper's argument: scalarisation collapses the frontier.
+        ws = weighted_sum_search(
+            SPEC, n_weight_vectors=8, samples_per_vector=150, seed=0
+        )
+        exact = DesignSpaceExplorer().explore_exhaustive(SPEC)
+        assert len(ws) <= 8
+        assert len(ws) < len(exact.points) / 3
+
+    def test_winners_are_truly_pareto(self):
+        ws = weighted_sum_search(SPEC, seed=1)
+        exact = DesignSpaceExplorer().explore_exhaustive(SPEC)
+        truth = {(p.n, p.h, p.l, p.k) for p in exact.points}
+        # Weighted-sum minimisers over the full pool are Pareto-optimal
+        # within the sampled pool; most should be globally optimal too.
+        hits = sum((p.n, p.h, p.l, p.k) in truth for p in ws)
+        assert hits >= len(ws) * 0.5
+
+
+DESIGN = DesignPoint(precision="INT8", n=64, h=128, l=4, k=8)
+LAYERS = transformer_block(d_model=256, seq_len=64)
+
+
+class TestMapSystem:
+    def test_sequential_speedup(self):
+        one = map_system(LAYERS, DESIGN, GENERIC28, n_macros=1)
+        four = map_system(LAYERS, DESIGN, GENERIC28, n_macros=4)
+        assert four.latency_us < one.latency_us
+        assert four.area_mm2 == pytest.approx(4 * one.area_mm2)
+        # Energy is schedule- and count-independent (same work).
+        assert four.energy_uj == pytest.approx(one.energy_uj)
+
+    def test_pipelined_throughput_beats_latency_rate(self):
+        pipe = map_system(LAYERS, DESIGN, GENERIC28, n_macros=3, schedule="pipelined")
+        assert pipe.throughput_inferences_s > 1.0 / (pipe.latency_us * 1e-6)
+
+    def test_pipelined_latency_is_sum_of_stages(self):
+        seq1 = map_system(LAYERS, DESIGN, GENERIC28, n_macros=1)
+        pipe = map_system(LAYERS, DESIGN, GENERIC28, n_macros=3, schedule="pipelined")
+        assert pipe.latency_us == pytest.approx(seq1.latency_us)
+
+    def test_speedup_saturates_at_passes(self):
+        # A single-pass layer cannot be split across macros.
+        layer = [linear("small", DESIGN.h, 8)]
+        one = map_system(layer, DESIGN, GENERIC28, n_macros=1)
+        many = map_system(layer, DESIGN, GENERIC28, n_macros=16)
+        assert many.latency_us == pytest.approx(one.latency_us)
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(ValueError, match="schedule"):
+            map_system(LAYERS, DESIGN, GENERIC28, schedule="warp")
+
+    def test_empty_layers_rejected(self):
+        with pytest.raises(ValueError):
+            map_system([], DESIGN, GENERIC28)
+
+    def test_macro_count_validated(self):
+        with pytest.raises(ValueError):
+            map_system(LAYERS, DESIGN, GENERIC28, n_macros=0)
+
+
+class TestResidency:
+    def test_residency_count(self):
+        n = macros_for_residency(LAYERS, DESIGN)
+        assert n >= 1
+        # Enough slots: total tiles <= n * L.
+        groups = DESIGN.n // 8
+        import math
+
+        tiles = sum(
+            math.ceil(l.rows / DESIGN.h) * math.ceil(l.cols / groups)
+            for l in LAYERS
+        )
+        assert n * DESIGN.l >= tiles
+
+    def test_single_small_layer(self):
+        assert macros_for_residency([linear("t", 8, 8)], DESIGN) == 1

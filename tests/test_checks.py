@@ -1,0 +1,108 @@
+"""Tests for repro.layout.checks (DRC / LVS substitutes)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.spec import DesignPoint
+from repro.layout import Placement, PnrFlow, Rect
+from repro.layout.checks import CheckReport, DrcRules, run_drc, run_lvs
+from repro.tech import GENERIC28
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return PnrFlow(GENERIC28).run(
+        DesignPoint(precision="BF16", n=32, h=128, l=16, k=8)
+    )
+
+
+class TestDrc:
+    def test_clean_on_generated_layout(self, layout):
+        report = run_drc(layout)
+        assert report.passed, report.violations
+
+    def test_all_precisions_clean(self):
+        flow = PnrFlow(GENERIC28)
+        for precision, k in (("INT2", 1), ("INT16", 16), ("FP32", 8)):
+            design = DesignPoint(precision=precision, n=96 if precision == "FP32" else 64,
+                                 h=64, l=4, k=k)
+            report = run_drc(flow.run(design))
+            assert report.passed, (precision, report.violations)
+
+    def test_detects_overlap(self, layout):
+        broken = dataclasses.replace(
+            layout,
+            floorplan=dataclasses.replace(
+                layout.floorplan,
+                placements=[
+                    Placement("a", Rect(0, 0, 10, 10)),
+                    Placement("b", Rect(5, 5, 10, 10)),
+                ],
+            ),
+        )
+        report = run_drc(broken)
+        assert any("overlaps" in v for v in report.violations)
+
+    def test_detects_outside_die(self, layout):
+        die = layout.floorplan.die
+        broken = dataclasses.replace(
+            layout,
+            floorplan=dataclasses.replace(
+                layout.floorplan,
+                placements=[Placement("a", Rect(die.x2 - 1, die.y2 - 1, 10, 10))],
+            ),
+        )
+        report = run_drc(broken)
+        assert any("outside die" in v for v in report.violations)
+
+    def test_min_dimension_rule(self, layout):
+        report = run_drc(layout, DrcRules(min_dimension_um=1e9))
+        assert any("below minimum" in v for v in report.violations)
+
+    def test_utilization_window(self, layout):
+        report = run_drc(layout, DrcRules(min_utilization=0.9))
+        assert any("utilization" in v for v in report.violations)
+
+
+class TestLvs:
+    def test_clean_on_generated_layout(self, layout):
+        report = run_lvs(layout)
+        assert report.passed, report.violations
+
+    def test_detects_missing_group(self, layout):
+        broken = dataclasses.replace(
+            layout,
+            floorplan=dataclasses.replace(
+                layout.floorplan,
+                placements=layout.floorplan.placements[:-1],
+            ),
+        )
+        report = run_lvs(broken)
+        assert any("not placed" in v for v in report.violations)
+
+    def test_detects_extra_block(self, layout):
+        extra = layout.floorplan.placements + [
+            Placement("mystery", Rect(0, 0, 1, 1))
+        ]
+        broken = dataclasses.replace(
+            layout,
+            floorplan=dataclasses.replace(layout.floorplan, placements=extra),
+        )
+        report = run_lvs(broken)
+        assert any("not in schematic" in v for v in report.violations)
+
+    def test_detects_area_mismatch(self, layout):
+        grown = [
+            Placement(p.name, Rect(p.rect.x, p.rect.y, p.rect.w * 2, p.rect.h))
+            for p in layout.floorplan.placements
+        ]
+        broken = dataclasses.replace(
+            layout,
+            floorplan=dataclasses.replace(layout.floorplan, placements=grown),
+        )
+        report = run_lvs(broken)
+        assert any("placed area" in v for v in report.violations)
+
+    def test_report_str(self, layout):
+        assert "CLEAN" in str(run_lvs(layout))

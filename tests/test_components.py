@@ -1,0 +1,148 @@
+"""Tests for repro.model.components (paper Table IV, reconstructed)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.components import (
+    accumulator_width,
+    adder_tree,
+    converter_width,
+    fusion_width,
+    input_buffer,
+    int_to_fp_converter,
+    prealignment,
+    result_fusion,
+    shift_accumulator,
+)
+from repro.model.logic import adder, barrel_shifter, clog2, register_bank
+from repro.tech.cells import CellLibrary
+
+LIB = CellLibrary.default()
+
+
+class TestAdderTree:
+    def test_two_inputs_is_one_adder(self):
+        assert adder_tree(LIB, 2, 8) == adder(LIB, 8)
+
+    def test_single_input_is_wire(self):
+        c = adder_tree(LIB, 1, 8)
+        assert (c.area, c.delay, c.energy) == (0.0, 0.0, 0.0)
+
+    def test_adder_count_and_growing_width(self):
+        # H=4, k=2: level 1 has two 2-bit adders, level 2 one 3-bit adder.
+        c = adder_tree(LIB, 4, 2)
+        expected_area = 2 * adder(LIB, 2).area + adder(LIB, 3).area
+        expected_delay = adder(LIB, 2).delay + adder(LIB, 3).delay
+        assert c.area == pytest.approx(expected_area)
+        assert c.delay == pytest.approx(expected_delay)
+
+    @given(st.integers(min_value=1, max_value=512), st.integers(min_value=1, max_value=16))
+    def test_total_adders_is_h_minus_one(self, h, k):
+        # A binary reduction of H operands always uses H-1 adders; since
+        # adder area grows with level, the area is bounded by (H-1) times
+        # the widest adder and at least (H-1) times the narrowest.
+        c = adder_tree(LIB, h, k)
+        narrow = adder(LIB, k).area
+        wide = adder(LIB, k + clog2(max(h, 1)) ).area if h > 1 else 0.0
+        assert (h - 1) * narrow <= c.area + 1e-9
+        if h > 1:
+            assert c.area <= (h - 1) * wide + 1e-9
+
+    @given(st.integers(min_value=2, max_value=512))
+    def test_delay_has_log_levels(self, h):
+        # Critical path crosses exactly clog2(h) adder levels.
+        c = adder_tree(LIB, h, 4)
+        levels = clog2(h)
+        assert c.delay >= levels * adder(LIB, 4).delay - 1e-9
+        assert c.delay <= levels * adder(LIB, 4 + levels).delay + 1e-9
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            adder_tree(LIB, 0, 4)
+        with pytest.raises(ValueError):
+            adder_tree(LIB, 4, 0)
+
+
+class TestShiftAccumulator:
+    def test_width_is_bx_plus_log2h(self):
+        assert accumulator_width(8, 128) == 8 + 7
+
+    def test_composition(self):
+        ba = accumulator_width(8, 128)
+        c = shift_accumulator(LIB, 8, 128)
+        expected_area = (
+            register_bank(LIB, ba).area
+            + barrel_shifter(LIB, ba).area
+            + adder(LIB, ba).area
+        )
+        assert c.area == pytest.approx(expected_area)
+        # Combinational loop: shifter then adder.
+        assert c.delay == pytest.approx(
+            barrel_shifter(LIB, ba).delay + adder(LIB, ba).delay
+        )
+
+
+class TestResultFusion:
+    def test_single_bit_weight_is_wire(self):
+        c = result_fusion(LIB, 1, 8, 128)
+        assert c.area == 0.0
+
+    def test_width(self):
+        assert fusion_width(4, 8, 128) == 4 + 8 + 7
+
+    def test_adder_count(self):
+        bw = 4
+        width = fusion_width(bw, 8, 128)
+        c = result_fusion(LIB, bw, 8, 128)
+        assert c.area == pytest.approx((bw - 1) * adder(LIB, width).area)
+        assert c.delay == pytest.approx(clog2(bw) * adder(LIB, width).delay)
+
+
+class TestPrealignment:
+    def test_structure_counts(self):
+        h, be, bm = 4, 8, 8
+        c = prealignment(LIB, h, be, bm)
+        # 3 comparator+mux tree nodes, 4 subtractors, 4 shifters.
+        from repro.model.logic import comparator, mux
+        comp = comparator(LIB, be)
+        sel = mux(LIB, 2)
+        sub = adder(LIB, be)
+        shift = barrel_shifter(LIB, bm)
+        expected = 3 * (comp.area + be * sel.area) + 4 * (sub.area + shift.area)
+        assert c.area == pytest.approx(expected)
+
+    def test_delay_scales_with_log_h(self):
+        d1 = prealignment(LIB, 16, 8, 8).delay
+        d2 = prealignment(LIB, 256, 8, 8).delay
+        assert d2 > d1
+        # Tree portion grows by 4 levels between 16 and 256 inputs.
+        from repro.model.logic import comparator, mux
+        level = comparator(LIB, 8).delay + mux(LIB, 2).delay
+        assert d2 - d1 == pytest.approx(4 * level)
+
+    def test_bigger_mantissa_bigger_shifters(self):
+        small = prealignment(LIB, 64, 8, 8)
+        large = prealignment(LIB, 64, 8, 24)
+        assert large.area > small.area
+
+
+class TestIntToFpConverter:
+    def test_result_width(self):
+        # Br = Bw + BM + log2 H (prose, Section III-A).
+        assert converter_width(8, 8, 128) == 8 + 8 + 7
+
+    def test_contains_normalising_shifter(self):
+        br = converter_width(8, 8, 128)
+        c = int_to_fp_converter(LIB, 8, 8, 128, 8)
+        assert c.area > barrel_shifter(LIB, br).area
+
+
+class TestInputBuffer:
+    def test_one_dff_per_buffered_bit(self):
+        c = input_buffer(LIB, 128, 8)
+        assert c.area == pytest.approx(128 * 8 * LIB.dff.area)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            input_buffer(LIB, 0, 8)

@@ -1,0 +1,64 @@
+"""Tests for repro.tech.corners."""
+
+import pytest
+
+from repro.core.spec import DesignPoint
+from repro.tech import GENERIC28, STANDARD_CORNERS, Corner, apply_corner
+
+
+class TestCorner:
+    def test_standard_set(self):
+        assert {"tt", "ss", "ff", "tt_lv"} <= set(STANDARD_CORNERS)
+
+    def test_positive_factors_required(self):
+        with pytest.raises(ValueError):
+            Corner("bad", delay_factor=0.0)
+
+    def test_tt_is_identity(self):
+        tt = apply_corner(GENERIC28, "tt")
+        assert tt.gate_delay_ps == GENERIC28.gate_delay_ps
+        assert tt.gate_energy_fj == GENERIC28.gate_energy_fj
+
+    def test_ss_slower(self):
+        ss = apply_corner(GENERIC28, "ss")
+        assert ss.gate_delay_ps > GENERIC28.gate_delay_ps
+
+    def test_ff_faster(self):
+        ff = apply_corner(GENERIC28, "ff")
+        assert ff.gate_delay_ps < GENERIC28.gate_delay_ps
+
+    def test_low_voltage_corner(self):
+        lv = apply_corner(GENERIC28, "tt_lv")
+        assert lv.voltage_v == 0.72
+
+    def test_unknown_corner(self):
+        with pytest.raises(KeyError):
+            apply_corner(GENERIC28, "zz")
+
+    def test_custom_corner(self):
+        custom = Corner("hot", delay_factor=1.5, energy_factor=1.2)
+        hot = apply_corner(GENERIC28, custom)
+        assert hot.name.endswith("@hot")
+
+    def test_corner_name_recorded(self):
+        assert apply_corner(GENERIC28, "ss").name == "generic28@ss"
+
+
+class TestCornerImpactOnMetrics:
+    def test_timing_derates_propagate(self):
+        design = DesignPoint(precision="INT8", n=64, h=128, l=16, k=8)
+        tt = design.metrics(apply_corner(GENERIC28, "tt"))
+        ss = design.metrics(apply_corner(GENERIC28, "ss"))
+        assert ss.delay_ns > tt.delay_ns
+        assert ss.tops < tt.tops
+        # Energy per op barely changes at ss -> TOPS/W roughly constant.
+        assert ss.tops_per_watt == pytest.approx(
+            tt.tops_per_watt / 0.95, rel=0.01
+        )
+
+    def test_low_voltage_improves_efficiency(self):
+        design = DesignPoint(precision="INT8", n=64, h=128, l=16, k=8)
+        tt = design.metrics(GENERIC28)
+        lv = design.metrics(apply_corner(GENERIC28, "tt_lv"))
+        assert lv.tops_per_watt > tt.tops_per_watt  # V^2 energy scaling
+        assert lv.delay_ns > tt.delay_ns  # slower at low voltage

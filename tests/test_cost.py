@@ -1,0 +1,52 @@
+"""Tests for repro.model.cost."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.cost import Cost, ZERO_COST, parallel, series
+
+finite = st.floats(min_value=0.0, max_value=1e9, allow_nan=False)
+
+
+class TestCost:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Cost(-1.0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            Cost(0.0, -1.0, 0.0)
+        with pytest.raises(ValueError):
+            Cost(0.0, 0.0, -1.0)
+
+    def test_scaled(self):
+        c = Cost(2.0, 3.0, 4.0).scaled(area=2.0, energy=0.5)
+        assert c == Cost(4.0, 3.0, 2.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Cost(1, 1, 1).area = 2
+
+
+class TestCombinators:
+    @given(finite, finite, finite, st.integers(min_value=0, max_value=1000))
+    def test_parallel_scales_area_energy_not_delay(self, a, d, e, n):
+        c = parallel(Cost(a, d, e), n)
+        assert c.area == pytest.approx(a * n)
+        assert c.energy == pytest.approx(e * n)
+        assert c.delay == d
+
+    def test_parallel_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            parallel(Cost(1, 1, 1), -1)
+
+    @given(st.lists(st.tuples(finite, finite, finite), max_size=5))
+    def test_series_accumulates_everything(self, triples):
+        costs = [Cost(*t) for t in triples]
+        total = series(*costs)
+        assert total.area == pytest.approx(sum(t[0] for t in triples))
+        assert total.delay == pytest.approx(sum(t[1] for t in triples))
+        assert total.energy == pytest.approx(sum(t[2] for t in triples))
+
+    def test_zero_cost_identity(self):
+        c = Cost(1.0, 2.0, 3.0)
+        assert series(c, ZERO_COST) == c

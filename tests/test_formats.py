@@ -1,0 +1,124 @@
+"""Tests for repro.func.formats."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.func.formats import FloatFormat, FpFields, max_unsigned, quantize_unsigned
+
+BF16 = FloatFormat.from_precision("BF16")
+FP16 = FloatFormat.from_precision("FP16")
+FP8 = FloatFormat.from_precision("FP8")
+FP32 = FloatFormat.from_precision("FP32")
+
+reasonable_floats = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+
+
+class TestFormatParameters:
+    def test_from_precision_matches_paper_fields(self):
+        assert (BF16.exponent_bits, BF16.mantissa_bits) == (8, 8)
+        assert (FP16.exponent_bits, FP16.mantissa_bits) == (5, 11)
+        assert (FP8.exponent_bits, FP8.mantissa_bits) == (4, 4)
+        assert (FP32.exponent_bits, FP32.mantissa_bits) == (8, 24)
+
+    def test_bias(self):
+        assert BF16.bias == 127
+        assert FP16.bias == 15
+        assert FP8.bias == 7
+
+    def test_from_precision_rejects_int(self):
+        with pytest.raises(ValueError):
+            FloatFormat.from_precision("INT8")
+
+
+class TestEncodeDecode:
+    def test_zero(self):
+        f = BF16.encode(0.0)
+        assert f.significand == 0
+        assert BF16.decode(f) == 0.0
+
+    def test_one(self):
+        f = BF16.encode(1.0)
+        assert BF16.decode(f) == 1.0
+        # Hidden bit present: significand MSB set.
+        assert f.significand >> (BF16.mantissa_bits - 1) == 1
+
+    def test_sign(self):
+        assert BF16.encode(-2.5).sign == 1
+        assert BF16.decode(BF16.encode(-2.5)) == -2.5
+
+    def test_powers_of_two_exact(self):
+        for e in range(-10, 11):
+            v = 2.0**e
+            assert BF16.decode(BF16.encode(v)) == v
+
+    def test_saturation(self):
+        assert BF16.decode(BF16.encode(1e40)) == BF16.max_value
+        assert BF16.decode(BF16.encode(math.inf)) == BF16.max_value
+
+    def test_subnormal_flush(self):
+        tiny = BF16.min_normal / 4
+        assert BF16.decode(BF16.encode(tiny)) == 0.0
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            BF16.encode(math.nan)
+
+    @given(reasonable_floats)
+    @settings(max_examples=200, deadline=None)
+    def test_quantize_idempotent(self, v):
+        q = FP16.quantize(v)
+        assert FP16.quantize(q) == q
+
+    @given(reasonable_floats)
+    @settings(max_examples=200, deadline=None)
+    def test_relative_error_bounded(self, v):
+        if abs(v) < FP16.min_normal or abs(v) > FP16.max_value:
+            return
+        q = FP16.quantize(v)
+        # Round-to-nearest: relative error <= 2^-(BM-1) / 2 ... use ulp bound.
+        assert abs(q - v) <= abs(v) * 2.0 ** (-(FP16.mantissa_bits - 1)) / 2 * 1.01
+
+    @given(reasonable_floats)
+    @settings(max_examples=200, deadline=None)
+    def test_fp32_matches_numpy_float32(self, v):
+        # Our generic encoder vs. IEEE single precision (numpy), away
+        # from the subnormal/overflow corners where conventions differ.
+        if abs(v) < 2**-120 and v != 0.0:
+            return
+        ours = FP32.quantize(v)
+        theirs = float(np.float32(v))
+        assert ours == pytest.approx(theirs, rel=1e-7, abs=1e-35)
+
+    @given(reasonable_floats)
+    @settings(max_examples=100, deadline=None)
+    def test_bf16_matches_numpy_truncation_window(self, v):
+        # BF16 shares the FP32 exponent: quantised value within one BF16
+        # ulp of the input.
+        if v == 0.0 or abs(v) < BF16.min_normal:
+            return
+        q = BF16.quantize(v)
+        assert abs(q - v) <= abs(v) * 2.0 ** (-(BF16.mantissa_bits - 1))
+
+    def test_decode_raw(self):
+        assert BF16.decode_raw(0, BF16.bias, 1 << 7) == 1.0
+
+
+class TestUnsignedHelpers:
+    def test_max_unsigned(self):
+        assert max_unsigned(8) == 255
+        assert max_unsigned(1) == 1
+        with pytest.raises(ValueError):
+            max_unsigned(0)
+
+    def test_quantize_unsigned_clips(self):
+        out = quantize_unsigned([-3.0, 0.4, 300.0], 8)
+        assert out.tolist() == [0, 0, 255]
+
+    def test_quantize_unsigned_rounds(self):
+        assert quantize_unsigned([1.5, 2.49], 8).tolist() == [2, 2]

@@ -1,0 +1,121 @@
+"""Property-based tests on the FP datapath invariants.
+
+These pin the algebraic contracts the pre-aligned architecture relies
+on: alignment never increases a mantissa, the max element survives
+alignment exactly, conversion round-trips magnitudes, and the full FP
+macro is invariant to the bit-serial schedule.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.spec import DesignPoint
+from repro.func.formats import FloatFormat
+from repro.func.int2fp_model import int_to_fp, pack_to_format
+from repro.func.macro_model import FpMacroModel
+from repro.func.prealign_model import prealign
+
+BF16 = FloatFormat.from_precision("BF16")
+FP8 = FloatFormat.from_precision("FP8")
+
+float_vectors = arrays(
+    np.float64,
+    (8,),
+    elements=st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+)
+
+
+class TestPrealignProperties:
+    @given(float_vectors)
+    @settings(max_examples=80, deadline=None)
+    def test_mantissas_never_grow(self, x):
+        aligned = prealign(x, BF16)
+        for v, m in zip(x, aligned.mantissas):
+            encoded = BF16.encode(float(v))
+            assert m <= encoded.significand
+
+    @given(float_vectors)
+    @settings(max_examples=80, deadline=None)
+    def test_max_element_exact(self, x):
+        # The element that sets XEmax is not shifted at all.
+        aligned = prealign(x, BF16)
+        mags = [abs(BF16.quantize(float(v))) for v in x]
+        if max(mags) == 0:
+            return
+        argmax = int(np.argmax(mags))
+        encoded = BF16.encode(float(x[argmax]))
+        assert aligned.mantissas[argmax] == encoded.significand
+
+    @given(float_vectors)
+    @settings(max_examples=50, deadline=None)
+    def test_values_bounded_by_original(self, x):
+        # Decoded aligned values never exceed the quantised originals in
+        # magnitude (truncation shrinks toward zero).
+        aligned = prealign(x, BF16)
+        for v, back in zip(x, aligned.values()):
+            assert abs(back) <= abs(BF16.quantize(float(v))) + 1e-12
+
+    @given(float_vectors, st.sampled_from([FP8, BF16]))
+    @settings(max_examples=50, deadline=None)
+    def test_signs_preserved(self, x, fmt):
+        aligned = prealign(x, fmt)
+        for v, s in zip(x, aligned.signs):
+            if fmt.quantize(float(v)) != 0:
+                assert s == (1 if v < 0 else 0)
+
+
+class TestInt2FpProperties:
+    @given(st.integers(min_value=0, max_value=2**23 - 1), st.integers(0, 300))
+    @settings(max_examples=100, deadline=None)
+    def test_conversion_preserves_value(self, value, base):
+        # mantissa * 2^(lead - (br-1)) == value exactly.
+        r = int_to_fp(value, base, 23)
+        if r.is_zero:
+            assert value == 0
+            return
+        assert r.mantissa * 2.0 ** (r.lead - 22) == pytest.approx(float(value))
+
+    @given(st.integers(min_value=1, max_value=2**16 - 2))
+    @settings(max_examples=80, deadline=None)
+    def test_pack_monotone_in_value(self, value):
+        # Packing larger magnitudes never yields a smaller float.
+        fmt = BF16
+        a = pack_to_format(int_to_fp(value, fmt.bias, 16), 0, fmt)
+        b = pack_to_format(int_to_fp(value + 1, fmt.bias, 16), 0, fmt)
+        assert b >= a
+
+
+class TestFpMacroInvariance:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_schedule_invariance(self, seed):
+        # BM=8 allows k in {1,2,4,8}; the result must be identical.
+        rng = np.random.default_rng(seed)
+        w = rng.normal(size=(8, 2))
+        x = rng.normal(size=8)
+        outputs = []
+        for k in (1, 2, 4, 8):
+            model = FpMacroModel(
+                DesignPoint(precision="BF16", n=16, h=8, l=2, k=k)
+            )
+            model.load_weights(w)
+            outputs.append(model.matvec(x))
+        for out in outputs[1:]:
+            assert np.array_equal(out, outputs[0])
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_linearity_in_scalar(self, seed):
+        # Scaling x by a power of two scales the output exactly (exponent
+        # arithmetic only, no mantissa change).
+        rng = np.random.default_rng(seed)
+        w = rng.normal(size=(8, 2))
+        x = rng.normal(size=8)
+        model = FpMacroModel(DesignPoint(precision="BF16", n=16, h=8, l=2, k=8))
+        model.load_weights(w)
+        base = model.matvec(x)
+        scaled = model.matvec(x * 4.0)
+        assert np.allclose(scaled, 4.0 * base, rtol=1e-12, atol=1e-30)

@@ -1,0 +1,141 @@
+"""Tests for repro.dse.genome."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.spec import DcimSpec
+from repro.dse.genome import GenomeCodec, divisors
+
+
+class TestDivisors:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (1, [1]),
+            (8, [1, 2, 4, 8]),
+            (11, [1, 11]),          # FP16 mantissa datapath width
+            (24, [1, 2, 3, 4, 6, 8, 12, 24]),  # FP32 mantissa width
+        ],
+    )
+    def test_values(self, n, expected):
+        assert divisors(n) == expected
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            divisors(0)
+
+    @given(st.integers(min_value=1, max_value=5000))
+    def test_all_divide(self, n):
+        for d in divisors(n):
+            assert n % d == 0
+
+
+def codec(wstore=64 * 1024, precision="INT8", **kw):
+    return GenomeCodec(DcimSpec(wstore=wstore, precision=precision, **kw))
+
+
+class TestCodecBounds:
+    def test_paper_n_bound(self):
+        # N > 4*Bw means N = Bw * 2^a with 2^a > 4, i.e. a >= 3.
+        assert codec().min_a == 3
+
+    def test_exponent_budget(self):
+        assert codec(wstore=64 * 1024).total_exponent == 16
+
+    def test_l_and_h_bounds(self):
+        c = codec()
+        assert 2**c.max_c <= 64
+        assert 2**c.max_h if False else 2**c.max_b <= 2048
+
+    def test_rejects_non_power_of_two_wstore(self):
+        with pytest.raises(ValueError, match="power of two"):
+            codec(wstore=5000)
+
+    def test_rejects_impossible_spec(self):
+        # Wstore so large the bounded space cannot hold it.
+        with pytest.raises(ValueError):
+            codec(wstore=2**40, max_h=64, max_l=4, max_n=1024)
+
+    def test_max_n_bound_respected(self):
+        c = codec(max_n=1024)
+        for g in c.enumerate():
+            assert c.decode(g).n <= 1024
+
+    def test_fp_k_choices_follow_mantissa(self):
+        c = codec(precision="FP16")
+        assert c.k_choices == [1, 11]
+        c32 = codec(precision="FP32")
+        assert 3 in c32.k_choices  # 24 has non-power-of-two divisors
+
+
+class TestSampleRepairDecode:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_sample_always_feasible(self, seed):
+        c = codec()
+        g = c.sample(random.Random(seed))
+        assert c.is_feasible(g)
+        point = c.decode(g)
+        assert point.wstore == 64 * 1024
+
+    @given(
+        st.tuples(
+            st.integers(min_value=-5, max_value=30),
+            st.integers(min_value=-5, max_value=30),
+            st.integers(min_value=-5, max_value=30),
+            st.integers(min_value=-5, max_value=30),
+        ),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_repair_always_feasible(self, genome, seed):
+        c = codec()
+        repaired = c.repair(genome, random.Random(seed))
+        assert c.is_feasible(repaired)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_repair_is_identity_on_feasible(self, seed):
+        c = codec()
+        g = c.sample(random.Random(seed))
+        assert c.repair(g, random.Random(0)) == g
+
+    def test_decode_satisfies_spec(self):
+        spec = DcimSpec(wstore=64 * 1024, precision="INT8")
+        c = GenomeCodec(spec)
+        for g in c.enumerate():
+            point = c.decode(g)
+            assert point.satisfies(spec)
+
+    def test_decode_rejects_infeasible(self):
+        with pytest.raises(ValueError):
+            codec().decode((0, 0, 0, 0))
+
+    def test_encode_roundtrip(self):
+        c = codec()
+        for g in c.enumerate()[:20]:
+            assert c.encode(c.decode(g)) == g
+
+    def test_fp_decode_constraint(self):
+        # Eq. (3): N * H * L / BM == Wstore.
+        c = codec(precision="BF16")
+        point = c.decode(c.enumerate()[0])
+        assert point.n * point.h * point.l // 8 == 64 * 1024
+
+
+class TestEnumerate:
+    def test_all_unique_and_feasible(self):
+        c = codec()
+        genomes = c.enumerate()
+        assert len(genomes) == len(set(genomes))
+        assert all(c.is_feasible(g) for g in genomes)
+
+    def test_space_covers_fig6_structure(self):
+        # The Fig. 6 structure (N=32, H=128, L=16) exists at 8K weights
+        # when the N bound is relaxed (Fig. 6 predates the DSE bound).
+        c = codec(wstore=8 * 1024, precision="INT8", min_n_factor=0)
+        shapes = {(p.n, p.h, p.l) for p in map(c.decode, c.enumerate())}
+        assert (32, 128, 16) in shapes

@@ -1,0 +1,146 @@
+"""Tests for the Verilog importer, tech-file I/O and new CLI commands."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.netlist import (
+    GateSimulator,
+    build_adder_tree,
+    build_compute_unit,
+    build_shift_accumulator,
+)
+from repro.netlist.export import netlist_to_verilog
+from repro.netlist.importer import verilog_to_netlist
+from repro.tech import GENERIC28, Technology
+from repro.tech.techfile import dump_technology, load_technology
+
+
+def roundtrip(netlist):
+    return verilog_to_netlist(netlist_to_verilog(netlist))
+
+
+class TestVerilogImporter:
+    def test_structure_preserved(self):
+        original = build_adder_tree(8, 4)
+        back = roundtrip(original)
+        assert back.stats() == original.stats()
+        assert set(back.inputs) == set(original.inputs)
+        assert set(back.outputs) == set(original.outputs)
+
+    @pytest.mark.parametrize("h,k", [(2, 2), (8, 4), (16, 8)])
+    def test_simulation_equivalent_combinational(self, h, k):
+        original = build_adder_tree(h, k)
+        back = roundtrip(original)
+        sim_a = GateSimulator(original)
+        sim_b = GateSimulator(back)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            # Compose wide stimulus from 32-bit chunks (numpy's integer
+            # sampler is bounded to int64).
+            value = 0
+            for chunk in range((h * k + 31) // 32):
+                value |= int(rng.integers(0, 2**32)) << (32 * chunk)
+            value &= (1 << (h * k)) - 1
+            for sim in (sim_a, sim_b):
+                sim.set_bus("terms", value)
+                sim.eval()
+            assert sim_a.get_bus("total") == sim_b.get_bus("total")
+
+    def test_simulation_equivalent_sequential(self):
+        original = build_shift_accumulator(8, 2, 8)
+        back = roundtrip(original)
+        sim_a = GateSimulator(original)
+        sim_b = GateSimulator(back)
+        rng = np.random.default_rng(1)
+        for sim in (sim_a, sim_b):
+            sim.set_bus("clear", 1)
+            sim.step()
+            sim.set_bus("clear", 0)
+        for _ in range(4):
+            partial = int(rng.integers(0, 2**5))
+            for sim in (sim_a, sim_b):
+                sim.set_bus("partial", partial)
+                sim.step()
+        assert sim_a.get_bus("acc") == sim_b.get_bus("acc")
+
+    def test_compute_unit_roundtrip(self):
+        original = build_compute_unit(4, 4)
+        back = roundtrip(original)
+        sim = GateSimulator(back)
+        sim.set_bus("weights", 0b0100)
+        sim.set_bus("sel", 2)
+        sim.set_bus("din", 9)
+        sim.eval()
+        assert sim.get_bus("product") == 9
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            verilog_to_netlist("not verilog")
+
+    def test_rejects_missing_net_array(self):
+        with pytest.raises(ValueError, match="net array"):
+            verilog_to_netlist("module a (x);\n  input x;\nendmodule")
+
+
+class TestTechFile:
+    def test_roundtrip(self):
+        text = dump_technology(GENERIC28)
+        back = load_technology(text)
+        assert back == GENERIC28
+
+    def test_dump_format(self):
+        text = dump_technology(GENERIC28)
+        assert text.startswith("technology (generic28) {")
+        assert "gate_area_um2:" in text
+
+    def test_load_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            load_technology("nope")
+
+    def test_load_rejects_missing_field(self):
+        text = "technology (x) { node_nm: 28; }"
+        with pytest.raises(ValueError, match="missing"):
+            load_technology(text)
+
+    def test_custom_node_roundtrip(self):
+        tech = Technology(
+            name="n5", node_nm=5, gate_area_um2=0.01,
+            gate_delay_ps=3, gate_energy_fj=0.05,
+            voltage_v=0.7, nominal_voltage_v=0.7,
+            activity=0.2, utilization=0.8,
+        )
+        assert load_technology(dump_technology(tech)) == tech
+
+
+class TestNewCliCommands:
+    def test_lint_clean(self, capsys, tmp_path):
+        from repro.core.spec import DesignPoint
+        from repro.rtl import generate_rtl, write_bundle
+
+        bundle = generate_rtl(DesignPoint(precision="INT8", n=16, h=8, l=4, k=4))
+        paths = write_bundle(bundle, tmp_path)
+        v_files = [str(p) for p in paths if p.suffix == ".v"]
+        assert main(["lint", *v_files]) == 0
+        assert "CLEAN" in capsys.readouterr().out
+
+    def test_lint_broken(self, capsys, tmp_path):
+        bad = tmp_path / "bad.v"
+        bad.write_text("module a (x);\n  input x;\n")
+        assert main(["lint", str(bad)]) == 1
+        assert "lint error" in capsys.readouterr().err
+
+    def test_sweep(self, capsys):
+        assert main([
+            "sweep", "--precision", "INT8", "--wstores", "4096,8192",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "4K" in out and "8K" in out
+
+    def test_mc(self, capsys):
+        assert main([
+            "mc", "--precision", "INT8",
+            "--n", "64", "--h", "128", "--l", "16", "--k", "8",
+            "--samples", "100",
+        ]) == 0
+        assert "delay_ns_p50" in capsys.readouterr().out

@@ -1,0 +1,86 @@
+"""Tests for the INT-to-FP converter: model and gate level."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.func.formats import FloatFormat
+from repro.func.int2fp_model import ConversionResult, int_to_fp, pack_to_format
+from repro.netlist.verify import verify_fp_datapath, verify_int2fp
+
+BF16 = FloatFormat.from_precision("BF16")
+
+
+class TestIntToFpModel:
+    def test_zero(self):
+        r = int_to_fp(0, 5, 8)
+        assert r.is_zero
+        assert r.mantissa == 0 and r.exponent == 0
+
+    def test_msb_already_normalised(self):
+        r = int_to_fp(0b10000000, 10, 8)
+        assert r.lead == 7
+        assert r.mantissa == 0b10000000
+        assert r.exponent == 17
+
+    def test_small_value_shifts_up(self):
+        r = int_to_fp(0b00000011, 10, 8)
+        assert r.lead == 1
+        assert r.mantissa == 0b11000000
+        assert r.exponent == 11
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_fp(256, 0, 8)
+        with pytest.raises(ValueError):
+            int_to_fp(-1, 0, 8)
+
+    @given(st.integers(min_value=1, max_value=2**19 - 1), st.integers(0, 255))
+    @settings(max_examples=100, deadline=None)
+    def test_normalisation_invariants(self, value, base):
+        r = int_to_fp(value, base, 19)
+        # MSB set after normalisation; exponent encodes the magnitude.
+        assert r.mantissa >> 18 == 1
+        assert r.exponent == base + value.bit_length() - 1
+        # The mantissa is the value left-aligned: shifting back recovers it.
+        assert r.mantissa >> (19 - value.bit_length()) == value
+
+    def test_pack_roundtrip_exact_when_it_fits(self):
+        # br == BM == 8: no truncation.  With base_exp = bias, the packed
+        # value decodes to significand * 2^(exponent - bias - (BM-1)) =
+        # 176 * 2^(7-7) = 176.
+        r = int_to_fp(0b1011_0000, BF16.bias, 8)
+        packed = pack_to_format(r, sign=0, fmt=BF16)
+        assert packed == 176.0
+
+    def test_pack_zero(self):
+        r = int_to_fp(0, 3, 8)
+        assert pack_to_format(r, 0, BF16) == 0.0
+        assert pack_to_format(r, 1, BF16) == 0.0
+
+    def test_pack_sign(self):
+        r = int_to_fp(128, BF16.bias, 8)
+        assert pack_to_format(r, 1, BF16) < 0
+
+    def test_pack_saturates(self):
+        r = ConversionResult(
+            mantissa=0xFF, exponent=10_000, lead=7, is_zero=False, br=8
+        )
+        assert pack_to_format(r, 0, BF16) == BF16.max_value
+
+
+class TestGateLevelInt2Fp:
+    @pytest.mark.parametrize("br,be", [(7, 4), (12, 5), (19, 8), (23, 8)])
+    def test_equivalence(self, br, be):
+        report = verify_int2fp(br, be, trials=30, seed=1)
+        assert report.passed, report.mismatches[:3]
+
+
+class TestFpDatapath:
+    @pytest.mark.parametrize(
+        "h,be,bm",
+        [(2, 4, 4), (4, 5, 4), (4, 8, 8), (8, 8, 8), (4, 5, 11)],
+    )
+    def test_end_to_end(self, h, be, bm):
+        report = verify_fp_datapath(h, be, bm, trials=6, seed=2)
+        assert report.passed, report.mismatches[:3]

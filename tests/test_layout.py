@@ -1,0 +1,165 @@
+"""Tests for repro.layout (geometry, floorplan, DEF, P&R)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.spec import DesignPoint
+from repro.layout import (
+    Block,
+    PnrFlow,
+    Rect,
+    dump_def,
+    load_def,
+    slicing_floorplan,
+)
+from repro.tech import GENERIC28
+
+
+class TestRect:
+    def test_positive_dimensions(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 0, 1)
+
+    def test_properties(self):
+        r = Rect(1, 2, 3, 4)
+        assert r.area == 12
+        assert r.x2 == 4 and r.y2 == 6
+        assert r.center == (2.5, 4.0)
+        assert r.aspect == 0.75
+
+    def test_overlaps(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.overlaps(Rect(1, 1, 2, 2))
+        assert not a.overlaps(Rect(2, 0, 2, 2))  # edge contact
+        assert not a.overlaps(Rect(5, 5, 1, 1))
+
+    def test_contains(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains(Rect(1, 1, 5, 5))
+        assert not outer.contains(Rect(8, 8, 5, 5))
+
+
+block_lists = st.lists(
+    st.floats(min_value=1.0, max_value=1e6),
+    min_size=1,
+    max_size=12,
+).map(lambda areas: [Block(f"b{i}", a) for i, a in enumerate(areas)])
+
+
+class TestSlicingFloorplan:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            slicing_floorplan([])
+
+    def test_bad_utilization(self):
+        with pytest.raises(ValueError):
+            slicing_floorplan([Block("a", 1.0)], utilization=0.0)
+
+    @given(block_lists, st.floats(min_value=0.4, max_value=1.0),
+           st.floats(min_value=0.5, max_value=3.0))
+    @settings(max_examples=60, deadline=None)
+    def test_invariants(self, blocks, utilization, aspect):
+        fp = slicing_floorplan(blocks, utilization=utilization, aspect=aspect)
+        # Every block placed exactly once.
+        assert {p.name for p in fp.placements} == {b.name for b in blocks}
+        # All placements inside the die.
+        for p in fp.placements:
+            assert fp.die.contains(p.rect)
+        # No overlaps.
+        for i, a in enumerate(fp.placements):
+            for b in fp.placements[i + 1 :]:
+                assert not a.rect.overlaps(b.rect), (a, b)
+        # Die sized by utilisation.
+        total = sum(b.area for b in blocks)
+        assert fp.die.area == pytest.approx(total / utilization, rel=1e-6)
+        # Die aspect as requested.
+        assert fp.die.aspect == pytest.approx(aspect, rel=1e-6)
+
+    @given(block_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_area_proportionality(self, blocks):
+        # Leaf rectangles keep the blocks' area ratios (slicing is
+        # area-proportional), so relative areas match requests.
+        fp = slicing_floorplan(blocks, utilization=0.75)
+        total_req = sum(b.area for b in blocks)
+        placed = {p.name: p.rect.area for p in fp.placements}
+        total_placed = sum(placed.values())
+        for b in blocks:
+            assert placed[b.name] / total_placed == pytest.approx(
+                b.area / total_req, rel=1e-6
+            )
+
+
+class TestDef:
+    def test_roundtrip(self):
+        fp = slicing_floorplan(
+            [Block("mem", 100.0), Block("compute", 50.0), Block("periph", 25.0)]
+        )
+        text = dump_def("testchip", fp)
+        name, back = load_def(text)
+        assert name == "testchip"
+        assert back.die.w == pytest.approx(fp.die.w, abs=1e-2)
+        assert {p.name for p in back.placements} == {"mem", "compute", "periph"}
+
+    def test_load_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            load_def("not a def file")
+
+    def test_def_sections_present(self):
+        fp = slicing_floorplan([Block("a", 10.0)])
+        text = dump_def("x", fp)
+        for keyword in ("VERSION", "DESIGN", "DIEAREA", "COMPONENTS", "END DESIGN"):
+            assert keyword in text
+
+
+class TestPnrFlow:
+    @pytest.fixture(scope="class")
+    def fig6a(self):
+        return PnrFlow(GENERIC28).run(
+            DesignPoint(precision="INT8", n=32, h=128, l=16, k=8)
+        )
+
+    @pytest.fixture(scope="class")
+    def fig6b(self):
+        return PnrFlow(GENERIC28).run(
+            DesignPoint(precision="BF16", n=32, h=128, l=16, k=8)
+        )
+
+    def test_fig6a_die_dimensions(self, fig6a):
+        # Paper Fig. 6(a): 343 um x 229 um, 0.079 mm^2.
+        assert fig6a.width_um == pytest.approx(343, rel=0.1)
+        assert fig6a.height_um == pytest.approx(229, rel=0.1)
+        assert fig6a.area_mm2 == pytest.approx(0.079, rel=0.1)
+
+    def test_fig6b_die_dimensions(self, fig6b):
+        # Paper Fig. 6(b): 367 um x 231 um, 0.085 mm^2.
+        assert fig6b.area_mm2 == pytest.approx(0.085, rel=0.1)
+
+    def test_bf16_close_to_int8(self, fig6a, fig6b):
+        assert 1.0 < fig6b.area_mm2 / fig6a.area_mm2 < 1.2
+
+    def test_three_part_groups(self, fig6a):
+        names = {p.name for p in fig6a.floorplan.placements}
+        assert names == {"memory_array", "compute_components", "digital_peripherals"}
+
+    def test_group_areas_sum_to_cell_area(self, fig6a):
+        total = sum(
+            fig6a.group_area_mm2(p.name) for p in fig6a.floorplan.placements
+        )
+        assert total == pytest.approx(fig6a.area_mm2, rel=1e-6)
+
+    def test_area_tracks_estimation_model(self, fig6a):
+        from repro.model.metrics import evaluate_macro
+
+        metrics = evaluate_macro(fig6a.design.macro_cost(), GENERIC28)
+        assert fig6a.area_mm2 == pytest.approx(metrics.layout_area_mm2, rel=1e-6)
+
+    def test_def_text_parses(self, fig6a):
+        from repro.layout import load_def
+
+        name, fp = load_def(fig6a.def_text)
+        assert len(fp.placements) == 3
+
+    def test_wirelength_positive(self, fig6a):
+        assert fig6a.wirelength_mm > 0

@@ -1,0 +1,103 @@
+"""Tests for repro.model.logic (paper Table II)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.logic import (
+    adder,
+    barrel_shifter,
+    clog2,
+    comparator,
+    multiplier_1xn,
+    mux,
+    register_bank,
+)
+from repro.tech.cells import CellLibrary
+
+LIB = CellLibrary.default()
+widths = st.integers(min_value=1, max_value=256)
+
+
+class TestClog2:
+    @pytest.mark.parametrize("n,expected", [(1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (1024, 10)])
+    def test_values(self, n, expected):
+        assert clog2(n) == expected
+
+    def test_rejects_below_one(self):
+        with pytest.raises(ValueError):
+            clog2(0)
+
+
+class TestMultiplier:
+    @given(widths)
+    def test_table2_row(self, n):
+        c = multiplier_1xn(LIB, n)
+        assert c.area == pytest.approx(n * LIB.nor.area)
+        assert c.delay == LIB.nor.delay  # all NORs fire in parallel
+        assert c.energy == pytest.approx(n * LIB.nor.energy)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            multiplier_1xn(LIB, 0)
+
+
+class TestAdder:
+    def test_table2_row(self):
+        c = adder(LIB, 8)
+        fa, ha = LIB.full_adder, LIB.half_adder
+        assert c.area == pytest.approx(7 * fa.area + ha.area)
+        assert c.delay == pytest.approx(7 * fa.delay + ha.delay)
+        assert c.energy == pytest.approx(7 * fa.energy + ha.energy)
+
+    def test_one_bit_is_half_adder(self):
+        assert adder(LIB, 1).area == LIB.half_adder.area
+
+    @given(widths)
+    def test_delay_linear_in_width(self, n):
+        # Carry-ripple: delay grows linearly.
+        assert adder(LIB, n + 1).delay > adder(LIB, n).delay
+
+
+class TestMux:
+    def test_wire_for_one_input(self):
+        c = mux(LIB, 1)
+        assert (c.area, c.delay, c.energy) == (0.0, 0.0, 0.0)
+
+    def test_table2_row(self):
+        c = mux(LIB, 16)
+        assert c.area == pytest.approx(15 * LIB.mux2.area)
+        assert c.delay == pytest.approx(4 * LIB.mux2.delay)
+
+    @given(st.integers(min_value=2, max_value=256))
+    def test_tree_depth_is_log(self, n):
+        assert mux(LIB, n).delay == clog2(n) * LIB.mux2.delay
+
+
+class TestBarrelShifter:
+    def test_wire_for_one_bit(self):
+        c = barrel_shifter(LIB, 1)
+        assert c.area == 0.0
+
+    def test_paper_literal_formulas(self):
+        # A_shift(N) = N * A_sel(N); D_shift(N) = log2(N) * D_sel(N).
+        n = 8
+        sel = mux(LIB, n)
+        c = barrel_shifter(LIB, n)
+        assert c.area == pytest.approx(n * sel.area)
+        assert c.delay == pytest.approx(clog2(n) * sel.delay)
+        assert c.energy == pytest.approx(n * sel.energy)
+
+
+class TestComparator:
+    @given(widths)
+    def test_equals_adder(self, n):
+        assert comparator(LIB, n) == adder(LIB, n)
+
+
+class TestRegisterBank:
+    def test_scales_with_width(self):
+        c = register_bank(LIB, 10)
+        assert c.area == pytest.approx(10 * LIB.dff.area)
+        assert c.energy == pytest.approx(10 * LIB.dff.energy)
+        assert c.delay == LIB.dff.delay == 0.0

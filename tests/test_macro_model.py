@@ -1,0 +1,221 @@
+"""Tests for repro.func.macro_model and prealign_model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.spec import DesignPoint
+from repro.func.formats import FloatFormat
+from repro.func.macro_model import FpMacroModel, IntMacroModel
+from repro.func.mvm import golden_mvm
+from repro.func.prealign_model import aligned_dot, alignment_error, prealign
+
+BF16 = FloatFormat.from_precision("BF16")
+
+
+def int_design(k=2):
+    return DesignPoint(precision="INT8", n=16, h=8, l=4, k=k)
+
+
+class TestIntMacroModel:
+    def test_rejects_fp_design(self):
+        with pytest.raises(ValueError):
+            IntMacroModel(DesignPoint(precision="BF16", n=16, h=8, l=4, k=8))
+
+    def test_cycles_per_pass(self):
+        assert IntMacroModel(int_design(k=2)).cycles_per_pass == 4
+        assert IntMacroModel(int_design(k=8)).cycles_per_pass == 1
+
+    def test_load_weights_shape_checked(self):
+        model = IntMacroModel(int_design())
+        with pytest.raises(ValueError, match="shape"):
+            model.load_weights(np.zeros((4, 2), dtype=int))
+
+    def test_load_weights_range_checked(self):
+        model = IntMacroModel(int_design())
+        with pytest.raises(ValueError, match="unsigned"):
+            model.load_weights(np.full((8, 2), 256))
+
+    def test_sel_range_checked(self):
+        model = IntMacroModel(int_design())
+        with pytest.raises(ValueError, match="sel"):
+            model.load_weights(np.zeros((8, 2), dtype=int), sel=4)
+
+    @given(
+        arrays(np.int64, (8, 2), elements=st.integers(0, 255)),
+        arrays(np.int64, (8,), elements=st.integers(0, 255)),
+        st.sampled_from([1, 2, 4, 8]),
+        st.integers(0, 3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matvec_equals_golden(self, w, x, k, sel):
+        model = IntMacroModel(int_design(k=k))
+        model.load_weights(w, sel=sel)
+        assert np.array_equal(model.matvec(x, sel=sel), golden_mvm(w, x))
+
+    def test_weight_sets_independent(self):
+        model = IntMacroModel(int_design())
+        w0 = np.full((8, 2), 3)
+        w1 = np.full((8, 2), 7)
+        model.load_weights(w0, sel=0)
+        model.load_weights(w1, sel=1)
+        x = np.ones(8, dtype=int)
+        assert model.matvec(x, sel=0)[0] == 24
+        assert model.matvec(x, sel=1)[0] == 56
+
+    def test_trace_shapes(self):
+        model = IntMacroModel(int_design(k=2))
+        model.load_weights(np.ones((8, 2), dtype=int))
+        trace = model.matvec_trace(np.ones(8, dtype=int))
+        assert trace["cycles"] == 4
+        assert len(trace["partials"]) == 4
+        assert trace["accumulators"][-1].shape == (8, 2)
+
+    def test_trace_accumulator_recurrence(self):
+        # acc_c == (acc_{c-1} << k) + partial_c, the RTL contract.
+        model = IntMacroModel(int_design(k=2))
+        rng = np.random.default_rng(3)
+        model.load_weights(rng.integers(0, 256, (8, 2)))
+        trace = model.matvec_trace(rng.integers(0, 256, 8))
+        prev = np.zeros_like(trace["accumulators"][0])
+        for partial, acc in zip(trace["partials"], trace["accumulators"]):
+            assert np.array_equal(acc, (prev << 2) + partial)
+            prev = acc
+
+    @given(
+        arrays(np.int64, (8, 2), elements=st.integers(-255, 255)),
+        arrays(np.int64, (8,), elements=st.integers(-255, 255)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_signed_wrapper(self, w, x):
+        model = IntMacroModel(int_design())
+        assert np.array_equal(model.matvec_signed(w, x), w.T @ x)
+
+    def test_signed_wrapper_restores_weights(self):
+        model = IntMacroModel(int_design())
+        w0 = np.full((8, 2), 9)
+        model.load_weights(w0, sel=0)
+        model.matvec_signed(np.ones((8, 2), dtype=int), np.ones(8, dtype=int))
+        assert np.array_equal(model.weights[0], w0)
+
+
+class TestPrealign:
+    def test_max_exponent_found(self):
+        a = prealign([1.0, 4.0, 0.25], BF16)
+        assert a.max_exponent == BF16.encode(4.0).exponent
+
+    def test_zero_vector(self):
+        a = prealign([0.0, 0.0], BF16)
+        assert a.max_exponent == 0
+        assert a.mantissas.tolist() == [0, 0]
+
+    def test_alignment_truncates_small_values(self):
+        # An element 2^BM smaller than the max loses all its bits.
+        big, tiny = 1.0, 2.0 ** (-BF16.mantissa_bits - 1)
+        a = prealign([big, tiny], BF16)
+        assert a.mantissas[1] == 0
+
+    def test_values_roundtrip_at_max_scale(self):
+        a = prealign([2.0, -3.0], BF16)
+        assert a.values()[0] == pytest.approx(2.0)
+        assert a.values()[1] == pytest.approx(-3.0)
+
+    @given(
+        arrays(
+            np.float64,
+            (8,),
+            elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_aligned_dot_close_to_exact(self, x):
+        # Principled truncation bound: each aligned mantissa loses at
+        # most 1 ulp at its vector's max scale, so
+        # |err| <= ulp_x * sum|w| + ulp_w * sum|x| + H * ulp_x * ulp_w.
+        w = np.linspace(-1.0, 1.0, 8)
+        err = alignment_error(x, w, BF16)
+        xa = prealign(x, BF16)
+        wa = prealign(w, BF16)
+        ulp = 2.0 ** (-(BF16.mantissa_bits - 1) - BF16.bias)
+        ulp_x = 2.0**xa.max_exponent * ulp
+        ulp_w = 2.0**wa.max_exponent * ulp
+        xq = np.array([BF16.quantize(float(v)) for v in x])
+        wq = np.array([BF16.quantize(float(v)) for v in w])
+        bound = (
+            ulp_x * np.abs(wq).sum()
+            + ulp_w * np.abs(xq).sum()
+            + len(x) * ulp_x * ulp_w
+        )
+        assert err["abs_error"] <= bound + 1e-12
+
+    def test_aligned_dot_exact_when_same_exponent(self):
+        # All operands in one binade: no truncation at all.
+        x = [1.0, 1.5, 1.25, 1.75]
+        w = [1.0, 1.0, 1.0, 1.0]
+        err = alignment_error(x, w, BF16)
+        assert err["abs_error"] == 0.0
+
+
+class TestFpMacroModel:
+    def fp_design(self, k=8):
+        return DesignPoint(precision="BF16", n=16, h=8, l=4, k=k)
+
+    def test_rejects_int_design(self):
+        with pytest.raises(ValueError):
+            FpMacroModel(int_design())
+
+    def test_requires_weights(self):
+        with pytest.raises(RuntimeError):
+            FpMacroModel(self.fp_design()).matvec(np.zeros(8))
+
+    def test_matches_aligned_dot(self):
+        rng = np.random.default_rng(11)
+        w = rng.normal(size=(8, 2))
+        x = rng.normal(size=8)
+        model = FpMacroModel(self.fp_design())
+        model.load_weights(w)
+        out = model.matvec(x)
+        # Column 0 of the macro equals the scalar pre-aligned dot product
+        # computed with the weight alignment done over the whole matrix.
+        # Build the expectation by hand with the same global WEmax.
+        wa = prealign(w.ravel(), BF16)
+        xa = prealign(x, BF16)
+        wm = np.where(wa.signs == 1, -wa.mantissas, wa.mantissas).reshape(8, 2)
+        xm = np.where(xa.signs == 1, -xa.mantissas, xa.mantissas)
+        scale = 2.0 ** (
+            (xa.max_exponent - BF16.bias - 7) + (wa.max_exponent - BF16.bias - 7)
+        )
+        expected = (wm.T @ xm).astype(float) * scale
+        assert np.allclose(out, expected)
+
+    @pytest.mark.parametrize("k", [1, 2, 4, 8])
+    def test_k_invariant(self, k):
+        # The bit-serial schedule must not change the result.
+        rng = np.random.default_rng(5)
+        w = rng.normal(size=(8, 2))
+        x = rng.normal(size=8)
+        ref = None
+        model = FpMacroModel(self.fp_design(k=k))
+        model.load_weights(w)
+        out = model.matvec(x)
+        base = FpMacroModel(self.fp_design(k=8))
+        base.load_weights(w)
+        ref = base.matvec(x)
+        assert np.allclose(out, ref)
+
+    def test_relative_accuracy_vs_float(self):
+        # Error measured against the natural scale sum(|x_i * w_i|):
+        # measuring against the (possibly cancelled) result would conflate
+        # quantisation with cancellation.
+        rng = np.random.default_rng(2)
+        w = rng.normal(size=(8, 2))
+        x = rng.normal(size=8)
+        model = FpMacroModel(self.fp_design())
+        model.load_weights(w)
+        out = model.matvec(x)
+        exact = w.T @ x
+        scale = np.abs(w.T) @ np.abs(x)
+        rel = np.abs(out - exact) / scale
+        assert np.all(rel < 0.02)  # well under one BF16 ulp per term

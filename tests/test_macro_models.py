@@ -1,0 +1,170 @@
+"""Tests for repro.model.integer / floating / macro / metrics (Tables V-VI)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.floating import fp_macro_cost, fp_weights_stored, validate_fp_params
+from repro.model.integer import int_macro_cost, int_weights_stored, validate_int_params
+from repro.model.metrics import evaluate_macro
+from repro.tech.cells import CellLibrary
+from repro.tech.pdk import GENERIC28
+
+LIB = CellLibrary.default()
+
+
+def fig6_int8():
+    """The Fig. 6(a) design: N=32, L=16, H=128, 8K weights, INT8."""
+    return int_macro_cost(LIB, n=32, h=128, l=16, k=8, bx=8, bw=8)
+
+
+def fig6_bf16():
+    """The Fig. 6(b) design: N=32, L=16, H=128, 8K weights, BF16."""
+    return fp_macro_cost(LIB, n=32, h=128, l=16, k=8, be=8, bm=8)
+
+
+class TestIntValidation:
+    def test_k_cannot_exceed_bx(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            validate_int_params(32, 128, 16, k=16, bx=8, bw=8)
+
+    def test_k_must_divide_bx(self):
+        with pytest.raises(ValueError, match="divide"):
+            validate_int_params(32, 128, 16, k=3, bx=8, bw=8)
+
+    def test_columns_group_by_bw(self):
+        with pytest.raises(ValueError, match="multiple of Bw"):
+            validate_int_params(33, 128, 16, k=8, bx=8, bw=8)
+
+    def test_positive_parameters(self):
+        with pytest.raises(ValueError):
+            validate_int_params(0, 128, 16, 8, 8, 8)
+
+    def test_weights_stored(self):
+        assert int_weights_stored(32, 128, 16, 8) == 8192
+
+
+class TestIntMacro:
+    def test_sram_capacity(self):
+        cost = fig6_int8()
+        assert cost.sram_bits == 32 * 128 * 16  # 64 Kbit (Fig. 6 caption)
+        assert cost.sram_bits == 64 * 1024
+
+    def test_cycles_per_pass(self):
+        # Bx/k cycles per pass (Fig. 3, lower left).
+        assert int_macro_cost(LIB, n=32, h=128, l=16, k=2, bx=8, bw=8).cycles_per_pass == 4
+        assert fig6_int8().cycles_per_pass == 1
+
+    def test_ops_per_pass(self):
+        # 2 * H * (N / Bw) MACs per pass.
+        assert fig6_int8().ops_per_pass == 2 * 128 * (32 / 8)
+
+    def test_breakdown_sums_to_area(self):
+        cost = fig6_int8()
+        assert cost.area == pytest.approx(
+            sum(c.area for c in cost.breakdown.values())
+        )
+
+    def test_smaller_k_smaller_area_more_cycles(self):
+        # Fig. 3: "The smaller k is, the smaller the area ... However,
+        # the number of computation cycles Bx/k increases."
+        wide = int_macro_cost(LIB, n=32, h=128, l=16, k=8, bx=8, bw=8)
+        narrow = int_macro_cost(LIB, n=32, h=128, l=16, k=1, bx=8, bw=8)
+        assert narrow.area < wide.area
+        assert narrow.cycles_per_pass > wide.cycles_per_pass
+        assert narrow.throughput < wide.throughput
+
+    def test_pipeline_delay_is_max_stage(self):
+        cost = fig6_int8()
+        assert cost.delay == max(cost.stage_delays.values())
+        assert cost.critical_stage in cost.stage_delays
+
+    def test_array_stage_dominates_for_tall_columns(self):
+        # A 128-input adder tree outweighs the accumulator loop.
+        cost = fig6_int8()
+        assert cost.critical_stage == "array"
+
+    @given(
+        st.sampled_from([8, 16, 32, 64]),
+        st.sampled_from([16, 64, 256]),
+        st.sampled_from([1, 4, 16]),
+        st.sampled_from([1, 2, 4, 8]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_energy_positive_and_monotone_in_cycles(self, n, h, l, k):
+        cost = int_macro_cost(LIB, n=n, h=h, l=l, k=k, bx=8, bw=8)
+        assert cost.energy_per_pass > 0
+        assert cost.energy_per_cycle <= cost.energy_per_pass
+
+
+class TestFpMacro:
+    def test_weights_stored(self):
+        assert fp_weights_stored(32, 128, 16, 8) == 8192
+
+    def test_fp_has_alignment_and_converter(self):
+        cost = fig6_bf16()
+        assert "prealign" in cost.breakdown
+        assert "int_to_fp" in cost.breakdown
+        assert cost.breakdown["prealign"].area > 0
+
+    def test_bf16_close_to_int8(self):
+        # Headline claim (Fig. 7 discussion): BF16 overhead is almost the
+        # same as INT8 thanks to the pre-aligned architecture.
+        int8 = fig6_int8()
+        bf16 = fig6_bf16()
+        ratio = bf16.area / int8.area
+        assert 1.0 < ratio < 1.25
+
+    def test_prealign_small_fraction(self):
+        # Fig. 6(b): pre-aligned circuits are 0.006/0.085 ~ 7 % of area.
+        cost = fig6_bf16()
+        assert cost.area_fraction("prealign") < 0.15
+
+    def test_validation_requires_positive_exponent(self):
+        with pytest.raises(ValueError, match="BE"):
+            validate_fp_params(32, 128, 16, 8, be=0, bm=8)
+
+    def test_fp32_bigger_than_fp8(self):
+        fp8 = fp_macro_cost(LIB, n=32, h=128, l=16, k=4, be=4, bm=4)
+        fp32 = fp_macro_cost(LIB, n=48, h=128, l=16, k=8, be=8, bm=24)
+        assert fp32.area > fp8.area
+        assert fp32.delay > fp8.delay
+
+
+class TestMetrics:
+    def test_fig6a_area_anchor(self):
+        # Paper: INT8 8K macro layout area 0.079 mm^2.  Calibration
+        # tolerance: +/- 20 %.
+        metrics = evaluate_macro(fig6_int8(), GENERIC28)
+        assert metrics.layout_area_mm2 == pytest.approx(0.079, rel=0.20)
+
+    def test_fig6b_area_anchor(self):
+        # Paper: BF16 8K macro layout area 0.085 mm^2.
+        metrics = evaluate_macro(fig6_bf16(), GENERIC28)
+        assert metrics.layout_area_mm2 == pytest.approx(0.085, rel=0.20)
+
+    def test_frequency_inverse_of_delay(self):
+        m = evaluate_macro(fig6_int8(), GENERIC28)
+        assert m.frequency_ghz == pytest.approx(1.0 / m.delay_ns)
+
+    def test_tops_consistency(self):
+        cost = fig6_int8()
+        m = evaluate_macro(cost, GENERIC28)
+        ops_per_s = cost.ops_per_pass / (cost.cycles_per_pass * m.delay_ns * 1e-9)
+        assert m.tops == pytest.approx(ops_per_s * 1e-12)
+
+    def test_tops_per_watt_independent_of_frequency(self):
+        # TOPS/W = ops / energy; delay cancels.
+        cost = fig6_int8()
+        slow = GENERIC28.with_voltage(0.9)
+        m = evaluate_macro(cost, slow)
+        expected = cost.ops_per_pass / (
+            GENERIC28.energy_fj(cost.energy_per_pass) * 1e-15
+        ) * 1e-12
+        assert m.tops_per_watt == pytest.approx(expected)
+
+    def test_layout_area_larger_than_cell_area(self):
+        m = evaluate_macro(fig6_int8(), GENERIC28)
+        assert m.layout_area_mm2 > m.area_mm2

@@ -1,0 +1,138 @@
+"""Property-based tests on the estimation models (Tables II-VI).
+
+These pin down the *structure* of the cost models: monotonicity in each
+architecture parameter, exact identities the paper states, and scaling
+laws the DSE relies on (if a monotonicity breaks, the Pareto front
+would silently change shape).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.components import accumulator_width, adder_tree
+from repro.model.integer import int_macro_cost
+from repro.model.floating import fp_macro_cost
+from repro.tech.cells import CellLibrary
+
+LIB = CellLibrary.default()
+
+pow2 = st.sampled_from([1, 2, 4, 8, 16, 32, 64, 128])
+k_choices = st.sampled_from([1, 2, 4, 8])
+
+
+def int_cost(n=16, h=16, l=4, k=8, bx=8, bw=8):
+    return int_macro_cost(LIB, n=n, h=h, l=l, k=k, bx=bx, bw=bw)
+
+
+class TestIntMacroMonotonicity:
+    @given(pow2.filter(lambda v: v >= 8))
+    @settings(max_examples=20, deadline=None)
+    def test_area_monotone_in_n(self, n):
+        assert int_cost(n=2 * n).area > int_cost(n=n).area
+
+    @given(pow2)
+    @settings(max_examples=20, deadline=None)
+    def test_area_monotone_in_h(self, h):
+        assert int_cost(h=2 * h).area > int_cost(h=h).area
+
+    @given(pow2)
+    @settings(max_examples=20, deadline=None)
+    def test_delay_monotone_in_h(self, h):
+        # Taller columns -> deeper adder trees -> slower array stage.
+        assert int_cost(h=2 * h).delay > int_cost(h=h).delay
+
+    @given(pow2.filter(lambda v: v <= 32))
+    @settings(max_examples=20, deadline=None)
+    def test_sram_area_linear_in_l(self, l):
+        small = int_cost(l=l).breakdown["sram"].area
+        large = int_cost(l=2 * l).breakdown["sram"].area
+        assert large == pytest.approx(2 * small)
+
+    @given(st.sampled_from([1, 2, 4]))
+    @settings(max_examples=10, deadline=None)
+    def test_throughput_monotone_in_k(self, k):
+        assert int_cost(k=2 * k).throughput > int_cost(k=k).throughput
+
+    @given(pow2, k_choices)
+    @settings(max_examples=30, deadline=None)
+    def test_ops_identity(self, h, k):
+        # T = 2 * H * (N/Bw) * (k/Bx) per cycle (Table V).
+        cost = int_cost(h=h, k=k)
+        assert cost.ops_per_cycle == pytest.approx(
+            2 * h * (16 / 8) * (k / 8)
+        )
+
+    @given(pow2, k_choices)
+    @settings(max_examples=30, deadline=None)
+    def test_cycles_identity(self, h, k):
+        assert int_cost(h=h, k=k).cycles_per_pass == 8 // k
+
+    @given(pow2.filter(lambda v: v >= 2), k_choices)
+    @settings(max_examples=30, deadline=None)
+    def test_energy_per_pass_positive_and_bounded(self, h, k):
+        cost = int_cost(h=h, k=k)
+        assert cost.energy_per_pass > 0
+        # A pass can never cost more than cycles * total switching of
+        # every component at once.
+        every_component = sum(c.energy for c in cost.breakdown.values())
+        bound = cost.cycles_per_pass * every_component
+        assert cost.energy_per_pass <= bound * (1 + 1e-9)
+
+
+class TestFpIntRelations:
+    @given(pow2.filter(lambda v: 4 <= v <= 64))
+    @settings(max_examples=15, deadline=None)
+    def test_fp_always_bigger_than_int_core(self, h):
+        # The FP macro is the INT macro (Bx=Bw=BM) plus front/back ends.
+        fp = fp_macro_cost(LIB, n=16, h=h, l=4, k=8, be=8, bm=8)
+        int_ = int_macro_cost(LIB, n=16, h=h, l=4, k=8, bx=8, bw=8)
+        assert fp.area > int_.area
+        assert fp.energy_per_pass > int_.energy_per_pass
+
+    @given(pow2.filter(lambda v: 4 <= v <= 64))
+    @settings(max_examples=15, deadline=None)
+    def test_fp_overhead_shrinks_with_array_size(self, h):
+        def overhead(hh):
+            fp = fp_macro_cost(LIB, n=16, h=hh, l=4, k=8, be=8, bm=8)
+            i = int_macro_cost(LIB, n=16, h=hh, l=4, k=8, bx=8, bw=8)
+            return fp.area / i.area
+
+        # Pre-alignment is per-row but select/multiply/tree grow too;
+        # overhead must stay bounded and not explode.
+        assert 1.0 < overhead(h) < 1.6
+
+    def test_same_mantissa_same_array_stage(self):
+        # BF16 (BM=8) and INT8 share the mantissa datapath width, so the
+        # array-stage delay is identical (the paper's parity argument).
+        fp = fp_macro_cost(LIB, n=16, h=32, l=4, k=8, be=8, bm=8)
+        i = int_macro_cost(LIB, n=16, h=32, l=4, k=8, bx=8, bw=8)
+        assert fp.stage_delays["array"] == i.stage_delays["array"]
+
+
+class TestAdderTreeProperties:
+    @given(st.integers(min_value=1, max_value=300), st.integers(min_value=1, max_value=16))
+    @settings(max_examples=60, deadline=None)
+    def test_tree_cost_nonnegative_and_zero_only_for_h1(self, h, k):
+        cost = adder_tree(LIB, h, k)
+        if h == 1:
+            assert cost.area == 0
+        else:
+            assert cost.area > 0
+
+    @given(st.integers(min_value=2, max_value=256))
+    @settings(max_examples=40, deadline=None)
+    def test_tree_area_superlinear_in_h(self, h):
+        # Doubling operands at least doubles adders (widths also grow).
+        a1 = adder_tree(LIB, h, 8).area
+        a2 = adder_tree(LIB, 2 * h, 8).area
+        assert a2 >= 2 * a1
+
+
+class TestAccumulatorWidth:
+    @given(st.integers(min_value=1, max_value=32), st.integers(min_value=1, max_value=4096))
+    @settings(max_examples=60, deadline=None)
+    def test_width_bounds_worst_case_sum(self, bx, h):
+        # Ba = Bx + clog2(H) bits must hold H * (2^Bx - 1).
+        ba = accumulator_width(bx, h)
+        assert h * (2**bx - 1) <= 2**ba - 1 or h == 1

@@ -1,0 +1,108 @@
+"""Tests for repro.func.mvm: the DCIM dataflow equals plain MVM."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.func.mvm import (
+    bit_serial_mvm,
+    golden_mvm,
+    input_slices,
+    signed_matvec,
+    weight_bitplanes,
+)
+
+
+def weight_matrices(h=8, m=4, bw=8):
+    return arrays(np.int64, (h, m), elements=st.integers(0, 2**bw - 1))
+
+
+def input_vectors(h=8, bx=8):
+    return arrays(np.int64, (h,), elements=st.integers(0, 2**bx - 1))
+
+
+class TestGoldenMvm:
+    def test_known_value(self):
+        w = np.array([[1, 2], [3, 4]])
+        x = np.array([10, 100])
+        assert golden_mvm(w, x).tolist() == [310, 420]
+
+    def test_rejects_signed(self):
+        with pytest.raises(ValueError, match="unsigned"):
+            golden_mvm(np.array([[-1]]), np.array([1]))
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError, match="exceed"):
+            golden_mvm(np.array([[256]]), np.array([1]), bw=8)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            golden_mvm(np.ones((2, 2), dtype=int), np.ones(3, dtype=int))
+
+
+class TestBitplanesAndSlices:
+    def test_bitplanes_reassemble(self):
+        w = np.array([[5, 170], [255, 0]])
+        planes = weight_bitplanes(w, 8)
+        back = sum(p << j for j, p in enumerate(planes))
+        assert np.array_equal(back, w)
+
+    def test_slices_msb_first(self):
+        x = np.array([0b10110100])
+        slices = input_slices(x, 8, 2)
+        assert [s[0] for s in slices] == [0b10, 0b11, 0b01, 0b00]
+
+    def test_slices_reassemble(self):
+        x = np.array([173, 3, 255])
+        slices = input_slices(x, 8, 4)
+        back = np.zeros_like(x)
+        for s in slices:
+            back = (back << 4) + s
+        assert np.array_equal(back, x)
+
+    def test_k_must_divide(self):
+        with pytest.raises(ValueError):
+            input_slices(np.array([1]), 8, 3)
+
+
+class TestBitSerialEqualsGolden:
+    @pytest.mark.parametrize("k", [1, 2, 4, 8])
+    def test_all_k(self, k):
+        rng = np.random.default_rng(7)
+        w = rng.integers(0, 256, size=(16, 4))
+        x = rng.integers(0, 256, size=16)
+        assert np.array_equal(
+            bit_serial_mvm(w, x, bw=8, bx=8, k=k), golden_mvm(w, x)
+        )
+
+    @given(weight_matrices(), input_vectors(), st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=60, deadline=None)
+    def test_property(self, w, x, k):
+        assert np.array_equal(
+            bit_serial_mvm(w, x, bw=8, bx=8, k=k), golden_mvm(w, x)
+        )
+
+    @given(
+        arrays(np.int64, (6, 3), elements=st.integers(0, 3)),
+        arrays(np.int64, (6,), elements=st.integers(0, 3)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_int2(self, w, x):
+        assert np.array_equal(
+            bit_serial_mvm(w, x, bw=2, bx=2, k=1), golden_mvm(w, x, bw=2, bx=2)
+        )
+
+
+class TestSignedMatvec:
+    @given(
+        arrays(np.int64, (8, 3), elements=st.integers(-255, 255)),
+        arrays(np.int64, (8,), elements=st.integers(-255, 255)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_equals_numpy(self, w, x):
+        def unsigned(wm, xv):
+            return golden_mvm(wm, xv)
+
+        assert np.array_equal(signed_matvec(w, x, unsigned), w.T @ x)

@@ -1,0 +1,144 @@
+"""Tests for repro.dse.nsga2 on synthetic and DCIM problems."""
+
+import random
+
+import pytest
+
+from repro.core.pareto import dominates
+from repro.core.spec import DcimSpec
+from repro.dse.nsga2 import (
+    Individual,
+    NSGA2Config,
+    crowding_distance,
+    fast_non_dominated_sort,
+    nsga2,
+)
+from repro.dse.problem import DcimProblem
+
+
+class GridProblem:
+    """Synthetic bi-objective problem on an integer grid.
+
+    Minimise (x, 10 - x) for x in [0, 10]: every point is on the true
+    Pareto front, which exercises front bookkeeping; a second gene adds a
+    strictly-dominated direction.
+    """
+
+    def sample(self, rng):
+        return (rng.randint(0, 10), rng.randint(0, 5))
+
+    def repair(self, genome, rng):
+        x, y = genome
+        return (min(max(x, 0), 10), min(max(y, 0), 5))
+
+    def evaluate(self, genome):
+        x, y = genome
+        return (float(x + y), float(10 - x + y))
+
+    def mutation_steps(self):
+        return (2, 2)
+
+
+class TestSortAndCrowding:
+    def test_fast_sort_ranks(self):
+        pop = [
+            Individual((0,), (1.0, 1.0)),
+            Individual((1,), (2.0, 2.0)),
+            Individual((2,), (0.5, 3.0)),
+            Individual((3,), (3.0, 3.0)),
+        ]
+        fronts = fast_non_dominated_sort(pop)
+        assert {ind.genome for ind in fronts[0]} == {(0,), (2,)}
+        assert pop[0].rank == 0
+        assert pop[3].rank == 2  # dominated by both (1,1) and (2,2)
+
+    def test_crowding_boundaries_infinite(self):
+        front = [
+            Individual((0,), (0.0, 3.0)),
+            Individual((1,), (1.0, 2.0)),
+            Individual((2,), (2.0, 1.0)),
+            Individual((3,), (3.0, 0.0)),
+        ]
+        crowding_distance(front)
+        by_genome = {ind.genome: ind.crowding for ind in front}
+        assert by_genome[(0,)] == float("inf")
+        assert by_genome[(3,)] == float("inf")
+        assert 0 < by_genome[(1,)] < float("inf")
+
+    def test_crowding_small_front_all_infinite(self):
+        front = [Individual((0,), (1.0, 2.0)), Individual((1,), (2.0, 1.0))]
+        crowding_distance(front)
+        assert all(ind.crowding == float("inf") for ind in front)
+
+
+class TestConfig:
+    def test_rejects_odd_population(self):
+        with pytest.raises(ValueError):
+            NSGA2Config(population_size=7)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            NSGA2Config(crossover_prob=1.5)
+
+
+class TestNsga2Synthetic:
+    def test_finds_zero_y_front(self):
+        result = nsga2(GridProblem(), NSGA2Config(population_size=16, generations=30, seed=7))
+        # True front: y == 0 for any x; all 11 x-values non-dominated.
+        assert all(g[1] == 0 for g in (ind.genome for ind in result.front))
+        xs = {g[0] for g, in zip((ind.genome for ind in result.front))}
+        assert len(xs) >= 8  # nearly complete coverage of the 11 points
+
+    def test_front_mutually_nondominated(self):
+        result = nsga2(GridProblem(), NSGA2Config(seed=3))
+        objs = [ind.objectives for ind in result.front]
+        for i, u in enumerate(objs):
+            for j, v in enumerate(objs):
+                if i != j:
+                    assert not dominates(u, v)
+
+    def test_deterministic_given_seed(self):
+        r1 = nsga2(GridProblem(), NSGA2Config(seed=42, generations=10))
+        r2 = nsga2(GridProblem(), NSGA2Config(seed=42, generations=10))
+        assert [i.genome for i in r1.front] == [i.genome for i in r2.front]
+
+    def test_history_length(self):
+        result = nsga2(GridProblem(), NSGA2Config(generations=12, seed=0))
+        assert len(result.history) == 12
+
+
+class TestNsga2OnDcim:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        return DcimProblem(DcimSpec(wstore=16 * 1024, precision="INT8"))
+
+    @pytest.fixture(scope="class")
+    def result(self, problem):
+        return nsga2(problem, NSGA2Config(population_size=32, generations=30, seed=11))
+
+    def test_front_is_subset_of_true_front(self, problem, result):
+        truth = {
+            (p.n, p.h, p.l, p.k) for p in problem.exhaustive_front()
+        }
+        for ind in result.front:
+            p = problem.decode(ind.genome)
+            assert (p.n, p.h, p.l, p.k) in truth
+
+    def test_recall_of_true_front(self, problem, result):
+        truth = {(p.n, p.h, p.l, p.k) for p in problem.exhaustive_front()}
+        found = {
+            (p.n, p.h, p.l, p.k)
+            for p in (problem.decode(i.genome) for i in result.front)
+        }
+        recall = len(found & truth) / len(truth)
+        assert recall > 0.8
+
+    def test_all_front_designs_meet_storage(self, problem, result):
+        for ind in result.front:
+            assert problem.decode(ind.genome).wstore == 16 * 1024
+
+    def test_memoisation_bounds_evaluations(self, problem, result):
+        # 30 generations x 32 offspring without caching would be ~1000
+        # evaluations; the discrete space is far smaller.
+        space = len(problem.codec.enumerate())
+        assert result.evaluations <= space

@@ -1,0 +1,82 @@
+"""Tests for repro.core.precision."""
+
+import pytest
+
+from repro.core.precision import STANDARD_PRECISIONS, Precision, parse_precision
+
+
+class TestStandardPrecisions:
+    def test_all_eight_paper_precisions_present(self):
+        assert set(STANDARD_PRECISIONS) == {
+            "INT2", "INT4", "INT8", "INT16", "FP8", "FP16", "BF16", "FP32",
+        }
+
+    @pytest.mark.parametrize("name,bits", [("INT2", 2), ("INT4", 4), ("INT8", 8), ("INT16", 16)])
+    def test_integer_widths(self, name, bits):
+        p = STANDARD_PRECISIONS[name]
+        assert not p.is_float
+        assert p.bits == bits
+        assert p.input_bits == bits
+        assert p.weight_bits == bits
+        assert p.kind == "int"
+
+    def test_fp8_is_e4m3(self):
+        p = STANDARD_PRECISIONS["FP8"]
+        assert p.exponent_bits == 4
+        assert p.mantissa_field_bits == 3
+        assert p.mantissa_bits == 4  # field + hidden bit
+
+    def test_fp16_fields(self):
+        p = STANDARD_PRECISIONS["FP16"]
+        assert (p.exponent_bits, p.mantissa_bits) == (5, 11)
+
+    def test_bf16_mantissa_matches_int8_datapath(self):
+        # The paper's key claim: BF16 overhead ~ INT8 because the
+        # mantissa datapath is 8 bits wide.
+        p = STANDARD_PRECISIONS["BF16"]
+        assert p.mantissa_bits == 8
+        assert p.exponent_bits == 8
+        assert p.input_bits == STANDARD_PRECISIONS["INT8"].input_bits
+
+    def test_fp32_fields(self):
+        p = STANDARD_PRECISIONS["FP32"]
+        assert (p.exponent_bits, p.mantissa_bits) == (8, 24)
+
+    def test_sign_exponent_mantissa_fill_storage(self):
+        for p in STANDARD_PRECISIONS.values():
+            if p.is_float:
+                assert 1 + p.exponent_bits + p.mantissa_field_bits == p.bits
+
+
+class TestParsePrecision:
+    def test_case_insensitive(self):
+        assert parse_precision("bf16") is STANDARD_PRECISIONS["BF16"]
+        assert parse_precision("int8") is STANDARD_PRECISIONS["INT8"]
+
+    def test_passthrough(self):
+        p = STANDARD_PRECISIONS["FP16"]
+        assert parse_precision(p) is p
+
+    def test_custom_integer_width(self):
+        p = parse_precision("INT12")
+        assert not p.is_float
+        assert p.bits == 12
+
+    @pytest.mark.parametrize("bad", ["FP12", "float16x", "", "INTx", "INT0"])
+    def test_rejects_unknown(self, bad):
+        with pytest.raises(ValueError):
+            parse_precision(bad)
+
+
+class TestPrecisionValidation:
+    def test_float_needs_exponent(self):
+        with pytest.raises(ValueError):
+            Precision(name="bad", is_float=True, bits=16)
+
+    def test_int_cannot_have_mantissa(self):
+        with pytest.raises(ValueError):
+            Precision(name="bad", is_float=False, bits=8, mantissa_bits=4)
+
+    def test_positive_bits(self):
+        with pytest.raises(ValueError):
+            Precision(name="bad", is_float=False, bits=0)

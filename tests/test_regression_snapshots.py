@@ -1,0 +1,68 @@
+"""Regression pins: generated artifacts must stay stable.
+
+The template generator, the cost models and the calibration constants
+are pinned by content hashes and exact values so accidental changes to
+any of them fail loudly.  When a change is *intentional*, update the
+pins here (and the corresponding EXPERIMENTS.md rows).
+"""
+
+import hashlib
+
+import pytest
+
+from repro.core.spec import DesignPoint
+from repro.rtl import generate_rtl
+from repro.tech import GENERIC28
+
+
+def bundle_hash(design: DesignPoint) -> str:
+    bundle = generate_rtl(design)
+    return hashlib.sha256(bundle.source.encode()).hexdigest()[:16]
+
+
+class TestRtlStability:
+    def test_generation_is_deterministic(self):
+        design = DesignPoint(precision="INT8", n=16, h=8, l=4, k=4)
+        assert bundle_hash(design) == bundle_hash(design)
+
+    def test_distinct_designs_distinct_rtl(self):
+        a = bundle_hash(DesignPoint(precision="INT8", n=16, h=8, l=4, k=4))
+        b = bundle_hash(DesignPoint(precision="INT8", n=16, h=8, l=4, k=8))
+        assert a != b
+
+    def test_module_count_pinned(self):
+        int_bundle = generate_rtl(DesignPoint(precision="INT8", n=16, h=8, l=4, k=4))
+        fp_bundle = generate_rtl(DesignPoint(precision="BF16", n=16, h=8, l=4, k=8))
+        assert len(int_bundle.modules) == 8
+        assert len(fp_bundle.modules) == 10
+
+
+class TestCalibrationPins:
+    """The generic28 calibration backs every EXPERIMENTS.md number."""
+
+    def test_gate_constants(self):
+        assert GENERIC28.gate_area_um2 == 0.104
+        assert GENERIC28.gate_delay_ps == 9.5
+        assert GENERIC28.gate_energy_fj == 0.40
+        assert GENERIC28.utilization == 0.72
+
+    def test_fig6a_anchor(self):
+        m = DesignPoint(precision="INT8", n=32, h=128, l=16, k=8).metrics(GENERIC28)
+        assert m.layout_area_mm2 == pytest.approx(0.0787, abs=0.0005)
+
+    def test_fig8_design_a_anchor(self):
+        m = DesignPoint(precision="INT8", n=64, h=128, l=64, k=8).metrics(GENERIC28)
+        assert m.tops_per_watt == pytest.approx(22.4, abs=0.2)
+        assert m.tops_per_mm2 == pytest.approx(2.02, abs=0.05)
+
+    def test_fig8_design_b_anchor(self):
+        m = DesignPoint(precision="BF16", n=64, h=128, l=64, k=8).metrics(GENERIC28)
+        assert m.tops_per_watt == pytest.approx(21.7, abs=0.2)
+
+    def test_cost_model_normalised_pins(self):
+        # Library-level pins, independent of the PDK calibration.
+        cost = DesignPoint(precision="INT8", n=32, h=128, l=16, k=8).macro_cost()
+        assert cost.sram_bits == 65536
+        assert cost.ops_per_pass == 1024.0
+        assert cost.area == pytest.approx(544543.0, rel=1e-3)
+        assert cost.delay == pytest.approx(258.3, rel=1e-3)

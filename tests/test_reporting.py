@@ -1,0 +1,106 @@
+"""Tests for repro.reporting (tables, power reports)."""
+
+import pytest
+
+from repro.core.spec import DesignPoint
+from repro.reporting import ascii_table, csv_table, format_si
+from repro.reporting.power import (
+    area_report,
+    full_report,
+    power_report,
+    timing_report,
+)
+from repro.tech import GENERIC28
+
+
+class TestAsciiTable:
+    def test_alignment(self):
+        text = ascii_table(["a", "bb"], [[1, 2], [33, 4]])
+        lines = text.splitlines()
+        assert lines[0].startswith("+")
+        assert all(len(l) == len(lines[0]) for l in lines)
+
+    def test_float_formatting(self):
+        text = ascii_table(["x"], [[3.14159265]])
+        assert "3.142" in text
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            ascii_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        text = ascii_table(["a"], [])
+        assert "a" in text
+
+
+class TestCsvTable:
+    def test_roundtrip_shape(self):
+        text = csv_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2"
+
+    def test_rejects_commas(self):
+        with pytest.raises(ValueError):
+            csv_table(["a"], [["x,y"]])
+
+
+class TestFormatSi:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (8192, "8K"),
+            (65536, "64K"),
+            (128 * 1024, "128K"),
+            (2**20, "1M"),
+            (1500, "1.5K"),
+            (12, "12"),
+            (2.5e9, "2.5G"),
+        ],
+    )
+    def test_values(self, value, expected):
+        assert format_si(value) == expected
+
+    def test_unit_suffix(self):
+        assert format_si(65536, "b") == "64Kb"
+
+
+DESIGN = DesignPoint(precision="INT8", n=64, h=128, l=64, k=8)
+COST = DESIGN.macro_cost()
+
+
+class TestPowerReports:
+    def test_area_report_shares_sum(self):
+        text = area_report(COST, GENERIC28)
+        assert "TOTAL" in text
+        assert "sram" in text
+        # SRAM + selection dominate the dense design.
+        first_component = text.splitlines()[4]
+        assert "sram" in first_component or "weight_select" in first_component
+
+    def test_timing_report_marks_critical(self):
+        text = timing_report(COST, GENERIC28)
+        assert "<- critical" in text
+        assert "clock period" in text
+
+    def test_power_report_header(self):
+        text = power_report(COST, GENERIC28)
+        assert "W at" in text
+        assert "TOTAL/pass" in text
+
+    def test_power_sram_zero(self):
+        text = power_report(COST, GENERIC28)
+        sram_row = next(l for l in text.splitlines() if "| sram" in l)
+        assert "| 0 " in sram_row or "| 0.0 " in sram_row
+
+    def test_full_report_concatenates(self):
+        text = full_report(COST, GENERIC28)
+        assert "Area report" in text
+        assert "Timing report" in text
+        assert "Power report" in text
+
+    def test_fp_report_includes_fp_blocks(self):
+        fp = DesignPoint(precision="BF16", n=64, h=128, l=64, k=8)
+        text = area_report(fp.macro_cost(), GENERIC28)
+        assert "prealign" in text
+        assert "int_to_fp" in text

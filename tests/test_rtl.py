@@ -1,0 +1,186 @@
+"""Tests for repro.rtl (Verilog builder, templates, generator)."""
+
+import re
+
+import pytest
+
+from repro.core.spec import DesignPoint
+from repro.rtl import (
+    VerilogModule,
+    available_templates,
+    generate_rtl,
+    register_template,
+    write_bundle,
+)
+from repro.rtl.generator import ArchitectureTemplate, RtlBundle
+from repro.rtl.modules import (
+    generate_adder_tree,
+    generate_compute_unit,
+    generate_input_buffer,
+    generate_int2fp,
+    generate_prealign,
+    generate_result_fusion,
+    generate_shift_accumulator,
+)
+
+
+class TestVerilogModule:
+    def test_basic_render(self):
+        m = VerilogModule("foo", comment="a test")
+        m.add_port("a", "input", 4)
+        m.add_port("y", "output", 4)
+        m.add_assign("y", "~a")
+        text = m.render()
+        assert text.startswith("// a test\nmodule foo (a, y);")
+        assert "input [3:0] a;" in text
+        assert "assign y = ~a;" in text
+        assert text.rstrip().endswith("endmodule")
+
+    def test_duplicate_port_rejected(self):
+        m = VerilogModule("foo")
+        m.add_port("a", "input")
+        with pytest.raises(ValueError):
+            m.add_port("a", "output")
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError):
+            VerilogModule("f").add_port("a", "inputt")
+
+    def test_instance_render(self):
+        m = VerilogModule("top")
+        m.add_instance("sub", "u0", a="x", y="z")
+        text = m.render()
+        assert "sub u0 (" in text
+        assert ".a(x)" in text
+
+    def test_scalar_port_has_no_bus(self):
+        m = VerilogModule("foo")
+        m.add_port("clk", "input", 1)
+        assert "input clk;" in m.render()
+
+
+def balanced_generate_blocks(text):
+    return text.count("generate") - 2 * text.count("endgenerate") == -0 or True
+
+
+class TestModuleTemplates:
+    def test_compute_unit_nor_semantics(self):
+        text = generate_compute_unit(4, 8).render()
+        # IN x W = INB NOR WB: inverted operands into a NOR.
+        assert "~(din_b | " in text
+        assert "weights[sel]" in text
+
+    def test_compute_unit_single_weight(self):
+        text = generate_compute_unit(1, 4).render()
+        assert "weights[0]" in text
+
+    def test_adder_tree_levels(self):
+        text = generate_adder_tree(8, 4).render()
+        # 3 levels for H=8: lvl1..lvl3 wires.
+        for lvl in ("lvl1", "lvl2", "lvl3"):
+            assert lvl in text
+        assert "lvl4" not in text
+
+    def test_adder_tree_output_width(self):
+        text = generate_adder_tree(8, 4).render()
+        assert "output [6:0] total;" in text  # 4 + log2(8) = 7 bits
+
+    def test_adder_tree_odd_operands(self):
+        text = generate_adder_tree(5, 3).render()
+        assert "total" in text  # renders without error
+
+    def test_shift_accumulator_recurrence(self):
+        text = generate_shift_accumulator(8, 2, 128).render()
+        assert "acc <= (acc << 2) + partial;" in text
+        assert "output reg [14:0] acc;" in text  # 8 + log2(128)
+
+    def test_result_fusion_weighted_sum(self):
+        text = generate_result_fusion(4, 8, 128).render()
+        assert "<< 1" in text and "<< 3" in text
+
+    def test_input_buffer_cycles(self):
+        text = generate_input_buffer(16, 8, 2).render()
+        assert "cycle" in text
+        assert "4 cycles/pass" in text or "(4 cycles/pass)" in text
+
+    def test_input_buffer_k_divides(self):
+        with pytest.raises(ValueError):
+            generate_input_buffer(16, 8, 3)
+
+    def test_prealign_max_tree(self):
+        text = generate_prealign(8, 8, 8).render()
+        assert "max_lvl1" in text and "max_lvl3" in text
+        assert "xemax - exponents" in text
+
+    def test_int2fp_leading_one(self):
+        text = generate_int2fp(23, 8).render()
+        assert "if (value[li]) lead = li;" in text
+
+
+class TestGenerator:
+    def test_registry(self):
+        assert set(available_templates()) >= {"int-mul", "fp-prealign"}
+
+    def test_int_bundle_complete(self):
+        bundle = generate_rtl(DesignPoint(precision="INT8", n=16, h=8, l=4, k=4))
+        assert bundle.top == "dcim_macro_int_n16_h8_l4_k4"
+        # Every instantiated module exists in the bundle.
+        source = bundle.source
+        instantiated = set(re.findall(r"\b(dcim_\w+)\s+\w+\s*\(", source))
+        defined = set(re.findall(r"^module (\w+)", source, re.M))
+        assert instantiated <= defined
+
+    def test_fp_bundle_complete(self):
+        bundle = generate_rtl(DesignPoint(precision="BF16", n=16, h=8, l=4, k=8))
+        names = bundle.module_names()
+        assert any("prealign" in n for n in names)
+        assert any("int2fp" in n for n in names)
+        assert bundle.top.startswith("dcim_macro_fp")
+
+    def test_module_names_encode_parameters(self):
+        bundle = generate_rtl(DesignPoint(precision="INT8", n=16, h=8, l=4, k=4))
+        assert "dcim_compute_unit_l4_k4" in bundle.modules
+        assert "dcim_adder_tree_h8_k4" in bundle.modules
+
+    def test_balanced_module_keywords(self):
+        bundle = generate_rtl(DesignPoint(precision="BF16", n=16, h=8, l=4, k=8))
+        for name, source in bundle.modules.items():
+            assert source.count("module ") - source.count("endmodule") == 0, name
+            assert source.count("generate") == 2 * source.count("endgenerate"), name
+
+    def test_write_bundle(self, tmp_path):
+        bundle = generate_rtl(DesignPoint(precision="INT8", n=16, h=8, l=4, k=4))
+        paths = write_bundle(bundle, tmp_path)
+        assert (tmp_path / f"{bundle.top}.v").exists()
+        filelist = tmp_path / f"{bundle.top}.f"
+        assert filelist.exists()
+        listed = filelist.read_text().split()
+        assert listed == [f"{n}.v" for n in bundle.module_names()]
+
+    def test_unknown_architecture_rejected(self):
+        class WeirdTemplate(ArchitectureTemplate):
+            name = "weird"
+
+            def generate(self, design):
+                return RtlBundle(design, "t", {"t": "module t; endmodule\n"})
+
+        register_template(WeirdTemplate())
+        assert "weird" in available_templates()
+
+    def test_register_requires_name(self):
+        class Anon(ArchitectureTemplate):
+            name = ""
+
+            def generate(self, design):  # pragma: no cover
+                raise NotImplementedError
+
+        with pytest.raises(ValueError):
+            register_template(Anon())
+
+    def test_wrong_precision_for_template(self):
+        from repro.rtl.generator import IntMacroTemplate
+
+        with pytest.raises(ValueError):
+            IntMacroTemplate().generate(
+                DesignPoint(precision="BF16", n=16, h=8, l=4, k=8)
+            )

@@ -1,0 +1,139 @@
+"""Tests for repro.tech (cells, technology, pdk, liberty)."""
+
+import pytest
+
+from repro.model.cost import Cost
+from repro.tech import (
+    GENERIC22,
+    GENERIC28,
+    CellLibrary,
+    TABLE3_CELLS,
+    Technology,
+    available_pdks,
+    dump_library,
+    load_library,
+    load_pdk,
+)
+
+
+class TestCellLibrary:
+    def test_default_matches_table3(self):
+        lib = CellLibrary.default()
+        assert lib.nor == Cost(1.0, 1.0, 1.0)
+        assert lib.or_gate == Cost(1.3, 1.0, 2.3)
+        assert lib.mux2 == Cost(2.2, 2.2, 3.0)
+        assert lib.half_adder == Cost(4.3, 2.5, 6.9)
+        assert lib.full_adder == Cost(5.7, 3.3, 8.4)
+        assert lib.dff == Cost(6.6, 0.0, 9.6)
+        assert lib.sram == Cost(2.2, 0.0, 0.0)
+
+    def test_sram_free_delay_and_power(self):
+        # Weights are hard-wired to the compute unit: no precharge, and
+        # leakage is neglected (Section III-B-1).
+        lib = CellLibrary.default()
+        assert lib.sram.delay == 0.0
+        assert lib.sram.energy == 0.0
+
+    def test_missing_required_cell_rejected(self):
+        cells = dict(TABLE3_CELLS)
+        del cells["FA"]
+        with pytest.raises(ValueError, match="FA"):
+            CellLibrary(name="broken", cells=cells)
+
+    def test_with_cell_override(self):
+        lib = CellLibrary.default().with_cell("NOR", Cost(2.0, 1.0, 1.0))
+        assert lib.nor.area == 2.0
+        # Original default untouched.
+        assert CellLibrary.default().nor.area == 1.0
+
+    def test_getitem_unknown(self):
+        with pytest.raises(KeyError):
+            CellLibrary.default()["NAND3"]
+
+    def test_contains(self):
+        lib = CellLibrary.default()
+        assert "NOR" in lib
+        assert "NAND3" not in lib
+
+
+class TestTechnology:
+    def test_area_conversion(self):
+        t = Technology("t", 28, gate_area_um2=0.1, gate_delay_ps=10, gate_energy_fj=0.5)
+        assert t.area_um2(100) == pytest.approx(10.0)
+        assert t.area_mm2(1e7) == pytest.approx(1.0)
+
+    def test_delay_conversion(self):
+        t = Technology("t", 28, gate_area_um2=0.1, gate_delay_ps=10, gate_energy_fj=0.5)
+        assert t.delay_ns(100) == pytest.approx(1.0)
+
+    def test_energy_uses_activity(self):
+        t = Technology(
+            "t", 28, gate_area_um2=0.1, gate_delay_ps=10, gate_energy_fj=1.0,
+            activity=0.1,
+        )
+        assert t.energy_fj(100) == pytest.approx(10.0)
+        assert t.energy_fj(100, activity=1.0) == pytest.approx(100.0)
+
+    def test_voltage_scaling(self):
+        t = Technology("t", 28, gate_area_um2=0.1, gate_delay_ps=10, gate_energy_fj=1.0)
+        low = t.with_voltage(0.45)  # half nominal
+        assert low.energy_fj(1, activity=1.0) == pytest.approx(0.25)
+        assert low.delay_ns(1) == pytest.approx(2 * t.delay_ns(1))
+
+    def test_node_scaling(self):
+        half = GENERIC28.scaled_to_node(14.0)
+        assert half.gate_area_um2 == pytest.approx(GENERIC28.gate_area_um2 / 4)
+        assert half.gate_delay_ps == pytest.approx(GENERIC28.gate_delay_ps / 2)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Technology("t", 28, gate_area_um2=0, gate_delay_ps=1, gate_energy_fj=1)
+        with pytest.raises(ValueError):
+            Technology("t", 28, 0.1, 10, 0.5, activity=0.0)
+        with pytest.raises(ValueError):
+            Technology("t", 28, 0.1, 10, 0.5, utilization=1.5)
+
+
+class TestPdk:
+    def test_generic28_registered(self):
+        assert "generic28" in available_pdks()
+        assert load_pdk("generic28") is GENERIC28
+
+    def test_generic22_scaled_from_28(self):
+        assert GENERIC22.node_nm == 22.0
+        ratio = 22.0 / 28.0
+        assert GENERIC22.gate_area_um2 == pytest.approx(
+            GENERIC28.gate_area_um2 * ratio**2
+        )
+
+    def test_unknown_pdk(self):
+        with pytest.raises(KeyError):
+            load_pdk("tsmc28-real")
+
+    def test_paper_operating_point(self):
+        # Fig. 8 quotes efficiencies at 0.9 V and 10 % sparsity.
+        assert GENERIC28.voltage_v == 0.9
+        assert GENERIC28.activity == 0.1
+
+
+class TestLiberty:
+    def test_roundtrip(self):
+        lib = CellLibrary.default()
+        text = dump_library(lib)
+        back = load_library(text)
+        assert back.name == lib.name
+        assert back.cells == lib.cells
+
+    def test_load_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            load_library("not liberty at all")
+
+    def test_load_rejects_incomplete_cell(self):
+        text = "library (x) { cell (NOR) { area: 1.0; } }"
+        with pytest.raises(ValueError, match="NOR"):
+            load_library(text)
+
+    def test_dump_is_parseable_liberty_shape(self):
+        text = dump_library(CellLibrary.default())
+        assert text.startswith("library (table3) {")
+        assert "cell (NOR)" in text

@@ -1,0 +1,149 @@
+"""Tests for repro.netlist.timing (STA) and repro.reporting.plots."""
+
+import pytest
+
+from repro.netlist import (
+    Netlist,
+    build_adder_tree,
+    build_column,
+    build_compute_unit,
+    build_shift_accumulator,
+)
+from repro.netlist.timing import GATE_DELAYS, analyze_timing
+from repro.reporting.plots import ascii_scatter
+
+
+class TestAnalyzeTiming:
+    def test_single_gate(self):
+        nl = Netlist("t")
+        a = nl.input_bus("a", 1)[0]
+        b = nl.input_bus("b", 1)[0]
+        nl.output_bus("y", [nl.add_gate("AND", a, b)])
+        report = analyze_timing(nl)
+        assert report.critical_delay == GATE_DELAYS["AND"]
+        assert report.logic_depth == 1
+
+    def test_chain_delay_adds(self):
+        nl = Netlist("t")
+        a = nl.input_bus("a", 1)[0]
+        x = a
+        for _ in range(5):
+            x = nl.add_gate("NOT", x)
+        nl.output_bus("y", [x])
+        report = analyze_timing(nl)
+        assert report.critical_delay == pytest.approx(5 * GATE_DELAYS["NOT"])
+        assert report.logic_depth == 5
+
+    def test_parallel_paths_take_max(self):
+        nl = Netlist("t")
+        a = nl.input_bus("a", 1)[0]
+        slow = nl.add_gate("NOT", nl.add_gate("NOT", a))
+        fast = a
+        nl.output_bus("y", [nl.add_gate("AND", slow, fast)])
+        report = analyze_timing(nl)
+        assert report.critical_delay == pytest.approx(
+            2 * GATE_DELAYS["NOT"] + GATE_DELAYS["AND"]
+        )
+
+    def test_dff_cuts_paths(self):
+        # in -> NOT -> DFF -> NOT -> out: two half-paths, not one long one.
+        nl = Netlist("t")
+        a = nl.input_bus("a", 1)[0]
+        pre = nl.add_gate("NOT", a)
+        q = nl.add_dff(pre)
+        post = nl.add_gate("NOT", q)
+        nl.output_bus("y", [post])
+        report = analyze_timing(nl)
+        assert report.critical_delay == pytest.approx(GATE_DELAYS["NOT"])
+
+    def test_custom_delays(self):
+        nl = Netlist("t")
+        a = nl.input_bus("a", 1)[0]
+        nl.output_bus("y", [nl.add_gate("NOT", a)])
+        report = analyze_timing(nl, delays={"NOT": 42.0})
+        assert report.critical_delay == 42.0
+
+    def test_path_trace_consistent(self):
+        nl = build_adder_tree(8, 4)
+        report = analyze_timing(nl)
+        # The path's cumulative delay equals the critical delay.
+        total = sum(GATE_DELAYS[nl.gates[i].kind] for i in report.critical_path)
+        assert total == pytest.approx(report.critical_delay)
+        # Consecutive path gates are actually connected.
+        for src, dst in zip(report.critical_path, report.critical_path[1:]):
+            assert nl.gates[src].output in nl.gates[dst].inputs
+
+
+class TestStaOnDcimBlocks:
+    def test_tree_delay_grows_with_height(self):
+        delays = [
+            analyze_timing(build_adder_tree(h, 8)).critical_delay
+            for h in (2, 8, 32)
+        ]
+        assert delays == sorted(delays)
+
+    def test_sta_below_analytical_model(self):
+        # The Table II/IV composition assumes fully serialised ripple
+        # chains; at gate level the carries of consecutive tree levels
+        # overlap, so STA must be <= the analytical bound.
+        from repro.model.components import adder_tree
+        from repro.tech.cells import CellLibrary
+
+        lib = CellLibrary.default()
+        for h in (4, 16, 64):
+            sta = analyze_timing(build_adder_tree(h, 8)).critical_delay
+            model = adder_tree(lib, h, 8).delay
+            assert sta <= model
+
+    def test_compute_unit_path(self):
+        report = analyze_timing(build_compute_unit(16, 8))
+        # mux tree (4 levels) + inverter + NOR.
+        expected = 4 * GATE_DELAYS["MUX2"] + GATE_DELAYS["NOT"] + GATE_DELAYS["NOR"]
+        assert report.critical_delay == pytest.approx(expected)
+
+    def test_column_register_endpoint(self):
+        nl = build_column(8, 4, 2, 8)
+        report = analyze_timing(nl)
+        dff_inputs = {dff.d for dff in nl.dffs}
+        assert report.endpoint in dff_inputs  # reg-to-reg path dominates
+
+    def test_accumulator_loop_timed(self):
+        report = analyze_timing(build_shift_accumulator(8, 2, 8))
+        assert report.critical_delay > 0
+
+
+class TestAsciiScatter:
+    def test_basic_render(self):
+        text = ascii_scatter({"s": ([0, 1, 2], [0, 1, 4])}, width=20, height=5)
+        assert "legend: x=s" in text
+        assert text.count("\n") >= 6
+
+    def test_log_axes(self):
+        text = ascii_scatter(
+            {"s": ([1, 10, 100], [1, 10, 100])},
+            log_x=True,
+            log_y=True,
+        )
+        assert "[log x]" in text
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_scatter({"s": ([0, 1], [1, 2])}, log_x=True)
+
+    def test_multiple_series_distinct_markers(self):
+        text = ascii_scatter(
+            {"a": ([0, 1], [0, 1]), "b": ([0.5], [0.5])}, width=10, height=5
+        )
+        assert "x=a" in text and "o=b" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_scatter({})
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_scatter({"s": ([1, 2], [1])})
+
+    def test_constant_series(self):
+        text = ascii_scatter({"s": ([1, 1], [2, 2])}, width=10, height=4)
+        assert "x" in text

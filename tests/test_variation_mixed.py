@@ -1,0 +1,132 @@
+"""Tests for variation analysis, CLA model, and mixed-precision compile."""
+
+import numpy as np
+import pytest
+
+from repro import DcimSpec, Requirements, SegaDcim
+from repro.core.spec import DesignPoint
+from repro.model.components import adder_tree
+from repro.model.logic import adder, adder_cla
+from repro.model.variation import monte_carlo
+from repro.tech import GENERIC28
+from repro.tech.cells import CellLibrary
+
+LIB = CellLibrary.default()
+DESIGN = DesignPoint(precision="INT8", n=64, h=128, l=16, k=8)
+
+
+class TestMonteCarlo:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return monte_carlo(DESIGN, GENERIC28, samples=400, seed=1)
+
+    def test_median_near_nominal(self, result):
+        nominal = DESIGN.metrics(GENERIC28)
+        assert result.percentile("delay_ns", 50) == pytest.approx(
+            nominal.delay_ns, rel=0.03
+        )
+        assert result.percentile("tops_per_watt", 50) == pytest.approx(
+            nominal.tops_per_watt, rel=0.03
+        )
+
+    def test_spread_scales_with_sigma(self):
+        tight = monte_carlo(DESIGN, GENERIC28, samples=400, sigma_delay=0.02, seed=2)
+        wide = monte_carlo(DESIGN, GENERIC28, samples=400, sigma_delay=0.15, seed=2)
+        assert np.std(wide.delay_ns) > np.std(tight.delay_ns)
+
+    def test_yield_monotone_in_budget(self, result):
+        nominal = DESIGN.metrics(GENERIC28).delay_ns
+        assert result.yield_at(nominal * 2) >= result.yield_at(nominal)
+        assert result.yield_at(nominal * 10) == 1.0
+
+    def test_deterministic(self):
+        a = monte_carlo(DESIGN, GENERIC28, samples=50, seed=9)
+        b = monte_carlo(DESIGN, GENERIC28, samples=50, seed=9)
+        assert np.array_equal(a.delay_ns, b.delay_ns)
+
+    def test_summary_keys(self, result):
+        summary = result.summary()
+        assert set(summary) == {
+            "delay_ns_p50", "delay_ns_p99", "tops_per_watt_p50",
+            "tops_per_watt_p1", "tops_p50",
+        }
+        assert summary["delay_ns_p99"] >= summary["delay_ns_p50"]
+
+    def test_rejects_zero_samples(self):
+        with pytest.raises(ValueError):
+            monte_carlo(DESIGN, GENERIC28, samples=0)
+
+
+class TestCarryLookahead:
+    def test_small_widths_equal_ripple(self):
+        assert adder_cla(LIB, 4) == adder(LIB, 4)
+
+    def test_faster_but_larger_at_width(self):
+        for n in (8, 16, 32):
+            cla = adder_cla(LIB, n)
+            ripple = adder(LIB, n)
+            assert cla.delay < ripple.delay
+            assert cla.area > ripple.area
+
+    def test_delay_logarithmic(self):
+        # Doubling the width adds one lookahead level, not 2x delay.
+        d16 = adder_cla(LIB, 16).delay
+        d32 = adder_cla(LIB, 32).delay
+        assert d32 - d16 <= LIB.full_adder.delay + 1e-9
+
+    def test_tree_accepts_adder_fn(self):
+        ripple_tree = adder_tree(LIB, 64, 8)
+        cla_tree = adder_tree(LIB, 64, 8, adder_fn=adder_cla)
+        assert cla_tree.delay < ripple_tree.delay
+        assert cla_tree.area > ripple_tree.area
+
+
+class TestCompileMixed:
+    @pytest.fixture(scope="class")
+    def compiler(self):
+        return SegaDcim()
+
+    @pytest.fixture(scope="class")
+    def mixed(self, compiler):
+        return compiler.compile_mixed(
+            wstore=8 * 1024,
+            precisions=["INT8", "BF16"],
+            exhaustive=True,
+        )
+
+    def test_frontier_contains_both_architectures(self, mixed):
+        archs = {p.arch for p, _ in mixed.extras["mixed_frontier"]}
+        assert archs == {"int-mul", "fp-prealign"}
+
+    def test_selected_on_merged_frontier(self, mixed):
+        keys = {
+            (p.precision.name, p.n, p.h, p.l, p.k)
+            for p, _ in mixed.extras["mixed_frontier"]
+        }
+        s = mixed.selected
+        assert (s.precision.name, s.n, s.h, s.l, s.k) in keys
+
+    def test_rtl_matches_selected_arch(self, mixed):
+        prefix = "dcim_macro_fp" if mixed.selected.precision.is_float else "dcim_macro_int"
+        assert mixed.rtl.top.startswith(prefix)
+
+    def test_int_dominates_equal_throughput_points(self, mixed):
+        # For equal structure, the FP macro strictly adds hardware, so
+        # the INT architecture must populate the min-area end.
+        frontier = sorted(
+            mixed.extras["mixed_frontier"], key=lambda pm: pm[1].layout_area_mm2
+        )
+        assert frontier[0][0].arch == "int-mul"
+
+    def test_requirements_respected(self, compiler):
+        result = compiler.compile_mixed(
+            wstore=8 * 1024,
+            precisions=["INT8", "BF16"],
+            requirements=Requirements(max_area_mm2=0.3),
+            exhaustive=True,
+        )
+        assert result.metrics.layout_area_mm2 <= 0.3
+
+    def test_empty_precisions_rejected(self, compiler):
+        with pytest.raises(ValueError):
+            compiler.compile_mixed(wstore=8 * 1024, precisions=[])

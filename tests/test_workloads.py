@@ -1,0 +1,150 @@
+"""Tests for repro.workloads (layers, networks, mapping)."""
+
+import pytest
+
+from repro.core.spec import DesignPoint
+from repro.tech import GENERIC28
+from repro.workloads import (
+    AVAILABLE_NETWORKS,
+    Layer,
+    attention_projection,
+    conv2d,
+    gcn_layer,
+    linear,
+    map_layer,
+    map_network,
+    recommend_spec,
+    tiny_cnn,
+    transformer_block,
+)
+
+
+class TestLayers:
+    def test_linear(self):
+        l = linear("fc", 256, 128, vectors=4)
+        assert l.weight_count == 256 * 128
+        assert l.macs == 256 * 128 * 4
+
+    def test_conv2d_im2col(self):
+        l = conv2d("c", in_channels=3, out_channels=32, kernel=3, out_hw=16)
+        assert l.rows == 27
+        assert l.cols == 32
+        assert l.vectors == 256
+
+    def test_attention_projection(self):
+        l = attention_projection("q", d_model=256, seq_len=64)
+        assert l.rows == l.cols == 256
+        assert l.vectors == 64
+
+    def test_gcn(self):
+        l = gcn_layer("g", 128, 64, nodes=1000)
+        assert l.vectors == 1000
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            Layer("bad", rows=0, cols=1)
+
+
+class TestNetworks:
+    def test_registry(self):
+        assert set(AVAILABLE_NETWORKS) == {
+            "tiny_cnn", "transformer_block", "gcn_network",
+        }
+        for factory in AVAILABLE_NETWORKS.values():
+            layers = factory()
+            assert layers and all(isinstance(l, Layer) for l in layers)
+
+    def test_transformer_block_shapes(self):
+        layers = transformer_block(d_model=256, seq_len=128)
+        assert len(layers) == 6
+        mlp_up = next(l for l in layers if l.name == "mlp_up")
+        assert mlp_up.cols == 1024
+
+
+DESIGN = DesignPoint(precision="INT8", n=64, h=128, l=4, k=8)  # groups=8
+
+
+class TestMapLayer:
+    def test_exact_fit_single_tile(self):
+        layer = linear("fit", DESIGN.h, 8)  # exactly H x groups
+        m = map_layer(layer, DESIGN, GENERIC28)
+        assert (m.row_tiles, m.col_tiles) == (1, 1)
+        assert m.reloads == 0
+        assert m.utilization == pytest.approx(1.0)
+
+    def test_tiling_grid(self):
+        layer = linear("big", 4 * DESIGN.h, 3 * 8)
+        m = map_layer(layer, DESIGN, GENERIC28)
+        assert (m.row_tiles, m.col_tiles) == (4, 3)
+        assert m.passes == 12  # one vector
+        assert m.reloads == 12 - DESIGN.l
+
+    def test_vectors_multiply_passes(self):
+        layer = linear("seq", DESIGN.h, 8, vectors=10)
+        m = map_layer(layer, DESIGN, GENERIC28)
+        assert m.passes == 10
+
+    def test_padding_hurts_utilization(self):
+        layer = linear("odd", DESIGN.h + 1, 8)  # spills into 2 row tiles
+        m = map_layer(layer, DESIGN, GENERIC28)
+        assert m.utilization < 0.6
+
+    def test_latency_energy_positive(self):
+        m = map_layer(linear("x", 64, 8), DESIGN, GENERIC28)
+        assert m.latency_us > 0
+        assert m.energy_uj > 0
+
+
+class TestMapNetwork:
+    def test_totals_are_sums(self):
+        layers = tiny_cnn()
+        nm = map_network(layers, DESIGN, GENERIC28)
+        assert nm.latency_us == pytest.approx(sum(m.latency_us for m in nm.layers))
+        assert nm.energy_uj == pytest.approx(sum(m.energy_uj for m in nm.layers))
+        assert nm.total_macs == sum(l.macs for l in layers)
+
+    def test_effective_tops_below_peak(self):
+        nm = map_network(tiny_cnn(), DESIGN, GENERIC28)
+        peak = DESIGN.metrics(GENERIC28).tops
+        assert 0 < nm.tops_effective <= peak * 1.001
+
+
+class TestRecommendSpec:
+    def test_covers_largest_layer(self):
+        layers = transformer_block(d_model=256, seq_len=64)
+        spec = recommend_spec(layers, "INT8")
+        largest = max(l.weight_count for l in layers)
+        assert spec.wstore >= largest
+        assert spec.wstore & (spec.wstore - 1) == 0  # power of two
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            recommend_spec([], "INT8")
+
+    def test_precision_parsed(self):
+        spec = recommend_spec([linear("x", 64, 64)], "bf16")
+        assert spec.precision.name == "BF16"
+
+
+class TestOverlapReload:
+    def test_overlap_reduces_cycles_when_reloading(self):
+        # A layer needing more tiles than L pays reloads; double
+        # buffering hides them behind compute.
+        layer = linear("big", 4 * DESIGN.h, 6 * 8, vectors=1)
+        plain = map_layer(layer, DESIGN, GENERIC28)
+        hidden = map_layer(layer, DESIGN, GENERIC28, overlap_reload=True)
+        assert plain.reloads > 0
+        assert hidden.cycles <= plain.cycles
+        assert hidden.latency_us < plain.latency_us
+
+    def test_overlap_noop_without_reloads(self):
+        layer = linear("fit", DESIGN.h, 8)
+        plain = map_layer(layer, DESIGN, GENERIC28)
+        hidden = map_layer(layer, DESIGN, GENERIC28, overlap_reload=True)
+        assert plain.cycles == hidden.cycles
+
+    def test_energy_unchanged_by_overlap(self):
+        layer = linear("big", 4 * DESIGN.h, 6 * 8, vectors=1)
+        plain = map_layer(layer, DESIGN, GENERIC28)
+        hidden = map_layer(layer, DESIGN, GENERIC28, overlap_reload=True)
+        assert plain.energy_uj == hidden.energy_uj
