@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Smoke test: tier-1 suite plus a tiny end-to-end campaign through the
+# evaluation service (cold run populates the cache, warm run must be
+# served from it). Run from anywhere; exercises the hot path every PR.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+python -m pytest -x -q
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+cache="$workdir/evals.jsonl"
+
+run_campaign() {
+    python -m repro campaign \
+        --spec 4096:INT4 --spec 4096:INT8 \
+        --population 16 --generations 6 \
+        --cache "$cache" --limit 5
+}
+
+echo "== campaign (cold cache) =="
+run_campaign
+echo "== campaign (warm cache) =="
+warm_output="$(run_campaign)"
+echo "$warm_output"
+
+# The warm run must be fully served from the persistent cache.
+if ! grep -q "hit rate 100.0%" <<<"$warm_output"; then
+    echo "smoke: warm campaign run was not served from the cache" >&2
+    exit 1
+fi
+echo "smoke: OK"

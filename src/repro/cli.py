@@ -7,6 +7,7 @@ Usage (also via ``python -m repro``)::
     repro explore --wstore 65536 --precision INT8 --limit 10
     repro compile --wstore 8192 --precision BF16 --out build/macro
     repro report  --precision INT8 --n 64 --h 128 --l 64 --k 8
+    repro campaign --spec 8192:INT8 --spec 8192:BF16 --cache build/evals.jsonl
 """
 
 from __future__ import annotations
@@ -88,6 +89,36 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--pdk", default="generic28")
     sweep.add_argument("--corner", default="tt",
                        choices=sorted(STANDARD_CORNERS))
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="explore many specs through the evaluation service and "
+             "merge one cross-architecture frontier",
+    )
+    campaign.add_argument(
+        "--spec", action="append", required=True, metavar="WSTORE:PRECISION",
+        help="one specification, e.g. 8192:INT8 (repeatable)",
+    )
+    campaign.add_argument("--population", type=int, default=64,
+                          help="NSGA-II population size")
+    campaign.add_argument("--generations", type=int, default=60,
+                          help="NSGA-II generations")
+    campaign.add_argument("--seed", type=int, default=0, help="base GA seed")
+    campaign.add_argument("--backend", default="serial",
+                          choices=["serial", "thread", "process"],
+                          help="genome-level evaluation backend")
+    campaign.add_argument("--workers", type=int, default=1,
+                          help="specs explored concurrently")
+    campaign.add_argument("--cache", default=None, metavar="PATH",
+                          help="persistent evaluation cache "
+                               "(.jsonl or .sqlite; omit for in-memory)")
+    campaign.add_argument("--pdk", default="generic28", help="technology node")
+    campaign.add_argument("--corner", default="tt",
+                          choices=sorted(STANDARD_CORNERS), help="PVT corner")
+    campaign.add_argument("--limit", type=int, default=20,
+                          help="max frontier rows to print")
+    campaign.add_argument("--json", action="store_true",
+                          help="print the CampaignResponse as JSON")
 
     mc = sub.add_parser("mc", help="Monte-Carlo variation of one design")
     mc.add_argument("--precision", required=True)
@@ -261,6 +292,86 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _parse_campaign_spec(text: str) -> DcimSpec:
+    wstore_text, _, precision = text.partition(":")
+    if not precision:
+        raise ValueError(
+            f"spec {text!r} must look like WSTORE:PRECISION (e.g. 8192:INT8)"
+        )
+    return DcimSpec(wstore=int(wstore_text), precision=precision)
+
+
+def _cmd_campaign(args) -> int:
+    from repro.dse.nsga2 import NSGA2Config
+    from repro.service import CampaignConfig, EvaluationCache, run_campaign
+
+    try:
+        specs = [_parse_campaign_spec(text) for text in args.spec]
+        config = CampaignConfig(
+            nsga2=NSGA2Config(
+                population_size=args.population, generations=args.generations
+            ),
+            seed=args.seed,
+            workers=args.workers,
+            backend=args.backend,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    cache = EvaluationCache(args.cache) if args.cache else EvaluationCache()
+    tech = _tech(args)
+    try:
+        try:
+            result = run_campaign(specs, config, cache=cache)
+        except ValueError as exc:  # e.g. a spec the genome codec rejects
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        response = result.to_response()
+        if args.json:
+            print(response.to_json())
+            return 0
+        rows = []
+        for point in result.merged_points[: args.limit]:
+            m = point.metrics(tech)
+            rows.append(
+                (
+                    point.precision.name, point.n, point.h, point.l, point.k,
+                    f"{m.layout_area_mm2:.3f}", f"{m.delay_ns:.2f}",
+                    f"{m.tops:.2f}", f"{m.tops_per_watt:.1f}",
+                )
+            )
+        spec_names = ", ".join(
+            f"{format_si(s.wstore)}:{s.precision.name}" for s in specs
+        )
+        print(
+            f"Merged frontier over {len(specs)} specs ({spec_names}): "
+            f"{len(result.merged_points)} designs, showing {len(rows)}"
+        )
+        print(
+            ascii_table(
+                ["prec", "N", "H", "L", "k", "area mm2", "delay ns", "TOPS",
+                 "TOPS/W"],
+                rows,
+            )
+        )
+        stats = result.cache_stats
+        print(
+            f"evaluations: {result.evaluations} unique genomes "
+            f"({', '.join(f'{r.evaluations}' for r in result.results)} per spec), "
+            f"{result.fresh_evaluations} computed fresh; "
+            f"wall time {result.wall_time_s:.2f} s"
+        )
+        if stats is not None:
+            print(
+                f"cache[{cache.backend}]: {stats.hits} hits / {stats.misses} "
+                f"misses (hit rate {stats.hit_rate:.1%}), "
+                f"{len(cache)} entries stored"
+            )
+        return 0
+    finally:
+        cache.close()
+
+
 def _cmd_mc(args) -> int:
     from repro.model.variation import monte_carlo
 
@@ -297,6 +408,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_lint(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     if args.command == "mc":
         return _cmd_mc(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -8,7 +8,7 @@ the same application) into one cross-architecture frontier.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -60,29 +60,40 @@ class DesignSpaceExplorer:
         library: normalised cell library (the "Customized Cell Library"
             input of Fig. 4).
         config: NSGA-II hyper-parameters.
+        cache: optional shared persistent evaluation cache
+            (:class:`repro.service.cache.EvaluationCache`); evaluations
+            are served from and written back to it.
+        executor: optional batch backend
+            (:class:`repro.service.executor.BatchExecutor`) that
+            evaluates each generation's new genomes in parallel.
     """
 
     def __init__(
         self,
         library: CellLibrary | None = None,
         config: NSGA2Config | None = None,
+        cache=None,
+        executor=None,
     ) -> None:
         self.library = library or CellLibrary.default()
         self.config = config or NSGA2Config()
+        self.cache = cache
+        self.executor = executor
+
+    def _evaluator(self, problem: DcimProblem):
+        if self.cache is None and self.executor is None:
+            return None
+        from repro.service.executor import ProblemEvaluator
+
+        return ProblemEvaluator(problem, cache=self.cache, executor=self.executor)
 
     def explore(self, spec: DcimSpec, seed: int | None = None) -> ExplorationResult:
         """Explore one specification and return its Pareto frontier."""
         problem = DcimProblem(spec, self.library)
         config = self.config
         if seed is not None:
-            config = NSGA2Config(
-                population_size=config.population_size,
-                generations=config.generations,
-                crossover_prob=config.crossover_prob,
-                mutation_prob=config.mutation_prob,
-                seed=seed,
-            )
-        result: NSGA2Result = nsga2(problem, config)
+            config = replace(config, seed=seed)
+        result: NSGA2Result = nsga2(problem, config, evaluator=self._evaluator(problem))
         points = [problem.decode(ind.genome) for ind in result.front]
         objectives = [ind.objectives for ind in result.front]
         order = np.argsort([o[0] for o in objectives]) if objectives else []

@@ -19,10 +19,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Protocol, Sequence
+from typing import Callable, Protocol, Sequence, runtime_checkable
 
 __all__ = [
     "Problem",
+    "BatchEvaluator",
     "Individual",
     "NSGA2Config",
     "NSGA2Result",
@@ -49,6 +50,35 @@ class Problem(Protocol):
 
     def mutation_steps(self) -> Sequence[int]:
         """Per-gene maximum mutation step sizes."""
+
+    def evaluate_batch(
+        self, genomes: Sequence[Genome]
+    ) -> Sequence[tuple[float, ...]]:
+        """Objective vectors for many genomes, in input order.
+
+        Optional hook: when present, the optimiser evaluates each
+        generation's new genomes through one call (problems may
+        vectorise it); otherwise it maps :meth:`evaluate`.
+        """
+        return [self.evaluate(genome) for genome in genomes]
+
+
+@runtime_checkable
+class BatchEvaluator(Protocol):
+    """Optional injectable evaluator: one call per generation batch.
+
+    Implementations (see :class:`repro.service.executor.ProblemEvaluator`)
+    may serve genomes from a shared persistent cache and fan the rest
+    out to thread/process pools.  Results must come back in input
+    order, and evaluation must be a pure function of the genome so a
+    cached run is bit-identical to an uncached one.
+    """
+
+    def evaluate_batch(
+        self, genomes: Sequence[Genome]
+    ) -> Sequence[tuple[float, ...]]:
+        """Objective vectors for ``genomes``, in input order."""
+        ...
 
 
 @dataclass
@@ -201,38 +231,82 @@ def _mutate(
     return tuple(genes)
 
 
-def _dedup_front(front: list[Individual]) -> list[Individual]:
-    seen: set[Genome] = set()
-    unique = []
-    for ind in front:
-        if ind.genome not in seen:
-            seen.add(ind.genome)
-            unique.append(ind)
-    return unique
+def _archive_front(archive: dict[Genome, tuple[float, ...]]) -> list[Individual]:
+    """Rank-0 individuals over the whole evaluation archive.
+
+    Only the first front is needed, so this runs a single non-dominated
+    filter instead of the full multi-front sort (which is quadratic in
+    archive size *per front*).  The archive dict is already deduplicated
+    by genome, so no further dedup pass is required.
+    """
+    items = [Individual(g, o) for g, o in archive.items()]
+    front: list[Individual] = []
+    for candidate in items:
+        if any(
+            dominates(other.objectives, candidate.objectives)
+            for other in items
+            if other is not candidate
+        ):
+            continue
+        candidate.rank = 0
+        front.append(candidate)
+    crowding_distance(front)
+    return front
 
 
-def nsga2(problem: Problem, config: NSGA2Config | None = None) -> NSGA2Result:
+def nsga2(
+    problem: Problem,
+    config: NSGA2Config | None = None,
+    evaluator: BatchEvaluator | None = None,
+) -> NSGA2Result:
     """Run NSGA-II on ``problem`` and return the final Pareto front.
 
-    Objective evaluations are memoised per genome: the DCIM space is
-    discrete and the GA revisits points frequently.
+    Objective evaluations are memoised per genome in an archive dict:
+    the DCIM space is discrete and the GA revisits points frequently.
+    Each generation's *new* genomes are evaluated as one batch — through
+    ``evaluator`` when given (e.g. a cached thread/process-pool
+    :class:`repro.service.executor.ProblemEvaluator`), otherwise through
+    the problem's own ``evaluate_batch``/``evaluate``.  Because
+    evaluation is pure and order-preserving, the run is bit-identical
+    for a fixed seed regardless of the backend.
     """
     config = config or NSGA2Config()
     rng = random.Random(config.seed)
-    cache: dict[Genome, tuple[float, ...]] = {}
+    #: Every genome ever evaluated, keyed for O(1) dedup lookups.
+    archive: dict[Genome, tuple[float, ...]] = {}
     evaluations = 0
 
-    def evaluate(genome: Genome) -> tuple[float, ...]:
-        nonlocal evaluations
-        if genome not in cache:
-            cache[genome] = problem.evaluate(genome)
-            evaluations += 1
-        return cache[genome]
+    if evaluator is not None:
+        batch_fn: Callable[[Sequence[Genome]], Sequence[tuple[float, ...]]] = (
+            evaluator.evaluate_batch
+        )
+    elif hasattr(problem, "evaluate_batch"):
+        batch_fn = problem.evaluate_batch
+    else:
+        batch_fn = lambda genomes: [problem.evaluate(g) for g in genomes]
 
-    population = []
-    for _ in range(config.population_size):
-        genome = problem.sample(rng)
-        population.append(Individual(genome, evaluate(genome)))
+    def evaluate_all(genomes: Sequence[Genome]) -> None:
+        """Batch-evaluate the not-yet-archived genomes (deduplicated)."""
+        nonlocal evaluations
+        pending: dict[Genome, None] = {}
+        for genome in genomes:
+            if genome not in archive:
+                pending[genome] = None
+        if not pending:
+            return
+        fresh = batch_fn(list(pending))
+        if len(fresh) != len(pending):
+            raise ValueError(
+                f"evaluator returned {len(fresh)} results for "
+                f"{len(pending)} genomes"
+            )
+        for genome, objectives in zip(pending, fresh):
+            archive[genome] = tuple(objectives)
+        evaluations += len(pending)
+
+    genomes = [problem.sample(rng) for _ in range(config.population_size)]
+    evaluate_all(genomes)
+    population = [Individual(g, archive[g]) for g in genomes]
 
     history: list[list[tuple[float, ...]]] = []
     steps = problem.mutation_steps()
@@ -241,9 +315,11 @@ def nsga2(problem: Problem, config: NSGA2Config | None = None) -> NSGA2Result:
         fronts = fast_non_dominated_sort(population)
         for front in fronts:
             crowding_distance(front)
-        # Variation: fill an offspring population of equal size.
-        offspring: list[Individual] = []
-        while len(offspring) < config.population_size:
+        # Variation: fill an offspring population of equal size.  The
+        # children are bred first (all rng draws happen here), then the
+        # generation's new genomes are evaluated as one batch.
+        children: list[Genome] = []
+        while len(children) < config.population_size:
             mother = _tournament(rng, population)
             father = _tournament(rng, population)
             for child in _crossover(
@@ -251,8 +327,10 @@ def nsga2(problem: Problem, config: NSGA2Config | None = None) -> NSGA2Result:
             ):
                 child = _mutate(rng, child, steps, config.mutation_prob)
                 child = problem.repair(child, rng)
-                offspring.append(Individual(child, evaluate(child)))
-        offspring = offspring[: config.population_size]
+                children.append(child)
+        children = children[: config.population_size]
+        evaluate_all(children)
+        offspring = [Individual(g, archive[g]) for g in children]
         # Elitist environmental selection over parents + offspring.
         merged = population + offspring
         fronts = fast_non_dominated_sort(merged)
@@ -271,12 +349,9 @@ def nsga2(problem: Problem, config: NSGA2Config | None = None) -> NSGA2Result:
         )
 
     # Final front over the archive of everything evaluated, not just the
-    # surviving population.
-    archive = [Individual(g, o) for g, o in cache.items()]
-    archive_fronts = fast_non_dominated_sort(archive)
-    for front in archive_fronts:
-        crowding_distance(front)
-    front = _dedup_front(archive_fronts[0]) if archive_fronts else []
+    # surviving population.  The archive is keyed by genome, so the
+    # front needs no separate dedup pass.
+    front = _archive_front(archive)
     return NSGA2Result(
         front=front,
         population=population,

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.core.spec import DcimSpec, DesignPoint
 from repro.dse.genome import Genome, GenomeCodec
@@ -62,6 +63,14 @@ class DcimProblem:
     def evaluate(self, genome: Genome) -> tuple[float, ...]:
         point = self.codec.decode(genome)
         return objectives_of(point.macro_cost(self.library))
+
+    def evaluate_batch(self, genomes: Sequence[Genome]) -> list[tuple[float, ...]]:
+        """Objective vectors for many genomes, in input order.
+
+        The batch form is what the evaluation service's executors call:
+        one pickled :class:`DcimProblem` plus a genome chunk per task.
+        """
+        return [self.evaluate(genome) for genome in genomes]
 
     def mutation_steps(self) -> tuple[int, int, int, int]:
         # Exponent genes move a couple of octaves; the k index can jump

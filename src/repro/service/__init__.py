@@ -1,0 +1,71 @@
+"""Evaluation service: cached, batched, parallel DSE campaigns.
+
+The service layer turns the per-run, in-memory evaluation loop of the
+MOGA explorer into shared infrastructure:
+
+* :mod:`repro.service.cache` — content-addressed persistent evaluation
+  cache (memory LRU + JSONL/SQLite disk tier, hit/miss statistics),
+* :mod:`repro.service.executor` — pluggable serial / thread-pool /
+  process-pool batch evaluators behind one ``evaluate_batch`` interface,
+* :mod:`repro.service.campaign` — multi-spec campaign runner that
+  shards specs across workers and merges fronts into one
+  cross-architecture frontier,
+* :mod:`repro.service.jobs` — job queue with request deduplication and
+  per-job status/result records,
+* :mod:`repro.service.api` — typed, JSON round-trippable
+  request/response records.
+"""
+
+from repro.service.api import (
+    CampaignRequest,
+    CampaignResponse,
+    FrontierPoint,
+    SpecRequest,
+)
+from repro.service.cache import (
+    CacheStats,
+    EvaluationCache,
+    evaluation_key,
+    stable_hash,
+)
+from repro.service.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    execute_request,
+    run_campaign,
+)
+from repro.service.executor import (
+    EXECUTOR_BACKENDS,
+    BatchExecutor,
+    ProblemEvaluator,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    ThreadPoolExecutor,
+    make_executor,
+)
+from repro.service.jobs import JobQueue, JobRecord, JobStatus
+
+__all__ = [
+    "CacheStats",
+    "EvaluationCache",
+    "evaluation_key",
+    "stable_hash",
+    "BatchExecutor",
+    "SerialExecutor",
+    "ThreadPoolExecutor",
+    "ProcessPoolExecutor",
+    "ProblemEvaluator",
+    "make_executor",
+    "EXECUTOR_BACKENDS",
+    "CampaignConfig",
+    "CampaignResult",
+    "run_campaign",
+    "execute_request",
+    "JobQueue",
+    "JobRecord",
+    "JobStatus",
+    "SpecRequest",
+    "CampaignRequest",
+    "CampaignResponse",
+    "FrontierPoint",
+]

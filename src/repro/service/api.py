@@ -1,0 +1,197 @@
+"""Typed request/response records for the evaluation service.
+
+Campaigns are driven programmatically (:func:`repro.service.campaign.
+run_campaign`) or through the job queue; either way the boundary speaks
+these dataclasses, and every record round-trips through JSON so requests
+can be submitted from the CLI, files, or — later — a network front-end.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.core.spec import DcimSpec, DesignPoint
+from repro.service.cache import stable_hash
+
+__all__ = [
+    "SpecRequest",
+    "CampaignRequest",
+    "FrontierPoint",
+    "CampaignResponse",
+]
+
+
+@dataclass(frozen=True)
+class SpecRequest:
+    """JSON-able mirror of :class:`~repro.core.spec.DcimSpec`."""
+
+    wstore: int
+    precision: str
+    max_l: int = 64
+    max_h: int = 2048
+    min_n_factor: int = 4
+    max_n: int | None = None
+
+    def to_spec(self) -> DcimSpec:
+        """Materialise (and validate) the concrete specification."""
+        return DcimSpec(
+            wstore=self.wstore,
+            precision=self.precision,
+            max_l=self.max_l,
+            max_h=self.max_h,
+            min_n_factor=self.min_n_factor,
+            max_n=self.max_n,
+        )
+
+    @classmethod
+    def from_spec(cls, spec: DcimSpec) -> "SpecRequest":
+        return cls(
+            wstore=spec.wstore,
+            precision=spec.precision.name,
+            max_l=spec.max_l,
+            max_h=spec.max_h,
+            min_n_factor=spec.min_n_factor,
+            max_n=spec.max_n,
+        )
+
+
+@dataclass(frozen=True)
+class CampaignRequest:
+    """One multi-spec exploration campaign.
+
+    Attributes:
+        specs: the specifications to explore (one NSGA-II run each).
+        population_size / generations: GA sizing shared by all runs.
+        seed: base GA seed; spec ``i`` runs with ``seed + i``.
+        backend: evaluation backend (``serial``/``thread``/``process``).
+        workers: campaign-level parallelism (specs explored at once).
+    """
+
+    specs: tuple[SpecRequest, ...]
+    population_size: int = 64
+    generations: int = 60
+    seed: int = 0
+    backend: str = "serial"
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        # Tolerate lists and raw dicts from JSON callers.
+        specs = tuple(
+            s if isinstance(s, SpecRequest) else SpecRequest(**s)
+            for s in self.specs
+        )
+        object.__setattr__(self, "specs", specs)
+        if not specs:
+            raise ValueError("a campaign needs at least one spec")
+
+    def fingerprint(self) -> str:
+        """Stable content hash used for request deduplication."""
+        return stable_hash(self.to_dict())
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CampaignRequest":
+        payload = dict(payload)
+        payload["specs"] = tuple(
+            SpecRequest(**spec) for spec in payload.get("specs", ())
+        )
+        return cls(**payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignRequest":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One merged-frontier design plus its objective vector."""
+
+    precision: str
+    n: int
+    h: int
+    l: int
+    k: int
+    objectives: tuple[float, ...] = ()
+
+    @classmethod
+    def from_design(
+        cls, point: DesignPoint, objectives: tuple[float, ...] = ()
+    ) -> "FrontierPoint":
+        return cls(
+            precision=point.precision.name,
+            n=point.n,
+            h=point.h,
+            l=point.l,
+            k=point.k,
+            objectives=tuple(objectives),
+        )
+
+    def to_design(self) -> DesignPoint:
+        return DesignPoint(
+            precision=self.precision, n=self.n, h=self.h, l=self.l, k=self.k
+        )
+
+
+@dataclass(frozen=True)
+class CampaignResponse:
+    """Result record handed back for one campaign request.
+
+    Attributes:
+        frontier: the merged cross-architecture Pareto frontier.
+        evaluations: unique genomes evaluated across all GA runs,
+            including cache-served ones.
+        fresh_evaluations: evaluations that actually reached the
+            estimation models (cache misses; equals ``evaluations``
+            for uncached campaigns).
+        per_spec_evaluations: breakdown of ``evaluations`` per spec.
+        cache_stats: cache counters (``CacheStats.as_dict`` shape), or
+            ``None`` when the campaign ran uncached.
+        wall_time_s: end-to-end campaign wall clock.
+    """
+
+    frontier: tuple[FrontierPoint, ...]
+    evaluations: int = 0
+    fresh_evaluations: int = 0
+    per_spec_evaluations: tuple[int, ...] = ()
+    cache_stats: dict | None = None
+    wall_time_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        frontier = tuple(
+            p if isinstance(p, FrontierPoint) else FrontierPoint(**p)
+            for p in self.frontier
+        )
+        object.__setattr__(self, "frontier", frontier)
+        object.__setattr__(
+            self, "per_spec_evaluations", tuple(self.per_spec_evaluations)
+        )
+
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        for point in payload["frontier"]:
+            point["objectives"] = list(point["objectives"])
+        return payload
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CampaignResponse":
+        payload = dict(payload)
+        payload["frontier"] = tuple(
+            FrontierPoint(
+                **{**point, "objectives": tuple(point.get("objectives", ()))}
+            )
+            for point in payload.get("frontier", ())
+        )
+        return cls(**payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignResponse":
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,327 @@
+"""Content-addressed persistent evaluation cache.
+
+The MOGA flow spends nearly all of its runtime in objective
+evaluations, and the discrete design space means many runs — across
+specs, seeds, CLI invocations, and concurrent campaigns — revisit the
+same genomes.  This module provides a two-tier cache keyed on a stable
+content hash of *everything an evaluation depends on*: the genome, the
+:class:`~repro.core.spec.DcimSpec`, and the
+:class:`~repro.tech.cells.CellLibrary`.
+
+Tiers:
+
+* an in-memory LRU tier (bounded, always present), and
+* an optional persistent disk tier — an append-only JSONL log or a
+  SQLite table — that survives process restarts and is shared between
+  campaigns.
+
+All public operations are thread-safe; campaign workers share one
+cache instance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import sqlite3
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping, Sequence
+
+__all__ = [
+    "CacheStats",
+    "EvaluationCache",
+    "evaluation_key",
+    "problem_fingerprint",
+    "stable_hash",
+]
+
+Objectives = tuple[float, ...]
+
+#: Disk-tier backends understood by :class:`EvaluationCache`.
+DISK_BACKENDS = ("jsonl", "sqlite")
+
+
+def stable_hash(payload: object) -> str:
+    """SHA-256 of the canonical JSON encoding of ``payload``.
+
+    Canonical means sorted keys and no insignificant whitespace, so two
+    structurally equal payloads always hash identically regardless of
+    construction order.
+    """
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def problem_fingerprint(spec, library) -> dict:
+    """JSON-able fingerprint of one evaluation context (spec + library).
+
+    Uses ``dataclasses.asdict`` on the spec so newly added spec fields
+    automatically invalidate old cache entries instead of aliasing them.
+    """
+    cells = {name: (c.area, c.delay, c.energy) for name, c in library.cells.items()}
+    return {
+        "spec": dataclasses.asdict(spec),
+        "library": {"name": library.name, "cells": cells},
+    }
+
+
+def evaluation_key(genome: Sequence[int], spec, library) -> str:
+    """Content-addressed cache key for one (genome, spec, library) triple.
+
+    The (spec, library) context is hashed separately and embedded as a
+    digest, so per-genome keys can be derived from a precomputed context
+    hash (see ``ProblemEvaluator``) and still match this function.
+    """
+    return stable_hash(
+        {
+            "genome": list(genome),
+            "context": stable_hash(problem_fingerprint(spec, library)),
+        }
+    )
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache instance.
+
+    ``hits`` counts both tiers; ``memory_hits``/``disk_hits`` break the
+    total down.  ``evictions`` counts LRU entries dropped from the
+    memory tier (they stay retrievable from disk when a disk tier is
+    configured).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from either tier (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class _JsonlStore:
+    """Append-only JSONL disk tier.
+
+    The whole log is indexed into a dict at open (objective vectors are
+    tiny), so lookups never touch the filesystem; puts append one line.
+    Duplicate keys are legal — last line wins — which keeps concurrent
+    appends from separate processes safe without file locking.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self._index: dict[str, Objectives] = {}
+        if path.exists():
+            with path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    record = json.loads(line)
+                    self._index[record["key"]] = tuple(record["objectives"])
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = path.open("a", encoding="utf-8")
+
+    def get(self, key: str) -> Objectives | None:
+        return self._index.get(key)
+
+    def put(self, key: str, objectives: Objectives) -> None:
+        if self._index.get(key) == objectives:
+            return
+        self._index[key] = objectives
+        self._handle.write(
+            json.dumps({"key": key, "objectives": list(objectives)}) + "\n"
+        )
+        self._handle.flush()
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def items(self) -> Iterator[tuple[str, Objectives]]:
+        return iter(self._index.items())
+
+    def close(self) -> None:
+        self._handle.close()
+
+
+class _SqliteStore:
+    """SQLite disk tier: one ``evaluations(key, objectives)`` table."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(str(path), check_same_thread=False)
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS evaluations ("
+            "key TEXT PRIMARY KEY, objectives TEXT NOT NULL)"
+        )
+        self._conn.commit()
+
+    def get(self, key: str) -> Objectives | None:
+        row = self._conn.execute(
+            "SELECT objectives FROM evaluations WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            return None
+        return tuple(json.loads(row[0]))
+
+    def put(self, key: str, objectives: Objectives) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO evaluations (key, objectives) VALUES (?, ?)",
+            (key, json.dumps(list(objectives))),
+        )
+        self._conn.commit()
+
+    def __len__(self) -> int:
+        return self._conn.execute("SELECT COUNT(*) FROM evaluations").fetchone()[0]
+
+    def items(self) -> Iterator[tuple[str, Objectives]]:
+        for key, text in self._conn.execute(
+            "SELECT key, objectives FROM evaluations"
+        ):
+            yield key, tuple(json.loads(text))
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+class EvaluationCache:
+    """Two-tier (memory LRU + optional disk) evaluation cache.
+
+    Args:
+        path: disk-tier location.  ``None`` keeps the cache memory-only.
+        backend: ``"jsonl"`` (append log) or ``"sqlite"``.  Ignored for
+            memory-only caches.  Defaults to guessing from the path
+            suffix (``.sqlite``/``.db`` -> sqlite, else jsonl).
+        max_memory_entries: LRU capacity of the memory tier.
+
+    The cache is agnostic to what produced the key — callers address it
+    with :func:`evaluation_key` (or any other stable string).
+    """
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        *,
+        backend: str | None = None,
+        max_memory_entries: int = 262_144,
+    ) -> None:
+        if max_memory_entries < 1:
+            raise ValueError("max_memory_entries must be >= 1")
+        self.max_memory_entries = max_memory_entries
+        self.stats = CacheStats()
+        self._lock = threading.RLock()
+        self._memory: OrderedDict[str, Objectives] = OrderedDict()
+        self._disk: _JsonlStore | _SqliteStore | None = None
+        if path is not None:
+            path = Path(path)
+            if backend is None:
+                backend = "sqlite" if path.suffix in {".sqlite", ".db"} else "jsonl"
+            if backend not in DISK_BACKENDS:
+                raise ValueError(
+                    f"unknown cache backend {backend!r}; choose from {DISK_BACKENDS}"
+                )
+            self._disk = (
+                _SqliteStore(path) if backend == "sqlite" else _JsonlStore(path)
+            )
+        self.backend = backend if path is not None else "memory"
+        self.path = Path(path) if path is not None else None
+
+    # Core operations ------------------------------------------------------
+    def get(self, key: str) -> Objectives | None:
+        """Look up one key; promotes disk hits into the memory tier."""
+        with self._lock:
+            value = self._memory.get(key)
+            if value is not None:
+                self._memory.move_to_end(key)
+                self.stats.hits += 1
+                self.stats.memory_hits += 1
+                return value
+            if self._disk is not None:
+                value = self._disk.get(key)
+                if value is not None:
+                    self.stats.hits += 1
+                    self.stats.disk_hits += 1
+                    self._insert_memory(key, value)
+                    return value
+            self.stats.misses += 1
+            return None
+
+    def put(self, key: str, objectives: Iterable[float]) -> None:
+        """Store one evaluation in both tiers."""
+        value = tuple(float(v) for v in objectives)
+        with self._lock:
+            self.stats.puts += 1
+            self._insert_memory(key, value)
+            if self._disk is not None:
+                self._disk.put(key, value)
+
+    def get_many(self, keys: Sequence[str]) -> list[Objectives | None]:
+        """Vector lookup, one slot per key (``None`` on miss)."""
+        with self._lock:
+            return [self.get(key) for key in keys]
+
+    def put_many(self, entries: Mapping[str, Iterable[float]]) -> None:
+        with self._lock:
+            for key, objectives in entries.items():
+                self.put(key, objectives)
+
+    def _insert_memory(self, key: str, value: Objectives) -> None:
+        self._memory[key] = value
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    # Introspection --------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of distinct cached evaluations (disk tier wins)."""
+        with self._lock:
+            if self._disk is not None:
+                return len(self._disk)
+            return len(self._memory)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            if key in self._memory:
+                return True
+            return self._disk is not None and self._disk.get(key) is not None
+
+    def clear_stats(self) -> None:
+        with self._lock:
+            self.stats = CacheStats()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._disk is not None:
+                self._disk.close()
+                self._disk = None
+
+    def __enter__(self) -> "EvaluationCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,234 @@
+"""Multi-spec DSE campaigns over a shared cache and executor.
+
+A *campaign* explores many :class:`~repro.core.spec.DcimSpec`s — e.g.
+every candidate precision for an application, or a Wstore sweep — and
+merges the per-spec Pareto fronts into one cross-architecture frontier.
+All runs share one :class:`~repro.service.cache.EvaluationCache` and one
+batch executor, so overlapping design spaces are evaluated once no
+matter how many specs (or repeated campaigns) touch them.
+
+Spec-level sharding uses threads: each worker thread drives its own
+NSGA-II run while the genome-level batches fan out through the shared
+(serial/thread/process) executor underneath.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.spec import DcimSpec, DesignPoint
+from repro.dse.explorer import DesignSpaceExplorer, ExplorationResult
+from repro.dse.nsga2 import NSGA2Config
+from repro.service.api import CampaignRequest, CampaignResponse, FrontierPoint
+from repro.service.cache import CacheStats, EvaluationCache
+from repro.service.executor import BatchExecutor, make_executor
+from repro.tech.cells import CellLibrary
+
+__all__ = ["CampaignConfig", "CampaignResult", "run_campaign", "execute_request"]
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Knobs of one campaign run.
+
+    Attributes:
+        nsga2: GA hyper-parameters shared by every spec.
+        seed: base seed; spec ``i`` explores with ``seed + i`` so runs
+            are reproducible yet decorrelated.
+        workers: how many specs are explored concurrently.
+        backend: genome-level evaluation backend
+            (``serial``/``thread``/``process``); ignored when an
+            executor instance is passed to :func:`run_campaign`.
+    """
+
+    nsga2: NSGA2Config = field(default_factory=NSGA2Config)
+    seed: int = 0
+    workers: int = 1
+    backend: str = "serial"
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign produced.
+
+    Attributes:
+        results: per-spec exploration outcomes, in input order.
+        merged_points: the cross-architecture non-dominated frontier.
+        merged_objectives: matching normalised objective rows.
+        evaluations: unique genomes evaluated across all GA runs —
+            including those served by the cache (each run's counter is
+            cache-agnostic).
+        cache_stats: snapshot of the shared cache counters for this
+            campaign (``None`` when uncached).
+        wall_time_s: end-to-end wall clock.
+    """
+
+    results: list[ExplorationResult]
+    merged_points: list[DesignPoint]
+    merged_objectives: np.ndarray
+    evaluations: int = 0
+    cache_stats: CacheStats | None = None
+    wall_time_s: float = 0.0
+
+    @property
+    def fresh_evaluations(self) -> int:
+        """Objective evaluations actually computed (cache hits excluded).
+
+        Each GA run looks every unique genome up exactly once, so the
+        campaign's cache misses are exactly the evaluations that reached
+        the estimation models.  Without a cache, every evaluation is
+        fresh.
+        """
+        if self.cache_stats is None:
+            return self.evaluations
+        return self.cache_stats.misses
+
+    def to_response(self) -> CampaignResponse:
+        """Flatten into the JSON-able API record."""
+        frontier = tuple(
+            FrontierPoint.from_design(point, tuple(row))
+            for point, row in zip(self.merged_points, self.merged_objectives)
+        )
+        return CampaignResponse(
+            frontier=frontier,
+            evaluations=self.evaluations,
+            fresh_evaluations=self.fresh_evaluations,
+            per_spec_evaluations=tuple(r.evaluations for r in self.results),
+            cache_stats=self.cache_stats.as_dict() if self.cache_stats else None,
+            wall_time_s=self.wall_time_s,
+        )
+
+
+def _merge(results: list[ExplorationResult]) -> tuple[list[DesignPoint], np.ndarray]:
+    """Cross-architecture merge, keeping the objective rows alongside.
+
+    Same dominance filter as :meth:`DesignSpaceExplorer.merge_fronts`
+    (one :func:`~repro.core.pareto.pareto_front` call over the
+    concatenated fronts), but carrying the objective rows through and
+    sorting by area like :class:`ExplorationResult` does.
+    """
+    points: list[DesignPoint] = []
+    objectives: list[tuple[float, ...]] = []
+    for result in results:
+        points.extend(result.points)
+        objectives.extend(map(tuple, result.objectives))
+    if not points:
+        return [], np.empty((0, 0))
+    from repro.core.pareto import pareto_front
+
+    merged = pareto_front(list(zip(points, objectives)), objectives)
+    merged.sort(key=lambda po: po[1][0])
+    merged_points = [p for p, _ in merged]
+    merged_objs = np.array([o for _, o in merged], dtype=float)
+    return merged_points, merged_objs
+
+
+def run_campaign(
+    specs: list[DcimSpec],
+    config: CampaignConfig | None = None,
+    library: CellLibrary | None = None,
+    cache: EvaluationCache | None = None,
+    executor: BatchExecutor | None = None,
+) -> CampaignResult:
+    """Explore ``specs`` concurrently and merge their Pareto fronts.
+
+    Args:
+        specs: the specifications to explore (one GA run each).
+        config: campaign sizing/backing (defaults everywhere).
+        library: shared normalised cell library.
+        cache: shared evaluation cache; campaigns that pass the same
+            instance (or the same on-disk path) dedupe work across
+            invocations.
+        executor: genome-level batch backend; built from
+            ``config.backend`` when omitted (and closed on exit — a
+            caller-provided executor is left open for reuse).
+    """
+    if not specs:
+        raise ValueError("a campaign needs at least one spec")
+    config = config or CampaignConfig()
+    library = library or CellLibrary.default()
+    own_executor = executor is None
+    executor = executor or make_executor(config.backend)
+    explorer = DesignSpaceExplorer(
+        library, config.nsga2, cache=cache, executor=executor
+    )
+    stats_before = dataclasses.replace(cache.stats) if cache is not None else None
+
+    started = time.perf_counter()
+    try:
+        if config.workers == 1 or len(specs) == 1:
+            results = [
+                explorer.explore(spec, seed=config.seed + i)
+                for i, spec in enumerate(specs)
+            ]
+        else:
+            with concurrent.futures.ThreadPoolExecutor(
+                max_workers=min(config.workers, len(specs))
+            ) as pool:
+                futures = [
+                    pool.submit(explorer.explore, spec, config.seed + i)
+                    for i, spec in enumerate(specs)
+                ]
+                results = [f.result() for f in futures]
+    finally:
+        if own_executor:
+            executor.close()
+    wall_time = time.perf_counter() - started
+
+    merged_points, merged_objs = _merge(results)
+    stats = None
+    if cache is not None:
+        assert stats_before is not None
+        stats = CacheStats(
+            hits=cache.stats.hits - stats_before.hits,
+            misses=cache.stats.misses - stats_before.misses,
+            memory_hits=cache.stats.memory_hits - stats_before.memory_hits,
+            disk_hits=cache.stats.disk_hits - stats_before.disk_hits,
+            puts=cache.stats.puts - stats_before.puts,
+            evictions=cache.stats.evictions - stats_before.evictions,
+        )
+    return CampaignResult(
+        results=results,
+        merged_points=merged_points,
+        merged_objectives=merged_objs,
+        evaluations=sum(r.evaluations for r in results),
+        cache_stats=stats,
+        wall_time_s=wall_time,
+    )
+
+
+def execute_request(
+    request: CampaignRequest,
+    library: CellLibrary | None = None,
+    cache: EvaluationCache | None = None,
+    executor: BatchExecutor | None = None,
+) -> CampaignResponse:
+    """Run one API-level campaign request end to end.
+
+    This is the entry point the job queue (and any future network
+    front-end) drives: a pure ``CampaignRequest -> CampaignResponse``
+    function.
+    """
+    specs = [spec.to_spec() for spec in request.specs]
+    config = CampaignConfig(
+        nsga2=NSGA2Config(
+            population_size=request.population_size,
+            generations=request.generations,
+        ),
+        seed=request.seed,
+        workers=request.workers,
+        backend=request.backend,
+    )
+    result = run_campaign(
+        specs, config, library=library, cache=cache, executor=executor
+    )
+    return result.to_response()

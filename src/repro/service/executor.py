@@ -1,0 +1,262 @@
+"""Pluggable batch evaluators for objective evaluation.
+
+Three backends implement one ``evaluate_batch(problem, genomes)``
+interface:
+
+* :class:`SerialExecutor` — in-process loop (zero overhead, the
+  baseline),
+* :class:`ThreadPoolExecutor` — shared-memory workers; useful once the
+  estimation models call into native code or the cache disk tier
+  dominates,
+* :class:`ProcessPoolExecutor` — true parallel CPython workers; the
+  problem object is pickled once per chunk.
+
+All backends chunk the genome list so per-task overhead is amortised,
+and all preserve input order, which keeps GA runs bit-identical across
+backends.  :class:`ProblemEvaluator` binds a backend and an optional
+:class:`~repro.service.cache.EvaluationCache` to one problem, exposing
+the ``evaluate_batch(genomes)`` hook that :func:`repro.dse.nsga2.nsga2`
+injects.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import math
+import os
+import threading
+from typing import Callable, Protocol, Sequence
+
+from repro.service.cache import EvaluationCache, problem_fingerprint, stable_hash
+
+__all__ = [
+    "BatchExecutor",
+    "SerialExecutor",
+    "ThreadPoolExecutor",
+    "ProcessPoolExecutor",
+    "ProblemEvaluator",
+    "make_executor",
+    "chunked",
+    "EXECUTOR_BACKENDS",
+]
+
+Genome = tuple[int, ...]
+Objectives = tuple[float, ...]
+
+#: Backend names accepted by :func:`make_executor` and the CLI.
+EXECUTOR_BACKENDS = ("serial", "thread", "process")
+
+
+def chunked(items: Sequence, size: int) -> list[Sequence]:
+    """Split ``items`` into consecutive chunks of at most ``size``."""
+    if size < 1:
+        raise ValueError(f"chunk size must be >= 1, got {size}")
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+def _evaluate_chunk(problem, genomes: Sequence[Genome]) -> list[Objectives]:
+    """Worker entry point; module-level so process pools can pickle it."""
+    batch = getattr(problem, "evaluate_batch", None)
+    if batch is not None:
+        return list(batch(genomes))
+    return [problem.evaluate(genome) for genome in genomes]
+
+
+class BatchExecutor(Protocol):
+    """Anything that can evaluate many genomes against one problem."""
+
+    name: str
+
+    def evaluate_batch(
+        self, problem, genomes: Sequence[Genome]
+    ) -> list[Objectives]:
+        """Objective vectors for ``genomes``, in input order."""
+        ...
+
+    def close(self) -> None:
+        """Release worker resources (idempotent)."""
+        ...
+
+
+class SerialExecutor:
+    """Evaluate genomes one after another in the calling thread."""
+
+    name = "serial"
+
+    def evaluate_batch(
+        self, problem, genomes: Sequence[Genome]
+    ) -> list[Objectives]:
+        return _evaluate_chunk(problem, genomes)
+
+    def close(self) -> None:
+        pass
+
+
+class _PoolExecutor:
+    """Shared chunk-scatter/order-preserving-gather logic for pools."""
+
+    name = "pool"
+    _pool_factory: Callable[..., concurrent.futures.Executor]
+
+    def __init__(
+        self, workers: int | None = None, chunk_size: int | None = None
+    ) -> None:
+        self.workers = workers or max(os.cpu_count() or 2, 2)
+        self.chunk_size = chunk_size
+        self._pool: concurrent.futures.Executor | None = None
+        self._pool_lock = threading.Lock()
+
+    def _ensure_pool(self) -> concurrent.futures.Executor:
+        # Campaign workers share one executor; without the lock two
+        # threads could each create a pool and leak the loser's workers.
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = self._pool_factory(max_workers=self.workers)
+            return self._pool
+
+    def _chunk_size_for(self, n: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        # Aim for a few chunks per worker so stragglers even out, while
+        # keeping chunks large enough to amortise submission overhead.
+        return max(1, math.ceil(n / (4 * self.workers)))
+
+    def evaluate_batch(
+        self, problem, genomes: Sequence[Genome]
+    ) -> list[Objectives]:
+        if not genomes:
+            return []
+        chunks = chunked(list(genomes), self._chunk_size_for(len(genomes)))
+        if len(chunks) == 1:
+            return _evaluate_chunk(problem, chunks[0])
+        pool = self._ensure_pool()
+        futures = [pool.submit(_evaluate_chunk, problem, chunk) for chunk in chunks]
+        results: list[Objectives] = []
+        for future in futures:
+            results.extend(future.result())
+        return results
+
+    def close(self) -> None:
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ThreadPoolExecutor(_PoolExecutor):
+    """Thread-pool backend (shared memory, no pickling)."""
+
+    name = "thread"
+    _pool_factory = staticmethod(concurrent.futures.ThreadPoolExecutor)
+
+
+class ProcessPoolExecutor(_PoolExecutor):
+    """Process-pool backend (true parallelism; problem pickled per chunk)."""
+
+    name = "process"
+    _pool_factory = staticmethod(concurrent.futures.ProcessPoolExecutor)
+
+
+def make_executor(
+    backend: str = "serial",
+    workers: int | None = None,
+    chunk_size: int | None = None,
+) -> BatchExecutor:
+    """Construct a batch executor by backend name."""
+    if backend == "serial":
+        return SerialExecutor()
+    if backend == "thread":
+        return ThreadPoolExecutor(workers, chunk_size)
+    if backend == "process":
+        return ProcessPoolExecutor(workers, chunk_size)
+    raise ValueError(
+        f"unknown executor backend {backend!r}; choose from {EXECUTOR_BACKENDS}"
+    )
+
+
+class ProblemEvaluator:
+    """Cache-aware batch evaluator bound to one problem.
+
+    This is the object :func:`repro.dse.nsga2.nsga2` accepts as its
+    ``evaluator``: a single ``evaluate_batch(genomes)`` call per
+    generation that
+
+    1. deduplicates the batch,
+    2. serves whatever the shared cache already knows,
+    3. ships only the genuinely new genomes to the executor backend, and
+    4. writes fresh results back to the cache.
+
+    Args:
+        problem: the problem instance (must offer ``evaluate`` or
+            ``evaluate_batch``).
+        cache: shared evaluation cache; ``None`` disables caching.
+        executor: batch backend; defaults to :class:`SerialExecutor`.
+        key_fn: maps a genome to a cache key.  Defaults to hashing the
+            genome together with the problem's ``spec``/``library``
+            attributes (the :class:`~repro.dse.problem.DcimProblem`
+            shape); problems without those attributes run uncached
+            unless a key function is supplied.
+    """
+
+    def __init__(
+        self,
+        problem,
+        cache: EvaluationCache | None = None,
+        executor: BatchExecutor | None = None,
+        key_fn: Callable[[Genome], str] | None = None,
+    ) -> None:
+        self.problem = problem
+        self.cache = cache
+        self.executor = executor or SerialExecutor()
+        if key_fn is None and cache is not None:
+            key_fn = self._default_key_fn(problem)
+            if key_fn is None:
+                self.cache = None
+        self.key_fn = key_fn
+        #: Genomes actually evaluated (cache misses) through this evaluator.
+        self.evaluated = 0
+
+    @staticmethod
+    def _default_key_fn(problem) -> Callable[[Genome], str] | None:
+        spec = getattr(problem, "spec", None)
+        library = getattr(problem, "library", None)
+        if spec is None or library is None:
+            return None
+        context = stable_hash(problem_fingerprint(spec, library))
+        return lambda genome: stable_hash(
+            {"genome": list(genome), "context": context}
+        )
+
+    def evaluate_batch(self, genomes: Sequence[Genome]) -> list[Objectives]:
+        """Objective vectors for ``genomes``, in input order."""
+        unique: dict[Genome, Objectives | None] = {}
+        for genome in genomes:
+            unique.setdefault(genome, None)
+        pending: list[Genome] = []
+        if self.cache is not None and self.key_fn is not None:
+            for genome in unique:
+                hit = self.cache.get(self.key_fn(genome))
+                if hit is not None:
+                    unique[genome] = hit
+                else:
+                    pending.append(genome)
+        else:
+            pending = list(unique)
+        if pending:
+            fresh = self.executor.evaluate_batch(self.problem, pending)
+            self.evaluated += len(pending)
+            for genome, objectives in zip(pending, fresh):
+                objectives = tuple(objectives)
+                unique[genome] = objectives
+                if self.cache is not None and self.key_fn is not None:
+                    self.cache.put(self.key_fn(genome), objectives)
+        return [unique[genome] for genome in genomes]
+
+    def close(self) -> None:
+        self.executor.close()

@@ -1,0 +1,172 @@
+"""A small job queue/scheduler with request deduplication.
+
+The queue is the serving core the async front-ends of later PRs will
+wrap: campaigns are *submitted* as :class:`~repro.service.api.
+CampaignRequest`s, identical in-flight requests collapse onto one job
+(content-addressed by the request fingerprint), and each job carries a
+status/result record that survives until explicitly purged.
+
+Execution is deliberately synchronous — :meth:`JobQueue.run_next` /
+:meth:`JobQueue.run_all` drain the queue in FIFO order — so the
+scheduling semantics stay testable without event loops; the shared
+cache and executor do the heavy lifting underneath.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+from dataclasses import dataclass, field
+
+from repro.service.api import CampaignRequest, CampaignResponse
+from repro.service.campaign import execute_request
+
+__all__ = ["JobStatus", "JobRecord", "JobQueue"]
+
+
+class JobStatus(str, enum.Enum):
+    """Lifecycle of one submitted campaign."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class JobRecord:
+    """Status/result record for one job.
+
+    Attributes:
+        job_id: queue-assigned identifier (``job-<n>``).
+        request: the deduplicated campaign request.
+        status: current lifecycle state.
+        response: the result, once ``DONE``.
+        error: failure message, once ``FAILED``.
+        submissions: how many submits collapsed onto this job.
+    """
+
+    job_id: str
+    request: CampaignRequest
+    status: JobStatus = JobStatus.PENDING
+    response: CampaignResponse | None = None
+    error: str | None = None
+    submissions: int = 1
+
+
+@dataclass
+class _QueueStats:
+    submitted: int = 0
+    deduplicated: int = 0
+    completed: int = 0
+    failed: int = 0
+
+
+class JobQueue:
+    """FIFO campaign queue with content-addressed deduplication.
+
+    Args:
+        runner: ``CampaignRequest -> CampaignResponse`` callable;
+            defaults to :func:`repro.service.campaign.execute_request`
+            bound to the given resources.
+        library / cache / executor: shared resources handed to the
+            default runner.
+
+    Submitting a request whose fingerprint matches a job that is still
+    pending, running, or successfully finished returns the existing job
+    id instead of queueing duplicate work; failed jobs do *not* absorb
+    resubmissions, so callers can retry.
+    """
+
+    def __init__(self, runner=None, library=None, cache=None, executor=None) -> None:
+        if runner is None:
+            runner = lambda request: execute_request(
+                request, library=library, cache=cache, executor=executor
+            )
+        self._runner = runner
+        self._lock = threading.RLock()
+        self._jobs: dict[str, JobRecord] = {}
+        self._by_fingerprint: dict[str, str] = {}
+        self._pending: list[str] = []
+        self._ids = itertools.count(1)
+        self.stats = _QueueStats()
+
+    # Submission -----------------------------------------------------------
+    def submit(self, request: CampaignRequest) -> str:
+        """Queue a campaign; returns the (possibly deduplicated) job id."""
+        fingerprint = request.fingerprint()
+        with self._lock:
+            self.stats.submitted += 1
+            existing_id = self._by_fingerprint.get(fingerprint)
+            if existing_id is not None:
+                existing = self._jobs[existing_id]
+                if existing.status is not JobStatus.FAILED:
+                    existing.submissions += 1
+                    self.stats.deduplicated += 1
+                    return existing_id
+            job_id = f"job-{next(self._ids)}"
+            self._jobs[job_id] = JobRecord(job_id=job_id, request=request)
+            self._by_fingerprint[fingerprint] = job_id
+            self._pending.append(job_id)
+            return job_id
+
+    # Inspection -----------------------------------------------------------
+    def status(self, job_id: str) -> JobStatus:
+        return self._job(job_id).status
+
+    def result(self, job_id: str) -> CampaignResponse:
+        """The finished response; raises if the job is not ``DONE``."""
+        job = self._job(job_id)
+        if job.status is JobStatus.FAILED:
+            raise RuntimeError(f"{job_id} failed: {job.error}")
+        if job.response is None:
+            raise RuntimeError(f"{job_id} has not finished (status {job.status.value})")
+        return job.response
+
+    def record(self, job_id: str) -> JobRecord:
+        return self._job(job_id)
+
+    def jobs(self) -> list[JobRecord]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def _job(self, job_id: str) -> JobRecord:
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise KeyError(f"unknown job id {job_id!r}") from None
+
+    # Execution ------------------------------------------------------------
+    def run_next(self) -> JobRecord | None:
+        """Execute the oldest pending job; ``None`` when the queue is idle."""
+        with self._lock:
+            if not self._pending:
+                return None
+            job = self._jobs[self._pending.pop(0)]
+            job.status = JobStatus.RUNNING
+        try:
+            response = self._runner(job.request)
+        except Exception as exc:  # a failed campaign must not kill the queue
+            with self._lock:
+                job.status = JobStatus.FAILED
+                job.error = f"{type(exc).__name__}: {exc}"
+                self.stats.failed += 1
+            return job
+        with self._lock:
+            job.status = JobStatus.DONE
+            job.response = response
+            self.stats.completed += 1
+        return job
+
+    def run_all(self) -> list[JobRecord]:
+        """Drain the queue; returns the jobs executed (in order)."""
+        executed = []
+        while (job := self.run_next()) is not None:
+            executed.append(job)
+        return executed

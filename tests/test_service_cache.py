@@ -1,0 +1,149 @@
+"""Tests for the content-addressed evaluation cache."""
+
+import threading
+
+import pytest
+
+from repro.core.spec import DcimSpec
+from repro.service.cache import (
+    CacheStats,
+    EvaluationCache,
+    evaluation_key,
+    stable_hash,
+)
+from repro.tech.cells import CellLibrary
+from repro.model.cost import Cost
+
+
+SPEC = DcimSpec(wstore=4096, precision="INT8")
+LIB = CellLibrary.default()
+
+
+class TestKeys:
+    def test_stable_across_constructions(self):
+        key_a = evaluation_key((1, 2, 3, 0), SPEC, LIB)
+        key_b = evaluation_key(
+            (1, 2, 3, 0), DcimSpec(wstore=4096, precision="INT8"), CellLibrary.default()
+        )
+        assert key_a == key_b
+
+    def test_sensitive_to_genome(self):
+        assert evaluation_key((1, 2, 3, 0), SPEC, LIB) != evaluation_key(
+            (1, 2, 3, 1), SPEC, LIB
+        )
+
+    def test_sensitive_to_spec(self):
+        other = DcimSpec(wstore=8192, precision="INT8")
+        assert evaluation_key((1, 2, 3, 0), SPEC, LIB) != evaluation_key(
+            (1, 2, 3, 0), other, LIB
+        )
+
+    def test_sensitive_to_library(self):
+        tweaked = LIB.with_cell("NOR", Cost(1.5, 1.0, 1.0))
+        assert evaluation_key((1, 2, 3, 0), SPEC, LIB) != evaluation_key(
+            (1, 2, 3, 0), SPEC, tweaked
+        )
+
+    def test_stable_hash_ignores_key_order(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+
+    def test_matches_problem_evaluator_default_keys(self):
+        # The public key function and the evaluator's precomputed-context
+        # derivation must address the same cache entries.
+        from repro.dse.problem import DcimProblem
+        from repro.service.executor import ProblemEvaluator
+
+        problem = DcimProblem(SPEC, LIB)
+        evaluator = ProblemEvaluator(problem, cache=EvaluationCache())
+        genome = problem.codec.enumerate()[0]
+        assert evaluator.key_fn(genome) == evaluation_key(genome, SPEC, LIB)
+
+
+class TestMemoryTier:
+    def test_hit_miss_statistics(self):
+        cache = EvaluationCache()
+        assert cache.get("k") is None
+        cache.put("k", (1.0, 2.0))
+        assert cache.get("k") == (1.0, 2.0)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.memory_hits == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_lru_eviction(self):
+        cache = EvaluationCache(max_memory_entries=2)
+        cache.put("a", (1.0,))
+        cache.put("b", (2.0,))
+        cache.get("a")  # refresh "a": "b" is now least recently used
+        cache.put("c", (3.0,))
+        assert cache.get("a") == (1.0,)
+        assert cache.get("c") == (3.0,)
+        assert cache.get("b") is None  # evicted, no disk tier
+        assert cache.stats.evictions == 1
+
+    def test_get_many_put_many(self):
+        cache = EvaluationCache()
+        cache.put_many({"a": (1.0,), "b": (2.0,)})
+        assert cache.get_many(["a", "missing", "b"]) == [(1.0,), None, (2.0,)]
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            EvaluationCache(max_memory_entries=0)
+
+
+@pytest.mark.parametrize("backend,suffix", [("jsonl", ".jsonl"), ("sqlite", ".sqlite")])
+class TestDiskTier:
+    def test_persistence_round_trip(self, tmp_path, backend, suffix):
+        path = tmp_path / f"cache{suffix}"
+        with EvaluationCache(path, backend=backend) as cache:
+            cache.put("k1", (1.0, -2.0))
+            cache.put("k2", (3.5,))
+        with EvaluationCache(path, backend=backend) as reopened:
+            assert reopened.get("k1") == (1.0, -2.0)
+            assert reopened.get("k2") == (3.5,)
+            assert len(reopened) == 2
+
+    def test_backend_guessed_from_suffix(self, tmp_path, backend, suffix):
+        with EvaluationCache(tmp_path / f"cache{suffix}") as cache:
+            assert cache.backend == backend
+
+    def test_eviction_falls_back_to_disk(self, tmp_path, backend, suffix):
+        path = tmp_path / f"cache{suffix}"
+        with EvaluationCache(path, backend=backend, max_memory_entries=1) as cache:
+            cache.put("a", (1.0,))
+            cache.put("b", (2.0,))  # evicts "a" from memory
+            assert cache.stats.evictions == 1
+            assert cache.get("a") == (1.0,)
+            # jsonl indexes the log in-process; sqlite queries the table.
+            assert cache.stats.hits == 1
+
+    def test_thread_safety_smoke(self, tmp_path, backend, suffix):
+        cache = EvaluationCache(tmp_path / f"cache{suffix}", backend=backend)
+
+        def worker(base: int) -> None:
+            for i in range(50):
+                cache.put(f"k{base + i}", (float(i),))
+                cache.get(f"k{base + i}")
+
+        threads = [threading.Thread(target=worker, args=(n * 50,)) for n in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(cache) == 200
+        cache.close()
+
+
+class TestStats:
+    def test_hit_rate_idle(self):
+        assert CacheStats().hit_rate == 0.0
+
+    def test_as_dict_shape(self):
+        stats = CacheStats(hits=3, misses=1)
+        payload = stats.as_dict()
+        assert payload["hits"] == 3
+        assert payload["hit_rate"] == 0.75
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            EvaluationCache(tmp_path / "c.jsonl", backend="redis")

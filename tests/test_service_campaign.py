@@ -1,0 +1,115 @@
+"""Tests for multi-spec campaign runs: sharding, caching, front merges."""
+
+import pytest
+
+from repro.core.pareto import dominates
+from repro.core.spec import DcimSpec
+from repro.dse.explorer import DesignSpaceExplorer
+from repro.dse.nsga2 import NSGA2Config
+from repro.service.cache import EvaluationCache
+from repro.service.campaign import CampaignConfig, run_campaign
+from repro.service.executor import ThreadPoolExecutor
+
+SPECS = [
+    DcimSpec(wstore=4096, precision="INT4"),
+    DcimSpec(wstore=4096, precision="INT8"),
+]
+SMALL_GA = NSGA2Config(population_size=16, generations=8)
+
+
+def small_config(**overrides) -> CampaignConfig:
+    return CampaignConfig(nsga2=SMALL_GA, seed=3, **overrides)
+
+
+def front_keys(result):
+    return [(p.precision.name, p.n, p.h, p.l, p.k) for p in result.merged_points]
+
+
+class TestMergeCorrectness:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        return run_campaign(SPECS, small_config())
+
+    def test_matches_explorer_merge(self, campaign):
+        explorer = DesignSpaceExplorer(config=SMALL_GA)
+        results = [explorer.explore(s, seed=3 + i) for i, s in enumerate(SPECS)]
+        merged = DesignSpaceExplorer.merge_fronts(results)
+        assert set(front_keys(campaign)) == {
+            (p.precision.name, p.n, p.h, p.l, p.k) for p in merged
+        }
+
+    def test_merged_front_mutually_nondominated(self, campaign):
+        rows = [tuple(r) for r in campaign.merged_objectives]
+        for i, u in enumerate(rows):
+            for j, v in enumerate(rows):
+                if i != j:
+                    assert not dominates(u, v)
+
+    def test_merged_front_spans_inputs(self, campaign):
+        union = {
+            (r.spec.precision.name, p.n, p.h, p.l, p.k)
+            for r in campaign.results
+            for p in r.points
+        }
+        assert set(front_keys(campaign)) <= union
+
+    def test_objectives_sorted_by_area(self, campaign):
+        areas = [row[0] for row in campaign.merged_objectives]
+        assert areas == sorted(areas)
+
+    def test_evaluations_accumulate(self, campaign):
+        assert campaign.evaluations == sum(r.evaluations for r in campaign.results)
+        assert campaign.wall_time_s > 0
+
+
+class TestSharding:
+    def test_parallel_specs_match_sequential(self):
+        sequential = run_campaign(SPECS, small_config(workers=1))
+        sharded = run_campaign(SPECS, small_config(workers=2, backend="thread"))
+        assert front_keys(sequential) == front_keys(sharded)
+
+    def test_shared_executor_left_open(self):
+        with ThreadPoolExecutor(workers=2) as pool:
+            run_campaign(SPECS, small_config(), executor=pool)
+            # The caller-owned pool must still be usable afterwards.
+            from repro.dse.problem import DcimProblem
+
+            problem = DcimProblem(SPECS[0])
+            genome = problem.codec.enumerate()[0]
+            assert pool.evaluate_batch(problem, [genome])
+
+    def test_rejects_empty_campaign(self):
+        with pytest.raises(ValueError):
+            run_campaign([], small_config())
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(workers=0)
+
+
+class TestWarmCache:
+    def test_second_run_hits_over_90_percent(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        with EvaluationCache(path) as cache:
+            cold = run_campaign(SPECS, small_config(), cache=cache)
+        assert cold.cache_stats.misses > 0
+        # Fresh process-equivalent: reopen the persisted cache.
+        with EvaluationCache(path) as cache:
+            warm = run_campaign(SPECS, small_config(), cache=cache)
+        assert warm.cache_stats.hit_rate >= 0.9
+        assert warm.cache_stats.misses == 0
+        assert warm.fresh_evaluations == 0
+        assert cold.fresh_evaluations == cold.evaluations
+        assert front_keys(cold) == front_keys(warm)
+
+    def test_cache_stats_are_per_campaign(self):
+        cache = EvaluationCache()
+        first = run_campaign(SPECS, small_config(), cache=cache)
+        second = run_campaign(SPECS, small_config(), cache=cache)
+        # The second campaign's snapshot counts only its own lookups.
+        assert second.cache_stats.misses == 0
+        assert second.cache_stats.hits == first.cache_stats.misses
+
+    def test_uncached_campaign_reports_none(self):
+        result = run_campaign(SPECS[:1], small_config())
+        assert result.cache_stats is None

@@ -1,0 +1,154 @@
+"""Tests for the job queue and the typed request/response API."""
+
+import pytest
+
+from repro.core.spec import DcimSpec
+from repro.service.api import (
+    CampaignRequest,
+    CampaignResponse,
+    FrontierPoint,
+    SpecRequest,
+)
+from repro.service.cache import EvaluationCache
+from repro.service.jobs import JobQueue, JobStatus
+
+
+def tiny_request(**overrides) -> CampaignRequest:
+    payload = dict(
+        specs=(SpecRequest(4096, "INT4"), SpecRequest(4096, "INT8")),
+        population_size=16,
+        generations=4,
+        seed=1,
+    )
+    payload.update(overrides)
+    return CampaignRequest(**payload)
+
+
+class TestApiRoundTrips:
+    def test_spec_request_round_trip(self):
+        spec = DcimSpec(wstore=8192, precision="BF16", max_l=32)
+        assert SpecRequest.from_spec(spec).to_spec() == spec
+
+    def test_campaign_request_json_round_trip(self):
+        request = tiny_request()
+        assert CampaignRequest.from_json(request.to_json()) == request
+
+    def test_campaign_request_accepts_raw_dicts(self):
+        request = CampaignRequest(specs=({"wstore": 4096, "precision": "INT8"},))
+        assert request.specs[0] == SpecRequest(4096, "INT8")
+
+    def test_campaign_request_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CampaignRequest(specs=())
+
+    def test_fingerprint_is_content_addressed(self):
+        assert tiny_request().fingerprint() == tiny_request().fingerprint()
+        assert tiny_request().fingerprint() != tiny_request(seed=2).fingerprint()
+
+    def test_frontier_point_round_trip(self):
+        spec = DcimSpec(wstore=4096, precision="INT8")
+        from repro.dse.problem import DcimProblem
+
+        problem = DcimProblem(spec)
+        point = problem.decode(problem.codec.enumerate()[0])
+        frontier = FrontierPoint.from_design(point, (1.0, 2.0, 3.0, -4.0))
+        rebuilt = frontier.to_design()
+        assert (rebuilt.n, rebuilt.h, rebuilt.l, rebuilt.k) == (
+            point.n, point.h, point.l, point.k
+        )
+
+    def test_campaign_response_json_round_trip(self):
+        response = CampaignResponse(
+            frontier=(
+                FrontierPoint("INT8", 32, 16, 8, 4, (1.0, 2.0)),
+                FrontierPoint("INT4", 64, 8, 8, 2, (0.5, 3.0)),
+            ),
+            evaluations=42,
+            per_spec_evaluations=(20, 22),
+            cache_stats={"hits": 10, "misses": 32},
+            wall_time_s=1.25,
+        )
+        assert CampaignResponse.from_json(response.to_json()) == response
+
+
+class TestJobQueue:
+    def test_submit_run_result(self):
+        queue = JobQueue(cache=EvaluationCache())
+        job_id = queue.submit(tiny_request())
+        assert queue.status(job_id) is JobStatus.PENDING
+        executed = queue.run_all()
+        assert [job.job_id for job in executed] == [job_id]
+        assert queue.status(job_id) is JobStatus.DONE
+        response = queue.result(job_id)
+        assert response.frontier
+        assert response.evaluations > 0
+
+    def test_identical_requests_deduplicate(self):
+        queue = JobQueue(cache=EvaluationCache())
+        first = queue.submit(tiny_request())
+        second = queue.submit(tiny_request())
+        assert first == second
+        assert queue.pending_count() == 1
+        assert queue.record(first).submissions == 2
+        assert queue.stats.deduplicated == 1
+
+    def test_distinct_requests_queue_separately(self):
+        queue = JobQueue(cache=EvaluationCache())
+        first = queue.submit(tiny_request())
+        second = queue.submit(tiny_request(seed=9))
+        assert first != second
+        assert queue.pending_count() == 2
+
+    def test_done_job_absorbs_resubmission(self):
+        queue = JobQueue(cache=EvaluationCache())
+        job_id = queue.submit(tiny_request())
+        queue.run_all()
+        assert queue.submit(tiny_request()) == job_id
+        assert queue.pending_count() == 0
+
+    def test_failed_job_allows_retry(self):
+        calls = {"n": 0}
+
+        def flaky(request):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("backend exploded")
+            from repro.service.campaign import execute_request
+
+            return execute_request(request)
+
+        queue = JobQueue(runner=flaky)
+        job_id = queue.submit(tiny_request())
+        queue.run_all()
+        assert queue.status(job_id) is JobStatus.FAILED
+        assert "backend exploded" in queue.record(job_id).error
+        with pytest.raises(RuntimeError):
+            queue.result(job_id)
+        retry_id = queue.submit(tiny_request())
+        assert retry_id != job_id
+        queue.run_all()
+        assert queue.status(retry_id) is JobStatus.DONE
+
+    def test_run_next_idle_returns_none(self):
+        assert JobQueue().run_next() is None
+
+    def test_unknown_job_id(self):
+        with pytest.raises(KeyError):
+            JobQueue().status("job-404")
+
+    def test_result_before_finish_raises(self):
+        queue = JobQueue()
+        job_id = queue.submit(tiny_request())
+        with pytest.raises(RuntimeError):
+            queue.result(job_id)
+
+    def test_shared_cache_across_jobs(self):
+        cache = EvaluationCache()
+        queue = JobQueue(cache=cache)
+        queue.submit(tiny_request())
+        queue.run_all()
+        misses_after_first = cache.stats.misses
+        queue.submit(tiny_request(generations=5))  # overlapping genome space
+        queue.run_all()
+        assert cache.stats.hits > 0
+        assert cache.stats.misses >= misses_after_first
