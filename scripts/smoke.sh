@@ -9,6 +9,29 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 python -m pytest -x -q
 
+echo "== batch/scalar parity =="
+python - <<'PY'
+from repro.core.spec import DcimSpec
+from repro.dse.problem import DcimProblem, objectives_of
+from repro.model.engine import HAS_NUMPY
+
+backends = ["python"] + (["numpy"] if HAS_NUMPY else [])
+for precision in ("INT8", "BF16"):
+    spec = DcimSpec(wstore=4096, precision=precision)
+    for backend in backends:
+        problem = DcimProblem(spec, engine_backend=backend)
+        genomes = problem.codec.enumerate()
+        scalar = [
+            objectives_of(problem.codec.decode(g).macro_cost(problem.library))
+            for g in genomes
+        ]
+        assert problem.evaluate_batch(genomes) == scalar, (precision, backend)
+        print(f"parity OK: {precision} x {backend} ({len(genomes)} genomes)")
+PY
+
+echo "== DSE runtime bench (records benchmarks/results/dse_runtime.txt) =="
+python -m pytest benchmarks/test_dse_runtime.py -q
+
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
 cache="$workdir/evals.jsonl"
@@ -17,6 +40,7 @@ run_campaign() {
     python -m repro campaign \
         --spec 4096:INT4 --spec 4096:INT8 \
         --population 16 --generations 6 \
+        --engine auto --chunk-size 64 \
         --cache "$cache" --limit 5
 }
 

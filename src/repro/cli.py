@@ -107,6 +107,14 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--backend", default="serial",
                           choices=["serial", "thread", "process"],
                           help="genome-level evaluation backend")
+    campaign.add_argument("--chunk-size", type=int, default=None,
+                          metavar="N",
+                          help="genomes per executor task (default: "
+                               "auto-sized per batch)")
+    campaign.add_argument("--engine", default="auto",
+                          choices=["auto", "numpy", "python"],
+                          help="cost-engine backend (bit-identical "
+                               "objectives either way)")
     campaign.add_argument("--workers", type=int, default=1,
                           help="specs explored concurrently")
     campaign.add_argument("--cache", default=None, metavar="PATH",
@@ -314,6 +322,8 @@ def _cmd_campaign(args) -> int:
             seed=args.seed,
             workers=args.workers,
             backend=args.backend,
+            chunk_size=args.chunk_size,
+            engine=args.engine,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -355,6 +365,12 @@ def _cmd_campaign(args) -> int:
             )
         )
         stats = result.cache_stats
+        chunk_text = "auto" if args.chunk_size is None else str(args.chunk_size)
+        print(
+            f"engine: {result.engine_backend} "
+            f"(requested {args.engine}); "
+            f"executor: {args.backend}, chunk size {chunk_text}"
+        )
         print(
             f"evaluations: {result.evaluations} unique genomes "
             f"({', '.join(f'{r.evaluations}' for r in result.results)} per spec), "

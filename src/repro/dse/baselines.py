@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.core.pareto import pareto_front
 from repro.core.spec import DcimSpec, DesignPoint
-from repro.dse.problem import DcimProblem, objectives_of
+from repro.dse.problem import DcimProblem
 from repro.tech.cells import CellLibrary
 
 __all__ = ["random_search", "weighted_sum_search"]
@@ -36,15 +36,14 @@ def random_search(
     problem = DcimProblem(spec, library or CellLibrary.default())
     rng = random.Random(seed)
     seen = set()
-    points, objectives = [], []
+    genomes = []
     for _ in range(budget):
         genome = problem.sample(rng)
-        if genome in seen:
-            continue
-        seen.add(genome)
-        point = problem.decode(genome)
-        points.append(point)
-        objectives.append(objectives_of(point.macro_cost(problem.library)))
+        if genome not in seen:
+            seen.add(genome)
+            genomes.append(genome)
+    points = problem.codec.decode_batch(genomes)
+    objectives = problem.evaluate_batch(genomes)
     return pareto_front(points, objectives)
 
 
@@ -75,7 +74,8 @@ def weighted_sum_search(
         if genome not in seen:
             seen.add(genome)
             pool.append(genome)
-    objs = np.array([problem.evaluate(g) for g in pool])
+    obj_rows = problem.evaluate_batch(pool)
+    objs = np.array(obj_rows)
     lo, hi = objs.min(axis=0), objs.max(axis=0)
     span = np.where(hi > lo, hi - lo, 1.0)
     unit = (objs - lo) / span
@@ -90,6 +90,8 @@ def weighted_sum_search(
             weights = raw / raw.sum()
         best = int(np.argmin(unit @ weights))
         winners.append(pool[best])
-    points = [problem.decode(g) for g in dict.fromkeys(winners)]
-    objectives = [objectives_of(p.macro_cost(problem.library)) for p in points]
+    by_genome = dict(zip(pool, obj_rows))
+    winner_genomes = list(dict.fromkeys(winners))
+    points = problem.codec.decode_batch(winner_genomes)
+    objectives = [by_genome[g] for g in winner_genomes]
     return pareto_front(points, objectives)

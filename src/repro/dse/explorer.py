@@ -15,7 +15,7 @@ import numpy as np
 from repro.core.pareto import hypervolume, normalize_objectives, pareto_front
 from repro.core.spec import DcimSpec, DesignPoint
 from repro.dse.nsga2 import NSGA2Config, NSGA2Result, nsga2
-from repro.dse.problem import DcimProblem, objectives_of
+from repro.dse.problem import DcimProblem
 from repro.tech.cells import CellLibrary
 
 __all__ = ["ExplorationResult", "DesignSpaceExplorer"]
@@ -66,6 +66,9 @@ class DesignSpaceExplorer:
         executor: optional batch backend
             (:class:`repro.service.executor.BatchExecutor`) that
             evaluates each generation's new genomes in parallel.
+        engine: cost-engine backend (``auto``/``numpy``/``python``)
+            forwarded to every :class:`DcimProblem`; all backends are
+            bit-identical, so this is purely a throughput knob.
     """
 
     def __init__(
@@ -74,11 +77,16 @@ class DesignSpaceExplorer:
         config: NSGA2Config | None = None,
         cache=None,
         executor=None,
+        engine: str = "auto",
     ) -> None:
         self.library = library or CellLibrary.default()
         self.config = config or NSGA2Config()
         self.cache = cache
         self.executor = executor
+        self.engine = engine
+
+    def _problem(self, spec: DcimSpec) -> DcimProblem:
+        return DcimProblem(spec, self.library, engine_backend=self.engine)
 
     def _evaluator(self, problem: DcimProblem):
         if self.cache is None and self.executor is None:
@@ -89,7 +97,7 @@ class DesignSpaceExplorer:
 
     def explore(self, spec: DcimSpec, seed: int | None = None) -> ExplorationResult:
         """Explore one specification and return its Pareto frontier."""
-        problem = DcimProblem(spec, self.library)
+        problem = self._problem(spec)
         config = self.config
         if seed is not None:
             config = replace(config, seed=seed)
@@ -109,11 +117,8 @@ class DesignSpaceExplorer:
 
     def explore_exhaustive(self, spec: DcimSpec) -> ExplorationResult:
         """Exact frontier by enumeration (baseline / small spaces)."""
-        problem = DcimProblem(spec, self.library)
-        points = problem.exhaustive_front()
-        objectives = [
-            objectives_of(p.macro_cost(self.library)) for p in points
-        ]
+        problem = self._problem(spec)
+        points, objectives = problem.exhaustive_front_with_objectives()
         order = np.argsort([o[0] for o in objectives]) if objectives else []
         points = [points[i] for i in order]
         objectives = [objectives[i] for i in order]

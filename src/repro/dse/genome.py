@@ -23,6 +23,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.core.precision import Precision
 from repro.core.spec import DcimSpec, DesignPoint
@@ -188,6 +189,47 @@ class GenomeCodec:
             l=2**c,
             k=self.k_choices[k_idx],
         )
+
+    def decode_batch(self, genomes: Sequence[Genome]) -> list[DesignPoint]:
+        """Materialise many genomes as design points, in input order."""
+        return [self.decode(genome) for genome in genomes]
+
+    def decode_params(
+        self, genomes: Sequence[Genome]
+    ) -> tuple[list[int], list[int], list[int], list[int]]:
+        """Decode many genomes into ``(N, H, L, k)`` parameter columns.
+
+        This is the batch evaluation fast path: it checks feasibility
+        with the bounds hoisted out of the loop and skips
+        :class:`DesignPoint` construction entirely, because the cost
+        engine consumes raw parameter arrays.
+
+        Raises:
+            ValueError: on the first infeasible genome, matching
+                :meth:`decode`.
+        """
+        min_a, max_a = self.min_a, self.max_a
+        max_b, max_c = self.max_b, self.max_c
+        total = self.total_exponent
+        k_choices = self.k_choices
+        n_k = len(k_choices)
+        bw = self.weight_bits
+        n, h, l, k = [], [], [], []
+        for genome in genomes:
+            a, b, c, k_idx = genome
+            if not (
+                min_a <= a <= max_a
+                and 0 <= b <= max_b
+                and 0 <= c <= max_c
+                and 0 <= k_idx < n_k
+                and a + b + c == total
+            ):
+                raise ValueError(f"infeasible genome {tuple(genome)}")
+            n.append(bw << a)
+            h.append(1 << b)
+            l.append(1 << c)
+            k.append(k_choices[k_idx])
+        return n, h, l, k
 
     def encode(self, point: DesignPoint) -> Genome:
         """Inverse of :meth:`decode` for seeding known-good designs."""

@@ -57,8 +57,11 @@ class Problem(Protocol):
         """Objective vectors for many genomes, in input order.
 
         Optional hook: when present, the optimiser evaluates each
-        generation's new genomes through one call (problems may
-        vectorise it); otherwise it maps :meth:`evaluate`.
+        generation's new genomes through one call; otherwise it maps
+        :meth:`evaluate`.  :class:`repro.dse.problem.DcimProblem`
+        vectorises this through the batch cost engine
+        (:mod:`repro.model.engine`), so one call per generation is the
+        hot path, not a convenience.
         """
         return [self.evaluate(genome) for genome in genomes]
 

@@ -4,6 +4,14 @@ Both architectures minimise ``[A, D, E, -T]``: area, clock period,
 energy per pass, and negated peak throughput.  The storage constraint is
 satisfied by the genome encoding (see :mod:`repro.dse.genome`), so the
 GA never sees infeasible points.
+
+Evaluation is batch-first: every path — the GA's per-generation
+batches, the evaluation service's chunked executors, the exhaustive
+baseline — funnels into :meth:`DcimProblem.evaluate_batch`, which
+decodes the genomes into parameter columns and ships them to the
+vectorised :class:`repro.model.engine.CostEngine`.  The scalar
+:meth:`DcimProblem.evaluate` is a batch of one, and both are
+bit-identical to evaluating ``DesignPoint.macro_cost`` point by point.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ from typing import Sequence
 
 from repro.core.spec import DcimSpec, DesignPoint
 from repro.dse.genome import Genome, GenomeCodec
+from repro.model.engine import CostEngine
 from repro.model.macro import MacroCost
 from repro.tech.cells import CellLibrary
 
@@ -45,13 +54,18 @@ class DcimProblem:
     Attributes:
         spec: the user specification (Fig. 4 "User Defined" inputs).
         library: normalised standard-cell library.
+        engine_backend: cost-engine backend (``auto``/``numpy``/
+            ``python``); every backend returns bit-identical objectives,
+            so this only changes throughput.
     """
 
     spec: DcimSpec
     library: CellLibrary = field(default_factory=CellLibrary.default)
+    engine_backend: str = "auto"
 
     def __post_init__(self) -> None:
         self.codec = GenomeCodec(self.spec)
+        self.engine = CostEngine(self.library, backend=self.engine_backend)
 
     # Problem protocol -----------------------------------------------------
     def sample(self, rng: random.Random) -> Genome:
@@ -61,16 +75,30 @@ class DcimProblem:
         return self.codec.repair(genome, rng)
 
     def evaluate(self, genome: Genome) -> tuple[float, ...]:
-        point = self.codec.decode(genome)
-        return objectives_of(point.macro_cost(self.library))
+        """Objective vector for one genome: a batch of one."""
+        return self.evaluate_batch([genome])[0]
 
     def evaluate_batch(self, genomes: Sequence[Genome]) -> list[tuple[float, ...]]:
         """Objective vectors for many genomes, in input order.
 
-        The batch form is what the evaluation service's executors call:
-        one pickled :class:`DcimProblem` plus a genome chunk per task.
+        This is the single evaluation path of the whole stack: genomes
+        are decoded into ``(N, H, L, k)`` columns and the batch engine
+        evaluates the architecture's analytic model in one shot.  The
+        service's executors call it once per genome chunk.
         """
-        return [self.evaluate(genome) for genome in genomes]
+        if not genomes:
+            return []
+        n, h, l, k = self.codec.decode_params(genomes)
+        precision = self.spec.precision
+        if precision.is_float:
+            batch = self.engine.evaluate_fp(
+                n, h, l, k, be=precision.exponent_bits, bm=precision.mantissa_bits
+            )
+        else:
+            batch = self.engine.evaluate_int(
+                n, h, l, k, bx=precision.bits, bw=precision.bits
+            )
+        return batch.objectives()
 
     def mutation_steps(self) -> tuple[int, int, int, int]:
         # Exponent genes move a couple of octaves; the k index can jump
@@ -88,11 +116,19 @@ class DcimProblem:
 
         The exponent encoding keeps the space small (hundreds of points),
         which makes this exact baseline cheap; the explorer tests compare
-        NSGA-II's front against it.
+        NSGA-II's front against it.  Objectives come from the same
+        :meth:`evaluate_batch` path as every other consumer.
         """
+        return self.exhaustive_front_with_objectives()[0]
+
+    def exhaustive_front_with_objectives(
+        self,
+    ) -> tuple[list[DesignPoint], list[tuple[float, ...]]]:
+        """Exhaustive front plus its objective rows, from one batch."""
         from repro.core.pareto import pareto_front
 
         genomes = self.codec.enumerate()
-        points = [self.codec.decode(g) for g in genomes]
-        objs = [objectives_of(p.macro_cost(self.library)) for p in points]
-        return pareto_front(points, objs)
+        points = self.codec.decode_batch(genomes)
+        objectives = self.evaluate_batch(genomes)
+        front = pareto_front(list(zip(points, objectives)), objectives)
+        return [p for p, _ in front], [o for _, o in front]

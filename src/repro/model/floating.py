@@ -60,6 +60,7 @@ def fp_macro_cost(
     k: int,
     be: int,
     bm: int,
+    components: tuple[Cost, ...] | None = None,
 ) -> MacroCost:
     """Cost of a pre-aligned floating-point DCIM macro.
 
@@ -71,21 +72,29 @@ def fp_macro_cost(
         k: mantissa bits fed per cycle (``1 <= k <= bm``, ``k | bm``).
         be: exponent width ``BE``.
         bm: mantissa datapath width ``BM`` (with hidden bit).
+        components: optional precomputed ``(select, mult, tree, accu,
+            fusion, buffer, align, convert, exp_regs)`` component costs
+            for exactly these parameters — the batch engine's memo
+            passes them in so the macro assembly lives in one place.
 
     Returns:
         The macro's :class:`~repro.model.macro.MacroCost`.
     """
     validate_fp_params(n, h, l, k, be, bm)
 
-    select = mux(lib, l)
-    mult = multiplier_1xn(lib, k)
-    tree = adder_tree(lib, h, k)
-    accu = shift_accumulator(lib, bm, h)
-    fusion = result_fusion(lib, bm, bm, h)
-    buffer = input_buffer(lib, h, bm)
-    align = prealignment(lib, h, be, bm)
-    convert = int_to_fp_converter(lib, bm, bm, h, be)
-    exp_regs = register_bank(lib, h * be)
+    if components is None:
+        components = (
+            mux(lib, l),
+            multiplier_1xn(lib, k),
+            adder_tree(lib, h, k),
+            shift_accumulator(lib, bm, h),
+            result_fusion(lib, bm, bm, h),
+            input_buffer(lib, h, bm),
+            prealignment(lib, h, be, bm),
+            int_to_fp_converter(lib, bm, bm, h, be),
+            register_bank(lib, h * be),
+        )
+    select, mult, tree, accu, fusion, buffer, align, convert, exp_regs = components
     sram = lib.sram
 
     fusion_units = n // bm

@@ -64,6 +64,7 @@ def int_macro_cost(
     k: int,
     bx: int,
     bw: int,
+    components: tuple[Cost, Cost, Cost, Cost, Cost, Cost] | None = None,
 ) -> MacroCost:
     """Cost of a multiplier-based integer DCIM macro.
 
@@ -75,18 +76,26 @@ def int_macro_cost(
         k: input bits fed per cycle (``1 <= k <= bx``, ``k | bx``).
         bx: input operand width ``Bx``.
         bw: weight width ``Bw``.
+        components: optional precomputed ``(select, mult, tree, accu,
+            fusion, buffer)`` component costs for exactly these
+            parameters — the batch engine's memo passes them in so the
+            macro assembly lives in one place.
 
     Returns:
         The macro's :class:`~repro.model.macro.MacroCost`.
     """
     validate_int_params(n, h, l, k, bx, bw)
 
-    select = mux(lib, l)
-    mult = multiplier_1xn(lib, k)
-    tree = adder_tree(lib, h, k)
-    accu = shift_accumulator(lib, bx, h)
-    fusion = result_fusion(lib, bw, bx, h)
-    buffer = input_buffer(lib, h, bx)
+    if components is None:
+        components = (
+            mux(lib, l),
+            multiplier_1xn(lib, k),
+            adder_tree(lib, h, k),
+            shift_accumulator(lib, bx, h),
+            result_fusion(lib, bw, bx, h),
+            input_buffer(lib, h, bx),
+        )
+    select, mult, tree, accu, fusion, buffer = components
     sram = lib.sram
 
     fusion_units = n // bw

@@ -78,7 +78,15 @@ class MacroCost:
         return self.ops_per_pass / (self.cycles_per_pass * self.delay)
 
     def area_fraction(self, component: str) -> float:
-        """Fraction of total area taken by one breakdown component."""
+        """Fraction of total area taken by one breakdown component.
+
+        Components absent from :attr:`breakdown` (e.g. FP-only blocks
+        queried on an integer macro) take no area, so they report 0.0
+        rather than raising.
+        """
         if self.area == 0:
             return 0.0
-        return self.breakdown[component].area / self.area
+        part = self.breakdown.get(component)
+        if part is None:
+            return 0.0
+        return part.area / self.area

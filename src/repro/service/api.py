@@ -66,6 +66,9 @@ class CampaignRequest:
         seed: base GA seed; spec ``i`` runs with ``seed + i``.
         backend: evaluation backend (``serial``/``thread``/``process``).
         workers: campaign-level parallelism (specs explored at once).
+        chunk_size: genomes per executor task (``None`` = automatic).
+        engine: cost-engine backend (``auto``/``numpy``/``python``);
+            all choices return bit-identical objective vectors.
     """
 
     specs: tuple[SpecRequest, ...]
@@ -74,6 +77,8 @@ class CampaignRequest:
     seed: int = 0
     backend: str = "serial"
     workers: int = 1
+    chunk_size: int | None = None
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         # Tolerate lists and raw dicts from JSON callers.
@@ -153,6 +158,8 @@ class CampaignResponse:
         cache_stats: cache counters (``CacheStats.as_dict`` shape), or
             ``None`` when the campaign ran uncached.
         wall_time_s: end-to-end campaign wall clock.
+        engine_backend: which cost-engine backend ran
+            (``numpy``/``python``).
     """
 
     frontier: tuple[FrontierPoint, ...]
@@ -161,6 +168,7 @@ class CampaignResponse:
     per_spec_evaluations: tuple[int, ...] = ()
     cache_stats: dict | None = None
     wall_time_s: float = 0.0
+    engine_backend: str = "python"
 
     def __post_init__(self) -> None:
         frontier = tuple(

@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.spec import DcimSpec, DesignPoint
 from repro.dse.explorer import DesignSpaceExplorer, ExplorationResult
 from repro.dse.nsga2 import NSGA2Config
+from repro.model.engine import ENGINE_BACKENDS, resolve_backend
 from repro.service.api import CampaignRequest, CampaignResponse, FrontierPoint
 from repro.service.cache import CacheStats, EvaluationCache
 from repro.service.executor import BatchExecutor, make_executor
@@ -44,16 +45,30 @@ class CampaignConfig:
         backend: genome-level evaluation backend
             (``serial``/``thread``/``process``); ignored when an
             executor instance is passed to :func:`run_campaign`.
+        chunk_size: genomes per executor task (``None`` lets the pool
+            size chunks itself); ignored with a caller-provided
+            executor.
+        engine: cost-engine backend (``auto``/``numpy``/``python``)
+            used inside every problem; bit-identical across choices.
     """
 
     nsga2: NSGA2Config = field(default_factory=NSGA2Config)
     seed: int = 0
     workers: int = 1
     backend: str = "serial"
+    chunk_size: int | None = None
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1 when given")
+        if self.engine not in ENGINE_BACKENDS:
+            raise ValueError(
+                f"unknown engine backend {self.engine!r}; "
+                f"choose from {ENGINE_BACKENDS}"
+            )
 
 
 @dataclass
@@ -70,6 +85,8 @@ class CampaignResult:
         cache_stats: snapshot of the shared cache counters for this
             campaign (``None`` when uncached).
         wall_time_s: end-to-end wall clock.
+        engine_backend: which cost-engine backend ran
+            (``numpy``/``python``).
     """
 
     results: list[ExplorationResult]
@@ -78,6 +95,7 @@ class CampaignResult:
     evaluations: int = 0
     cache_stats: CacheStats | None = None
     wall_time_s: float = 0.0
+    engine_backend: str = "python"
 
     @property
     def fresh_evaluations(self) -> int:
@@ -105,6 +123,7 @@ class CampaignResult:
             per_spec_evaluations=tuple(r.evaluations for r in self.results),
             cache_stats=self.cache_stats.as_dict() if self.cache_stats else None,
             wall_time_s=self.wall_time_s,
+            engine_backend=self.engine_backend,
         )
 
 
@@ -156,10 +175,13 @@ def run_campaign(
         raise ValueError("a campaign needs at least one spec")
     config = config or CampaignConfig()
     library = library or CellLibrary.default()
+    # Resolve the engine first: a resolution failure must not leak a
+    # freshly spawned worker pool.
+    engine_backend = resolve_backend(config.engine)
     own_executor = executor is None
-    executor = executor or make_executor(config.backend)
+    executor = executor or make_executor(config.backend, chunk_size=config.chunk_size)
     explorer = DesignSpaceExplorer(
-        library, config.nsga2, cache=cache, executor=executor
+        library, config.nsga2, cache=cache, executor=executor, engine=config.engine
     )
     stats_before = dataclasses.replace(cache.stats) if cache is not None else None
 
@@ -203,6 +225,7 @@ def run_campaign(
         evaluations=sum(r.evaluations for r in results),
         cache_stats=stats,
         wall_time_s=wall_time,
+        engine_backend=engine_backend,
     )
 
 
@@ -227,6 +250,8 @@ def execute_request(
         seed=request.seed,
         workers=request.workers,
         backend=request.backend,
+        chunk_size=request.chunk_size,
+        engine=request.engine,
     )
     result = run_campaign(
         specs, config, library=library, cache=cache, executor=executor

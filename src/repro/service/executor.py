@@ -13,7 +13,11 @@ interface:
 
 All backends chunk the genome list so per-task overhead is amortised,
 and all preserve input order, which keeps GA runs bit-identical across
-backends.  :class:`ProblemEvaluator` binds a backend and an optional
+backends.  Task granularity is the *chunk*, not the genome: each task
+calls the problem's ``evaluate_batch`` once, which hands the whole
+chunk to the vectorised :class:`repro.model.engine.CostEngine` — so
+parallelism multiplies the batch speedup instead of fragmenting it.
+:class:`ProblemEvaluator` binds a backend and an optional
 :class:`~repro.service.cache.EvaluationCache` to one problem, exposing
 the ``evaluate_batch(genomes)`` hook that :func:`repro.dse.nsga2.nsga2`
 injects.
@@ -55,7 +59,11 @@ def chunked(items: Sequence, size: int) -> list[Sequence]:
 
 
 def _evaluate_chunk(problem, genomes: Sequence[Genome]) -> list[Objectives]:
-    """Worker entry point; module-level so process pools can pickle it."""
+    """Worker entry point; module-level so process pools can pickle it.
+
+    One call per chunk: batch-capable problems (``DcimProblem``) ship
+    the whole chunk to their cost engine in a single evaluation.
+    """
     batch = getattr(problem, "evaluate_batch", None)
     if batch is not None:
         return list(batch(genomes))
@@ -79,14 +87,27 @@ class BatchExecutor(Protocol):
 
 
 class SerialExecutor:
-    """Evaluate genomes one after another in the calling thread."""
+    """Evaluate genome chunks in the calling thread.
+
+    By default the whole batch is one engine chunk (the optimal serial
+    granularity); an explicit ``chunk_size`` is honoured so chunking
+    behaviour can be exercised and benchmarked on any backend.
+    """
 
     name = "serial"
+
+    def __init__(self, chunk_size: int | None = None) -> None:
+        self.chunk_size = chunk_size
 
     def evaluate_batch(
         self, problem, genomes: Sequence[Genome]
     ) -> list[Objectives]:
-        return _evaluate_chunk(problem, genomes)
+        if self.chunk_size is None or len(genomes) <= self.chunk_size:
+            return _evaluate_chunk(problem, genomes)
+        results: list[Objectives] = []
+        for chunk in chunked(list(genomes), self.chunk_size):
+            results.extend(_evaluate_chunk(problem, chunk))
+        return results
 
     def close(self) -> None:
         pass
@@ -170,7 +191,7 @@ def make_executor(
 ) -> BatchExecutor:
     """Construct a batch executor by backend name."""
     if backend == "serial":
-        return SerialExecutor()
+        return SerialExecutor(chunk_size)
     if backend == "thread":
         return ThreadPoolExecutor(workers, chunk_size)
     if backend == "process":

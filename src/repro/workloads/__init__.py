@@ -14,7 +14,12 @@ from repro.workloads.mapping import (
     map_network,
     recommend_spec,
 )
-from repro.workloads.system import SystemMapping, macros_for_residency, map_system
+from repro.workloads.system import (
+    SystemMapping,
+    macros_for_residency,
+    map_system,
+    map_system_sweep,
+)
 from repro.workloads.networks import (
     AVAILABLE_NETWORKS,
     gcn_network,
@@ -25,6 +30,7 @@ from repro.workloads.networks import (
 __all__ = [
     "SystemMapping",
     "map_system",
+    "map_system_sweep",
     "macros_for_residency",
     "Layer",
     "linear",

@@ -21,7 +21,7 @@ from repro.tech.technology import Technology
 from repro.workloads.layers import Layer
 from repro.workloads.mapping import LayerMapping, map_layer
 
-__all__ = ["SystemMapping", "map_system"]
+__all__ = ["SystemMapping", "map_system", "map_system_sweep"]
 
 
 @dataclass(frozen=True)
@@ -58,6 +58,7 @@ def map_system(
     n_macros: int = 1,
     schedule: str = "sequential",
     library: CellLibrary | None = None,
+    cost=None,
 ) -> SystemMapping:
     """Map a network onto ``n_macros`` copies of ``design``.
 
@@ -70,6 +71,10 @@ def map_system(
     throughput is ``1/interval`` while single-inference latency is the
     sum of stage latencies.
 
+    The optional ``cost`` short-circuits the estimation model with a
+    precomputed :class:`~repro.model.macro.MacroCost` for ``design`` —
+    the sweep path computes those in one engine batch.
+
     Raises:
         ValueError: on an unknown schedule or non-positive macro count.
     """
@@ -79,7 +84,9 @@ def map_system(
         raise ValueError(f"unknown schedule {schedule!r}")
     if not layers:
         raise ValueError("need at least one layer")
-    metrics = evaluate_macro(design.macro_cost(library), tech)
+    metrics = evaluate_macro(
+        cost if cost is not None else design.macro_cost(library), tech
+    )
     mapped = [map_layer(l, design, tech, library, metrics) for l in layers]
     energy = sum(m.energy_uj for m in mapped)
     area = n_macros * metrics.layout_area_mm2
@@ -107,6 +114,40 @@ def map_system(
         throughput_inferences_s=throughput,
         area_mm2=area,
     )
+
+
+def map_system_sweep(
+    layers: list[Layer],
+    designs: list[DesignPoint],
+    tech: Technology,
+    n_macros: int = 1,
+    schedule: str = "sequential",
+    library: CellLibrary | None = None,
+    engine=None,
+) -> list[SystemMapping]:
+    """Map a network onto each candidate design, batching the cost models.
+
+    Design-selection sweeps (e.g. picking the best frontier point for a
+    deployment) evaluate the same network against many macro designs;
+    this computes every per-design :class:`~repro.model.macro.MacroCost`
+    through one shared :class:`repro.model.engine.CostEngine` — so
+    component models are memoised across the whole sweep — and then maps
+    each design.  Results are in input order and identical to calling
+    :func:`map_system` per design.
+
+    Args:
+        engine: optional pre-warmed cost engine; one is created over
+            ``library`` when omitted.
+    """
+    if engine is None:
+        from repro.model.engine import CostEngine
+
+        engine = CostEngine(library)
+    costs = engine.macro_costs(list(designs))
+    return [
+        map_system(layers, design, tech, n_macros, schedule, library, cost=cost)
+        for design, cost in zip(designs, costs)
+    ]
 
 
 def macros_for_residency(layers: list[Layer], design: DesignPoint) -> int:

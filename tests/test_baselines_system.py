@@ -10,6 +10,7 @@ from repro.tech import GENERIC28
 from repro.workloads import (
     macros_for_residency,
     map_system,
+    map_system_sweep,
     transformer_block,
 )
 from repro.workloads.layers import linear
@@ -98,6 +99,23 @@ class TestMapSystem:
     def test_macro_count_validated(self):
         with pytest.raises(ValueError):
             map_system(LAYERS, DESIGN, GENERIC28, n_macros=0)
+
+
+class TestMapSystemSweep:
+    def test_sweep_identical_to_per_design_mapping(self):
+        # The sweep routes macro costs through one shared batch engine;
+        # results must match calling map_system design by design.
+        designs = [
+            DESIGN,
+            DesignPoint(precision="INT8", n=32, h=256, l=8, k=4),
+            DesignPoint(precision="BF16", n=64, h=64, l=16, k=8),
+        ]
+        swept = map_system_sweep(LAYERS, designs, GENERIC28, n_macros=2)
+        solo = [map_system(LAYERS, d, GENERIC28, n_macros=2) for d in designs]
+        assert swept == solo
+
+    def test_empty_sweep(self):
+        assert map_system_sweep(LAYERS, [], GENERIC28) == []
 
 
 class TestResidency:

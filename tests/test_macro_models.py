@@ -122,6 +122,15 @@ class TestFpMacro:
         cost = fig6_bf16()
         assert cost.area_fraction("prealign") < 0.15
 
+    def test_area_fraction_absent_component_is_zero(self):
+        # FP-only blocks queried on an integer macro take no area; the
+        # report path must see 0.0, not a KeyError.
+        cost = fig6_int8()
+        assert "prealign" not in cost.breakdown
+        assert cost.area_fraction("prealign") == 0.0
+        assert cost.area_fraction("no-such-component") == 0.0
+        assert cost.area_fraction("sram") > 0.0
+
     def test_validation_requires_positive_exponent(self):
         with pytest.raises(ValueError, match="BE"):
             validate_fp_params(32, 128, 16, 8, be=0, bm=8)

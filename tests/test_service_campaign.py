@@ -62,6 +62,39 @@ class TestMergeCorrectness:
         assert campaign.wall_time_s > 0
 
 
+class TestEngineSelection:
+    def test_engine_backends_bit_identical(self):
+        # The engine backend is a throughput knob only: per-seed runs
+        # and merged objective rows must not move.
+        results = {
+            engine: run_campaign(SPECS, small_config(engine=engine))
+            for engine in ("auto", "python")
+        }
+        auto, python = results["auto"], results["python"]
+        assert front_keys(auto) == front_keys(python)
+        assert auto.merged_objectives.tolist() == python.merged_objectives.tolist()
+        assert python.engine_backend == "python"
+        assert auto.engine_backend in ("numpy", "python")
+
+    def test_chunked_executor_bit_identical(self):
+        plain = run_campaign(SPECS, small_config())
+        chunked = run_campaign(
+            SPECS, small_config(backend="thread", chunk_size=7)
+        )
+        assert front_keys(plain) == front_keys(chunked)
+        assert plain.merged_objectives.tolist() == chunked.merged_objectives.tolist()
+
+    def test_config_validates_engine_and_chunk_size(self):
+        with pytest.raises(ValueError, match="engine"):
+            small_config(engine="gpu")
+        with pytest.raises(ValueError, match="chunk_size"):
+            small_config(chunk_size=0)
+
+    def test_response_reports_engine_backend(self):
+        result = run_campaign(SPECS, small_config(engine="python"))
+        assert result.to_response().engine_backend == "python"
+
+
 class TestSharding:
     def test_parallel_specs_match_sequential(self):
         sequential = run_campaign(SPECS, small_config(workers=1))
