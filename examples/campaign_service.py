@@ -12,6 +12,11 @@ The same campaign can be driven from the command line::
     repro campaign --spec 8192:INT8 --spec 8192:BF16 \
         --cache build/evals.jsonl --backend thread --workers 2
 
+For the progress-aware serving layer on top of this queue — streaming
+generation-by-generation events and cancelling campaigns mid-flight,
+in-process or over HTTP — see ``examples/async_service.py`` and the
+``repro serve`` / ``repro submit`` / ``repro watch`` subcommands.
+
 Usage::
 
     python examples/campaign_service.py [cache_path]

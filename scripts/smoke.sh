@@ -33,7 +33,12 @@ echo "== DSE runtime bench (records benchmarks/results/dse_runtime.txt) =="
 python -m pytest benchmarks/test_dse_runtime.py -q
 
 workdir="$(mktemp -d)"
-trap 'rm -rf "$workdir"' EXIT
+server_pid=""
+cleanup() {
+    [[ -n "$server_pid" ]] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
 cache="$workdir/evals.jsonl"
 
 run_campaign() {
@@ -55,4 +60,37 @@ if ! grep -q "hit rate 100.0%" <<<"$warm_output"; then
     echo "smoke: warm campaign run was not served from the cache" >&2
     exit 1
 fi
+
+echo "== serve / submit / watch round trip =="
+server_log="$workdir/serve.log"
+python -m repro serve --host 127.0.0.1 --port 0 --workers 1 \
+    --cache "$workdir/serve_evals.jsonl" >"$server_log" 2>&1 &
+server_pid=$!
+url=""
+for _ in $(seq 100); do
+    url="$(sed -n 's|serving campaigns on \(http://[^ ]*\).*|\1|p' "$server_log")"
+    [[ -n "$url" ]] && break
+    sleep 0.1
+done
+if [[ -z "$url" ]]; then
+    echo "smoke: campaign server did not come up" >&2
+    cat "$server_log" >&2
+    exit 1
+fi
+submit_output="$(python -m repro submit --url "$url" \
+    --spec 4096:INT4 --population 16 --generations 6 --watch)"
+echo "$submit_output"
+if ! grep -q "campaign done" <<<"$submit_output"; then
+    echo "smoke: submitted campaign did not stream to completion" >&2
+    exit 1
+fi
+job_id="$(sed -n 's/^submitted \(job-[0-9]*\).*/\1/p' <<<"$submit_output")"
+# Re-attaching to the finished job must replay the stream and the result.
+watch_output="$(python -m repro watch --url "$url" "$job_id")"
+if ! grep -q "frontier designs" <<<"$watch_output"; then
+    echo "smoke: re-watching $job_id did not return the result" >&2
+    exit 1
+fi
+kill "$server_pid" && wait "$server_pid" 2>/dev/null || true
+server_pid=""
 echo "smoke: OK"

@@ -8,6 +8,9 @@ Usage (also via ``python -m repro``)::
     repro compile --wstore 8192 --precision BF16 --out build/macro
     repro report  --precision INT8 --n 64 --h 128 --l 64 --k 8
     repro campaign --spec 8192:INT8 --spec 8192:BF16 --cache build/evals.jsonl
+    repro serve  --port 8000 --workers 2 --cache build/evals.jsonl
+    repro submit --url http://127.0.0.1:8000 --spec 8192:INT8 --watch
+    repro watch  --url http://127.0.0.1:8000 job-1
 """
 
 from __future__ import annotations
@@ -127,6 +130,68 @@ def build_parser() -> argparse.ArgumentParser:
                           help="max frontier rows to print")
     campaign.add_argument("--json", action="store_true",
                           help="print the CampaignResponse as JSON")
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the HTTP campaign server (submit/poll/stream/cancel "
+             "over a socket)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_p.add_argument("--port", type=int, default=8000,
+                         help="bind port (0 picks a free port)")
+    serve_p.add_argument("--workers", type=int, default=2,
+                         help="background campaign workers")
+    serve_p.add_argument("--cache", default=None, metavar="PATH",
+                         help="shared persistent evaluation cache "
+                              "(.jsonl or .sqlite; omit for in-memory)")
+    serve_p.add_argument("--ttl", type=float, default=None, metavar="S",
+                         help="purge finished job records after S seconds")
+    serve_p.add_argument("--buffer", type=int, default=256, metavar="N",
+                         help="progress events retained per job")
+    serve_p.add_argument("--verbose", action="store_true",
+                         help="log HTTP requests to stderr")
+
+    def add_client_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--url", default="http://127.0.0.1:8000",
+                       help="campaign server base URL")
+
+    submit_p = sub.add_parser(
+        "submit", help="submit a campaign to a running server"
+    )
+    add_client_args(submit_p)
+    submit_p.add_argument(
+        "--spec", action="append", required=True, metavar="WSTORE:PRECISION",
+        help="one specification, e.g. 8192:INT8 (repeatable)",
+    )
+    submit_p.add_argument("--population", type=int, default=64,
+                          help="NSGA-II population size")
+    submit_p.add_argument("--generations", type=int, default=60,
+                          help="NSGA-II generations")
+    submit_p.add_argument("--seed", type=int, default=0, help="base GA seed")
+    submit_p.add_argument("--backend", default="serial",
+                          choices=["serial", "thread", "process"],
+                          help="genome-level evaluation backend")
+    submit_p.add_argument("--workers", type=int, default=1,
+                          help="specs explored concurrently")
+    submit_p.add_argument("--engine", default="auto",
+                          choices=["auto", "numpy", "python"],
+                          help="cost-engine backend")
+    submit_p.add_argument("--watch", action="store_true",
+                          help="stream progress events until the "
+                               "campaign finishes")
+    submit_p.add_argument("--json", action="store_true",
+                          help="with --watch: print the final "
+                               "CampaignResponse as JSON")
+
+    watch_p = sub.add_parser(
+        "watch", help="stream a submitted campaign's progress events"
+    )
+    add_client_args(watch_p)
+    watch_p.add_argument("job_id", help="job id returned by submit")
+    watch_p.add_argument("--cursor", type=int, default=0,
+                         help="resume the event stream from this cursor")
+    watch_p.add_argument("--json", action="store_true",
+                         help="print events (and the result) as JSON lines")
 
     mc = sub.add_parser("mc", help="Monte-Carlo variation of one design")
     mc.add_argument("--precision", required=True)
@@ -388,6 +453,106 @@ def _cmd_campaign(args) -> int:
         cache.close()
 
 
+def _cmd_serve(args) -> int:
+    from repro.service import EvaluationCache, serve
+
+    cache = EvaluationCache(args.cache) if args.cache else EvaluationCache()
+    server = serve(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache=cache,
+        event_buffer_size=args.buffer,
+        ttl_s=args.ttl,
+        verbose=args.verbose,
+    )
+    # The bound port matters when --port 0 asked for an ephemeral one;
+    # scripts parse this line (see scripts/smoke.sh).
+    print(f"serving campaigns on {server.url} "
+          f"({args.workers} workers, cache {cache.backend})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.queue.close(wait=False)
+        cache.close()
+    return 0
+
+
+def _build_submit_request(args):
+    from repro.service import CampaignRequest, SpecRequest
+
+    specs = tuple(
+        SpecRequest.from_spec(_parse_campaign_spec(text)) for text in args.spec
+    )
+    return CampaignRequest(
+        specs=specs,
+        population_size=args.population,
+        generations=args.generations,
+        seed=args.seed,
+        backend=args.backend,
+        workers=args.workers,
+        engine=args.engine,
+    )
+
+
+def _watch_job(client, job_id: str, cursor: int = 0, as_json: bool = False) -> int:
+    """Stream events until the terminal one; print the outcome."""
+    from repro.service.events import EventKind
+
+    final = None
+    for event in client.watch(job_id, cursor=cursor):
+        print(event.to_json() if as_json else event.describe(), flush=True)
+        final = event
+    if final is None or final.kind is not EventKind.CAMPAIGN_DONE:
+        return 1
+    response = client.result(job_id)
+    if as_json:
+        print(response.to_json())
+    else:
+        print(
+            f"{job_id}: {len(response.frontier)} frontier designs, "
+            f"{response.evaluations} evaluations "
+            f"({response.fresh_evaluations} fresh), "
+            f"engine {response.engine_backend}"
+        )
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.service import CampaignClient
+
+    try:
+        request = _build_submit_request(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    client = CampaignClient(args.url)
+    try:
+        job_id = client.submit(request)
+    except (RuntimeError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"submitted {job_id} ({client.status(job_id)['status']})", flush=True)
+    if not args.watch:
+        return 0
+    return _watch_job(client, job_id, as_json=args.json)
+
+
+def _cmd_watch(args) -> int:
+    from repro.service import CampaignClient
+
+    client = CampaignClient(args.url)
+    try:
+        return _watch_job(client, args.job_id, cursor=args.cursor,
+                          as_json=args.json)
+    except (RuntimeError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def _cmd_mc(args) -> int:
     from repro.model.variation import monte_carlo
 
@@ -426,6 +591,12 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_sweep(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "watch":
+        return _cmd_watch(args)
     if args.command == "mc":
         return _cmd_mc(args)
     raise AssertionError(f"unhandled command {args.command!r}")

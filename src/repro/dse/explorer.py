@@ -9,16 +9,26 @@ the same application) into one cross-architecture frontier.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Callable
 
 import numpy as np
 
 from repro.core.pareto import hypervolume, normalize_objectives, pareto_front
 from repro.core.spec import DcimSpec, DesignPoint
-from repro.dse.nsga2 import NSGA2Config, NSGA2Result, nsga2
+from repro.dse.nsga2 import (
+    NSGA2Config,
+    NSGA2Result,
+    ProgressObserver,
+    nsga2,
+)
 from repro.dse.problem import DcimProblem
 from repro.tech.cells import CellLibrary
 
-__all__ = ["ExplorationResult", "DesignSpaceExplorer"]
+__all__ = [
+    "ExplorationResult",
+    "DesignSpaceExplorer",
+    "merge_exploration_results",
+]
 
 
 @dataclass
@@ -31,6 +41,10 @@ class ExplorationResult:
         objectives: matching ``[A, D, E, -T]`` normalised objective rows.
         evaluations: objective evaluations spent by the GA.
         history: per-generation rank-0 objective snapshots.
+        generations_run: GA generations actually completed (fewer than
+            configured when the run was cancelled).
+        stopped_early: True when a ``should_stop`` hook ended the GA
+            before all configured generations.
     """
 
     spec: DcimSpec
@@ -38,6 +52,8 @@ class ExplorationResult:
     objectives: np.ndarray
     evaluations: int = 0
     history: list[list[tuple[float, ...]]] = field(default_factory=list)
+    generations_run: int = 0
+    stopped_early: bool = False
 
     def __len__(self) -> int:
         return len(self.points)
@@ -95,13 +111,34 @@ class DesignSpaceExplorer:
 
         return ProblemEvaluator(problem, cache=self.cache, executor=self.executor)
 
-    def explore(self, spec: DcimSpec, seed: int | None = None) -> ExplorationResult:
-        """Explore one specification and return its Pareto frontier."""
+    def explore(
+        self,
+        spec: DcimSpec,
+        seed: int | None = None,
+        observer: ProgressObserver | None = None,
+        should_stop: Callable[[], bool] | None = None,
+    ) -> ExplorationResult:
+        """Explore one specification and return its Pareto frontier.
+
+        Args:
+            observer: forwarded to :func:`repro.dse.nsga2.nsga2` — called
+                with a :class:`~repro.dse.nsga2.GenerationProgress` after
+                each generation; attaching one never changes the result.
+            should_stop: cooperative cancellation hook polled between
+                generations; a stopped run returns the frontier over
+                everything evaluated so far (``stopped_early=True``).
+        """
         problem = self._problem(spec)
         config = self.config
         if seed is not None:
             config = replace(config, seed=seed)
-        result: NSGA2Result = nsga2(problem, config, evaluator=self._evaluator(problem))
+        result: NSGA2Result = nsga2(
+            problem,
+            config,
+            evaluator=self._evaluator(problem),
+            observer=observer,
+            should_stop=should_stop,
+        )
         points = [problem.decode(ind.genome) for ind in result.front]
         objectives = [ind.objectives for ind in result.front]
         order = np.argsort([o[0] for o in objectives]) if objectives else []
@@ -113,6 +150,8 @@ class DesignSpaceExplorer:
             objectives=np.array(objectives, dtype=float).reshape(len(points), -1),
             evaluations=result.evaluations,
             history=result.history,
+            generations_run=result.generations_run,
+            stopped_early=result.stopped_early,
         )
 
     def explore_exhaustive(self, spec: DcimSpec) -> ExplorationResult:
@@ -146,11 +185,29 @@ class DesignSpaceExplorer:
         containing both integer and floating-point solutions": objective
         vectors from all runs compete in one dominance filter.
         """
-        points: list[DesignPoint] = []
-        objectives: list[tuple[float, ...]] = []
-        for result in results:
-            points.extend(result.points)
-            objectives.extend(map(tuple, result.objectives))
-        if not points:
-            return []
-        return pareto_front(points, objectives)
+        return merge_exploration_results(results)[0]
+
+
+def merge_exploration_results(
+    results: list[ExplorationResult],
+) -> tuple[list[DesignPoint], np.ndarray]:
+    """Merge several frontiers into one dominance-filtered, area-sorted set.
+
+    The single merge implementation shared by
+    :meth:`DesignSpaceExplorer.merge_fronts` and the campaign runner:
+    one :func:`~repro.core.pareto.pareto_front` call over the
+    concatenated fronts, carrying the objective rows alongside and
+    sorting by area (objective 0) like :class:`ExplorationResult` does.
+    """
+    points: list[DesignPoint] = []
+    objectives: list[tuple[float, ...]] = []
+    for result in results:
+        points.extend(result.points)
+        objectives.extend(map(tuple, result.objectives))
+    if not points:
+        return [], np.empty((0, 0))
+    merged = pareto_front(list(zip(points, objectives)), objectives)
+    merged.sort(key=lambda po: po[1][0])
+    merged_points = [p for p, _ in merged]
+    merged_objs = np.array([o for _, o in merged], dtype=float)
+    return merged_points, merged_objs

@@ -27,6 +27,8 @@ __all__ = [
     "Individual",
     "NSGA2Config",
     "NSGA2Result",
+    "GenerationProgress",
+    "ProgressObserver",
     "nsga2",
     "fast_non_dominated_sort",
     "crowding_distance",
@@ -119,6 +121,43 @@ class NSGA2Config:
                 raise ValueError("probabilities must lie in [0, 1]")
 
 
+@dataclass(frozen=True)
+class GenerationProgress:
+    """Progress snapshot handed to an observer after each generation.
+
+    Attributes:
+        generation: 1-based index of the generation just completed.
+        generations: total generations the run is configured for.
+        evaluations: fresh objective evaluations so far (archive misses
+            that reached the evaluator).
+        requested: total genome lookups so far, including ones served by
+            the run's memoisation archive.
+        front_size: rank-0 individuals in the current population.
+        archive_size: unique genomes evaluated so far.
+    """
+
+    generation: int
+    generations: int
+    evaluations: int
+    requested: int
+    front_size: int
+    archive_size: int
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of genome lookups served by the run's own archive."""
+        if self.requested == 0:
+            return 0.0
+        return 1.0 - self.evaluations / self.requested
+
+
+#: Per-generation progress callback.  Called between generations only —
+#: it must not mutate the problem and it cannot perturb the run (all rng
+#: draws happen before the callback fires), so attaching one keeps the
+#: result bit-identical.
+ProgressObserver = Callable[[GenerationProgress], None]
+
+
 @dataclass
 class NSGA2Result:
     """Outcome of one NSGA-II run.
@@ -134,12 +173,18 @@ class NSGA2Result:
             for convergence ablations.
         evaluations: number of objective evaluations performed (cached
             duplicates excluded).
+        generations_run: generations actually completed (less than the
+            configured count when the run was stopped early).
+        stopped_early: True when ``should_stop`` ended the run before
+            all configured generations.
     """
 
     front: list[Individual]
     population: list[Individual]
     history: list[list[tuple[float, ...]]] = field(default_factory=list)
     evaluations: int = 0
+    generations_run: int = 0
+    stopped_early: bool = False
 
 
 def dominates(u: Sequence[float], v: Sequence[float]) -> bool:
@@ -261,6 +306,8 @@ def nsga2(
     problem: Problem,
     config: NSGA2Config | None = None,
     evaluator: BatchEvaluator | None = None,
+    observer: ProgressObserver | None = None,
+    should_stop: Callable[[], bool] | None = None,
 ) -> NSGA2Result:
     """Run NSGA-II on ``problem`` and return the final Pareto front.
 
@@ -272,12 +319,26 @@ def nsga2(
     the problem's own ``evaluate_batch``/``evaluate``.  Because
     evaluation is pure and order-preserving, the run is bit-identical
     for a fixed seed regardless of the backend.
+
+    Args:
+        observer: called with a :class:`GenerationProgress` after each
+            completed generation.  Observers run between generations
+            (never inside variation or evaluation), so an attached
+            observer cannot change the outcome — results stay
+            bit-identical per seed.
+        should_stop: polled once before each generation; returning True
+            stops the run cooperatively at that generation boundary.
+            The result then carries everything evaluated so far with
+            ``stopped_early=True`` — the front over a prefix of the run
+            is identical to what the same seed would have produced had
+            it been configured with that many generations.
     """
     config = config or NSGA2Config()
     rng = random.Random(config.seed)
     #: Every genome ever evaluated, keyed for O(1) dedup lookups.
     archive: dict[Genome, tuple[float, ...]] = {}
     evaluations = 0
+    requested = 0
 
     if evaluator is not None:
         batch_fn: Callable[[Sequence[Genome]], Sequence[tuple[float, ...]]] = (
@@ -290,7 +351,8 @@ def nsga2(
 
     def evaluate_all(genomes: Sequence[Genome]) -> None:
         """Batch-evaluate the not-yet-archived genomes (deduplicated)."""
-        nonlocal evaluations
+        nonlocal evaluations, requested
+        requested += len(genomes)
         pending: dict[Genome, None] = {}
         for genome in genomes:
             if genome not in archive:
@@ -313,8 +375,13 @@ def nsga2(
 
     history: list[list[tuple[float, ...]]] = []
     steps = problem.mutation_steps()
+    generations_run = 0
+    stopped_early = False
 
-    for _ in range(config.generations):
+    for generation in range(config.generations):
+        if should_stop is not None and should_stop():
+            stopped_early = True
+            break
         fronts = fast_non_dominated_sort(population)
         for front in fronts:
             crowding_distance(front)
@@ -350,6 +417,18 @@ def nsga2(
         history.append(
             [ind.objectives for ind in population if ind.rank == 0]
         )
+        generations_run = generation + 1
+        if observer is not None:
+            observer(
+                GenerationProgress(
+                    generation=generations_run,
+                    generations=config.generations,
+                    evaluations=evaluations,
+                    requested=requested,
+                    front_size=len(history[-1]),
+                    archive_size=len(archive),
+                )
+            )
 
     # Final front over the archive of everything evaluated, not just the
     # surviving population.  The archive is keyed by genome, so the
@@ -360,4 +439,6 @@ def nsga2(
         population=population,
         history=history,
         evaluations=evaluations,
+        generations_run=generations_run,
+        stopped_early=stopped_early,
     )

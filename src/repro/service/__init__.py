@@ -10,8 +10,14 @@ MOGA explorer into shared infrastructure:
 * :mod:`repro.service.campaign` — multi-spec campaign runner that
   shards specs across workers and merges fronts into one
   cross-architecture frontier,
-* :mod:`repro.service.jobs` — job queue with request deduplication and
-  per-job status/result records,
+* :mod:`repro.service.jobs` — job queue / background-worker scheduler
+  with request deduplication, per-job status/result records, streaming
+  progress events and cooperative cancellation,
+* :mod:`repro.service.events` — typed, JSON-able campaign progress
+  events and the bounded per-job event buffer,
+* :mod:`repro.service.server` — asyncio front-end
+  (:class:`~repro.service.server.AsyncCampaignService`) plus a
+  stdlib-only HTTP/JSON server and client,
 * :mod:`repro.service.api` — typed, JSON round-trippable
   request/response records.
 """
@@ -34,6 +40,12 @@ from repro.service.campaign import (
     execute_request,
     run_campaign,
 )
+from repro.service.events import (
+    CampaignCancelled,
+    CampaignEvent,
+    EventBuffer,
+    EventKind,
+)
 from repro.service.executor import (
     EXECUTOR_BACKENDS,
     BatchExecutor,
@@ -44,8 +56,22 @@ from repro.service.executor import (
     make_executor,
 )
 from repro.service.jobs import JobQueue, JobRecord, JobStatus
+from repro.service.server import (
+    AsyncCampaignService,
+    CampaignClient,
+    CampaignHTTPServer,
+    serve,
+)
 
 __all__ = [
+    "CampaignCancelled",
+    "CampaignEvent",
+    "EventBuffer",
+    "EventKind",
+    "AsyncCampaignService",
+    "CampaignClient",
+    "CampaignHTTPServer",
+    "serve",
     "CacheStats",
     "EvaluationCache",
     "evaluation_key",

@@ -18,19 +18,36 @@ import concurrent.futures
 import dataclasses
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
 from repro.core.spec import DcimSpec, DesignPoint
-from repro.dse.explorer import DesignSpaceExplorer, ExplorationResult
-from repro.dse.nsga2 import NSGA2Config
+from repro.dse.explorer import (
+    DesignSpaceExplorer,
+    ExplorationResult,
+    merge_exploration_results,
+)
+from repro.dse.nsga2 import GenerationProgress, NSGA2Config
 from repro.model.engine import ENGINE_BACKENDS, resolve_backend
 from repro.service.api import CampaignRequest, CampaignResponse, FrontierPoint
 from repro.service.cache import CacheStats, EvaluationCache
+from repro.service.events import (
+    CampaignCancelled,
+    CampaignEvent,
+    CampaignObserver,
+    EventKind,
+)
 from repro.service.executor import BatchExecutor, make_executor
 from repro.tech.cells import CellLibrary
 
-__all__ = ["CampaignConfig", "CampaignResult", "run_campaign", "execute_request"]
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "run_campaign",
+    "execute_request",
+    "spec_label",
+]
 
 
 @dataclass(frozen=True)
@@ -127,28 +144,9 @@ class CampaignResult:
         )
 
 
-def _merge(results: list[ExplorationResult]) -> tuple[list[DesignPoint], np.ndarray]:
-    """Cross-architecture merge, keeping the objective rows alongside.
-
-    Same dominance filter as :meth:`DesignSpaceExplorer.merge_fronts`
-    (one :func:`~repro.core.pareto.pareto_front` call over the
-    concatenated fronts), but carrying the objective rows through and
-    sorting by area like :class:`ExplorationResult` does.
-    """
-    points: list[DesignPoint] = []
-    objectives: list[tuple[float, ...]] = []
-    for result in results:
-        points.extend(result.points)
-        objectives.extend(map(tuple, result.objectives))
-    if not points:
-        return [], np.empty((0, 0))
-    from repro.core.pareto import pareto_front
-
-    merged = pareto_front(list(zip(points, objectives)), objectives)
-    merged.sort(key=lambda po: po[1][0])
-    merged_points = [p for p, _ in merged]
-    merged_objs = np.array([o for _, o in merged], dtype=float)
-    return merged_points, merged_objs
+def spec_label(spec: DcimSpec) -> str:
+    """The ``"<wstore>:<precision>"`` label events identify a spec by."""
+    return f"{spec.wstore}:{spec.precision.name}"
 
 
 def run_campaign(
@@ -157,6 +155,8 @@ def run_campaign(
     library: CellLibrary | None = None,
     cache: EvaluationCache | None = None,
     executor: BatchExecutor | None = None,
+    observer: CampaignObserver | None = None,
+    should_stop: Callable[[], bool] | None = None,
 ) -> CampaignResult:
     """Explore ``specs`` concurrently and merge their Pareto fronts.
 
@@ -170,6 +170,18 @@ def run_campaign(
         executor: genome-level batch backend; built from
             ``config.backend`` when omitted (and closed on exit — a
             caller-provided executor is left open for reuse).
+        observer: called with a :class:`~repro.service.events.
+            CampaignEvent` as the campaign progresses (spec started /
+            generation done / spec done / campaign done).  With
+            ``workers > 1`` events arrive from several threads, so the
+            observer must be thread-safe.  Attaching one never changes
+            the result: observers fire between generations, outside all
+            rng draws.
+        should_stop: cooperative cancellation hook, polled before each
+            spec and between GA generations.  Once it returns True the
+            in-flight GA runs stop at their next generation boundary and
+            the campaign raises :class:`~repro.service.events.
+            CampaignCancelled` instead of returning a result.
     """
     if not specs:
         raise ValueError("a campaign needs at least one spec")
@@ -185,28 +197,115 @@ def run_campaign(
     )
     stats_before = dataclasses.replace(cache.stats) if cache is not None else None
 
+    def emit(event: CampaignEvent) -> None:
+        if observer is not None:
+            observer(event)
+
+    def hit_rate(progress: GenerationProgress | None = None) -> float | None:
+        # The shared evaluation cache's rate over this campaign's time
+        # window (counter deltas since the campaign started).  With the
+        # cache shared across a server, lookups from campaigns running
+        # concurrently in the same window are included — this reports
+        # how the shared dedup layer is doing, not a per-campaign
+        # measurement.  Uncached campaigns fall back to the GA's own
+        # memoisation rate.
+        if cache is not None:
+            hits = cache.stats.hits - stats_before.hits
+            misses = cache.stats.misses - stats_before.misses
+            total = hits + misses
+            return hits / total if total else 0.0
+        return progress.cache_hit_rate if progress is not None else None
+
+    def explore_one(i: int, spec: DcimSpec) -> ExplorationResult | None:
+        if should_stop is not None and should_stop():
+            return None
+        label = spec_label(spec)
+        emit(
+            CampaignEvent(
+                kind=EventKind.SPEC_STARTED,
+                spec_index=i,
+                spec=label,
+                generations=config.nsga2.generations,
+            )
+        )
+        ga_observer = None
+        if observer is not None:
+
+            def ga_observer(progress: GenerationProgress) -> None:
+                emit(
+                    CampaignEvent(
+                        kind=EventKind.GENERATION_DONE,
+                        spec_index=i,
+                        spec=label,
+                        generation=progress.generation,
+                        generations=progress.generations,
+                        evaluations=progress.evaluations,
+                        front_size=progress.front_size,
+                        cache_hit_rate=hit_rate(progress),
+                    )
+                )
+
+        result = explorer.explore(
+            spec,
+            seed=config.seed + i,
+            observer=ga_observer,
+            should_stop=should_stop,
+        )
+        if result.stopped_early:
+            return None
+        emit(
+            CampaignEvent(
+                kind=EventKind.SPEC_DONE,
+                spec_index=i,
+                spec=label,
+                generation=result.generations_run,
+                generations=config.nsga2.generations,
+                evaluations=result.evaluations,
+                front_size=len(result),
+                cache_hit_rate=hit_rate(),
+            )
+        )
+        return result
+
     started = time.perf_counter()
     try:
         if config.workers == 1 or len(specs) == 1:
-            results = [
-                explorer.explore(spec, seed=config.seed + i)
-                for i, spec in enumerate(specs)
+            maybe_results = [
+                explore_one(i, spec) for i, spec in enumerate(specs)
             ]
         else:
             with concurrent.futures.ThreadPoolExecutor(
                 max_workers=min(config.workers, len(specs))
             ) as pool:
                 futures = [
-                    pool.submit(explorer.explore, spec, config.seed + i)
+                    pool.submit(explore_one, i, spec)
                     for i, spec in enumerate(specs)
                 ]
-                results = [f.result() for f in futures]
+                maybe_results = [f.result() for f in futures]
     finally:
         if own_executor:
             executor.close()
     wall_time = time.perf_counter() - started
 
-    merged_points, merged_objs = _merge(results)
+    if any(result is None for result in maybe_results) or (
+        should_stop is not None and should_stop()
+    ):
+        done = sum(result is not None for result in maybe_results)
+        raise CampaignCancelled(
+            f"campaign cancelled after {done}/{len(specs)} specs"
+        )
+    results: list[ExplorationResult] = maybe_results
+
+    merged_points, merged_objs = merge_exploration_results(results)
+    emit(
+        CampaignEvent(
+            kind=EventKind.CAMPAIGN_DONE,
+            evaluations=sum(r.evaluations for r in results),
+            front_size=len(merged_points),
+            cache_hit_rate=hit_rate(),
+            wall_time_s=wall_time,
+        )
+    )
     stats = None
     if cache is not None:
         assert stats_before is not None
@@ -234,12 +333,16 @@ def execute_request(
     library: CellLibrary | None = None,
     cache: EvaluationCache | None = None,
     executor: BatchExecutor | None = None,
+    observer: CampaignObserver | None = None,
+    should_stop: Callable[[], bool] | None = None,
 ) -> CampaignResponse:
     """Run one API-level campaign request end to end.
 
-    This is the entry point the job queue (and any future network
-    front-end) drives: a pure ``CampaignRequest -> CampaignResponse``
-    function.
+    This is the entry point the job queue (and any network front-end)
+    drives: a pure ``CampaignRequest -> CampaignResponse`` function,
+    optionally narrating progress through ``observer`` and stopping
+    cooperatively when ``should_stop`` returns True (by raising
+    :class:`~repro.service.events.CampaignCancelled`).
     """
     specs = [spec.to_spec() for spec in request.specs]
     config = CampaignConfig(
@@ -254,6 +357,12 @@ def execute_request(
         engine=request.engine,
     )
     result = run_campaign(
-        specs, config, library=library, cache=cache, executor=executor
+        specs,
+        config,
+        library=library,
+        cache=cache,
+        executor=executor,
+        observer=observer,
+        should_stop=should_stop,
     )
     return result.to_response()

@@ -1,26 +1,46 @@
-"""A small job queue/scheduler with request deduplication.
+"""Job queue / background-worker scheduler with request deduplication.
 
-The queue is the serving core the async front-ends of later PRs will
-wrap: campaigns are *submitted* as :class:`~repro.service.api.
-CampaignRequest`s, identical in-flight requests collapse onto one job
-(content-addressed by the request fingerprint), and each job carries a
-status/result record that survives until explicitly purged.
+The queue is the serving core the front-ends wrap: campaigns are
+*submitted* as :class:`~repro.service.api.CampaignRequest`s, identical
+in-flight requests collapse onto one job (content-addressed by the
+request fingerprint), and each job carries a status/result record plus
+a bounded :class:`~repro.service.events.EventBuffer` that streams the
+campaign's progress events.
 
-Execution is deliberately synchronous — :meth:`JobQueue.run_next` /
-:meth:`JobQueue.run_all` drain the queue in FIFO order — so the
-scheduling semantics stay testable without event loops; the shared
-cache and executor do the heavy lifting underneath.
+Execution comes in two flavours that share one scheduler:
+
+* **synchronous** — :meth:`JobQueue.run_next` / :meth:`JobQueue.run_all`
+  drain the queue in FIFO order in the calling thread (the testable,
+  event-loop-free path), and
+* **background** — construct with ``workers=N`` and N daemon worker
+  threads drain the queue as jobs arrive; callers poll
+  :meth:`~JobQueue.status`, block on :meth:`~JobQueue.wait`, stream
+  :meth:`~JobQueue.events_since`, and stop a campaign cooperatively
+  with :meth:`~JobQueue.cancel` (the GA stops at its next generation
+  boundary).
+
+Finished records survive until explicitly purged — or, with ``ttl_s``
+set, until they age out (checked on every submit).
 """
 
 from __future__ import annotations
 
 import enum
+import inspect
 import itertools
 import threading
+import time
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.service.api import CampaignRequest, CampaignResponse
 from repro.service.campaign import execute_request
+from repro.service.events import (
+    CampaignCancelled,
+    CampaignEvent,
+    EventBuffer,
+    EventKind,
+)
 
 __all__ = ["JobStatus", "JobRecord", "JobQueue"]
 
@@ -32,6 +52,12 @@ class JobStatus(str, enum.Enum):
     RUNNING = "running"
     DONE = "done"
     FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        """True once the job can never run again."""
+        return self in (JobStatus.DONE, JobStatus.FAILED, JobStatus.CANCELLED)
 
 
 @dataclass
@@ -45,6 +71,11 @@ class JobRecord:
         response: the result, once ``DONE``.
         error: failure message, once ``FAILED``.
         submissions: how many submits collapsed onto this job.
+        events: bounded progress-event buffer for this job.
+        cancel_requested: set by :meth:`JobQueue.cancel`; the running
+            campaign polls it between GA generations.
+        created_at / started_at / finished_at: monotonic timestamps
+            (``None`` until the transition happens).
     """
 
     job_id: str
@@ -53,62 +84,165 @@ class JobRecord:
     response: CampaignResponse | None = None
     error: str | None = None
     submissions: int = 1
+    events: EventBuffer = field(default_factory=EventBuffer)
+    cancel_requested: bool = False
+    created_at: float = field(default_factory=time.monotonic)
+    started_at: float | None = None
+    finished_at: float | None = None
 
 
 @dataclass
 class _QueueStats:
+    """Counters plus live gauges for one queue.
+
+    The first block counts lifecycle transitions since construction;
+    the gauges (``queue_depth``, ``workers``, ``busy_workers``) reflect
+    the current state and are updated under the queue lock.
+    """
+
     submitted: int = 0
     deduplicated: int = 0
     completed: int = 0
     failed: int = 0
+    cancelled: int = 0
+    purged: int = 0
+    queue_depth: int = 0
+    workers: int = 0
+    busy_workers: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "deduplicated": self.deduplicated,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "purged": self.purged,
+            "queue_depth": self.queue_depth,
+            "workers": self.workers,
+            "busy_workers": self.busy_workers,
+        }
+
+
+def _accepts_hooks(runner) -> bool:
+    """Does ``runner`` take ``observer``/``should_stop`` keywords?
+
+    Custom runners that only accept the request still work — they just
+    run without progress events, and cancellation only catches their
+    jobs while still pending.
+    """
+    try:
+        parameters = inspect.signature(runner).parameters
+    except (TypeError, ValueError):  # builtins, odd callables
+        return False
+    if any(p.kind is p.VAR_KEYWORD for p in parameters.values()):
+        return True
+    return "observer" in parameters and "should_stop" in parameters
 
 
 class JobQueue:
-    """FIFO campaign queue with content-addressed deduplication.
+    """Campaign scheduler with content-addressed deduplication.
 
     Args:
         runner: ``CampaignRequest -> CampaignResponse`` callable;
             defaults to :func:`repro.service.campaign.execute_request`
-            bound to the given resources.
+            bound to the given resources.  Runners accepting
+            ``observer``/``should_stop`` keywords get the job's event
+            buffer and cancellation flag threaded through.
         library / cache / executor: shared resources handed to the
             default runner.
+        workers: background daemon threads draining the queue; ``0``
+            (the default) keeps the queue fully synchronous —
+            :meth:`run_next`/:meth:`run_all` semantics are unchanged.
+        event_buffer_size: retained progress events per job.
+        ttl_s: age (seconds since finishing) after which terminal
+            records are purged automatically on submit; ``None`` keeps
+            them until :meth:`purge` is called.
 
     Submitting a request whose fingerprint matches a job that is still
     pending, running, or successfully finished returns the existing job
-    id instead of queueing duplicate work; failed jobs do *not* absorb
-    resubmissions, so callers can retry.
+    id instead of queueing duplicate work; failed and cancelled jobs do
+    *not* absorb resubmissions, so callers can retry.
     """
 
-    def __init__(self, runner=None, library=None, cache=None, executor=None) -> None:
+    def __init__(
+        self,
+        runner=None,
+        library=None,
+        cache=None,
+        executor=None,
+        workers: int = 0,
+        event_buffer_size: int = 256,
+        ttl_s: float | None = None,
+    ) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
         if runner is None:
-            runner = lambda request: execute_request(
-                request, library=library, cache=cache, executor=executor
-            )
+            def runner(request, observer=None, should_stop=None):
+                return execute_request(
+                    request,
+                    library=library,
+                    cache=cache,
+                    executor=executor,
+                    observer=observer,
+                    should_stop=should_stop,
+                )
         self._runner = runner
+        self._runner_takes_hooks = _accepts_hooks(runner)
+        self._event_buffer_size = event_buffer_size
+        self.ttl_s = ttl_s
         self._lock = threading.RLock()
+        #: Signalled when work arrives or the queue closes.
+        self._work = threading.Condition(self._lock)
+        #: Signalled when any job reaches a terminal state.
+        self._done = threading.Condition(self._lock)
         self._jobs: dict[str, JobRecord] = {}
         self._by_fingerprint: dict[str, str] = {}
-        self._pending: list[str] = []
+        self._pending: deque[str] = deque()
         self._ids = itertools.count(1)
+        self._closed = False
         self.stats = _QueueStats()
+        self._workers: list[threading.Thread] = []
+        for n in range(workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"jobqueue-worker-{n}", daemon=True
+            )
+            thread.start()
+            self._workers.append(thread)
+        self.stats.workers = len(self._workers)
 
     # Submission -----------------------------------------------------------
     def submit(self, request: CampaignRequest) -> str:
         """Queue a campaign; returns the (possibly deduplicated) job id."""
         fingerprint = request.fingerprint()
-        with self._lock:
+        with self._work:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            if self.ttl_s is not None:
+                self._purge_locked(self.ttl_s)
             self.stats.submitted += 1
             existing_id = self._by_fingerprint.get(fingerprint)
             if existing_id is not None:
                 existing = self._jobs[existing_id]
-                if existing.status is not JobStatus.FAILED:
+                # A job with a pending cancel request is doomed: absorbing
+                # a resubmission into it would silently cancel the retry.
+                if (
+                    existing.status not in (JobStatus.FAILED, JobStatus.CANCELLED)
+                    and not existing.cancel_requested
+                ):
                     existing.submissions += 1
                     self.stats.deduplicated += 1
                     return existing_id
             job_id = f"job-{next(self._ids)}"
-            self._jobs[job_id] = JobRecord(job_id=job_id, request=request)
+            self._jobs[job_id] = JobRecord(
+                job_id=job_id,
+                request=request,
+                events=EventBuffer(self._event_buffer_size),
+            )
             self._by_fingerprint[fingerprint] = job_id
             self._pending.append(job_id)
+            self._refresh_depth()
+            self._work.notify()
             return job_id
 
     # Inspection -----------------------------------------------------------
@@ -120,6 +254,8 @@ class JobQueue:
         job = self._job(job_id)
         if job.status is JobStatus.FAILED:
             raise RuntimeError(f"{job_id} failed: {job.error}")
+        if job.status is JobStatus.CANCELLED:
+            raise RuntimeError(f"{job_id} was cancelled")
         if job.response is None:
             raise RuntimeError(f"{job_id} has not finished (status {job.status.value})")
         return job.response
@@ -132,8 +268,25 @@ class JobQueue:
             return list(self._jobs.values())
 
     def pending_count(self) -> int:
+        # queue_depth is kept current under this lock by _refresh_depth.
         with self._lock:
-            return len(self._pending)
+            return self.stats.queue_depth
+
+    def events_since(
+        self, job_id: str, cursor: int = 0
+    ) -> tuple[list[CampaignEvent], int, bool]:
+        """Incremental event read: ``(events, next_cursor, done)``.
+
+        Feed the returned cursor back in to receive only news.  ``done``
+        is True once the job's stream carries its terminal event.
+        """
+        return self._job(job_id).events.since(cursor)
+
+    def wait_events(
+        self, job_id: str, cursor: int = 0, timeout: float | None = None
+    ) -> tuple[list[CampaignEvent], int, bool]:
+        """Blocking :meth:`events_since`: waits up to ``timeout`` for news."""
+        return self._job(job_id).events.wait_since(cursor, timeout)
 
     def _job(self, job_id: str) -> JobRecord:
         with self._lock:
@@ -142,26 +295,98 @@ class JobQueue:
             except KeyError:
                 raise KeyError(f"unknown job id {job_id!r}") from None
 
+    def _refresh_depth(self) -> None:
+        self.stats.queue_depth = sum(
+            1
+            for job_id in self._pending
+            if self._jobs[job_id].status is JobStatus.PENDING
+        )
+
+    # Cancellation / waiting / purging --------------------------------------
+    def cancel(self, job_id: str) -> JobStatus:
+        """Request cancellation; returns the job's status afterwards.
+
+        Pending jobs are cancelled immediately.  Running jobs are
+        stopped cooperatively: the flag is polled between GA
+        generations, so the campaign winds down at the next boundary
+        and the status flips to ``CANCELLED`` shortly after.  Terminal
+        jobs are left untouched.
+        """
+        with self._lock:
+            job = self._job(job_id)
+            if job.status is JobStatus.PENDING:
+                self._finish(
+                    job,
+                    JobStatus.CANCELLED,
+                    event=CampaignEvent(
+                        kind=EventKind.CAMPAIGN_CANCELLED,
+                        message="cancelled while pending",
+                    ),
+                )
+            elif job.status is JobStatus.RUNNING:
+                job.cancel_requested = True
+            return job.status
+
+    def wait(self, job_id: str, timeout: float | None = None) -> JobStatus:
+        """Block until the job reaches a terminal state; returns it.
+
+        Raises :class:`TimeoutError` when ``timeout`` elapses first.
+        Synchronous queues (``workers=0``) only make progress through
+        :meth:`run_next`/:meth:`run_all`, so waiting there needs another
+        thread driving the queue.
+        """
+        with self._done:
+            job = self._job(job_id)
+            if self._done.wait_for(lambda: job.status.terminal, timeout):
+                return job.status
+        raise TimeoutError(
+            f"{job_id} still {job.status.value} after {timeout} s"
+        )
+
+    def purge(self, older_than_s: float | None = None) -> int:
+        """Drop terminal records finished more than ``older_than_s`` ago.
+
+        ``None`` falls back to the queue's ``ttl_s``; passing ``0``
+        drops every terminal record.  Returns how many were removed.
+        """
+        if older_than_s is None:
+            older_than_s = self.ttl_s
+        if older_than_s is None:
+            raise ValueError("no TTL configured and no age given")
+        with self._lock:
+            return self._purge_locked(older_than_s)
+
+    def _purge_locked(self, older_than_s: float) -> int:
+        now = time.monotonic()
+        doomed = [
+            job
+            for job in self._jobs.values()
+            if job.status.terminal
+            and job.finished_at is not None
+            and now - job.finished_at >= older_than_s
+        ]
+        for job in doomed:
+            del self._jobs[job.job_id]
+            fingerprint = job.request.fingerprint()
+            if self._by_fingerprint.get(fingerprint) == job.job_id:
+                del self._by_fingerprint[fingerprint]
+        if doomed:
+            # Lazily queued ids of purged jobs must not dangle.
+            self._pending = deque(
+                job_id for job_id in self._pending if job_id in self._jobs
+            )
+            self._refresh_depth()
+        self.stats.purged += len(doomed)
+        return len(doomed)
+
     # Execution ------------------------------------------------------------
     def run_next(self) -> JobRecord | None:
         """Execute the oldest pending job; ``None`` when the queue is idle."""
         with self._lock:
-            if not self._pending:
+            job = self._pop_runnable()
+            if job is None:
                 return None
-            job = self._jobs[self._pending.pop(0)]
-            job.status = JobStatus.RUNNING
-        try:
-            response = self._runner(job.request)
-        except Exception as exc:  # a failed campaign must not kill the queue
-            with self._lock:
-                job.status = JobStatus.FAILED
-                job.error = f"{type(exc).__name__}: {exc}"
-                self.stats.failed += 1
-            return job
-        with self._lock:
-            job.status = JobStatus.DONE
-            job.response = response
-            self.stats.completed += 1
+        self._execute(job)
         return job
 
     def run_all(self) -> list[JobRecord]:
@@ -170,3 +395,138 @@ class JobQueue:
         while (job := self.run_next()) is not None:
             executed.append(job)
         return executed
+
+    def _pop_runnable(self) -> JobRecord | None:
+        """Pop the oldest still-pending job and mark it RUNNING.
+
+        Jobs cancelled while queued stay in the deque until they reach
+        the front; they are skipped here (already terminal).
+        """
+        while self._pending:
+            job = self._jobs[self._pending.popleft()]
+            if job.status is JobStatus.PENDING:
+                job.status = JobStatus.RUNNING
+                job.started_at = time.monotonic()
+                self._refresh_depth()
+                return job
+        self._refresh_depth()
+        return None
+
+    def _finish(
+        self,
+        job: JobRecord,
+        status: JobStatus,
+        response: CampaignResponse | None = None,
+        error: str | None = None,
+        event: CampaignEvent | None = None,
+    ) -> None:
+        """Terminal transition: record, count, emit, wake waiters."""
+        with self._done:
+            job.status = status
+            job.response = response
+            job.error = error
+            job.finished_at = time.monotonic()
+            if status is JobStatus.DONE:
+                self.stats.completed += 1
+            elif status is JobStatus.FAILED:
+                self.stats.failed += 1
+            elif status is JobStatus.CANCELLED:
+                self.stats.cancelled += 1
+            self._refresh_depth()
+            self._done.notify_all()
+        if event is not None and not job.events.closed:
+            job.events.append(event)
+
+    def _execute(self, job: JobRecord) -> None:
+        """Run one RUNNING job to a terminal state (no lock held)."""
+
+        def observer(event: CampaignEvent) -> None:
+            # Terminal events close the stream and wake watchers, who
+            # immediately ask for the result — so only _finish may emit
+            # them, *after* the status/response transition is recorded.
+            if not event.terminal:
+                job.events.append(event)
+
+        try:
+            if self._runner_takes_hooks:
+                response = self._runner(
+                    job.request,
+                    observer=observer,
+                    should_stop=lambda: job.cancel_requested,
+                )
+            else:
+                response = self._runner(job.request)
+        except CampaignCancelled as exc:
+            self._finish(
+                job,
+                JobStatus.CANCELLED,
+                event=CampaignEvent(
+                    kind=EventKind.CAMPAIGN_CANCELLED, message=str(exc)
+                ),
+            )
+        except Exception as exc:  # a failed campaign must not kill the queue
+            error = f"{type(exc).__name__}: {exc}"
+            self._finish(
+                job,
+                JobStatus.FAILED,
+                error=error,
+                event=CampaignEvent(
+                    kind=EventKind.CAMPAIGN_FAILED, message=error
+                ),
+            )
+        else:
+            stats = response.cache_stats or {}
+            lookups = stats.get("hits", 0) + stats.get("misses", 0)
+            self._finish(
+                job,
+                JobStatus.DONE,
+                response=response,
+                event=CampaignEvent(
+                    kind=EventKind.CAMPAIGN_DONE,
+                    evaluations=response.evaluations,
+                    front_size=len(response.frontier),
+                    cache_hit_rate=(
+                        stats.get("hits", 0) / lookups if lookups else None
+                    ),
+                    wall_time_s=response.wall_time_s,
+                ),
+            )
+
+    # Background workers ----------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            with self._work:
+                job = None
+                while not self._closed:
+                    job = self._pop_runnable()
+                    if job is not None:
+                        break
+                    self._work.wait()
+                if job is None:  # closed; abandon whatever is still queued
+                    return
+                self.stats.busy_workers += 1
+            try:
+                self._execute(job)
+            finally:
+                with self._lock:
+                    self.stats.busy_workers -= 1
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting submissions and shut the workers down.
+
+        Workers finish the job they are executing (and any still-pending
+        ones are left PENDING); ``wait=True`` joins them.  Idempotent;
+        a ``workers=0`` queue closes instantly.
+        """
+        with self._work:
+            self._closed = True
+            self._work.notify_all()
+        if wait:
+            for thread in self._workers:
+                thread.join()
+
+    def __enter__(self) -> "JobQueue":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

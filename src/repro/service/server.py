@@ -1,0 +1,441 @@
+"""Asyncio and HTTP front-ends over the campaign job queue.
+
+Two entry points, both backed by one worker-driven
+:class:`~repro.service.jobs.JobQueue` (and therefore one shared
+:class:`~repro.service.cache.EvaluationCache` as the cross-request
+dedup layer):
+
+* :class:`AsyncCampaignService` — the asyncio face.  ``await
+  submit/status/result/cancel`` plus an ``async for`` stream of
+  :class:`~repro.service.events.CampaignEvent`s per job.  Blocking
+  queue waits are pushed onto worker threads with
+  :func:`asyncio.to_thread`, so the event loop never stalls on a
+  campaign.
+
+* :class:`CampaignHTTPServer` — a stdlib-only (``http.server``)
+  JSON-over-HTTP server so campaigns are drivable over a socket::
+
+      POST /api/campaigns                 submit (body: CampaignRequest)
+      GET  /api/campaigns                 list jobs
+      GET  /api/campaigns/<id>            status record
+      GET  /api/campaigns/<id>/result     CampaignResponse (409 until done)
+      GET  /api/campaigns/<id>/events     ?cursor=N&wait=SECONDS long-poll
+      POST /api/campaigns/<id>/cancel     cooperative cancellation
+      GET  /api/stats                     queue counters/gauges
+      GET  /healthz                       liveness
+
+:class:`CampaignClient` is the matching ``urllib``-based client used by
+``repro submit`` / ``repro watch``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import AsyncIterator, Iterator
+from urllib import request as _urllib_request
+from urllib.error import HTTPError
+from urllib.parse import parse_qs, urlparse
+
+from repro.service.api import CampaignRequest, CampaignResponse
+from repro.service.events import CampaignEvent
+from repro.service.jobs import JobQueue, JobStatus
+
+__all__ = [
+    "AsyncCampaignService",
+    "CampaignHTTPServer",
+    "CampaignClient",
+    "serve",
+]
+
+#: Upper bound on one long-poll, so handler threads always cycle.
+MAX_LONG_POLL_S = 30.0
+
+
+class AsyncCampaignService:
+    """Asyncio wrapper around a background-worker :class:`JobQueue`.
+
+    Args:
+        queue: an existing queue to front (left open on close);
+            when omitted the service owns a fresh one built from the
+            remaining arguments and closes it with the service.
+        workers: background worker threads for an owned queue.
+        library / cache / executor: shared resources for the owned
+            queue's default runner.
+        event_buffer_size / ttl_s: forwarded to the owned queue.
+
+    Use as an async context manager::
+
+        async with AsyncCampaignService(workers=2, cache=cache) as svc:
+            job_id = await svc.submit(request)
+            async for event in svc.events(job_id):
+                print(event.describe())
+            response = await svc.result(job_id)
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue | None = None,
+        *,
+        workers: int = 2,
+        library=None,
+        cache=None,
+        executor=None,
+        event_buffer_size: int = 256,
+        ttl_s: float | None = None,
+    ) -> None:
+        if queue is None:
+            if workers < 1:
+                raise ValueError("an owned queue needs workers >= 1")
+            queue = JobQueue(
+                library=library,
+                cache=cache,
+                executor=executor,
+                workers=workers,
+                event_buffer_size=event_buffer_size,
+                ttl_s=ttl_s,
+            )
+            self._own_queue = True
+        else:
+            self._own_queue = False
+        self.queue = queue
+
+    async def submit(self, request: CampaignRequest) -> str:
+        """Queue a campaign; returns the (possibly deduplicated) job id."""
+        return await asyncio.to_thread(self.queue.submit, request)
+
+    async def status(self, job_id: str) -> JobStatus:
+        return await asyncio.to_thread(self.queue.status, job_id)
+
+    async def result(
+        self, job_id: str, timeout: float | None = None
+    ) -> CampaignResponse:
+        """Wait for the job to finish and return its response.
+
+        Raises :class:`TimeoutError` when ``timeout`` elapses first and
+        :class:`RuntimeError` when the job failed or was cancelled.
+        """
+        await asyncio.to_thread(self.queue.wait, job_id, timeout)
+        return await asyncio.to_thread(self.queue.result, job_id)
+
+    async def cancel(self, job_id: str) -> JobStatus:
+        """Request cooperative cancellation; returns the current status."""
+        return await asyncio.to_thread(self.queue.cancel, job_id)
+
+    async def events(
+        self, job_id: str, cursor: int = 0, poll_s: float = 1.0
+    ) -> AsyncIterator[CampaignEvent]:
+        """Stream a job's progress events until its terminal event.
+
+        Each iteration long-polls the job's buffer on a worker thread,
+        yields whatever arrived, and stops once the stream closes.
+        ``cursor`` resumes an interrupted stream.
+        """
+        while True:
+            events, cursor, done = await asyncio.to_thread(
+                self.queue.wait_events, job_id, cursor, poll_s
+            )
+            for event in events:
+                yield event
+            if done:
+                return
+
+    async def close(self) -> None:
+        """Shut down an owned queue (a fronted queue is left running)."""
+        if self._own_queue:
+            await asyncio.to_thread(self.queue.close)
+
+    async def __aenter__(self) -> "AsyncCampaignService":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+
+# HTTP server ---------------------------------------------------------------
+
+
+class _ApiError(Exception):
+    """Maps a handler failure onto an HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _job_payload(record) -> dict:
+    return {
+        "job_id": record.job_id,
+        "status": record.status.value,
+        "submissions": record.submissions,
+        "error": record.error,
+    }
+
+
+class _CampaignHandler(BaseHTTPRequestHandler):
+    """Routes the JSON API onto the server's job queue."""
+
+    server: "CampaignHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    # Dispatch -------------------------------------------------------------
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            payload, status = self._route(method)
+        except _ApiError as exc:
+            payload, status = {"error": str(exc)}, exc.status
+        except Exception as exc:  # defensive: a handler bug must answer
+            payload, status = {"error": f"{type(exc).__name__}: {exc}"}, 500
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _route(self, method: str) -> tuple[dict, int]:
+        queue = self.server.queue
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        query = parse_qs(url.query)
+
+        if method == "GET" and parts == ["healthz"]:
+            return {"status": "ok"}, 200
+        if method == "GET" and parts == ["api", "stats"]:
+            return queue.stats.as_dict(), 200
+        if parts[:2] != ["api", "campaigns"]:
+            raise _ApiError(404, f"unknown path {url.path!r}")
+
+        if len(parts) == 2:
+            if method == "POST":
+                return self._submit(), 200
+            return {"jobs": [_job_payload(j) for j in queue.jobs()]}, 200
+
+        job_id = parts[2]
+        tail = parts[3:]
+        try:
+            if not tail:
+                if method != "GET":
+                    raise _ApiError(405, "status is GET-only")
+                return _job_payload(queue.record(job_id)), 200
+            if tail == ["result"] and method == "GET":
+                return self._result(job_id)
+            if tail == ["events"] and method == "GET":
+                return self._events(job_id, query), 200
+            if tail == ["cancel"] and method == "POST":
+                status = queue.cancel(job_id)
+                return {"job_id": job_id, "status": status.value}, 200
+        except KeyError:
+            raise _ApiError(404, f"unknown job id {job_id!r}") from None
+        raise _ApiError(404, f"unknown path {url.path!r}")
+
+    # Endpoints ------------------------------------------------------------
+    def _submit(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        raw = self.rfile.read(length) if length else b""
+        try:
+            request = CampaignRequest.from_json(raw.decode("utf-8"))
+        except Exception as exc:
+            raise _ApiError(400, f"bad campaign request: {exc}") from None
+        try:
+            job_id = self.server.queue.submit(request)
+        except RuntimeError as exc:  # queue closed
+            raise _ApiError(503, str(exc)) from None
+        return _job_payload(self.server.queue.record(job_id))
+
+    def _result(self, job_id: str) -> tuple[dict, int]:
+        queue = self.server.queue
+        status = queue.status(job_id)
+        if status in (JobStatus.PENDING, JobStatus.RUNNING):
+            raise _ApiError(409, f"{job_id} is still {status.value}")
+        if status is not JobStatus.DONE:
+            record = queue.record(job_id)
+            raise _ApiError(
+                410, record.error or f"{job_id} was {status.value}"
+            )
+        return queue.result(job_id).to_dict(), 200
+
+    def _events(self, job_id: str, query: dict) -> dict:
+        try:
+            cursor = int(query.get("cursor", ["0"])[0])
+            wait_s = float(query.get("wait", ["0"])[0])
+        except ValueError as exc:
+            raise _ApiError(400, f"bad query parameter: {exc}") from None
+        wait_s = max(0.0, min(wait_s, MAX_LONG_POLL_S))
+        if wait_s:
+            events, cursor, done = self.server.queue.wait_events(
+                job_id, cursor, wait_s
+            )
+        else:
+            events, cursor, done = self.server.queue.events_since(job_id, cursor)
+        return {
+            "events": [event.to_dict() for event in events],
+            "cursor": cursor,
+            "done": done,
+        }
+
+
+class CampaignHTTPServer(ThreadingHTTPServer):
+    """Stdlib HTTP/JSON front-end bound to one job queue.
+
+    Args:
+        address: ``(host, port)``; port ``0`` binds an ephemeral port
+            (read it back from :attr:`port`).
+        queue: the worker-backed queue to serve; the server never owns
+            it — close the queue separately.
+        verbose: log requests to stderr (quiet by default).
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        queue: JobQueue,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, _CampaignHandler)
+        self.queue = queue
+        self.verbose = verbose
+
+    @property
+    def host(self) -> str:
+        return self.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def serve_in_background(self) -> threading.Thread:
+        """Run ``serve_forever`` on a daemon thread (returns the thread)."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="campaign-http", daemon=True
+        )
+        thread.start()
+        return thread
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    queue: JobQueue | None = None,
+    *,
+    workers: int = 2,
+    library=None,
+    cache=None,
+    executor=None,
+    event_buffer_size: int = 256,
+    ttl_s: float | None = None,
+    verbose: bool = False,
+) -> CampaignHTTPServer:
+    """Build a ready-to-run HTTP server (queue included unless given).
+
+    The caller drives ``server.serve_forever()`` (or
+    ``serve_in_background()``) and is responsible for closing the queue
+    on shutdown — :func:`repro.cli.main`'s ``repro serve`` shows the
+    full lifecycle.
+    """
+    queue = queue or JobQueue(
+        library=library,
+        cache=cache,
+        executor=executor,
+        workers=max(1, workers),
+        event_buffer_size=event_buffer_size,
+        ttl_s=ttl_s,
+    )
+    return CampaignHTTPServer((host, port), queue, verbose=verbose)
+
+
+# HTTP client ---------------------------------------------------------------
+
+
+class CampaignClient:
+    """Minimal ``urllib`` client for :class:`CampaignHTTPServer`.
+
+    Every method raises :class:`RuntimeError` with the server's
+    ``error`` message on non-2xx answers.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _call(self, method: str, path: str, payload: dict | None = None) -> dict:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        req = _urllib_request.Request(
+            f"{self.base_url}{path}",
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with _urllib_request.urlopen(req, timeout=self.timeout) as answer:
+                return json.loads(answer.read().decode("utf-8"))
+        except HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except Exception:
+                detail = ""
+            raise RuntimeError(
+                f"{method} {path} failed: HTTP {exc.code}"
+                + (f" ({detail})" if detail else "")
+            ) from None
+
+    def submit(self, request: CampaignRequest) -> str:
+        """Submit a campaign; returns the job id."""
+        return self._call("POST", "/api/campaigns", request.to_dict())["job_id"]
+
+    def status(self, job_id: str) -> dict:
+        return self._call("GET", f"/api/campaigns/{job_id}")
+
+    def result(self, job_id: str) -> CampaignResponse:
+        payload = self._call("GET", f"/api/campaigns/{job_id}/result")
+        return CampaignResponse.from_dict(payload)
+
+    def cancel(self, job_id: str) -> dict:
+        return self._call("POST", f"/api/campaigns/{job_id}/cancel")
+
+    def events(
+        self, job_id: str, cursor: int = 0, wait_s: float = 0.0
+    ) -> tuple[list[CampaignEvent], int, bool]:
+        payload = self._call(
+            "GET",
+            f"/api/campaigns/{job_id}/events?cursor={cursor}&wait={wait_s}",
+        )
+        events = [CampaignEvent.from_dict(e) for e in payload["events"]]
+        return events, payload["cursor"], payload["done"]
+
+    def watch(
+        self, job_id: str, cursor: int = 0, poll_s: float = 2.0
+    ) -> Iterator[CampaignEvent]:
+        """Long-poll the event stream until the terminal event."""
+        while True:
+            events, cursor, done = self.events(job_id, cursor, wait_s=poll_s)
+            yield from events
+            if done:
+                return
+
+    def stats(self) -> dict:
+        return self._call("GET", "/api/stats")
+
+    def healthy(self) -> bool:
+        try:
+            return self._call("GET", "/healthz").get("status") == "ok"
+        except Exception:
+            return False

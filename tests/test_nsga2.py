@@ -142,3 +142,74 @@ class TestNsga2OnDcim:
         # evaluations; the discrete space is far smaller.
         space = len(problem.codec.enumerate())
         assert result.evaluations <= space
+
+
+class TestObserverAndCancellation:
+    CONFIG = NSGA2Config(population_size=16, generations=10, seed=7)
+
+    def test_observer_called_per_generation(self):
+        seen = []
+        nsga2(GridProblem(), self.CONFIG, observer=seen.append)
+        assert [p.generation for p in seen] == list(range(1, 11))
+        for progress in seen:
+            assert progress.generations == 10
+            assert progress.front_size > 0
+            assert progress.requested >= progress.evaluations
+            assert 0.0 <= progress.cache_hit_rate <= 1.0
+        evals = [p.evaluations for p in seen]
+        assert evals == sorted(evals)
+        assert seen[-1].archive_size == seen[-1].evaluations
+
+    def test_observer_keeps_run_bit_identical(self):
+        plain = nsga2(GridProblem(), self.CONFIG)
+        observed = nsga2(GridProblem(), self.CONFIG, observer=lambda p: None)
+        assert [(i.genome, i.objectives) for i in observed.front] == [
+            (i.genome, i.objectives) for i in plain.front
+        ]
+        assert observed.history == plain.history
+        assert observed.evaluations == plain.evaluations
+        assert observed.generations_run == plain.generations_run == 10
+        assert not plain.stopped_early
+
+    def test_should_stop_ends_run_at_generation_boundary(self):
+        done = []
+
+        def stop_after_three() -> bool:
+            return len(done) >= 3
+
+        result = nsga2(
+            GridProblem(),
+            self.CONFIG,
+            observer=done.append,
+            should_stop=stop_after_three,
+        )
+        assert result.stopped_early
+        assert result.generations_run == 3
+        assert len(result.history) == 3
+        assert result.front  # the prefix's archive front is still returned
+
+    def test_stopped_prefix_matches_shorter_run(self):
+        # Cancelling after k generations must equal a run configured
+        # with k generations: same seed, same rng consumption order.
+        done = []
+        stopped = nsga2(
+            GridProblem(),
+            self.CONFIG,
+            observer=done.append,
+            should_stop=lambda: len(done) >= 4,
+        )
+        short = nsga2(
+            GridProblem(),
+            NSGA2Config(population_size=16, generations=4, seed=7),
+        )
+        assert [(i.genome, i.objectives) for i in stopped.front] == [
+            (i.genome, i.objectives) for i in short.front
+        ]
+        assert stopped.history == short.history
+
+    def test_should_stop_immediately(self):
+        result = nsga2(GridProblem(), self.CONFIG, should_stop=lambda: True)
+        assert result.stopped_early
+        assert result.generations_run == 0
+        assert result.history == []
+        assert result.front  # initial population is still evaluated

@@ -146,3 +146,96 @@ class TestWarmCache:
     def test_uncached_campaign_reports_none(self):
         result = run_campaign(SPECS[:1], small_config())
         assert result.cache_stats is None
+
+
+class TestObserverAndCancellation:
+    def test_observer_never_changes_results(self):
+        events = []
+        plain = run_campaign(SPECS, small_config())
+        observed = run_campaign(SPECS, small_config(), observer=events.append)
+        assert front_keys(plain) == front_keys(observed)
+        assert (
+            plain.merged_objectives.tolist()
+            == observed.merged_objectives.tolist()
+        )
+        assert plain.evaluations == observed.evaluations
+
+    def test_event_stream_shape(self):
+        from repro.service.events import EventKind
+
+        events = []
+        run_campaign(SPECS, small_config(), observer=events.append)
+        kinds = [e.kind for e in events]
+        assert kinds.count(EventKind.SPEC_STARTED) == len(SPECS)
+        assert kinds.count(EventKind.SPEC_DONE) == len(SPECS)
+        assert kinds.count(EventKind.GENERATION_DONE) == (
+            len(SPECS) * SMALL_GA.generations
+        )
+        assert kinds[-1] is EventKind.CAMPAIGN_DONE
+        done = events[-1]
+        assert done.front_size > 0
+        assert done.wall_time_s > 0
+        labels = {e.spec for e in events if e.spec}
+        assert labels == {"4096:INT4", "4096:INT8"}
+
+    def test_threaded_workers_emit_full_stream(self):
+        import threading
+        from repro.service.events import EventKind
+
+        events = []
+        lock = threading.Lock()
+
+        def observer(event):
+            with lock:
+                events.append(event)
+
+        run_campaign(
+            SPECS, small_config(workers=2, backend="thread"), observer=observer
+        )
+        kinds = [e.kind for e in events]
+        assert kinds.count(EventKind.GENERATION_DONE) == (
+            len(SPECS) * SMALL_GA.generations
+        )
+        assert kinds[-1] is EventKind.CAMPAIGN_DONE
+
+    def test_should_stop_raises_campaign_cancelled(self):
+        from repro.service.events import CampaignCancelled, EventKind
+
+        events = []
+        seen = {"generations": 0}
+
+        def stop_after_two() -> bool:
+            return seen["generations"] >= 2
+
+        def observer(event):
+            events.append(event)
+            if event.kind is EventKind.GENERATION_DONE:
+                seen["generations"] += 1
+
+        with pytest.raises(CampaignCancelled):
+            run_campaign(
+                SPECS,
+                small_config(),
+                observer=observer,
+                should_stop=stop_after_two,
+            )
+        kinds = [e.kind for e in events]
+        assert EventKind.CAMPAIGN_DONE not in kinds
+        assert kinds.count(EventKind.GENERATION_DONE) < (
+            len(SPECS) * SMALL_GA.generations
+        )
+
+    def test_cached_campaign_reports_cache_hit_rate(self):
+        from repro.service.events import EventKind
+
+        cache = EvaluationCache()
+        run_campaign(SPECS, small_config(), cache=cache)
+        events = []
+        run_campaign(SPECS, small_config(), cache=cache, observer=events.append)
+        rates = [
+            e.cache_hit_rate
+            for e in events
+            if e.kind is EventKind.GENERATION_DONE
+        ]
+        # Warm cache: by the end everything is served from it.
+        assert rates[-1] > 0.9

@@ -1,0 +1,142 @@
+"""Tests for campaign progress events and the bounded event buffer."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service.events import CampaignEvent, EventBuffer, EventKind
+
+
+def event(kind=EventKind.GENERATION_DONE, **overrides) -> CampaignEvent:
+    payload = dict(
+        kind=kind,
+        spec_index=0,
+        spec="4096:INT8",
+        generation=3,
+        generations=10,
+        evaluations=120,
+        front_size=17,
+        cache_hit_rate=0.25,
+    )
+    payload.update(overrides)
+    return CampaignEvent(**payload)
+
+
+class TestCampaignEvent:
+    @pytest.mark.parametrize("kind", list(EventKind))
+    def test_json_round_trip(self, kind):
+        original = event(kind=kind, message="detail")
+        assert CampaignEvent.from_json(original.to_json()) == original
+
+    def test_kind_accepts_raw_string(self):
+        assert CampaignEvent(kind="spec_done").kind is EventKind.SPEC_DONE
+
+    def test_terminal_kinds(self):
+        terminal = {k for k in EventKind if k.terminal}
+        assert terminal == {
+            EventKind.CAMPAIGN_DONE,
+            EventKind.CAMPAIGN_FAILED,
+            EventKind.CAMPAIGN_CANCELLED,
+        }
+
+    @pytest.mark.parametrize("kind", list(EventKind))
+    def test_describe_is_single_line(self, kind):
+        rendered = event(
+            kind=kind, message="boom", wall_time_s=1.5
+        ).describe()
+        assert rendered
+        assert "\n" not in rendered
+
+
+class TestEventBuffer:
+    def test_append_stamps_increasing_seq(self):
+        buffer = EventBuffer()
+        assert [buffer.append(event()) for _ in range(3)] == [0, 1, 2]
+        events, cursor, done = buffer.since(0)
+        assert [e.seq for e in events] == [0, 1, 2]
+        assert cursor == 3
+        assert not done
+
+    def test_cursor_reads_are_incremental(self):
+        buffer = EventBuffer()
+        buffer.append(event())
+        events, cursor, _ = buffer.since(0)
+        assert len(events) == 1
+        buffer.append(event())
+        buffer.append(event())
+        events, cursor, _ = buffer.since(cursor)
+        assert [e.seq for e in events] == [1, 2]
+        assert buffer.since(cursor)[0] == []
+
+    def test_overflow_drops_oldest(self):
+        buffer = EventBuffer(maxlen=4)
+        for _ in range(10):
+            buffer.append(event())
+        events, cursor, _ = buffer.since(0)
+        assert [e.seq for e in events] == [6, 7, 8, 9]
+        assert buffer.dropped == 6
+        assert cursor == 10
+
+    def test_terminal_event_closes(self):
+        buffer = EventBuffer()
+        buffer.append(event())
+        buffer.append(event(kind=EventKind.CAMPAIGN_DONE))
+        assert buffer.closed
+        # Late appends are discarded: the terminal event stays last.
+        assert buffer.append(event()) == -1
+        events, _, done = buffer.since(0)
+        assert done
+        assert events[-1].kind is EventKind.CAMPAIGN_DONE
+
+    def test_wait_since_times_out_empty(self):
+        buffer = EventBuffer()
+        events, cursor, done = buffer.wait_since(0, timeout=0.05)
+        assert events == [] and cursor == 0 and not done
+
+    def test_wait_since_wakes_on_append(self):
+        buffer = EventBuffer()
+        results = {}
+
+        def consume():
+            results["got"] = buffer.wait_since(0, timeout=5.0)
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        time.sleep(0.05)
+        buffer.append(event())
+        thread.join(timeout=5.0)
+        events, cursor, _ = results["got"]
+        assert [e.seq for e in events] == [0]
+        assert cursor == 1
+
+    def test_rejects_silly_maxlen(self):
+        with pytest.raises(ValueError):
+            EventBuffer(maxlen=0)
+
+    def test_cursor_reads_race_the_producer(self):
+        # A producer streams 200 events (terminal last) while a consumer
+        # drains by cursor: the consumer must see every event exactly
+        # once, in order, and stop at the terminal one.
+        buffer = EventBuffer(maxlen=1024)
+        total = 200
+
+        def produce():
+            for i in range(total - 1):
+                buffer.append(event(generation=i))
+                if i % 17 == 0:
+                    time.sleep(0.001)
+            buffer.append(event(kind=EventKind.CAMPAIGN_DONE))
+
+        producer = threading.Thread(target=produce)
+        producer.start()
+        seen = []
+        cursor = 0
+        while True:
+            events, cursor, done = buffer.wait_since(cursor, timeout=5.0)
+            seen.extend(events)
+            if done:
+                break
+        producer.join(timeout=5.0)
+        assert [e.seq for e in seen] == list(range(total))
+        assert seen[-1].terminal

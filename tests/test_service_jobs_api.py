@@ -10,6 +10,7 @@ from repro.service.api import (
     SpecRequest,
 )
 from repro.service.cache import EvaluationCache
+from repro.service.events import EventKind
 from repro.service.jobs import JobQueue, JobStatus
 
 
@@ -152,3 +153,243 @@ class TestJobQueue:
         queue.run_all()
         assert cache.stats.hits > 0
         assert cache.stats.misses >= misses_after_first
+
+
+class TestQueueStatsAndPurge:
+    def test_queue_depth_tracks_pending(self):
+        queue = JobQueue(cache=EvaluationCache())
+        assert queue.stats.queue_depth == 0
+        queue.submit(tiny_request())
+        queue.submit(tiny_request(seed=9))
+        assert queue.stats.queue_depth == 2
+        queue.run_next()
+        assert queue.stats.queue_depth == 1
+        queue.run_all()
+        assert queue.stats.queue_depth == 0
+        assert queue.stats.as_dict()["completed"] == 2
+
+    def test_purge_drops_old_terminal_records(self):
+        queue = JobQueue(cache=EvaluationCache())
+        job_id = queue.submit(tiny_request())
+        queue.run_all()
+        keep_id = queue.submit(tiny_request(seed=9))  # still pending
+        assert queue.purge(0) == 1
+        assert queue.stats.purged == 1
+        with pytest.raises(KeyError):
+            queue.status(job_id)
+        assert queue.status(keep_id) is JobStatus.PENDING
+        # The fingerprint slot is free again: resubmitting requeues.
+        assert queue.submit(tiny_request()) != job_id
+
+    def test_purge_without_ttl_requires_age(self):
+        with pytest.raises(ValueError):
+            JobQueue().purge()
+
+    def test_ttl_purges_on_submit(self):
+        queue = JobQueue(cache=EvaluationCache(), ttl_s=0.0)
+        job_id = queue.submit(tiny_request())
+        queue.run_all()
+        # The next submit sweeps the aged-out record first, so the same
+        # fingerprint gets a fresh job instead of the purged id.
+        retry = queue.submit(tiny_request())
+        assert retry != job_id
+        with pytest.raises(KeyError):
+            queue.status(job_id)
+
+
+class TestCancellation:
+    def test_cancel_pending_job(self):
+        queue = JobQueue(cache=EvaluationCache())
+        job_id = queue.submit(tiny_request())
+        assert queue.cancel(job_id) is JobStatus.CANCELLED
+        assert queue.run_next() is None  # nothing runnable remains
+        events, _, done = queue.events_since(job_id)
+        assert done
+        assert events[-1].kind is EventKind.CAMPAIGN_CANCELLED
+        assert queue.stats.cancelled == 1
+        with pytest.raises(RuntimeError):
+            queue.result(job_id)
+        # Cancelled jobs do not absorb resubmissions.
+        assert queue.submit(tiny_request()) != job_id
+
+    def test_cancel_terminal_job_is_noop(self):
+        queue = JobQueue(cache=EvaluationCache())
+        job_id = queue.submit(tiny_request())
+        queue.run_all()
+        assert queue.cancel(job_id) is JobStatus.DONE
+
+    def test_cancel_running_job_stops_between_generations(self):
+        # A long campaign (200 generations) cancelled after its first
+        # generation event must stop early: the cancelled job's stream
+        # proves far fewer generations ran than were configured.
+        queue = JobQueue(cache=EvaluationCache(), workers=1)
+        job_id = queue.submit(
+            tiny_request(specs=(SpecRequest(4096, "INT4"),), generations=200)
+        )
+        events, cursor, _ = queue.wait_events(job_id, 0, timeout=30.0)
+        while not any(e.kind is EventKind.GENERATION_DONE for e in events):
+            more, cursor, done = queue.wait_events(job_id, cursor, timeout=30.0)
+            assert not done, "campaign finished before it could be cancelled"
+            events.extend(more)
+        queue.cancel(job_id)
+        assert queue.wait(job_id, timeout=30.0) is JobStatus.CANCELLED
+        stream, _, done = queue.events_since(job_id)
+        assert done
+        assert stream[-1].kind is EventKind.CAMPAIGN_CANCELLED
+        generations_seen = sum(
+            1 for e in stream if e.kind is EventKind.GENERATION_DONE
+        )
+        assert 1 <= generations_seen < 200
+        queue.close()
+
+
+class TestBackgroundWorkers:
+    def test_workers_drain_submissions(self):
+        with JobQueue(cache=EvaluationCache(), workers=2) as queue:
+            ids = [queue.submit(tiny_request(seed=s)) for s in range(4)]
+            for job_id in ids:
+                assert queue.wait(job_id, timeout=60.0) is JobStatus.DONE
+                assert queue.result(job_id).frontier
+            assert queue.stats.workers == 2
+            assert queue.stats.completed == 4
+
+    def test_submit_after_close_raises(self):
+        queue = JobQueue(cache=EvaluationCache(), workers=1)
+        queue.close()
+        with pytest.raises(RuntimeError):
+            queue.submit(tiny_request())
+
+    def test_wait_times_out(self):
+        queue = JobQueue(cache=EvaluationCache())  # nothing drives it
+        job_id = queue.submit(tiny_request())
+        with pytest.raises(TimeoutError):
+            queue.wait(job_id, timeout=0.05)
+
+    def test_threaded_submits_deduplicate_while_running(self):
+        import threading as _threading
+
+        started = _threading.Event()
+        release = _threading.Event()
+
+        def gated(request, observer=None, should_stop=None):
+            started.set()
+            assert release.wait(timeout=30.0)
+            from repro.service.campaign import execute_request
+
+            return execute_request(request, observer=observer,
+                                    should_stop=should_stop)
+
+        queue = JobQueue(runner=gated, workers=1)
+        first = queue.submit(tiny_request())
+        assert started.wait(timeout=30.0)  # job is RUNNING, not queued
+        ids = []
+        threads = [
+            _threading.Thread(
+                target=lambda: ids.append(queue.submit(tiny_request()))
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        release.set()
+        assert set(ids) == {first}
+        assert queue.record(first).submissions == 9
+        assert queue.stats.deduplicated == 8
+        assert queue.wait(first, timeout=60.0) is JobStatus.DONE
+        queue.close()
+
+    def test_failed_job_resubmission_through_workers(self):
+        calls = {"n": 0}
+
+        def flaky(request, observer=None, should_stop=None):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("backend exploded")
+            from repro.service.campaign import execute_request
+
+            return execute_request(request, observer=observer,
+                                    should_stop=should_stop)
+
+        with JobQueue(runner=flaky, workers=1) as queue:
+            job_id = queue.submit(tiny_request())
+            assert queue.wait(job_id, timeout=60.0) is JobStatus.FAILED
+            events, _, done = queue.events_since(job_id)
+            assert done
+            assert events[-1].kind is EventKind.CAMPAIGN_FAILED
+            assert "backend exploded" in events[-1].message
+            retry = queue.submit(tiny_request())
+            assert retry != job_id
+            assert queue.wait(retry, timeout=60.0) is JobStatus.DONE
+
+    def test_event_cursor_reads_race_the_worker(self):
+        # Stream a running job's events concurrently with the producing
+        # worker: the cursor protocol must deliver every event exactly
+        # once, in order, ending with the terminal event.
+        with JobQueue(cache=EvaluationCache(), workers=1) as queue:
+            job_id = queue.submit(
+                tiny_request(specs=(SpecRequest(4096, "INT8"),),
+                             generations=12)
+            )
+            seen = []
+            cursor = 0
+            while True:
+                events, cursor, done = queue.wait_events(
+                    job_id, cursor, timeout=30.0
+                )
+                seen.extend(events)
+                if done:
+                    break
+            assert [e.seq for e in seen] == list(range(len(seen)))
+            kinds = [e.kind for e in seen]
+            assert kinds[0] is EventKind.SPEC_STARTED
+            assert kinds[-1] is EventKind.CAMPAIGN_DONE
+            assert kinds.count(EventKind.GENERATION_DONE) == 12
+            assert queue.record(job_id).events.dropped == 0
+
+
+class TestReviewRegressions:
+    def test_cancel_requested_job_does_not_absorb_resubmission(self):
+        # A running job with a pending cancel request is doomed; a
+        # resubmission of the same fingerprint must queue fresh work
+        # instead of being silently cancelled along with it.
+        import threading as _threading
+
+        started = _threading.Event()
+        release = _threading.Event()
+
+        def gated(request, observer=None, should_stop=None):
+            started.set()
+            assert release.wait(timeout=30.0)
+            if should_stop():
+                from repro.service.events import CampaignCancelled
+
+                raise CampaignCancelled("stopped")
+            from repro.service.campaign import execute_request
+
+            return execute_request(request)
+
+        queue = JobQueue(runner=gated, workers=1)
+        first = queue.submit(tiny_request())
+        assert started.wait(timeout=30.0)
+        queue.cancel(first)  # running: flags cancel_requested
+        retry = queue.submit(tiny_request())
+        assert retry != first
+        release.set()
+        assert queue.wait(first, timeout=60.0) is JobStatus.CANCELLED
+        assert queue.wait(retry, timeout=60.0) is JobStatus.DONE
+        queue.close()
+
+    def test_terminal_event_implies_result_is_ready(self):
+        # The stream's done flag must never race the status/response
+        # transition: once wait_events reports done, result() works.
+        with JobQueue(cache=EvaluationCache(), workers=1) as queue:
+            job_id = queue.submit(tiny_request())
+            cursor = 0
+            while True:
+                _, cursor, done = queue.wait_events(job_id, cursor, timeout=30.0)
+                if done:
+                    break
+            assert queue.status(job_id) is JobStatus.DONE
+            assert queue.result(job_id).frontier
