@@ -93,4 +93,75 @@ if ! grep -q "frontier designs" <<<"$watch_output"; then
 fi
 kill "$server_pid" && wait "$server_pid" 2>/dev/null || true
 server_pid=""
+
+echo "== run registry: record -> list -> compare -> gate =="
+store="$workdir/runs.sqlite"
+python -m repro campaign --spec 4096:INT4 --spec 4096:INT8 \
+    --population 16 --generations 6 --cache "$cache" \
+    --store "$store" --name good --set-baseline main --limit 3
+# An identical re-run records a twin front and must pass the gate.
+python -m repro campaign --spec 4096:INT4 --spec 4096:INT8 \
+    --population 16 --generations 6 --cache "$cache" \
+    --store "$store" --name rerun --baseline main --limit 3
+python -m repro runs list --store "$store"
+compare_output="$(python -m repro runs compare main rerun --store "$store")"
+echo "$compare_output"
+if ! grep -q "hypervolume" <<<"$compare_output"; then
+    echo "smoke: runs compare printed no hypervolume line" >&2
+    exit 1
+fi
+# An artificially degraded front (worse objectives, half the points)
+# must fail the regression gate; recording must also be bit-neutral
+# and cheap (store overhead < 10% on this campaign).
+python - "$store" <<'PY'
+import sys
+import time
+
+import numpy as np
+
+from repro.core.spec import DcimSpec
+from repro.dse.nsga2 import NSGA2Config
+from repro.service import CampaignConfig, run_campaign
+from repro.service.api import CampaignResponse, FrontierPoint
+from repro.store import RunStore
+
+store = RunStore(sys.argv[1])
+front = store.front(store.get_baseline("main").run_id)
+degraded = tuple(
+    FrontierPoint(precision=p.precision, n=p.n, h=p.h, l=p.l, k=p.k,
+                  objectives=tuple(o + abs(o) * 0.25 for o in p.objectives))
+    for p in front[::2]
+)
+store.record_response(CampaignResponse(frontier=degraded),
+                      specs=["degraded"], name="degraded")
+
+# Parity + overhead: same campaign with and without recording.
+specs = [DcimSpec(wstore=4096, precision=p) for p in ("INT4", "INT8")]
+config = CampaignConfig(nsga2=NSGA2Config(population_size=16, generations=6))
+
+def run(store):
+    start = time.perf_counter()
+    result = run_campaign(specs, config, store=store)
+    return result, time.perf_counter() - start
+
+(plain, bare_s) = run(None)
+(recorded, stored_s) = run(store)
+# Take the best of three per mode: one-off scheduler noise on a ~30 ms
+# campaign easily exceeds the sqlite write cost being measured.
+bare_s = min([bare_s] + [run(None)[1] for _ in range(2)])
+stored_s = min([stored_s] + [run(store)[1] for _ in range(2)])
+assert np.array_equal(plain.merged_objectives, recorded.merged_objectives), \
+    "recording changed the merged front"
+overhead = stored_s / bare_s - 1.0
+print(f"store overhead: {overhead:+.1%} "
+      f"({bare_s*1e3:.0f} ms bare vs {stored_s*1e3:.0f} ms recorded)")
+assert overhead < 0.10, f"store overhead {overhead:.1%} exceeds 10%"
+store.close()
+PY
+if python -m repro runs gate degraded --baseline main --store "$store"; then
+    echo "smoke: degraded front passed the regression gate" >&2
+    exit 1
+fi
+python -m repro runs gate rerun --baseline main --store "$store" >/dev/null
+python -m repro runs gc --store "$store" --keep 2 >/dev/null
 echo "smoke: OK"

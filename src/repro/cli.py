@@ -8,9 +8,12 @@ Usage (also via ``python -m repro``)::
     repro compile --wstore 8192 --precision BF16 --out build/macro
     repro report  --precision INT8 --n 64 --h 128 --l 64 --k 8
     repro campaign --spec 8192:INT8 --spec 8192:BF16 --cache build/evals.jsonl
+    repro campaign --spec 8192:INT8 --store build/runs.sqlite --baseline main
     repro serve  --port 8000 --workers 2 --cache build/evals.jsonl
     repro submit --url http://127.0.0.1:8000 --spec 8192:INT8 --watch
     repro watch  --url http://127.0.0.1:8000 job-1
+    repro runs list --store build/runs.sqlite
+    repro runs compare run-abc run-def --store build/runs.sqlite
 """
 
 from __future__ import annotations
@@ -130,6 +133,20 @@ def build_parser() -> argparse.ArgumentParser:
                           help="max frontier rows to print")
     campaign.add_argument("--json", action="store_true",
                           help="print the CampaignResponse as JSON")
+    campaign.add_argument("--store", default=None, metavar="PATH",
+                          help="record the campaign into this run "
+                               "registry (SQLite)")
+    campaign.add_argument("--name", default=None, metavar="LABEL",
+                          help="human label for the recorded run "
+                               "(needs --store)")
+    campaign.add_argument("--baseline", default=None, metavar="NAME",
+                          help="gate the recorded run against this "
+                               "baseline; seeds it on first use and "
+                               "exits non-zero on regression "
+                               "(needs --store)")
+    campaign.add_argument("--set-baseline", default=None, metavar="NAME",
+                          help="pin this run as the named baseline "
+                               "after recording (needs --store)")
 
     serve_p = sub.add_parser(
         "serve",
@@ -144,6 +161,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--cache", default=None, metavar="PATH",
                          help="shared persistent evaluation cache "
                               "(.jsonl or .sqlite; omit for in-memory)")
+    serve_p.add_argument("--store", default=None, metavar="PATH",
+                         help="record every campaign into this run "
+                              "registry (SQLite) and serve the "
+                              "/api/runs endpoints")
     serve_p.add_argument("--ttl", type=float, default=None, metavar="S",
                          help="purge finished job records after S seconds")
     serve_p.add_argument("--buffer", type=int, default=256, metavar="N",
@@ -192,6 +213,94 @@ def build_parser() -> argparse.ArgumentParser:
                          help="resume the event stream from this cursor")
     watch_p.add_argument("--json", action="store_true",
                          help="print events (and the result) as JSON lines")
+
+    runs_p = sub.add_parser(
+        "runs",
+        help="inspect the persistent run registry (list/show/compare/"
+             "export/gc/baseline/gate)",
+    )
+    runs_sub = runs_p.add_subparsers(dest="runs_command", required=True)
+
+    def add_store_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--store", required=True, metavar="PATH",
+                       help="run registry database (SQLite)")
+
+    runs_list = runs_sub.add_parser("list", help="recorded runs, newest first")
+    add_store_arg(runs_list)
+    runs_list.add_argument("--limit", type=int, default=None,
+                           help="max rows to print")
+    runs_list.add_argument("--status", default=None,
+                           choices=["done", "failed", "cancelled"],
+                           help="only runs with this terminal status")
+
+    runs_show = runs_sub.add_parser(
+        "show", help="one run's record and recorded frontier"
+    )
+    add_store_arg(runs_show)
+    runs_show.add_argument("run", help="run id, baseline name, or run name")
+
+    runs_compare = runs_sub.add_parser(
+        "compare",
+        help="front-quality indicators (hypervolume, epsilon, coverage, "
+             "diff, knee drift) between two recorded runs",
+    )
+    add_store_arg(runs_compare)
+    runs_compare.add_argument("a", help="reference run (id/baseline/name)")
+    runs_compare.add_argument("b", help="candidate run (id/baseline/name)")
+    runs_compare.add_argument("--json", action="store_true",
+                              help="print the comparison as JSON")
+
+    runs_export = runs_sub.add_parser(
+        "export", help="render one run as Markdown or CSV"
+    )
+    add_store_arg(runs_export)
+    runs_export.add_argument("run", help="run id, baseline name, or run name")
+    runs_export.add_argument("--format", default="md", choices=["md", "csv"],
+                             help="report format")
+    runs_export.add_argument("--out", default=None, metavar="PATH",
+                             help="write here instead of stdout")
+
+    runs_gc = runs_sub.add_parser(
+        "gc", help="delete old runs (baseline-pinned runs are kept)"
+    )
+    add_store_arg(runs_gc)
+    runs_gc.add_argument("--keep", type=int, default=None, metavar="N",
+                         help="retain the N newest runs")
+    runs_gc.add_argument("--older-than", type=float, default=None,
+                         metavar="SECONDS",
+                         help="only delete runs older than this")
+
+    runs_baseline = runs_sub.add_parser(
+        "baseline", help="pin or show a named baseline"
+    )
+    add_store_arg(runs_baseline)
+    runs_baseline.add_argument("name", help="baseline name")
+    runs_baseline.add_argument("run", nargs="?", default=None,
+                               help="run to pin (omit to show the "
+                                    "current pin)")
+
+    runs_gate = runs_sub.add_parser(
+        "gate",
+        help="regression-gate a run against a baseline (exit 1 when "
+             "front quality degraded beyond tolerance)",
+    )
+    add_store_arg(runs_gate)
+    runs_gate.add_argument("candidate", help="run id, baseline name, or "
+                                             "run name to check")
+    runs_gate.add_argument("--baseline", required=True, metavar="NAME",
+                           help="baseline to compare against")
+    runs_gate.add_argument("--max-hv-drop", type=float, default=0.05,
+                           metavar="FRAC",
+                           help="allowed relative hypervolume loss")
+    runs_gate.add_argument("--max-epsilon", type=float, default=0.05,
+                           metavar="EPS",
+                           help="allowed additive epsilon-indicator")
+    runs_gate.add_argument("--min-front-ratio", type=float, default=0.5,
+                           metavar="FRAC",
+                           help="candidate front size floor, as a "
+                                "fraction of the baseline's")
+    runs_gate.add_argument("--json", action="store_true",
+                           help="print the gate report as JSON")
 
     mc = sub.add_parser("mc", help="Monte-Carlo variation of one design")
     mc.add_argument("--precision", required=True)
@@ -393,18 +502,29 @@ def _cmd_campaign(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    if args.store is None and (args.name or args.baseline or args.set_baseline):
+        print("error: --name/--baseline/--set-baseline need --store",
+              file=sys.stderr)
+        return 1
+    store = None
+    if args.store:
+        from repro.store import RunStore
+
+        store = RunStore(args.store)
     cache = EvaluationCache(args.cache) if args.cache else EvaluationCache()
     tech = _tech(args)
     try:
         try:
-            result = run_campaign(specs, config, cache=cache)
+            result = run_campaign(
+                specs, config, cache=cache, store=store, run_name=args.name
+            )
         except ValueError as exc:  # e.g. a spec the genome codec rejects
             print(f"error: {exc}", file=sys.stderr)
             return 1
         response = result.to_response()
         if args.json:
             print(response.to_json())
-            return 0
+            return _campaign_registry_epilogue(args, store, result)
         rows = []
         for point in result.merged_points[: args.limit]:
             m = point.metrics(tech)
@@ -448,15 +568,56 @@ def _cmd_campaign(args) -> int:
                 f"misses (hit rate {stats.hit_rate:.1%}), "
                 f"{len(cache)} entries stored"
             )
-        return 0
+        return _campaign_registry_epilogue(args, store, result)
     finally:
         cache.close()
+        if store is not None:
+            store.close()
+
+
+def _campaign_registry_epilogue(args, store, result) -> int:
+    """Post-campaign registry work: announce, pin, and gate the run.
+
+    Returns the process exit code: 0 normally, 1 when a ``--baseline``
+    gate found a regression.
+    """
+    if store is None:
+        return 0
+    if result.run_id is None:  # write failed (warned by run_campaign)
+        print(f"error: campaign finished but recording into "
+              f"{args.store} failed", file=sys.stderr)
+        return 1
+    print(f"recorded {result.run_id} in {args.store}", file=sys.stderr)
+    if args.set_baseline:
+        store.set_baseline(args.set_baseline, result.run_id)
+        print(f"baseline {args.set_baseline!r} -> {result.run_id}",
+              file=sys.stderr)
+    if not args.baseline:
+        return 0
+    from repro.store import check_regression
+
+    try:
+        store.get_baseline(args.baseline)
+    except KeyError:
+        # First use seeds the baseline with this very run.
+        store.set_baseline(args.baseline, result.run_id)
+        print(f"baseline {args.baseline!r} seeded with {result.run_id}",
+              file=sys.stderr)
+        return 0
+    report = check_regression(store, result.run_id, args.baseline)
+    print(report.describe(), file=sys.stderr)
+    return 0 if report.passed else 1
 
 
 def _cmd_serve(args) -> int:
     from repro.service import EvaluationCache, serve
 
     cache = EvaluationCache(args.cache) if args.cache else EvaluationCache()
+    store = None
+    if args.store:
+        from repro.store import RunStore
+
+        store = RunStore(args.store)
     server = serve(
         host=args.host,
         port=args.port,
@@ -464,12 +625,15 @@ def _cmd_serve(args) -> int:
         cache=cache,
         event_buffer_size=args.buffer,
         ttl_s=args.ttl,
+        store=store,
         verbose=args.verbose,
     )
     # The bound port matters when --port 0 asked for an ephemeral one;
     # scripts parse this line (see scripts/smoke.sh).
+    registry = f", registry {args.store}" if store is not None else ""
     print(f"serving campaigns on {server.url} "
-          f"({args.workers} workers, cache {cache.backend})", flush=True)
+          f"({args.workers} workers, cache {cache.backend}{registry})",
+          flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -478,6 +642,8 @@ def _cmd_serve(args) -> int:
         server.shutdown()
         server.queue.close(wait=False)
         cache.close()
+        if store is not None:
+            store.close()
     return 0
 
 
@@ -553,6 +719,141 @@ def _cmd_watch(args) -> int:
         return 1
 
 
+def _cmd_runs(args) -> int:
+    from pathlib import Path
+
+    from repro.store import RunStore
+
+    # Every runs subcommand reads an existing registry; opening a typo'd
+    # path would silently create an empty database.
+    if not Path(args.store).exists():
+        print(f"error: no run registry at {args.store}", file=sys.stderr)
+        return 1
+    with RunStore(args.store) as store:
+        try:
+            return _run_registry_command(args, store)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 1
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+
+
+def _run_registry_command(args, store) -> int:
+    import time as _time
+
+    if args.runs_command == "list":
+        records = store.list_runs(limit=args.limit, status=args.status)
+        baselines = {run_id: name for name, run_id in store.baselines().items()}
+        rows = [
+            (
+                r.run_id,
+                r.name or "-",
+                baselines.get(r.run_id, "-"),
+                r.status,
+                ", ".join(r.specs),
+                r.front_size,
+                r.evaluations,
+                f"{r.wall_time_s:.2f}",
+                f"{max(0.0, _time.time() - r.created_at):.0f}s",
+            )
+            for r in records
+        ]
+        print(ascii_table(
+            ["run", "name", "baseline", "status", "specs", "front",
+             "evals", "wall s", "age"],
+            rows,
+        ))
+        print(f"{len(records)} runs shown ({len(store)} recorded)")
+        return 0
+
+    if args.runs_command == "show":
+        record = store.resolve(args.run)
+        print(record.describe())
+        front = store.front(record.run_id)
+        rows = [
+            (p.precision, p.n, p.h, p.l, p.k,
+             " ".join(f"{o:.4g}" for o in p.objectives))
+            for p in front
+        ]
+        print(ascii_table(
+            ["prec", "N", "H", "L", "k", "objectives [A D E -T]"], rows
+        ))
+        return 0
+
+    if args.runs_command == "compare":
+        import json as _json
+
+        from repro.store import compare_runs
+
+        comparison = compare_runs(store, args.a, args.b)
+        if args.json:
+            print(_json.dumps(comparison.to_dict(), sort_keys=True))
+        else:
+            print(comparison.describe())
+        return 0
+
+    if args.runs_command == "export":
+        from repro.reporting.runs import run_report_csv, run_report_markdown
+
+        record = store.resolve(args.run)
+        front = store.front(record.run_id)
+        text = (
+            run_report_markdown(record, front)
+            if args.format == "md"
+            else run_report_csv(record, front)
+        )
+        if args.out:
+            from pathlib import Path
+
+            Path(args.out).write_text(text)
+            print(f"wrote {args.format} report to {args.out}")
+        else:
+            print(text, end="")
+        return 0
+
+    if args.runs_command == "gc":
+        if args.keep is None and args.older_than is None:
+            print("error: gc needs --keep and/or --older-than",
+                  file=sys.stderr)
+            return 1
+        deleted = store.gc(keep_last=args.keep, older_than_s=args.older_than)
+        print(f"deleted {deleted} runs ({len(store)} kept)")
+        return 0
+
+    if args.runs_command == "baseline":
+        if args.run is not None:
+            record = store.resolve(args.run)
+            store.set_baseline(args.name, record.run_id)
+            print(f"baseline {args.name!r} -> {record.run_id}")
+        else:
+            record = store.get_baseline(args.name)
+            print(f"baseline {args.name!r} -> {record.describe()}")
+        return 0
+
+    if args.runs_command == "gate":
+        from repro.store import GateConfig, check_regression
+
+        config = GateConfig(
+            max_hypervolume_drop=args.max_hv_drop,
+            max_epsilon=args.max_epsilon,
+            min_front_ratio=args.min_front_ratio,
+        )
+        report = check_regression(
+            store, args.candidate, args.baseline, config
+        )
+        if args.json:
+            import json as _json
+
+            print(_json.dumps(report.to_dict(), sort_keys=True))
+        else:
+            print(report.describe())
+        return 0 if report.passed else 1
+
+    raise AssertionError(f"unhandled runs command {args.runs_command!r}")
+
+
 def _cmd_mc(args) -> int:
     from repro.model.variation import monte_carlo
 
@@ -597,6 +898,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_submit(args)
     if args.command == "watch":
         return _cmd_watch(args)
+    if args.command == "runs":
+        return _cmd_runs(args)
     if args.command == "mc":
         return _cmd_mc(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,7 +1,12 @@
-"""Reporting utilities for benches and examples."""
+"""Reporting utilities for benches, examples, and the run registry."""
 
 from repro.reporting.plots import ascii_scatter
 from repro.reporting.power import area_report, full_report, power_report, timing_report
+from repro.reporting.runs import (
+    comparison_markdown,
+    run_report_csv,
+    run_report_markdown,
+)
 from repro.reporting.tables import ascii_table, csv_table, format_si
 
 __all__ = [
@@ -13,4 +18,7 @@ __all__ = [
     "power_report",
     "timing_report",
     "full_report",
+    "run_report_markdown",
+    "run_report_csv",
+    "comparison_markdown",
 ]

@@ -142,6 +142,17 @@ class FrontierPoint:
             precision=self.precision, n=self.n, h=self.h, l=self.l, k=self.k
         )
 
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        payload["objectives"] = list(self.objectives)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FrontierPoint":
+        return cls(
+            **{**payload, "objectives": tuple(payload.get("objectives", ()))}
+        )
+
 
 @dataclass(frozen=True)
 class CampaignResponse:
@@ -193,9 +204,7 @@ class CampaignResponse:
     def from_dict(cls, payload: dict) -> "CampaignResponse":
         payload = dict(payload)
         payload["frontier"] = tuple(
-            FrontierPoint(
-                **{**point, "objectives": tuple(point.get("objectives", ()))}
-            )
+            FrontierPoint.from_dict(point)
             for point in payload.get("frontier", ())
         )
         return cls(**payload)

@@ -104,6 +104,9 @@ class CampaignResult:
         wall_time_s: end-to-end wall clock.
         engine_backend: which cost-engine backend ran
             (``numpy``/``python``).
+        run_id: registry id assigned when the campaign was recorded
+            into a :class:`~repro.store.runstore.RunStore` (``None``
+            for unrecorded campaigns).
     """
 
     results: list[ExplorationResult]
@@ -113,6 +116,7 @@ class CampaignResult:
     cache_stats: CacheStats | None = None
     wall_time_s: float = 0.0
     engine_backend: str = "python"
+    run_id: str | None = None
 
     @property
     def fresh_evaluations(self) -> int:
@@ -149,6 +153,22 @@ def spec_label(spec: DcimSpec) -> str:
     return f"{spec.wstore}:{spec.precision.name}"
 
 
+def _campaign_fingerprint(
+    specs: list[DcimSpec], config: CampaignConfig
+) -> str:
+    """Content hash of a programmatic campaign (mirrors
+    :meth:`~repro.service.api.CampaignRequest.fingerprint` in spirit —
+    identical workloads share it)."""
+    from repro.service.cache import stable_hash
+
+    return stable_hash(
+        {
+            "specs": [dataclasses.asdict(spec) for spec in specs],
+            "config": dataclasses.asdict(config),
+        }
+    )
+
+
 def run_campaign(
     specs: list[DcimSpec],
     config: CampaignConfig | None = None,
@@ -157,6 +177,8 @@ def run_campaign(
     executor: BatchExecutor | None = None,
     observer: CampaignObserver | None = None,
     should_stop: Callable[[], bool] | None = None,
+    store=None,
+    run_name: str | None = None,
 ) -> CampaignResult:
     """Explore ``specs`` concurrently and merge their Pareto fronts.
 
@@ -182,6 +204,14 @@ def run_campaign(
             in-flight GA runs stop at their next generation boundary and
             the campaign raises :class:`~repro.service.events.
             CampaignCancelled` instead of returning a result.
+        store: optional :class:`~repro.store.runstore.RunStore`; when
+            given, the campaign's outcome (including a cancellation) is
+            recorded after the run.  Recording is write-only — attaching
+            a store never changes the result — and the assigned run id
+            lands in :attr:`CampaignResult.run_id`.  A store write
+            failure never discards the computed result: it is reported
+            as a :class:`RuntimeWarning` and ``run_id`` stays ``None``.
+        run_name: human label for the recorded run.
     """
     if not specs:
         raise ValueError("a campaign needs at least one spec")
@@ -287,13 +317,22 @@ def run_campaign(
             executor.close()
     wall_time = time.perf_counter() - started
 
+    labels = [spec_label(spec) for spec in specs]
     if any(result is None for result in maybe_results) or (
         should_stop is not None and should_stop()
     ):
         done = sum(result is not None for result in maybe_results)
-        raise CampaignCancelled(
-            f"campaign cancelled after {done}/{len(specs)} specs"
-        )
+        message = f"campaign cancelled after {done}/{len(specs)} specs"
+        if store is not None:
+            _record_safely(
+                store.record_failure,
+                "cancelled",
+                message,
+                specs=labels,
+                name=run_name,
+                fingerprint=_campaign_fingerprint(specs, config),
+            )
+        raise CampaignCancelled(message)
     results: list[ExplorationResult] = maybe_results
 
     merged_points, merged_objs = merge_exploration_results(results)
@@ -317,7 +356,7 @@ def run_campaign(
             puts=cache.stats.puts - stats_before.puts,
             evictions=cache.stats.evictions - stats_before.evictions,
         )
-    return CampaignResult(
+    campaign_result = CampaignResult(
         results=results,
         merged_points=merged_points,
         merged_objectives=merged_objs,
@@ -326,6 +365,38 @@ def run_campaign(
         wall_time_s=wall_time,
         engine_backend=engine_backend,
     )
+    if store is not None:
+        record = _record_safely(
+            store.record_response,
+            campaign_result.to_response(),
+            specs=labels,
+            name=run_name,
+            fingerprint=_campaign_fingerprint(specs, config),
+        )
+        if record is not None:
+            campaign_result.run_id = record.run_id
+    return campaign_result
+
+
+def _record_safely(record_fn, *args, **kwargs):
+    """Run one store write; a failure must not discard the campaign.
+
+    Returns the :class:`~repro.store.runstore.RunRecord` or ``None``
+    (with a :class:`RuntimeWarning`) when the write failed — e.g. a
+    locked database or a full disk.
+    """
+    import warnings
+
+    try:
+        return record_fn(*args, **kwargs)
+    except Exception as exc:
+        warnings.warn(
+            f"campaign ran but recording it failed: "
+            f"{type(exc).__name__}: {exc}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
 
 
 def execute_request(

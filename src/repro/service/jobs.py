@@ -20,7 +20,15 @@ Execution comes in two flavours that share one scheduler:
   boundary).
 
 Finished records survive until explicitly purged — or, with ``ttl_s``
-set, until they age out (checked on every submit).
+set, until they age out (checked on every submit, on every
+:meth:`~JobQueue.jobs`/:meth:`~JobQueue.sweep_expired` read, and by
+idle background workers — an idle queue does not retain finished jobs
+forever).
+
+With a :class:`~repro.store.runstore.RunStore` attached, every job that
+*executes* is also recorded into the persistent run registry at its
+terminal transition (done/failed/cancelled), so results outlive both
+the TTL and the process.
 """
 
 from __future__ import annotations
@@ -74,6 +82,9 @@ class JobRecord:
         events: bounded progress-event buffer for this job.
         cancel_requested: set by :meth:`JobQueue.cancel`; the running
             campaign polls it between GA generations.
+        run_id: registry id once the outcome was recorded into the
+            queue's :class:`~repro.store.runstore.RunStore` (``None``
+            without a store, or for jobs cancelled before running).
         created_at / started_at / finished_at: monotonic timestamps
             (``None`` until the transition happens).
     """
@@ -86,6 +97,7 @@ class JobRecord:
     submissions: int = 1
     events: EventBuffer = field(default_factory=EventBuffer)
     cancel_requested: bool = False
+    run_id: str | None = None
     created_at: float = field(default_factory=time.monotonic)
     started_at: float | None = None
     finished_at: float | None = None
@@ -106,6 +118,8 @@ class _QueueStats:
     failed: int = 0
     cancelled: int = 0
     purged: int = 0
+    recorded: int = 0
+    record_errors: int = 0
     queue_depth: int = 0
     workers: int = 0
     busy_workers: int = 0
@@ -118,6 +132,8 @@ class _QueueStats:
             "failed": self.failed,
             "cancelled": self.cancelled,
             "purged": self.purged,
+            "recorded": self.recorded,
+            "record_errors": self.record_errors,
             "queue_depth": self.queue_depth,
             "workers": self.workers,
             "busy_workers": self.busy_workers,
@@ -156,8 +172,16 @@ class JobQueue:
             :meth:`run_next`/:meth:`run_all` semantics are unchanged.
         event_buffer_size: retained progress events per job.
         ttl_s: age (seconds since finishing) after which terminal
-            records are purged automatically on submit; ``None`` keeps
-            them until :meth:`purge` is called.
+            records are purged automatically — on submit, on
+            :meth:`jobs`/:meth:`sweep_expired` reads, and by idle
+            background workers; ``None`` keeps them until
+            :meth:`purge` is called.
+        store: optional :class:`~repro.store.runstore.RunStore`;
+            every executed job's outcome is recorded into it at the
+            terminal transition (the job's :attr:`JobRecord.run_id`
+            carries the registry id).  Recording failures never take
+            the queue down — they are counted in
+            ``stats.record_errors``.
 
     Submitting a request whose fingerprint matches a job that is still
     pending, running, or successfully finished returns the existing job
@@ -174,9 +198,11 @@ class JobQueue:
         workers: int = 0,
         event_buffer_size: int = 256,
         ttl_s: float | None = None,
+        store=None,
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
+        self.store = store
         if runner is None:
             def runner(request, observer=None, should_stop=None):
                 return execute_request(
@@ -264,6 +290,7 @@ class JobQueue:
         return self._job(job_id)
 
     def jobs(self) -> list[JobRecord]:
+        self.sweep_expired()
         with self._lock:
             return list(self._jobs.values())
 
@@ -356,6 +383,19 @@ class JobQueue:
         with self._lock:
             return self._purge_locked(older_than_s)
 
+    def sweep_expired(self) -> int:
+        """TTL sweep outside submit: purge aged-out terminal records.
+
+        A no-op (returns 0) without a configured ``ttl_s``.  Called
+        automatically from :meth:`jobs`, the HTTP stats endpoint, and
+        idle background workers, so finished records age out even on a
+        queue that never sees another submit.
+        """
+        if self.ttl_s is None:
+            return 0
+        with self._lock:
+            return self._purge_locked(self.ttl_s)
+
     def _purge_locked(self, older_than_s: float) -> int:
         now = time.monotonic()
         doomed = [
@@ -437,6 +477,30 @@ class JobQueue:
         if event is not None and not job.events.closed:
             job.events.append(event)
 
+    def _record_run(
+        self,
+        job: JobRecord,
+        status: JobStatus,
+        response: CampaignResponse | None = None,
+        error: str | None = None,
+    ) -> None:
+        """Persist an executed job's outcome into the run registry."""
+        if self.store is None:
+            return
+        try:
+            if status is JobStatus.DONE:
+                record = self.store.record_response(response, job.request)
+            else:
+                record = self.store.record_failure(
+                    status.value, error or "", job.request
+                )
+            job.run_id = record.run_id
+            with self._lock:
+                self.stats.recorded += 1
+        except Exception:  # recording must never take the queue down
+            with self._lock:
+                self.stats.record_errors += 1
+
     def _execute(self, job: JobRecord) -> None:
         """Run one RUNNING job to a terminal state (no lock held)."""
 
@@ -457,6 +521,7 @@ class JobQueue:
             else:
                 response = self._runner(job.request)
         except CampaignCancelled as exc:
+            self._record_run(job, JobStatus.CANCELLED, error=str(exc))
             self._finish(
                 job,
                 JobStatus.CANCELLED,
@@ -466,6 +531,7 @@ class JobQueue:
             )
         except Exception as exc:  # a failed campaign must not kill the queue
             error = f"{type(exc).__name__}: {exc}"
+            self._record_run(job, JobStatus.FAILED, error=error)
             self._finish(
                 job,
                 JobStatus.FAILED,
@@ -477,6 +543,7 @@ class JobQueue:
         else:
             stats = response.cache_stats or {}
             lookups = stats.get("hits", 0) + stats.get("misses", 0)
+            self._record_run(job, JobStatus.DONE, response=response)
             self._finish(
                 job,
                 JobStatus.DONE,
@@ -501,7 +568,14 @@ class JobQueue:
                     job = self._pop_runnable()
                     if job is not None:
                         break
-                    self._work.wait()
+                    # With a TTL configured, idle workers wake up each
+                    # TTL period (min 100 ms, so ttl_s=0 cannot spin)
+                    # and sweep aged-out terminal records — an idle
+                    # queue must not retain finished jobs forever.
+                    # Without one, block until work arrives.
+                    tick = None if self.ttl_s is None else max(self.ttl_s, 0.1)
+                    if not self._work.wait(tick) and self.ttl_s is not None:
+                        self._purge_locked(self.ttl_s)
                 if job is None:  # closed; abandon whatever is still queued
                     return
                 self.stats.busy_workers += 1

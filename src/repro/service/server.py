@@ -21,8 +21,16 @@ dedup layer):
       GET  /api/campaigns/<id>/result     CampaignResponse (409 until done)
       GET  /api/campaigns/<id>/events     ?cursor=N&wait=SECONDS long-poll
       POST /api/campaigns/<id>/cancel     cooperative cancellation
+      GET  /api/runs                      recorded runs (?status=&limit=)
+      GET  /api/runs/<id>                 one registry row
+      GET  /api/runs/<id>/front           recorded merged frontier
+      GET  /api/compare?a=..&b=..         front-quality indicators
       GET  /api/stats                     queue counters/gauges
       GET  /healthz                       liveness
+
+  The ``/api/runs`` family answers 404 unless the server was given a
+  :class:`~repro.store.runstore.RunStore` (the same instance the queue
+  records into).
 
 :class:`CampaignClient` is the matching ``urllib``-based client used by
 ``repro submit`` / ``repro watch``.
@@ -37,9 +45,9 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import AsyncIterator, Iterator
 from urllib import request as _urllib_request
 from urllib.error import HTTPError
-from urllib.parse import parse_qs, urlparse
+from urllib.parse import parse_qs, quote as _quote, urlparse
 
-from repro.service.api import CampaignRequest, CampaignResponse
+from repro.service.api import CampaignRequest, CampaignResponse, FrontierPoint
 from repro.service.events import CampaignEvent
 from repro.service.jobs import JobQueue, JobStatus
 
@@ -65,6 +73,11 @@ class AsyncCampaignService:
         library / cache / executor: shared resources for the owned
             queue's default runner.
         event_buffer_size / ttl_s: forwarded to the owned queue.
+        store: optional :class:`~repro.store.runstore.RunStore`; an
+            owned queue records every campaign into it, and the
+            ``runs``/``run``/``run_front``/``compare`` coroutines
+            query it (off-loop, like everything else).  Defaults to
+            the fronted queue's store when one is attached.
 
     Use as an async context manager::
 
@@ -85,6 +98,7 @@ class AsyncCampaignService:
         executor=None,
         event_buffer_size: int = 256,
         ttl_s: float | None = None,
+        store=None,
     ) -> None:
         if queue is None:
             if workers < 1:
@@ -96,11 +110,13 @@ class AsyncCampaignService:
                 workers=workers,
                 event_buffer_size=event_buffer_size,
                 ttl_s=ttl_s,
+                store=store,
             )
             self._own_queue = True
         else:
             self._own_queue = False
         self.queue = queue
+        self.store = store if store is not None else queue.store
 
     async def submit(self, request: CampaignRequest) -> str:
         """Queue a campaign; returns the (possibly deduplicated) job id."""
@@ -142,6 +158,34 @@ class AsyncCampaignService:
             if done:
                 return
 
+    # Run registry ---------------------------------------------------------
+    def _require_store(self):
+        if self.store is None:
+            raise RuntimeError("no run store attached to this service")
+        return self.store
+
+    async def runs(self, limit: int | None = None, status: str | None = None):
+        """Recorded runs, newest first (requires an attached store)."""
+        store = self._require_store()
+        return await asyncio.to_thread(store.list_runs, limit, status)
+
+    async def run(self, run_id: str):
+        """One registry row by id."""
+        store = self._require_store()
+        return await asyncio.to_thread(store.get_run, run_id)
+
+    async def run_front(self, run_id: str):
+        """A recorded run's merged frontier."""
+        store = self._require_store()
+        return await asyncio.to_thread(store.front, run_id)
+
+    async def compare(self, ref_a: str, ref_b: str):
+        """Front-quality indicators between two recorded runs."""
+        from repro.store.analytics import compare_runs
+
+        store = self._require_store()
+        return await asyncio.to_thread(compare_runs, store, ref_a, ref_b)
+
     async def close(self) -> None:
         """Shut down an owned queue (a fronted queue is left running)."""
         if self._own_queue:
@@ -171,6 +215,7 @@ def _job_payload(record) -> dict:
         "status": record.status.value,
         "submissions": record.submissions,
         "error": record.error,
+        "run_id": record.run_id,
     }
 
 
@@ -214,7 +259,12 @@ class _CampaignHandler(BaseHTTPRequestHandler):
         if method == "GET" and parts == ["healthz"]:
             return {"status": "ok"}, 200
         if method == "GET" and parts == ["api", "stats"]:
+            queue.sweep_expired()  # stats reads tick the TTL sweep
             return queue.stats.as_dict(), 200
+        if method == "GET" and parts[:2] == ["api", "runs"]:
+            return self._runs(parts[2:], query)
+        if method == "GET" and parts == ["api", "compare"]:
+            return self._compare(query), 200
         if parts[:2] != ["api", "campaigns"]:
             raise _ApiError(404, f"unknown path {url.path!r}")
 
@@ -267,6 +317,53 @@ class _CampaignHandler(BaseHTTPRequestHandler):
             )
         return queue.result(job_id).to_dict(), 200
 
+    def _store(self):
+        store = self.server.store
+        if store is None:
+            raise _ApiError(404, "no run store configured")
+        return store
+
+    def _runs(self, tail: list[str], query: dict) -> tuple[dict, int]:
+        store = self._store()
+        if not tail:
+            status = query.get("status", [None])[0]
+            try:
+                limit_text = query.get("limit", [None])[0]
+                limit = int(limit_text) if limit_text is not None else None
+            except ValueError as exc:
+                raise _ApiError(400, f"bad query parameter: {exc}") from None
+            records = store.list_runs(limit=limit, status=status)
+            return {"runs": [r.to_dict() for r in records]}, 200
+        run_id = tail[0]
+        try:
+            if len(tail) == 1:
+                return store.get_run(run_id).to_dict(), 200
+            if tail[1:] == ["front"]:
+                front = store.front(run_id)
+                return {
+                    "run_id": run_id,
+                    "front": [p.to_dict() for p in front],
+                }, 200
+        except KeyError:
+            raise _ApiError(404, f"unknown run id {run_id!r}") from None
+        raise _ApiError(404, f"unknown runs path {'/'.join(tail)!r}")
+
+    def _compare(self, query: dict) -> dict:
+        from repro.store.analytics import compare_runs
+
+        store = self._store()
+        ref_a = query.get("a", [None])[0]
+        ref_b = query.get("b", [None])[0]
+        if not ref_a or not ref_b:
+            raise _ApiError(400, "compare needs ?a=RUN&b=RUN")
+        try:
+            comparison = compare_runs(store, ref_a, ref_b)
+        except KeyError as exc:
+            raise _ApiError(404, str(exc)) from None
+        except ValueError as exc:
+            raise _ApiError(409, str(exc)) from None
+        return comparison.to_dict()
+
     def _events(self, job_id: str, query: dict) -> dict:
         try:
             cursor = int(query.get("cursor", ["0"])[0])
@@ -296,6 +393,10 @@ class CampaignHTTPServer(ThreadingHTTPServer):
         queue: the worker-backed queue to serve; the server never owns
             it — close the queue separately.
         verbose: log requests to stderr (quiet by default).
+        store: optional :class:`~repro.store.runstore.RunStore` behind
+            the ``/api/runs`` and ``/api/compare`` endpoints (defaults
+            to the queue's store, so recorded runs are immediately
+            queryable).
     """
 
     daemon_threads = True
@@ -305,10 +406,12 @@ class CampaignHTTPServer(ThreadingHTTPServer):
         address: tuple[str, int],
         queue: JobQueue,
         verbose: bool = False,
+        store=None,
     ) -> None:
         super().__init__(address, _CampaignHandler)
         self.queue = queue
         self.verbose = verbose
+        self.store = store if store is not None else queue.store
 
     @property
     def host(self) -> str:
@@ -342,14 +445,16 @@ def serve(
     executor=None,
     event_buffer_size: int = 256,
     ttl_s: float | None = None,
+    store=None,
     verbose: bool = False,
 ) -> CampaignHTTPServer:
     """Build a ready-to-run HTTP server (queue included unless given).
 
-    The caller drives ``server.serve_forever()`` (or
-    ``serve_in_background()``) and is responsible for closing the queue
-    on shutdown — :func:`repro.cli.main`'s ``repro serve`` shows the
-    full lifecycle.
+    With ``store`` set, an owned queue records every campaign into it
+    and the ``/api/runs`` endpoints serve the registry.  The caller
+    drives ``server.serve_forever()`` (or ``serve_in_background()``)
+    and is responsible for closing the queue on shutdown —
+    :func:`repro.cli.main`'s ``repro serve`` shows the full lifecycle.
     """
     queue = queue or JobQueue(
         library=library,
@@ -358,8 +463,9 @@ def serve(
         workers=max(1, workers),
         event_buffer_size=event_buffer_size,
         ttl_s=ttl_s,
+        store=store,
     )
-    return CampaignHTTPServer((host, port), queue, verbose=verbose)
+    return CampaignHTTPServer((host, port), queue, verbose=verbose, store=store)
 
 
 # HTTP client ---------------------------------------------------------------
@@ -430,6 +536,33 @@ class CampaignClient:
             yield from events
             if done:
                 return
+
+    def runs(
+        self, limit: int | None = None, status: str | None = None
+    ) -> list[dict]:
+        """Recorded runs (registry rows as dicts), newest first."""
+        params = []
+        if limit is not None:
+            params.append(f"limit={limit}")
+        if status is not None:
+            params.append(f"status={status}")
+        tail = f"?{'&'.join(params)}" if params else ""
+        return self._call("GET", f"/api/runs{tail}")["runs"]
+
+    def run(self, run_id: str) -> dict:
+        """One registry row."""
+        return self._call("GET", f"/api/runs/{run_id}")
+
+    def run_front(self, run_id: str) -> list[FrontierPoint]:
+        """A recorded run's merged frontier."""
+        payload = self._call("GET", f"/api/runs/{run_id}/front")
+        return [FrontierPoint.from_dict(p) for p in payload["front"]]
+
+    def compare(self, ref_a: str, ref_b: str) -> dict:
+        """Front-quality indicators between two recorded runs."""
+        return self._call(
+            "GET", f"/api/compare?a={_quote(ref_a)}&b={_quote(ref_b)}"
+        )
 
     def stats(self) -> dict:
         return self._call("GET", "/api/stats")

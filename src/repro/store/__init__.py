@@ -1,0 +1,49 @@
+"""Run registry & Pareto analytics: a persistent store for campaigns.
+
+The serving stack (:mod:`repro.service`) executes many campaigns whose
+results would otherwise evaporate when the process exits.  This package
+records, compares, and guards them over time:
+
+* :mod:`repro.store.runstore` — the SQLite-backed :class:`RunStore`
+  (WAL, thread-safe) recording every campaign: request fingerprint,
+  spec provenance, content-addressed front rows, timing/cache stats,
+  and terminal status, plus named baselines,
+* :mod:`repro.store.analytics` — front-quality indicators between any
+  two recorded runs (hypervolume, additive epsilon-indicator, mutual
+  coverage, front diff, knee drift),
+* :mod:`repro.store.gate` — the regression gate comparing a run against
+  a named baseline and failing with a structured report when front
+  quality degrades beyond tolerance.
+
+Recording is opt-in everywhere (``run_campaign(..., store=...)``,
+``JobQueue(store=...)``, ``repro campaign --store PATH``) and never
+changes a campaign's result.
+"""
+
+from repro.store.analytics import (
+    FrontComparison,
+    compare_fronts,
+    compare_runs,
+    epsilon_indicator,
+    front_coverage,
+    knee_drift,
+    union_hypervolumes,
+)
+from repro.store.gate import GateConfig, GateReport, check_regression
+from repro.store.runstore import RunRecord, RunStore, point_hash
+
+__all__ = [
+    "RunStore",
+    "RunRecord",
+    "point_hash",
+    "FrontComparison",
+    "compare_fronts",
+    "compare_runs",
+    "epsilon_indicator",
+    "front_coverage",
+    "knee_drift",
+    "union_hypervolumes",
+    "GateConfig",
+    "GateReport",
+    "check_regression",
+]

@@ -1,0 +1,281 @@
+"""Front-quality analytics between recorded runs.
+
+Everything the registry knows about a run's quality is derived from its
+merged Pareto front.  This module computes the standard multi-objective
+quality indicators over two fronts:
+
+* **hypervolume** — dominated volume w.r.t. a reference box, reusing
+  :func:`repro.core.pareto.hypervolume` after normalising both fronts
+  over their *union* (so the two figures are directly comparable),
+* **additive epsilon-indicator** — the smallest shift that makes one
+  front weakly dominate the other (0 when it already does),
+* **coverage** — the fraction of one front dominated-or-equalled by
+  the other,
+* **front diff** — added/removed/shared design points by content hash,
+* **knee drift** — how far the automatic knee pick moved.
+
+All objectives are minimised, matching the explorer's ``[A, D, E, -T]``
+convention.  :func:`compare_runs` packages the lot for two runs pulled
+out of a :class:`~repro.store.runstore.RunStore`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pareto import hypervolume, knee_point, pareto_mask
+from repro.service.api import FrontierPoint
+from repro.store.runstore import RunStore, point_hash
+
+__all__ = [
+    "FrontComparison",
+    "compare_fronts",
+    "compare_runs",
+    "epsilon_indicator",
+    "front_coverage",
+    "knee_drift",
+    "union_hypervolumes",
+]
+
+#: Reference-box margin beyond the normalised unit cube (matches
+#: :meth:`repro.dse.explorer.ExplorationResult.front_hypervolume`).
+REFERENCE_MARGIN = 1.1
+
+
+def _objective_matrix(front: list[FrontierPoint]) -> np.ndarray:
+    if not front:
+        raise ValueError("front has no points")
+    rows = [point.objectives for point in front]
+    width = len(rows[0])
+    if width == 0 or any(len(row) != width for row in rows):
+        raise ValueError("front points carry inconsistent objective vectors")
+    return np.asarray(rows, dtype=float)
+
+
+def _paired_matrices(
+    front_a: list[FrontierPoint], front_b: list[FrontierPoint]
+) -> tuple[np.ndarray, np.ndarray]:
+    a = _objective_matrix(front_a)
+    b = _objective_matrix(front_b)
+    if a.shape[1] != b.shape[1]:
+        raise ValueError(
+            f"fronts disagree on objective count: {a.shape[1]} vs {b.shape[1]}"
+        )
+    return a, b
+
+
+def _union_normalize(
+    a: np.ndarray, b: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Scale both matrices into the union's [0, 1] box per objective."""
+    union = np.vstack([a, b])
+    lo = union.min(axis=0)
+    hi = union.max(axis=0)
+    span = np.where(hi > lo, hi - lo, 1.0)
+    return (a - lo) / span, (b - lo) / span
+
+
+def _epsilon(a: np.ndarray, b: np.ndarray) -> float:
+    # eps = max over b of min over a of max over dims (a_d - b_d).
+    diffs = a[:, None, :] - b[None, :, :]  # (|A|, |B|, m)
+    return float(diffs.max(axis=2).min(axis=0).max())
+
+
+def _coverage(a: np.ndarray, b: np.ndarray) -> float:
+    covered = sum(1 for row in b if (a <= row).all(axis=1).any())
+    return covered / len(b)
+
+
+def union_hypervolumes(
+    front_a: list[FrontierPoint], front_b: list[FrontierPoint]
+) -> tuple[float, float]:
+    """Hypervolume of each front, normalised over the union of both.
+
+    Normalising per-front would make the two volumes incomparable; one
+    shared [0, 1] box (with a ``REFERENCE_MARGIN`` reference point) puts
+    both runs on the same scale.
+    """
+    na, nb = _union_normalize(*_paired_matrices(front_a, front_b))
+    reference = [REFERENCE_MARGIN] * na.shape[1]
+    return hypervolume(na, reference), hypervolume(nb, reference)
+
+
+def epsilon_indicator(
+    front_a: list[FrontierPoint], front_b: list[FrontierPoint]
+) -> float:
+    """Additive epsilon indicator ``I_eps+(A, B)`` (minimisation).
+
+    The smallest ``eps`` such that every point of ``B`` is weakly
+    dominated by some point of ``A`` shifted down by ``eps`` in every
+    objective.  0 means ``A`` already weakly dominates all of ``B``;
+    large values mean ``A`` misses regions ``B`` covers.  Computed on
+    raw (unnormalised) objectives; :func:`compare_fronts` reports the
+    union-normalised variant instead, which is scale-free across the
+    mixed-magnitude ``[A, D, E, -T]`` objectives.
+    """
+    return _epsilon(*_paired_matrices(front_a, front_b))
+
+
+def front_coverage(
+    front_a: list[FrontierPoint], front_b: list[FrontierPoint]
+) -> float:
+    """Coverage ``C(A, B)``: fraction of B weakly dominated by A."""
+    return _coverage(*_paired_matrices(front_a, front_b))
+
+
+def _normalized_knee(objs: np.ndarray) -> np.ndarray:
+    # Knee over the non-dominated subset only (stored fronts already
+    # are, but synthetic/degraded fronts may not be).
+    kept = objs[pareto_mask(objs)]
+    return kept[knee_point(kept)]
+
+
+def knee_drift(
+    front_a: list[FrontierPoint], front_b: list[FrontierPoint]
+) -> float:
+    """Euclidean distance between the two knee picks (union-normalised)."""
+    na, nb = _union_normalize(*_paired_matrices(front_a, front_b))
+    return float(np.linalg.norm(_normalized_knee(na) - _normalized_knee(nb)))
+
+
+@dataclass(frozen=True)
+class FrontComparison:
+    """Quality indicators between two fronts ``A`` (reference) and ``B``.
+
+    Attributes:
+        run_a / run_b: run ids (or labels) being compared.
+        size_a / size_b: front sizes.
+        hypervolume_a / hypervolume_b: union-normalised hypervolumes.
+        hypervolume_delta: ``hypervolume_b - hypervolume_a`` (negative
+            means B's front is worse).
+        epsilon_ab: ``I_eps+(A, B)`` — how far A must shift to cover B.
+        epsilon_ba: ``I_eps+(B, A)`` — how far B must shift to cover A
+            (the regression gate watches this one).  Both epsilons are
+            computed on union-normalised objectives, so 0.05 means "5%
+            of the union's range in the worst objective" regardless of
+            the raw magnitudes.
+        coverage_ab / coverage_ba: mutual weak-dominance coverage.
+        shared / added / removed: front-diff counts by content hash
+            (``added`` = in B only, ``removed`` = in A only).
+        knee_drift: normalised distance between the knee picks.
+    """
+
+    run_a: str
+    run_b: str
+    size_a: int
+    size_b: int
+    hypervolume_a: float
+    hypervolume_b: float
+    hypervolume_delta: float
+    epsilon_ab: float
+    epsilon_ba: float
+    coverage_ab: float
+    coverage_ba: float
+    shared: int
+    added: int
+    removed: int
+    knee_drift: float
+
+    def to_dict(self) -> dict:
+        return {
+            "run_a": self.run_a,
+            "run_b": self.run_b,
+            "size_a": self.size_a,
+            "size_b": self.size_b,
+            "hypervolume_a": self.hypervolume_a,
+            "hypervolume_b": self.hypervolume_b,
+            "hypervolume_delta": self.hypervolume_delta,
+            "epsilon_ab": self.epsilon_ab,
+            "epsilon_ba": self.epsilon_ba,
+            "coverage_ab": self.coverage_ab,
+            "coverage_ba": self.coverage_ba,
+            "shared": self.shared,
+            "added": self.added,
+            "removed": self.removed,
+            "knee_drift": self.knee_drift,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FrontComparison":
+        return cls(**payload)
+
+    def describe(self) -> str:
+        """Multi-line human rendering used by ``repro runs compare``."""
+        return "\n".join(
+            [
+                f"comparing {self.run_a} (A, {self.size_a} points) vs "
+                f"{self.run_b} (B, {self.size_b} points)",
+                f"hypervolume: A {self.hypervolume_a:.4f}, "
+                f"B {self.hypervolume_b:.4f}, "
+                f"delta {self.hypervolume_delta:+.4f}",
+                f"epsilon-indicator: eps(A,B) {self.epsilon_ab:.4f}, "
+                f"eps(B,A) {self.epsilon_ba:.4f}",
+                f"coverage: C(A,B) {self.coverage_ab:.1%}, "
+                f"C(B,A) {self.coverage_ba:.1%}",
+                f"front diff: {self.shared} shared, {self.added} added, "
+                f"{self.removed} removed",
+                f"knee drift: {self.knee_drift:.4f}",
+            ]
+        )
+
+
+def compare_fronts(
+    front_a: list[FrontierPoint],
+    front_b: list[FrontierPoint],
+    label_a: str = "A",
+    label_b: str = "B",
+) -> FrontComparison:
+    """All indicators between two fronts (A is the reference side).
+
+    Hypervolumes, epsilons, and the knee drift are all computed in the
+    union-normalised [0, 1] box so they are scale-free and mutually
+    comparable; coverage is invariant to the normalisation anyway.
+    """
+    a, b = _paired_matrices(front_a, front_b)
+    na, nb = _union_normalize(a, b)
+    reference = [REFERENCE_MARGIN] * na.shape[1]
+    hv_a, hv_b = hypervolume(na, reference), hypervolume(nb, reference)
+    hashes_a = {point_hash(p) for p in front_a}
+    hashes_b = {point_hash(p) for p in front_b}
+    return FrontComparison(
+        run_a=label_a,
+        run_b=label_b,
+        size_a=len(front_a),
+        size_b=len(front_b),
+        hypervolume_a=hv_a,
+        hypervolume_b=hv_b,
+        hypervolume_delta=hv_b - hv_a,
+        epsilon_ab=_epsilon(na, nb),
+        epsilon_ba=_epsilon(nb, na),
+        coverage_ab=_coverage(a, b),
+        coverage_ba=_coverage(b, a),
+        shared=len(hashes_a & hashes_b),
+        added=len(hashes_b - hashes_a),
+        removed=len(hashes_a - hashes_b),
+        knee_drift=float(
+            np.linalg.norm(_normalized_knee(na) - _normalized_knee(nb))
+        ),
+    )
+
+
+def compare_runs(store: RunStore, ref_a: str, ref_b: str) -> FrontComparison:
+    """Compare two recorded runs (by id, baseline name, or run name).
+
+    Raises :class:`KeyError` for unknown references and
+    :class:`ValueError` when either run recorded an empty front (failed
+    or cancelled runs have nothing to compare).
+    """
+    record_a = store.resolve(ref_a)
+    record_b = store.resolve(ref_b)
+    front_a = store.front(record_a.run_id)
+    front_b = store.front(record_b.run_id)
+    if not front_a or not front_b:
+        raise ValueError(
+            f"cannot compare empty fronts: {record_a.run_id} has "
+            f"{len(front_a)} points, {record_b.run_id} has {len(front_b)}"
+        )
+    return compare_fronts(
+        front_a, front_b, label_a=record_a.run_id, label_b=record_b.run_id
+    )

@@ -1,0 +1,154 @@
+"""Regression gate: fail a run whose front degraded past a baseline.
+
+The gate is the registry's CI face: compare a candidate run against a
+named baseline and produce a structured pass/fail report.  A candidate
+regresses when its front quality drops beyond the configured
+tolerances:
+
+* its union-normalised hypervolume falls more than
+  ``max_hypervolume_drop`` (relative) below the baseline's,
+* the union-normalised additive epsilon-indicator ``eps(candidate,
+  baseline)`` exceeds ``max_epsilon`` — i.e. the candidate front would
+  need more than the tolerated shift (as a fraction of the union's
+  objective range) to cover everything the baseline found,
+* the candidate's front shrinks below ``min_front_ratio`` of the
+  baseline's size.
+
+``repro campaign --store PATH --baseline NAME`` runs the gate after
+recording (seeding the baseline on first use), and ``repro runs gate``
+replays it for any two recorded runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.store.analytics import FrontComparison, compare_runs
+from repro.store.runstore import RunRecord, RunStore
+
+__all__ = ["GateConfig", "GateReport", "check_regression"]
+
+
+@dataclass(frozen=True)
+class GateConfig:
+    """Tolerances of one regression check.
+
+    Attributes:
+        max_hypervolume_drop: allowed *relative* hypervolume loss
+            (0.05 = the candidate may dominate up to 5% less volume).
+        max_epsilon: allowed additive epsilon ``eps(candidate,
+            baseline)`` on union-normalised objectives (0.05 = the
+            candidate may miss the baseline by up to 5% of the
+            objective range).
+        min_front_ratio: candidate front size must be at least this
+            fraction of the baseline's.
+    """
+
+    max_hypervolume_drop: float = 0.05
+    max_epsilon: float = 0.05
+    min_front_ratio: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_hypervolume_drop < 0 or self.max_epsilon < 0:
+            raise ValueError("gate tolerances must be >= 0")
+        if not 0 <= self.min_front_ratio <= 1:
+            raise ValueError("min_front_ratio must be in [0, 1]")
+
+    def to_dict(self) -> dict:
+        return {
+            "max_hypervolume_drop": self.max_hypervolume_drop,
+            "max_epsilon": self.max_epsilon,
+            "min_front_ratio": self.min_front_ratio,
+        }
+
+
+@dataclass(frozen=True)
+class GateReport:
+    """Structured outcome of one regression check.
+
+    Attributes:
+        passed: True when no tolerance was exceeded.
+        baseline / candidate: the runs compared (baseline is side A).
+        comparison: the full indicator set behind the verdict.
+        failures: one human-readable line per exceeded tolerance.
+        config: the tolerances applied.
+    """
+
+    passed: bool
+    baseline: RunRecord
+    candidate: RunRecord
+    comparison: FrontComparison
+    config: GateConfig = field(default_factory=GateConfig)
+    failures: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "passed": self.passed,
+            "baseline": self.baseline.to_dict(),
+            "candidate": self.candidate.to_dict(),
+            "comparison": self.comparison.to_dict(),
+            "failures": list(self.failures),
+            "config": self.config.to_dict(),
+        }
+
+    def describe(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        lines = [
+            f"regression gate: {verdict} "
+            f"(candidate {self.candidate.run_id} vs "
+            f"baseline {self.baseline.run_id})",
+            self.comparison.describe(),
+        ]
+        lines.extend(f"failure: {reason}" for reason in self.failures)
+        return "\n".join(lines)
+
+
+def check_regression(
+    store: RunStore,
+    candidate: str,
+    baseline: str,
+    config: GateConfig | None = None,
+) -> GateReport:
+    """Gate ``candidate`` against ``baseline`` (id, baseline, or name).
+
+    The comparison puts the baseline on side A, so
+    ``comparison.hypervolume_delta`` is the candidate's gain (negative
+    = loss) and ``comparison.epsilon_ba`` is the shift the candidate
+    needs to cover the baseline.
+    """
+    config = config or GateConfig()
+    baseline_record = store.resolve(baseline)
+    candidate_record = store.resolve(candidate)
+    comparison = compare_runs(
+        store, baseline_record.run_id, candidate_record.run_id
+    )
+    failures: list[str] = []
+    if comparison.hypervolume_a > 0:
+        drop = (
+            comparison.hypervolume_a - comparison.hypervolume_b
+        ) / comparison.hypervolume_a
+        if drop > config.max_hypervolume_drop:
+            failures.append(
+                f"hypervolume dropped {drop:.1%} "
+                f"(allowed {config.max_hypervolume_drop:.1%})"
+            )
+    if comparison.epsilon_ba > config.max_epsilon:
+        failures.append(
+            f"epsilon-indicator eps(candidate, baseline) "
+            f"{comparison.epsilon_ba:.4f} exceeds {config.max_epsilon:.4f}"
+        )
+    min_size = config.min_front_ratio * comparison.size_a
+    if comparison.size_b < min_size:
+        failures.append(
+            f"front shrank to {comparison.size_b} points "
+            f"(< {config.min_front_ratio:.0%} of baseline's "
+            f"{comparison.size_a})"
+        )
+    return GateReport(
+        passed=not failures,
+        baseline=baseline_record,
+        candidate=candidate_record,
+        comparison=comparison,
+        config=config,
+        failures=tuple(failures),
+    )

@@ -1,0 +1,562 @@
+"""Persistent run registry for campaign results.
+
+Every campaign the serving stack executes can be recorded into a
+:class:`RunStore`: a single SQLite file (WAL mode, safe for threaded
+writers) holding one row per run — request fingerprint, spec labels,
+timing/cache statistics, terminal status — plus the merged Pareto front
+as *content-addressed* design-point rows.  Identical frontier points
+recorded by different runs share one ``design_points`` row, so the
+registry stays compact even when hundreds of campaigns converge to the
+same designs.
+
+Named *baselines* pin a run id under a stable name (``"main"``,
+``"nightly"`` ...) for the regression gate (:mod:`repro.store.gate`)
+and for cross-run comparison (:mod:`repro.store.analytics`).
+
+Recording is strictly opt-in and write-only from the campaign's point
+of view: a campaign run with a store produces bit-identical fronts to
+one without.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.service.api import CampaignRequest, CampaignResponse, FrontierPoint
+from repro.service.cache import stable_hash
+
+__all__ = ["RunRecord", "RunStore", "point_hash"]
+
+#: Terminal statuses a run row may carry.
+RUN_STATUSES = ("done", "failed", "cancelled")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    run_id TEXT PRIMARY KEY,
+    name TEXT,
+    fingerprint TEXT NOT NULL,
+    status TEXT NOT NULL,
+    created_at REAL NOT NULL,
+    wall_time_s REAL NOT NULL DEFAULT 0.0,
+    evaluations INTEGER NOT NULL DEFAULT 0,
+    fresh_evaluations INTEGER NOT NULL DEFAULT 0,
+    engine_backend TEXT,
+    specs TEXT NOT NULL,
+    request TEXT,
+    cache_stats TEXT,
+    error TEXT
+);
+CREATE INDEX IF NOT EXISTS runs_by_fingerprint ON runs(fingerprint);
+CREATE INDEX IF NOT EXISTS runs_by_created ON runs(created_at);
+CREATE TABLE IF NOT EXISTS design_points (
+    point_hash TEXT PRIMARY KEY,
+    precision TEXT NOT NULL,
+    n INTEGER NOT NULL,
+    h INTEGER NOT NULL,
+    l INTEGER NOT NULL,
+    k INTEGER NOT NULL,
+    objectives TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS fronts (
+    run_id TEXT NOT NULL REFERENCES runs(run_id) ON DELETE CASCADE,
+    position INTEGER NOT NULL,
+    point_hash TEXT NOT NULL REFERENCES design_points(point_hash),
+    PRIMARY KEY (run_id, position)
+);
+CREATE TABLE IF NOT EXISTS baselines (
+    name TEXT PRIMARY KEY,
+    run_id TEXT NOT NULL REFERENCES runs(run_id),
+    updated_at REAL NOT NULL
+);
+"""
+
+
+def point_hash(point: FrontierPoint) -> str:
+    """Content address of one frontier point (design + objectives)."""
+    return stable_hash(
+        {
+            "precision": point.precision,
+            "n": point.n,
+            "h": point.h,
+            "l": point.l,
+            "k": point.k,
+            "objectives": list(point.objectives),
+        }
+    )
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One registry row (front rows are fetched separately).
+
+    Attributes:
+        run_id: store-assigned identifier (``run-<hex>``).
+        name: optional human label given at record time.
+        fingerprint: content hash of the request (or spec set) that
+            produced the run — identical workloads share it.
+        status: terminal status (``done``/``failed``/``cancelled``).
+        created_at: wall-clock epoch seconds when recorded.
+        wall_time_s: campaign wall clock.
+        evaluations / fresh_evaluations: unique genomes looked up /
+            actually computed (cache misses).
+        engine_backend: cost-engine backend that ran.
+        specs: per-spec labels (``"<wstore>:<precision>"``).
+        front_size: merged-frontier rows recorded for this run.
+        cache_stats: cache counter snapshot (``None`` when uncached).
+        error: failure/cancellation detail for non-``done`` runs.
+    """
+
+    run_id: str
+    fingerprint: str
+    status: str
+    created_at: float
+    name: str | None = None
+    wall_time_s: float = 0.0
+    evaluations: int = 0
+    fresh_evaluations: int = 0
+    engine_backend: str | None = None
+    specs: tuple[str, ...] = ()
+    front_size: int = 0
+    cache_stats: dict | None = None
+    error: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "run_id": self.run_id,
+            "name": self.name,
+            "fingerprint": self.fingerprint,
+            "status": self.status,
+            "created_at": self.created_at,
+            "wall_time_s": self.wall_time_s,
+            "evaluations": self.evaluations,
+            "fresh_evaluations": self.fresh_evaluations,
+            "engine_backend": self.engine_backend,
+            "specs": list(self.specs),
+            "front_size": self.front_size,
+            "cache_stats": self.cache_stats,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunRecord":
+        payload = dict(payload)
+        payload["specs"] = tuple(payload.get("specs", ()))
+        return cls(**payload)
+
+    def describe(self) -> str:
+        """One-line human rendering used by ``repro runs list``."""
+        label = f" ({self.name})" if self.name else ""
+        return (
+            f"{self.run_id}{label}: {self.status}, "
+            f"{len(self.specs)} specs, front {self.front_size}, "
+            f"{self.evaluations} evaluations, {self.wall_time_s:.2f} s"
+        )
+
+
+class RunStore:
+    """SQLite-backed registry of recorded campaign runs.
+
+    Args:
+        path: database file (created on first use); ``":memory:"``
+            keeps the registry process-local (handy in tests).
+
+    One connection is shared across threads (``check_same_thread=False``)
+    behind an ``RLock``; the database runs in WAL mode so concurrent
+    stores on the same path (other processes) read while one writes.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path) if str(path) != ":memory:" else None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(
+            str(self.path) if self.path is not None else ":memory:",
+            check_same_thread=False,
+            timeout=30.0,  # wait out writers from other processes
+        )
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA foreign_keys=ON")
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    # Recording ------------------------------------------------------------
+    def record_response(
+        self,
+        response: CampaignResponse,
+        request: CampaignRequest | None = None,
+        *,
+        specs: tuple[str, ...] | list[str] = (),
+        name: str | None = None,
+        fingerprint: str | None = None,
+    ) -> RunRecord:
+        """Record one successfully finished campaign; returns its row.
+
+        ``fingerprint`` defaults to the request's content hash (or, for
+        request-less programmatic campaigns, a hash of the spec labels).
+        """
+        return self._record(
+            status="done",
+            response=response,
+            request=request,
+            specs=tuple(specs),
+            name=name,
+            fingerprint=fingerprint,
+        )
+
+    def record_failure(
+        self,
+        status: str,
+        error: str,
+        request: CampaignRequest | None = None,
+        *,
+        specs: tuple[str, ...] | list[str] = (),
+        name: str | None = None,
+        fingerprint: str | None = None,
+    ) -> RunRecord:
+        """Record a failed or cancelled campaign (no front rows)."""
+        if status not in ("failed", "cancelled"):
+            raise ValueError(f"status must be failed/cancelled, got {status!r}")
+        return self._record(
+            status=status,
+            response=None,
+            request=request,
+            specs=tuple(specs),
+            name=name,
+            fingerprint=fingerprint,
+            error=error,
+        )
+
+    def _record(
+        self,
+        status: str,
+        response: CampaignResponse | None,
+        request: CampaignRequest | None,
+        specs: tuple[str, ...],
+        name: str | None,
+        fingerprint: str | None,
+        error: str | None = None,
+    ) -> RunRecord:
+        if request is not None and not specs:
+            specs = tuple(f"{s.wstore}:{s.precision}" for s in request.specs)
+        if fingerprint is None:
+            fingerprint = (
+                request.fingerprint()
+                if request is not None
+                else stable_hash({"specs": list(specs)})
+            )
+        run_id = f"run-{uuid.uuid4().hex[:12]}"
+        created_at = time.time()
+        frontier = response.frontier if response is not None else ()
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO runs (run_id, name, fingerprint, status, "
+                "created_at, wall_time_s, evaluations, fresh_evaluations, "
+                "engine_backend, specs, request, cache_stats, error) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    run_id,
+                    name,
+                    fingerprint,
+                    status,
+                    created_at,
+                    response.wall_time_s if response is not None else 0.0,
+                    response.evaluations if response is not None else 0,
+                    response.fresh_evaluations if response is not None else 0,
+                    response.engine_backend if response is not None else None,
+                    json.dumps(list(specs)),
+                    request.to_json() if request is not None else None,
+                    (
+                        json.dumps(response.cache_stats)
+                        if response is not None and response.cache_stats is not None
+                        else None
+                    ),
+                    error,
+                ),
+            )
+            for position, point in enumerate(frontier):
+                digest = point_hash(point)
+                self._conn.execute(
+                    "INSERT OR IGNORE INTO design_points "
+                    "(point_hash, precision, n, h, l, k, objectives) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        digest,
+                        point.precision,
+                        point.n,
+                        point.h,
+                        point.l,
+                        point.k,
+                        json.dumps(list(point.objectives)),
+                    ),
+                )
+                self._conn.execute(
+                    "INSERT INTO fronts (run_id, position, point_hash) "
+                    "VALUES (?, ?, ?)",
+                    (run_id, position, digest),
+                )
+            self._conn.commit()
+        return RunRecord(
+            run_id=run_id,
+            name=name,
+            fingerprint=fingerprint,
+            status=status,
+            created_at=created_at,
+            wall_time_s=response.wall_time_s if response is not None else 0.0,
+            evaluations=response.evaluations if response is not None else 0,
+            fresh_evaluations=(
+                response.fresh_evaluations if response is not None else 0
+            ),
+            engine_backend=(
+                response.engine_backend if response is not None else None
+            ),
+            specs=specs,
+            front_size=len(frontier),
+            cache_stats=response.cache_stats if response is not None else None,
+            error=error,
+        )
+
+    # Lookup ---------------------------------------------------------------
+    def list_runs(
+        self, limit: int | None = None, status: str | None = None
+    ) -> list[RunRecord]:
+        """Recorded runs, newest first (optionally status-filtered)."""
+        query = (
+            "SELECT r.*, (SELECT COUNT(*) FROM fronts f "
+            "WHERE f.run_id = r.run_id) AS front_size FROM runs r"
+        )
+        params: list = []
+        if status is not None:
+            query += " WHERE r.status = ?"
+            params.append(status)
+        query += " ORDER BY r.created_at DESC, r.rowid DESC"
+        if limit is not None:
+            query += " LIMIT ?"
+            params.append(limit)
+        with self._lock:
+            rows = self._conn.execute(query, params).fetchall()
+        return [self._row_to_record(row) for row in rows]
+
+    def get_run(self, run_id: str) -> RunRecord:
+        """One run by id; raises :class:`KeyError` when unknown."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT r.*, (SELECT COUNT(*) FROM fronts f "
+                "WHERE f.run_id = r.run_id) AS front_size "
+                "FROM runs r WHERE r.run_id = ?",
+                (run_id,),
+            ).fetchone()
+        if row is None:
+            raise KeyError(f"unknown run id {run_id!r}")
+        return self._row_to_record(row)
+
+    def resolve(self, ref: str) -> RunRecord:
+        """A run by id, baseline name, or run name (latest wins)."""
+        with self._lock:
+            try:
+                return self.get_run(ref)
+            except KeyError:
+                pass
+            row = self._conn.execute(
+                "SELECT run_id FROM baselines WHERE name = ?", (ref,)
+            ).fetchone()
+            if row is not None:
+                return self.get_run(row[0])
+            row = self._conn.execute(
+                "SELECT run_id FROM runs WHERE name = ? "
+                "ORDER BY created_at DESC, rowid DESC LIMIT 1",
+                (ref,),
+            ).fetchone()
+            if row is not None:
+                return self.get_run(row[0])
+        raise KeyError(f"no run, baseline, or run name matches {ref!r}")
+
+    def front(self, run_id: str) -> list[FrontierPoint]:
+        """The recorded merged frontier of one run, in stored order."""
+        self.get_run(run_id)  # raise KeyError for unknown ids
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT p.precision, p.n, p.h, p.l, p.k, p.objectives "
+                "FROM fronts f JOIN design_points p "
+                "ON p.point_hash = f.point_hash "
+                "WHERE f.run_id = ? ORDER BY f.position",
+                (run_id,),
+            ).fetchall()
+        return [
+            FrontierPoint(
+                precision=precision,
+                n=n,
+                h=h,
+                l=l,
+                k=k,
+                objectives=tuple(json.loads(objectives)),
+            )
+            for precision, n, h, l, k, objectives in rows
+        ]
+
+    def front_hashes(self, run_id: str) -> list[str]:
+        """Content hashes of one run's front rows (diff primitive)."""
+        self.get_run(run_id)
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT point_hash FROM fronts WHERE run_id = ? "
+                "ORDER BY position",
+                (run_id,),
+            ).fetchall()
+        return [row[0] for row in rows]
+
+    # Baselines ------------------------------------------------------------
+    def set_baseline(self, name: str, run_id: str) -> None:
+        """Pin ``name`` to ``run_id`` (overwrites an existing pin)."""
+        self.get_run(run_id)
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO baselines (name, run_id, updated_at) "
+                "VALUES (?, ?, ?) ON CONFLICT(name) DO UPDATE SET "
+                "run_id = excluded.run_id, updated_at = excluded.updated_at",
+                (name, run_id, time.time()),
+            )
+            self._conn.commit()
+
+    def get_baseline(self, name: str) -> RunRecord:
+        """The run a baseline points at; raises :class:`KeyError`."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT run_id FROM baselines WHERE name = ?", (name,)
+            ).fetchone()
+        if row is None:
+            raise KeyError(f"unknown baseline {name!r}")
+        return self.get_run(row[0])
+
+    def baselines(self) -> dict[str, str]:
+        """``{name: run_id}`` of every pinned baseline."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT name, run_id FROM baselines ORDER BY name"
+            ).fetchall()
+        return dict(rows)
+
+    # Maintenance ----------------------------------------------------------
+    def delete_run(self, run_id: str) -> None:
+        """Drop one run, its front rows, and any baselines pinning it."""
+        self.get_run(run_id)
+        with self._lock:
+            self._conn.execute(
+                "DELETE FROM baselines WHERE run_id = ?", (run_id,)
+            )
+            self._conn.execute("DELETE FROM runs WHERE run_id = ?", (run_id,))
+            self._prune_orphan_points()
+            self._conn.commit()
+
+    def gc(
+        self, keep_last: int | None = None, older_than_s: float | None = None
+    ) -> int:
+        """Delete old runs; baseline-pinned runs are always kept.
+
+        Args:
+            keep_last: retain this many newest runs (plus baselines).
+            older_than_s: only delete runs recorded more than this many
+                seconds ago.
+
+        Returns how many runs were deleted.  At least one criterion is
+        required.
+        """
+        if keep_last is None and older_than_s is None:
+            raise ValueError("gc needs keep_last and/or older_than_s")
+        with self._lock:
+            pinned = set(self.baselines().values())
+            records = self.list_runs()  # newest first
+            doomed = []
+            for index, record in enumerate(records):
+                if record.run_id in pinned:
+                    continue
+                if keep_last is not None and index < keep_last:
+                    continue
+                if (
+                    older_than_s is not None
+                    and time.time() - record.created_at < older_than_s
+                ):
+                    continue
+                doomed.append(record.run_id)
+            for run_id in doomed:
+                self._conn.execute(
+                    "DELETE FROM runs WHERE run_id = ?", (run_id,)
+                )
+            self._prune_orphan_points()
+            self._conn.commit()
+        return len(doomed)
+
+    def _prune_orphan_points(self) -> None:
+        self._conn.execute(
+            "DELETE FROM design_points WHERE point_hash NOT IN "
+            "(SELECT DISTINCT point_hash FROM fronts)"
+        )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+
+    def point_count(self) -> int:
+        """Distinct design-point rows (shared across runs by content)."""
+        with self._lock:
+            return self._conn.execute(
+                "SELECT COUNT(*) FROM design_points"
+            ).fetchone()[0]
+
+    def _row_to_record(self, row: tuple) -> RunRecord:
+        (
+            run_id,
+            name,
+            fingerprint,
+            status,
+            created_at,
+            wall_time_s,
+            evaluations,
+            fresh_evaluations,
+            engine_backend,
+            specs,
+            _request,
+            cache_stats,
+            error,
+            front_size,
+        ) = row
+        return RunRecord(
+            run_id=run_id,
+            name=name,
+            fingerprint=fingerprint,
+            status=status,
+            created_at=created_at,
+            wall_time_s=wall_time_s,
+            evaluations=evaluations,
+            fresh_evaluations=fresh_evaluations,
+            engine_backend=engine_backend,
+            specs=tuple(json.loads(specs)),
+            front_size=front_size,
+            cache_stats=json.loads(cache_stats) if cache_stats else None,
+            error=error,
+        )
+
+    def request_of(self, run_id: str) -> CampaignRequest | None:
+        """The originating request, when one was recorded."""
+        self.get_run(run_id)
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT request FROM runs WHERE run_id = ?", (run_id,)
+            ).fetchone()
+        return CampaignRequest.from_json(row[0]) if row[0] else None
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

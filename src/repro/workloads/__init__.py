@@ -23,6 +23,8 @@ from repro.workloads.system import (
 from repro.workloads.networks import (
     AVAILABLE_NETWORKS,
     gcn_network,
+    mlp_mixer_block,
+    resnet_block,
     tiny_cnn,
     transformer_block,
 )
@@ -40,6 +42,8 @@ __all__ = [
     "tiny_cnn",
     "transformer_block",
     "gcn_network",
+    "resnet_block",
+    "mlp_mixer_block",
     "AVAILABLE_NETWORKS",
     "LayerMapping",
     "NetworkMapping",

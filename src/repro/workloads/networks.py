@@ -10,7 +10,14 @@ from repro.workloads.layers import (
     linear,
 )
 
-__all__ = ["tiny_cnn", "transformer_block", "gcn_network", "AVAILABLE_NETWORKS"]
+__all__ = [
+    "tiny_cnn",
+    "transformer_block",
+    "gcn_network",
+    "resnet_block",
+    "mlp_mixer_block",
+    "AVAILABLE_NETWORKS",
+]
 
 
 def tiny_cnn() -> list[Layer]:
@@ -43,9 +50,47 @@ def gcn_network(nodes: int = 2048, features: int = 128, classes: int = 16) -> li
     ]
 
 
+def resnet_block(
+    in_channels: int = 64, out_channels: int = 128, out_hw: int = 28
+) -> list[Layer]:
+    """A ResNet-style residual block (downsampling variant).
+
+    Two 3x3 convolutions plus the 1x1 projection shortcut that matches
+    the channel count — the shapes every ImageNet-class backbone
+    repeats.
+    """
+    return [
+        conv2d("res_conv1", in_channels, out_channels, kernel=3, out_hw=out_hw),
+        conv2d("res_conv2", out_channels, out_channels, kernel=3, out_hw=out_hw),
+        conv2d("res_proj", in_channels, out_channels, kernel=1, out_hw=out_hw),
+    ]
+
+
+def mlp_mixer_block(
+    tokens: int = 196,
+    channels: int = 256,
+    token_mlp_dim: int = 128,
+    channel_mlp_dim: int = 1024,
+) -> list[Layer]:
+    """One MLP-Mixer block: token-mixing MLP then channel-mixing MLP.
+
+    Token mixing multiplies along the token axis (one vector per
+    channel); channel mixing along the feature axis (one vector per
+    token) — all four layers are plain MVMs.
+    """
+    return [
+        linear("token_mix_up", tokens, token_mlp_dim, vectors=channels),
+        linear("token_mix_down", token_mlp_dim, tokens, vectors=channels),
+        linear("channel_mix_up", channels, channel_mlp_dim, vectors=tokens),
+        linear("channel_mix_down", channel_mlp_dim, channels, vectors=tokens),
+    ]
+
+
 #: Named network factories for the examples and benches.
 AVAILABLE_NETWORKS = {
     "tiny_cnn": tiny_cnn,
     "transformer_block": transformer_block,
     "gcn_network": gcn_network,
+    "resnet_block": resnet_block,
+    "mlp_mixer_block": mlp_mixer_block,
 }

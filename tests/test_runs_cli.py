@@ -1,0 +1,179 @@
+"""CLI tests for the run registry (`repro runs ...`, `repro campaign
+--store/--baseline`)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.service.api import CampaignResponse, FrontierPoint
+from repro.store import RunStore
+
+
+CAMPAIGN = [
+    "campaign", "--spec", "4096:INT4",
+    "--population", "16", "--generations", "4",
+]
+
+
+def run_cli(*argv) -> int:
+    return main(list(argv))
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    return str(tmp_path / "runs.sqlite")
+
+
+def record_degraded(store_path, baseline="main"):
+    """Record an artificially degraded copy of the baseline's front."""
+    with RunStore(store_path) as store:
+        front = store.front(store.get_baseline(baseline).run_id)
+        degraded = tuple(
+            FrontierPoint(
+                precision=p.precision, n=p.n, h=p.h, l=p.l, k=p.k,
+                objectives=tuple(o + abs(o) * 0.3 for o in p.objectives),
+            )
+            for p in front[::2]
+        )
+        return store.record_response(
+            CampaignResponse(frontier=degraded),
+            specs=["degraded"], name="degraded",
+        ).run_id
+
+
+class TestCampaignStoreFlags:
+    def test_store_records_and_pins_baseline(self, store_path, capsys):
+        rc = run_cli(*CAMPAIGN, "--store", store_path,
+                     "--name", "good", "--set-baseline", "main")
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "recorded run-" in err
+        assert "baseline 'main'" in err
+        with RunStore(store_path) as store:
+            assert len(store) == 1
+            record = store.get_baseline("main")
+            assert record.name == "good"
+            assert record.front_size > 0
+
+    def test_registry_flags_require_store(self, capsys):
+        assert run_cli(*CAMPAIGN, "--name", "x") == 1
+        assert "--store" in capsys.readouterr().err
+
+    def test_runs_rejects_missing_registry(self, tmp_path, capsys):
+        missing = tmp_path / "typo.sqlite"
+        assert run_cli("runs", "list", "--store", str(missing)) == 1
+        assert "no run registry" in capsys.readouterr().err
+        assert not missing.exists()  # nothing silently created
+
+    def test_baseline_seeds_then_passes(self, store_path, capsys):
+        assert run_cli(*CAMPAIGN, "--store", store_path,
+                       "--baseline", "main") == 0
+        assert "seeded" in capsys.readouterr().err
+        # The identical rerun gates cleanly against the seeded baseline.
+        assert run_cli(*CAMPAIGN, "--store", store_path,
+                       "--baseline", "main") == 0
+        assert "regression gate: PASS" in capsys.readouterr().err
+
+    def test_gate_fails_on_degraded_front(self, store_path, capsys):
+        assert run_cli(*CAMPAIGN, "--store", store_path,
+                       "--baseline", "main") == 0
+        record_degraded(store_path)
+        capsys.readouterr()
+        rc = run_cli("runs", "gate", "degraded", "--baseline", "main",
+                     "--store", store_path)
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "regression gate: FAIL" in out
+        assert "hypervolume" in out
+
+
+@pytest.fixture
+def seeded_store(store_path):
+    assert run_cli(*CAMPAIGN, "--store", store_path, "--name", "good",
+                   "--set-baseline", "main") == 0
+    assert run_cli(*CAMPAIGN, "--store", store_path,
+                   "--name", "rerun") == 0
+    return store_path
+
+
+class TestRunsCommands:
+    def test_list(self, seeded_store, capsys):
+        assert run_cli("runs", "list", "--store", seeded_store) == 0
+        out = capsys.readouterr().out
+        assert "run-" in out
+        assert "good" in out and "rerun" in out
+        assert "2 runs shown (2 recorded)" in out
+
+    def test_list_status_filter(self, seeded_store, capsys):
+        assert run_cli("runs", "list", "--store", seeded_store,
+                       "--status", "failed") == 0
+        assert "0 runs shown" in capsys.readouterr().out
+
+    def test_show_by_baseline_name(self, seeded_store, capsys):
+        assert run_cli("runs", "show", "main",
+                       "--store", seeded_store) == 0
+        out = capsys.readouterr().out
+        assert "(good)" in out
+        assert "INT4" in out
+
+    def test_compare_prints_hv_and_epsilon_deltas(self, seeded_store, capsys):
+        assert run_cli("runs", "compare", "main", "rerun",
+                       "--store", seeded_store) == 0
+        out = capsys.readouterr().out
+        assert "hypervolume:" in out and "delta" in out
+        assert "epsilon-indicator:" in out
+        assert "knee drift:" in out
+
+    def test_compare_json(self, seeded_store, capsys):
+        assert run_cli("runs", "compare", "main", "rerun", "--json",
+                       "--store", seeded_store) == 0
+        payload = json.loads(capsys.readouterr().out)
+        # Twin seeds, twin fronts: no quality movement at all.
+        assert payload["hypervolume_delta"] == 0.0
+        assert payload["epsilon_ba"] == 0.0
+
+    def test_compare_unknown_run_errors(self, seeded_store, capsys):
+        assert run_cli("runs", "compare", "main", "run-nope",
+                       "--store", seeded_store) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_export_markdown_and_csv(self, seeded_store, capsys, tmp_path):
+        assert run_cli("runs", "export", "main",
+                       "--store", seeded_store) == 0
+        assert "# Campaign run" in capsys.readouterr().out
+        out_file = tmp_path / "report.csv"
+        assert run_cli("runs", "export", "main", "--format", "csv",
+                       "--out", str(out_file),
+                       "--store", seeded_store) == 0
+        assert out_file.read_text().startswith("run_id,precision")
+
+    def test_gc(self, seeded_store, capsys):
+        assert run_cli("runs", "gc", "--keep", "0",
+                       "--store", seeded_store) == 0
+        # The baseline-pinned run survives keep 0.
+        assert "deleted 1 runs (1 kept)" in capsys.readouterr().out
+
+    def test_gc_requires_criterion(self, seeded_store, capsys):
+        assert run_cli("runs", "gc", "--store", seeded_store) == 1
+        assert "--keep" in capsys.readouterr().err
+
+    def test_baseline_set_and_show(self, seeded_store, capsys):
+        assert run_cli("runs", "baseline", "release", "rerun",
+                       "--store", seeded_store) == 0
+        assert "baseline 'release'" in capsys.readouterr().out
+        assert run_cli("runs", "baseline", "release",
+                       "--store", seeded_store) == 0
+        assert "rerun" in capsys.readouterr().out
+
+    def test_unknown_baseline_errors(self, seeded_store, capsys):
+        assert run_cli("runs", "baseline", "nope",
+                       "--store", seeded_store) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_gate_json_passes_for_twin(self, seeded_store, capsys):
+        assert run_cli("runs", "gate", "rerun", "--baseline", "main",
+                       "--json", "--store", seeded_store) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["passed"] is True
+        assert payload["failures"] == []

@@ -1,0 +1,202 @@
+"""Tests for front-quality analytics and the regression gate."""
+
+import pytest
+
+from repro.service.api import CampaignResponse, FrontierPoint
+from repro.store import (
+    GateConfig,
+    RunStore,
+    check_regression,
+    compare_fronts,
+    compare_runs,
+    epsilon_indicator,
+    front_coverage,
+    knee_drift,
+    union_hypervolumes,
+)
+
+
+def fp(n, objectives):
+    return FrontierPoint(
+        precision="INT8", n=n, h=128, l=4, k=8, objectives=tuple(objectives)
+    )
+
+
+#: A clean 2-D front and a uniformly worse copy of it.
+GOOD = [fp(32, (1.0, 3.0)), fp(64, (2.0, 2.0)), fp(96, (3.0, 1.0))]
+WORSE = [fp(32, (1.5, 3.5)), fp(64, (2.5, 2.5)), fp(96, (3.5, 1.5))]
+
+
+class TestIndicators:
+    def test_epsilon_zero_for_self(self):
+        assert epsilon_indicator(GOOD, GOOD) == 0.0
+
+    def test_epsilon_is_the_uniform_shift(self):
+        # WORSE = GOOD + 0.5 everywhere: GOOD covers WORSE with
+        # headroom (negative eps); WORSE needs exactly +0.5.
+        assert epsilon_indicator(GOOD, WORSE) == pytest.approx(-0.5)
+        assert epsilon_indicator(WORSE, GOOD) == pytest.approx(0.5)
+
+    def test_epsilon_rejects_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            epsilon_indicator(GOOD, [fp(32, (1.0, 2.0, 3.0))])
+        with pytest.raises(ValueError):
+            epsilon_indicator([], GOOD)
+
+    def test_coverage(self):
+        assert front_coverage(GOOD, WORSE) == 1.0
+        assert front_coverage(WORSE, GOOD) == 0.0
+        assert front_coverage(GOOD, GOOD) == 1.0
+
+    def test_comparison_epsilon_is_scale_free(self):
+        # Same fronts, one objective blown up 1e6x: the normalised
+        # epsilons must not change (this is what makes a fixed 0.05
+        # gate tolerance meaningful on mixed-magnitude objectives).
+        def scaled(front):
+            return [
+                fp(p.n, (p.objectives[0] * 1e6, p.objectives[1]))
+                for p in front
+            ]
+
+        plain = compare_fronts(GOOD, WORSE)
+        blown = compare_fronts(scaled(GOOD), scaled(WORSE))
+        assert blown.epsilon_ba == pytest.approx(plain.epsilon_ba)
+        assert blown.epsilon_ab == pytest.approx(plain.epsilon_ab)
+
+    def test_union_hypervolumes_better_front_wins(self):
+        hv_good, hv_worse = union_hypervolumes(GOOD, WORSE)
+        assert hv_good > hv_worse > 0.0
+
+    def test_union_hypervolumes_symmetric_for_twins(self):
+        hv_a, hv_b = union_hypervolumes(GOOD, list(GOOD))
+        assert hv_a == hv_b
+
+    def test_knee_drift_zero_for_twins(self):
+        assert knee_drift(GOOD, list(GOOD)) == 0.0
+
+    def test_knee_drift_positive_for_shifted_knee(self):
+        skewed = [fp(32, (1.0, 3.0)), fp(64, (2.9, 1.1)), fp(96, (3.0, 1.0))]
+        assert knee_drift(GOOD, skewed) > 0.0
+
+
+class TestCompareFronts:
+    def test_twin_fronts(self):
+        comparison = compare_fronts(GOOD, list(GOOD), "a", "b")
+        assert comparison.hypervolume_delta == 0.0
+        assert comparison.epsilon_ab == comparison.epsilon_ba == 0.0
+        assert comparison.shared == 3
+        assert comparison.added == comparison.removed == 0
+
+    def test_degraded_front(self):
+        comparison = compare_fronts(GOOD, WORSE, "good", "worse")
+        assert comparison.hypervolume_delta < 0
+        # Raw shift 0.5 over the union's span of 2.5 per objective:
+        # comparison epsilons are union-normalised (scale-free).
+        assert comparison.epsilon_ba == pytest.approx(0.2)
+        assert comparison.coverage_ab == 1.0
+        assert comparison.coverage_ba == 0.0
+        assert comparison.shared == 0
+        assert comparison.added == comparison.removed == 3
+
+    def test_dict_round_trip(self):
+        comparison = compare_fronts(GOOD, WORSE)
+        from repro.store import FrontComparison
+
+        assert FrontComparison.from_dict(comparison.to_dict()) == comparison
+
+    def test_describe_mentions_the_metrics(self):
+        text = compare_fronts(GOOD, WORSE).describe()
+        assert "hypervolume" in text
+        assert "epsilon-indicator" in text
+        assert "knee drift" in text
+
+
+@pytest.fixture
+def store(tmp_path):
+    with RunStore(tmp_path / "runs.sqlite") as s:
+        yield s
+
+
+def record(store, front, name=None):
+    return store.record_response(
+        CampaignResponse(frontier=tuple(front)), specs=["4096:INT8"], name=name
+    )
+
+
+class TestCompareRuns:
+    def test_resolves_baselines_and_names(self, store):
+        good = record(store, GOOD, name="good")
+        record(store, WORSE, name="worse")
+        store.set_baseline("main", good.run_id)
+        comparison = compare_runs(store, "main", "worse")
+        assert comparison.run_a == good.run_id
+        assert comparison.hypervolume_delta < 0
+
+    def test_rejects_empty_front(self, store):
+        good = record(store, GOOD)
+        empty = store.record_failure("failed", "boom")
+        with pytest.raises(ValueError):
+            compare_runs(store, good.run_id, empty.run_id)
+
+    def test_unknown_run_raises(self, store):
+        good = record(store, GOOD)
+        with pytest.raises(KeyError):
+            compare_runs(store, good.run_id, "run-nope")
+
+
+class TestGate:
+    def test_twin_run_passes(self, store):
+        good = record(store, GOOD)
+        twin = record(store, list(GOOD))
+        store.set_baseline("main", good.run_id)
+        report = check_regression(store, twin.run_id, "main")
+        assert report.passed
+        assert report.failures == ()
+        assert report.baseline.run_id == good.run_id
+
+    def test_degraded_run_fails_on_hv_and_epsilon(self, store):
+        good = record(store, GOOD)
+        bad = record(store, WORSE)
+        store.set_baseline("main", good.run_id)
+        report = check_regression(store, bad.run_id, "main")
+        assert not report.passed
+        text = " ".join(report.failures)
+        assert "hypervolume" in text
+        assert "epsilon" in text
+
+    def test_shrunken_front_fails_ratio(self, store):
+        good = record(store, GOOD)
+        small = record(store, GOOD[:1])
+        store.set_baseline("main", good.run_id)
+        config = GateConfig(
+            max_hypervolume_drop=1.0, max_epsilon=1e9, min_front_ratio=0.5
+        )
+        report = check_regression(store, small.run_id, "main", config)
+        assert not report.passed
+        assert any("shrank" in f for f in report.failures)
+
+    def test_loose_tolerances_pass(self, store):
+        good = record(store, GOOD)
+        bad = record(store, WORSE)
+        store.set_baseline("main", good.run_id)
+        config = GateConfig(
+            max_hypervolume_drop=1.0, max_epsilon=10.0, min_front_ratio=0.0
+        )
+        assert check_regression(store, bad.run_id, "main", config).passed
+
+    def test_report_dict_is_json_able(self, store):
+        import json
+
+        good = record(store, GOOD)
+        bad = record(store, WORSE)
+        store.set_baseline("main", good.run_id)
+        report = check_regression(store, bad.run_id, "main")
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["passed"] is False
+        assert payload["comparison"]["hypervolume_delta"] < 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GateConfig(max_hypervolume_drop=-0.1)
+        with pytest.raises(ValueError):
+            GateConfig(min_front_ratio=1.5)

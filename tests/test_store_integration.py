@@ -1,0 +1,292 @@
+"""Store integration with the serving stack: campaign, queue, HTTP.
+
+Covers the opt-in recording hooks (``run_campaign(store=...)``,
+``JobQueue(store=...)``), the bit-neutrality guarantee, and the
+``/api/runs`` + ``/api/compare`` endpoints end to end.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.spec import DcimSpec
+from repro.dse.nsga2 import NSGA2Config
+from repro.service import (
+    CampaignConfig,
+    EvaluationCache,
+    JobQueue,
+    JobStatus,
+    run_campaign,
+)
+from repro.service.api import CampaignRequest, SpecRequest
+from repro.service.events import EventKind
+from repro.service.server import AsyncCampaignService, CampaignClient, serve
+from repro.store import RunStore
+
+
+def tiny_request(**overrides) -> CampaignRequest:
+    payload = dict(
+        specs=(SpecRequest(4096, "INT4"),),
+        population_size=16,
+        generations=4,
+        seed=1,
+    )
+    payload.update(overrides)
+    return CampaignRequest(**payload)
+
+
+@pytest.fixture
+def store(tmp_path):
+    with RunStore(tmp_path / "runs.sqlite") as s:
+        yield s
+
+
+TINY = CampaignConfig(nsga2=NSGA2Config(population_size=16, generations=4))
+
+
+class TestRunCampaignHook:
+    def test_recording_is_bit_neutral(self, store):
+        specs = [DcimSpec(wstore=4096, precision="INT4")]
+        plain = run_campaign(specs, TINY)
+        recorded = run_campaign(specs, TINY, store=store, run_name="twin")
+        assert np.array_equal(
+            plain.merged_objectives, recorded.merged_objectives
+        )
+        assert plain.merged_points == recorded.merged_points
+        assert plain.run_id is None
+        assert recorded.run_id is not None
+
+    def test_recorded_run_matches_result(self, store):
+        specs = [
+            DcimSpec(wstore=4096, precision="INT4"),
+            DcimSpec(wstore=4096, precision="INT8"),
+        ]
+        result = run_campaign(specs, TINY, store=store, run_name="nightly")
+        record = store.get_run(result.run_id)
+        assert record.name == "nightly"
+        assert record.status == "done"
+        assert record.specs == ("4096:INT4", "4096:INT8")
+        assert record.evaluations == result.evaluations
+        front = store.front(result.run_id)
+        assert len(front) == len(result.merged_points)
+        assert [tuple(row) for row in result.merged_objectives] == [
+            p.objectives for p in front
+        ]
+
+    def test_identical_campaigns_share_fingerprint_and_points(self, store):
+        specs = [DcimSpec(wstore=4096, precision="INT4")]
+        a = run_campaign(specs, TINY, store=store)
+        b = run_campaign(specs, TINY, store=store)
+        record_a = store.get_run(a.run_id)
+        record_b = store.get_run(b.run_id)
+        assert record_a.fingerprint == record_b.fingerprint
+        # Twin fronts reuse the content-addressed design-point rows.
+        assert store.point_count() == record_a.front_size
+
+    def test_store_failure_warns_and_keeps_result(self, tmp_path):
+        broken = RunStore(tmp_path / "runs.sqlite")
+        broken.close()  # every write now raises
+        specs = [DcimSpec(wstore=4096, precision="INT4")]
+        with pytest.warns(RuntimeWarning, match="recording it failed"):
+            result = run_campaign(specs, TINY, store=broken)
+        assert result.run_id is None
+        assert len(result.merged_points) > 0
+
+    def test_cancelled_campaign_recorded(self, store):
+        specs = [DcimSpec(wstore=4096, precision="INT4")]
+        from repro.service.events import CampaignCancelled
+
+        with pytest.raises(CampaignCancelled):
+            run_campaign(
+                specs, TINY, store=store, should_stop=lambda: True
+            )
+        runs = store.list_runs()
+        assert len(runs) == 1
+        assert runs[0].status == "cancelled"
+        assert runs[0].front_size == 0
+
+
+class TestJobQueueRecording:
+    def test_done_job_recorded_with_run_id(self, store):
+        queue = JobQueue(cache=EvaluationCache(), store=store)
+        job_id = queue.submit(tiny_request())
+        job = queue.run_next()
+        assert job.status is JobStatus.DONE
+        assert job.run_id is not None
+        record = store.get_run(job.run_id)
+        assert record.status == "done"
+        assert record.fingerprint == job.request.fingerprint()
+        assert record.front_size == len(queue.result(job_id).frontier)
+        assert queue.stats.recorded == 1
+        assert queue.stats.record_errors == 0
+
+    def test_failed_job_recorded(self, store):
+        queue = JobQueue(cache=EvaluationCache(), store=store)
+        queue.submit(tiny_request(specs=(SpecRequest(4096, "NOPE"),)))
+        job = queue.run_next()
+        assert job.status is JobStatus.FAILED
+        record = store.get_run(job.run_id)
+        assert record.status == "failed"
+        assert record.error == job.error
+
+    def test_cancelled_job_recorded(self, store):
+        with JobQueue(
+            cache=EvaluationCache(), workers=1, store=store
+        ) as queue:
+            job_id = queue.submit(tiny_request(generations=200))
+            for event in iter_events(queue, job_id):
+                if event.kind is EventKind.GENERATION_DONE:
+                    queue.cancel(job_id)
+            assert queue.wait(job_id, timeout=60.0) is JobStatus.CANCELLED
+            record = store.get_run(queue.record(job_id).run_id)
+            assert record.status == "cancelled"
+
+    def test_record_errors_counted_not_raised(self, tmp_path):
+        store = RunStore(tmp_path / "runs.sqlite")
+        store.close()  # recording into a closed store must not kill jobs
+        queue = JobQueue(cache=EvaluationCache(), store=store)
+        job = queue.submit(tiny_request()) and queue.run_next()
+        assert job.status is JobStatus.DONE
+        assert job.run_id is None
+        assert queue.stats.record_errors == 1
+
+
+def iter_events(queue, job_id, cursor=0):
+    while True:
+        events, cursor, done = queue.wait_events(job_id, cursor, 1.0)
+        yield from events
+        if done:
+            return
+
+
+class TestTTLSweep:
+    def test_jobs_read_sweeps_expired(self):
+        queue = JobQueue(cache=EvaluationCache(), ttl_s=0.0)
+        queue.submit(tiny_request())
+        queue.run_all()
+        # No submit happens; the jobs() read itself must sweep.
+        assert queue.jobs() == []
+        assert queue.stats.purged == 1
+
+    def test_sweep_expired_without_ttl_is_noop(self):
+        queue = JobQueue(cache=EvaluationCache())
+        queue.submit(tiny_request())
+        queue.run_all()
+        assert queue.sweep_expired() == 0
+        assert len(queue.jobs()) == 1
+
+    def test_idle_worker_sweeps_expired(self):
+        import time
+
+        with JobQueue(
+            cache=EvaluationCache(), workers=1, ttl_s=0.2
+        ) as queue:
+            job_id = queue.submit(tiny_request())
+            assert queue.wait(job_id, timeout=60.0) is JobStatus.DONE
+            # Touch nothing: the idle worker's tick must purge the
+            # terminal record on its own.
+            deadline = time.monotonic() + 5.0
+            while queue.stats.purged == 0 and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert queue.stats.purged == 1
+
+
+class TestAsyncServiceRegistry:
+    def test_runs_front_compare(self, store):
+        async def scenario():
+            async with AsyncCampaignService(
+                workers=1, cache=EvaluationCache(), store=store
+            ) as service:
+                a = await service.submit(tiny_request(seed=1))
+                await service.result(a, timeout=60.0)
+                b = await service.submit(tiny_request(seed=2))
+                await service.result(b, timeout=60.0)
+                runs = await service.runs()
+                front = await service.run_front(runs[0].run_id)
+                record = await service.run(runs[0].run_id)
+                comparison = await service.compare(
+                    runs[1].run_id, runs[0].run_id
+                )
+                return runs, front, record, comparison
+
+        runs, front, record, comparison = asyncio.run(scenario())
+        assert len(runs) == 2
+        assert record == runs[0]
+        assert front and front[0].objectives
+        assert comparison.size_a > 0 and comparison.size_b > 0
+
+    def test_storeless_service_raises(self):
+        async def scenario():
+            async with AsyncCampaignService(
+                workers=1, cache=EvaluationCache()
+            ) as service:
+                with pytest.raises(RuntimeError):
+                    await service.runs()
+
+        asyncio.run(scenario())
+
+
+@pytest.fixture(scope="class")
+def http_registry(tmp_path_factory):
+    store = RunStore(tmp_path_factory.mktemp("registry") / "runs.sqlite")
+    queue = JobQueue(cache=EvaluationCache(), workers=1, store=store)
+    server = serve(port=0, queue=queue)
+    server.serve_in_background()
+    yield CampaignClient(server.url), store
+    server.shutdown()
+    queue.close()
+    store.close()
+
+
+class TestHTTPRegistry:
+    def test_runs_endpoints_round_trip(self, http_registry):
+        client, store = http_registry
+        job_a = client.submit(tiny_request(seed=11))
+        list(client.watch(job_a))
+        job_b = client.submit(tiny_request(seed=12))
+        list(client.watch(job_b))
+
+        runs = client.runs()
+        assert len(runs) == 2
+        assert {r["status"] for r in runs} == {"done"}
+        run_id = runs[0]["run_id"]
+        assert client.run(run_id)["run_id"] == run_id
+        # The job payload links to its recorded run.
+        assert client.status(job_b)["run_id"] in {r["run_id"] for r in runs}
+
+        front = client.run_front(run_id)
+        assert front == store.front(run_id)
+
+        comparison = client.compare(runs[1]["run_id"], runs[0]["run_id"])
+        assert "hypervolume_a" in comparison
+        assert "epsilon_ba" in comparison
+        assert comparison["size_a"] == runs[1]["front_size"]
+
+    def test_runs_filtering_and_errors(self, http_registry):
+        client, _ = http_registry
+        assert client.runs(limit=1) and len(client.runs(limit=1)) == 1
+        assert client.runs(status="failed") == []
+        with pytest.raises(RuntimeError, match="404"):
+            client.run("run-nope")
+        with pytest.raises(RuntimeError, match="400"):
+            client.compare("", "")
+
+    def test_compare_unknown_run_404(self, http_registry):
+        client, _ = http_registry
+        with pytest.raises(RuntimeError, match="404"):
+            client.compare("run-nope", "run-nope")
+
+
+class TestHTTPWithoutStore:
+    def test_runs_endpoint_404s(self):
+        queue = JobQueue(cache=EvaluationCache(), workers=1)
+        server = serve(port=0, queue=queue)
+        server.serve_in_background()
+        try:
+            client = CampaignClient(server.url)
+            with pytest.raises(RuntimeError, match="404"):
+                client.runs()
+        finally:
+            server.shutdown()
+            queue.close()

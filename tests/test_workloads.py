@@ -13,7 +13,9 @@ from repro.workloads import (
     linear,
     map_layer,
     map_network,
+    mlp_mixer_block,
     recommend_spec,
+    resnet_block,
     tiny_cnn,
     transformer_block,
 )
@@ -49,6 +51,7 @@ class TestNetworks:
     def test_registry(self):
         assert set(AVAILABLE_NETWORKS) == {
             "tiny_cnn", "transformer_block", "gcn_network",
+            "resnet_block", "mlp_mixer_block",
         }
         for factory in AVAILABLE_NETWORKS.values():
             layers = factory()
@@ -59,6 +62,40 @@ class TestNetworks:
         assert len(layers) == 6
         mlp_up = next(l for l in layers if l.name == "mlp_up")
         assert mlp_up.cols == 1024
+
+    def test_resnet_block_shapes(self):
+        layers = resnet_block(in_channels=64, out_channels=128, out_hw=28)
+        assert [l.name for l in layers] == [
+            "res_conv1", "res_conv2", "res_proj",
+        ]
+        conv1, conv2, proj = layers
+        assert conv1.rows == 64 * 9 and conv1.cols == 128
+        assert conv2.rows == 128 * 9
+        assert proj.rows == 64  # 1x1 shortcut
+        assert all(l.vectors == 28 * 28 for l in layers)
+
+    def test_mlp_mixer_block_shapes(self):
+        layers = mlp_mixer_block(
+            tokens=196, channels=256, token_mlp_dim=128, channel_mlp_dim=1024
+        )
+        assert len(layers) == 4
+        token_up, token_down, channel_up, channel_down = layers
+        # Token mixing transposes: vectors = channels.
+        assert token_up.rows == 196 and token_up.cols == 128
+        assert token_up.vectors == token_down.vectors == 256
+        assert token_down.cols == 196
+        # Channel mixing: vectors = tokens.
+        assert channel_up.rows == 256 and channel_up.cols == 1024
+        assert channel_up.vectors == channel_down.vectors == 196
+        assert channel_down.cols == 256
+
+    def test_new_networks_map_and_recommend(self):
+        for factory in (resnet_block, mlp_mixer_block):
+            layers = factory()
+            spec = recommend_spec(layers, "INT8")
+            assert spec.wstore >= max(l.weight_count for l in layers)
+            nm = map_network(layers, DESIGN, GENERIC28)
+            assert nm.latency_us > 0 and nm.energy_uj > 0
 
 
 DESIGN = DesignPoint(precision="INT8", n=64, h=128, l=4, k=8)  # groups=8
