@@ -7,6 +7,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff (critical rules) =="
+    ruff check src tests examples benchmarks
+else
+    echo "== ruff not installed; skipping lint (CI runs it) =="
+fi
+
 python -m pytest -x -q
 
 echo "== batch/scalar parity =="
@@ -61,6 +68,23 @@ if ! grep -q "hit rate 100.0%" <<<"$warm_output"; then
     exit 1
 fi
 
+echo "== problem registry: discovery + a non-DCIM campaign =="
+problems_output="$(python -m repro problems list)"
+echo "$problems_output"
+for problem in dcim mapping; do
+    if ! grep -q "$problem" <<<"$problems_output"; then
+        echo "smoke: 'repro problems list' does not list $problem" >&2
+        exit 1
+    fi
+done
+mapping_output="$(python -m repro campaign --problem mapping \
+    --spec tiny_cnn:INT8 --population 12 --generations 3 --limit 3)"
+echo "$mapping_output"
+if ! grep -q "Merged mapping frontier" <<<"$mapping_output"; then
+    echo "smoke: mapping campaign printed no frontier" >&2
+    exit 1
+fi
+
 echo "== serve / submit / watch round trip =="
 server_log="$workdir/serve.log"
 python -m repro serve --host 127.0.0.1 --port 0 --workers 1 \
@@ -91,6 +115,27 @@ if ! grep -q "frontier designs" <<<"$watch_output"; then
     echo "smoke: re-watching $job_id did not return the result" >&2
     exit 1
 fi
+# v2 API: the server lists both registered problems and serves a
+# mapping campaign end to end.
+python - "$url" <<'PY'
+import sys
+
+from repro.service import CampaignClient, CampaignRequest
+
+client = CampaignClient(sys.argv[1])
+names = [p["name"] for p in client.problems()]
+assert names == ["dcim", "mapping"], f"GET /api/problems listed {names}"
+job_id = client.submit(CampaignRequest(
+    problem="mapping", specs=({"network": "tiny_cnn", "wstore": 4096},),
+    population_size=12, generations=3,
+))
+for _ in client.watch(job_id):
+    pass
+response = client.result(job_id)
+assert response.problem == "mapping" and response.frontier
+assert response.frontier[0].extras["n_macros"] >= 1
+print(f"mapping over HTTP: {len(response.frontier)} frontier points")
+PY
 kill "$server_pid" && wait "$server_pid" 2>/dev/null || true
 server_pid=""
 

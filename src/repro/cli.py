@@ -7,12 +7,14 @@ Usage (also via ``python -m repro``)::
     repro explore --wstore 65536 --precision INT8 --limit 10
     repro compile --wstore 8192 --precision BF16 --out build/macro
     repro report  --precision INT8 --n 64 --h 128 --l 64 --k 8
+    repro problems list
     repro campaign --spec 8192:INT8 --spec 8192:BF16 --cache build/evals.jsonl
+    repro campaign --problem mapping --spec tiny_cnn:INT8
     repro campaign --spec 8192:INT8 --store build/runs.sqlite --baseline main
     repro serve  --port 8000 --workers 2 --cache build/evals.jsonl
     repro submit --url http://127.0.0.1:8000 --spec 8192:INT8 --watch
     repro watch  --url http://127.0.0.1:8000 job-1
-    repro runs list --store build/runs.sqlite
+    repro runs list --store build/runs.sqlite --limit 20 --offset 0
     repro runs compare run-abc run-def --store build/runs.sqlite
 """
 
@@ -96,19 +98,37 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--corner", default="tt",
                        choices=sorted(STANDARD_CORNERS))
 
+    problems_p = sub.add_parser(
+        "problems",
+        help="inspect the registered optimisation problems",
+    )
+    problems_sub = problems_p.add_subparsers(dest="problems_command",
+                                             required=True)
+    problems_list = problems_sub.add_parser(
+        "list", help="registered problems, their objectives and spec schema"
+    )
+    problems_list.add_argument("--json", action="store_true",
+                               help="print the problem catalogue as JSON")
+
     campaign = sub.add_parser(
         "campaign",
         help="explore many specs through the evaluation service and "
              "merge one cross-architecture frontier",
     )
+    campaign.add_argument("--problem", default="dcim", metavar="NAME",
+                          help="registered problem to optimise "
+                               "(see 'repro problems list'; default dcim)")
     campaign.add_argument(
-        "--spec", action="append", required=True, metavar="WSTORE:PRECISION",
-        help="one specification, e.g. 8192:INT8 (repeatable)",
+        "--spec", action="append", required=True, metavar="SPEC",
+        help="one specification in the problem's CLI syntax, e.g. "
+             "8192:INT8 (dcim) or tiny_cnn:INT8 (mapping); repeatable",
     )
-    campaign.add_argument("--population", type=int, default=64,
-                          help="NSGA-II population size")
-    campaign.add_argument("--generations", type=int, default=60,
-                          help="NSGA-II generations")
+    campaign.add_argument("--population", type=int, default=None,
+                          help="NSGA-II population size (default: the "
+                               "problem's own)")
+    campaign.add_argument("--generations", type=int, default=None,
+                          help="NSGA-II generations (default: the "
+                               "problem's own)")
     campaign.add_argument("--seed", type=int, default=0, help="base GA seed")
     campaign.add_argument("--backend", default="serial",
                           choices=["serial", "thread", "process"],
@@ -180,14 +200,20 @@ def build_parser() -> argparse.ArgumentParser:
         "submit", help="submit a campaign to a running server"
     )
     add_client_args(submit_p)
+    submit_p.add_argument("--problem", default="dcim", metavar="NAME",
+                          help="registered problem to optimise "
+                               "(see 'repro problems list'; default dcim)")
     submit_p.add_argument(
-        "--spec", action="append", required=True, metavar="WSTORE:PRECISION",
-        help="one specification, e.g. 8192:INT8 (repeatable)",
+        "--spec", action="append", required=True, metavar="SPEC",
+        help="one specification in the problem's CLI syntax, e.g. "
+             "8192:INT8 (dcim) or tiny_cnn:INT8 (mapping); repeatable",
     )
-    submit_p.add_argument("--population", type=int, default=64,
-                          help="NSGA-II population size")
-    submit_p.add_argument("--generations", type=int, default=60,
-                          help="NSGA-II generations")
+    submit_p.add_argument("--population", type=int, default=None,
+                          help="NSGA-II population size (default: the "
+                               "problem's own)")
+    submit_p.add_argument("--generations", type=int, default=None,
+                          help="NSGA-II generations (default: the "
+                               "problem's own)")
     submit_p.add_argument("--seed", type=int, default=0, help="base GA seed")
     submit_p.add_argument("--backend", default="serial",
                           choices=["serial", "thread", "process"],
@@ -229,9 +255,14 @@ def build_parser() -> argparse.ArgumentParser:
     add_store_arg(runs_list)
     runs_list.add_argument("--limit", type=int, default=None,
                            help="max rows to print")
+    runs_list.add_argument("--offset", type=int, default=0,
+                           help="skip this many newest rows (page with "
+                                "--limit)")
     runs_list.add_argument("--status", default=None,
                            choices=["done", "failed", "cancelled"],
                            help="only runs with this terminal status")
+    runs_list.add_argument("--problem", default=None, metavar="NAME",
+                           help="only runs of this registered problem")
 
     runs_show = runs_sub.add_parser(
         "show", help="one run's record and recorded frontier"
@@ -474,30 +505,99 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
-def _parse_campaign_spec(text: str) -> DcimSpec:
-    wstore_text, _, precision = text.partition(":")
-    if not precision:
-        raise ValueError(
-            f"spec {text!r} must look like WSTORE:PRECISION (e.g. 8192:INT8)"
+def _cmd_problems(args) -> int:
+    from repro.problems import problem_catalog
+
+    catalogue = problem_catalog()
+    if args.json:
+        import json as _json
+
+        print(_json.dumps({"problems": catalogue}, sort_keys=True))
+        return 0
+    rows = [
+        (
+            entry["name"],
+            entry["title"],
+            ", ".join(entry["objectives"]),
+            f"{entry['defaults']['population_size']}"
+            f"x{entry['defaults']['generations']}",
+            ", ".join(
+                name + ("" if detail["required"] else "?")
+                for name, detail in entry["spec_schema"].items()
+            ),
         )
-    return DcimSpec(wstore=int(wstore_text), precision=precision)
+        for entry in catalogue
+    ]
+    print(ascii_table(
+        ["problem", "title", "objectives", "pop x gen", "spec fields"], rows
+    ))
+    return 0
+
+
+def _apply_tech_flags(spec_request, args):
+    """Thread ``--pdk``/``--corner`` into specs that carry them.
+
+    The dcim spec has no technology fields (its normalised objectives
+    are tech-free; physical units are attached at render time), but
+    problems like ``mapping`` compute physical objectives and must see
+    the CLI's technology choice rather than silently using their spec
+    defaults.
+    """
+    import dataclasses
+
+    fields = {f.name for f in dataclasses.fields(type(spec_request))}
+    updates = {}
+    if "pdk" in fields:
+        updates["pdk"] = args.pdk
+    if "corner" in fields:
+        updates["corner"] = args.corner
+    if not updates:
+        return spec_request
+    return dataclasses.replace(spec_request, **updates)
+
+
+def _resolve_ga_sizing(args, definition) -> tuple[int, int]:
+    """CLI GA sizing, falling back to the problem's own defaults."""
+    population = (
+        args.population
+        if args.population is not None
+        else definition.sizing.population_size
+    )
+    generations = (
+        args.generations
+        if args.generations is not None
+        else definition.sizing.generations
+    )
+    return population, generations
 
 
 def _cmd_campaign(args) -> int:
     from repro.dse.nsga2 import NSGA2Config
+    from repro.problems import get_problem
     from repro.service import CampaignConfig, EvaluationCache, run_campaign
 
     try:
-        specs = [_parse_campaign_spec(text) for text in args.spec]
+        definition = get_problem(args.problem)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 1
+    try:
+        spec_requests = [
+            _apply_tech_flags(definition.parse_cli_spec(text), args)
+            for text in args.spec
+        ]
+        specs = [definition.to_spec(request) for request in spec_requests]
+        population, generations = _resolve_ga_sizing(args, definition)
         config = CampaignConfig(
             nsga2=NSGA2Config(
-                population_size=args.population, generations=args.generations
+                population_size=population, generations=generations
             ),
             seed=args.seed,
             workers=args.workers,
             backend=args.backend,
             chunk_size=args.chunk_size,
             engine=args.engine,
+            problem=args.problem,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -525,30 +625,44 @@ def _cmd_campaign(args) -> int:
         if args.json:
             print(response.to_json())
             return _campaign_registry_epilogue(args, store, result)
-        rows = []
-        for point in result.merged_points[: args.limit]:
-            m = point.metrics(tech)
-            rows.append(
-                (
-                    point.precision.name, point.n, point.h, point.l, point.k,
-                    f"{m.layout_area_mm2:.3f}", f"{m.delay_ns:.2f}",
-                    f"{m.tops:.2f}", f"{m.tops_per_watt:.1f}",
+        # The default problem keeps its physical-units table: deriving
+        # mm2/ns/TOPS needs the CLI's --pdk/--corner technology context,
+        # which generic definitions deliberately know nothing about.
+        # Every other registered problem renders through its
+        # definition's point_columns/point_row.
+        if args.problem == "dcim":
+            headers = ["prec", "N", "H", "L", "k", "area mm2", "delay ns",
+                       "TOPS", "TOPS/W"]
+            rows = []
+            for point in result.merged_points[: args.limit]:
+                m = point.metrics(tech)
+                rows.append(
+                    (
+                        point.precision.name, point.n, point.h, point.l,
+                        point.k,
+                        f"{m.layout_area_mm2:.3f}", f"{m.delay_ns:.2f}",
+                        f"{m.tops:.2f}", f"{m.tops_per_watt:.1f}",
+                    )
                 )
+            spec_names = ", ".join(
+                f"{format_si(s.wstore)}:{s.precision.name}" for s in specs
             )
-        spec_names = ", ".join(
-            f"{format_si(s.wstore)}:{s.precision.name}" for s in specs
-        )
+        else:
+            headers = list(definition.point_columns())
+            rows = [
+                definition.point_row(point, tuple(objectives))
+                for point, objectives in zip(
+                    result.merged_points[: args.limit],
+                    result.merged_objectives[: args.limit],
+                )
+            ]
+            spec_names = ", ".join(definition.spec_label(s) for s in specs)
         print(
-            f"Merged frontier over {len(specs)} specs ({spec_names}): "
+            f"Merged {args.problem} frontier over {len(specs)} specs "
+            f"({spec_names}): "
             f"{len(result.merged_points)} designs, showing {len(rows)}"
         )
-        print(
-            ascii_table(
-                ["prec", "N", "H", "L", "k", "area mm2", "delay ns", "TOPS",
-                 "TOPS/W"],
-                rows,
-            )
-        )
+        print(ascii_table(headers, rows))
         stats = result.cache_stats
         chunk_text = "auto" if args.chunk_size is None else str(args.chunk_size)
         print(
@@ -604,7 +718,13 @@ def _campaign_registry_epilogue(args, store, result) -> int:
         print(f"baseline {args.baseline!r} seeded with {result.run_id}",
               file=sys.stderr)
         return 0
-    report = check_regression(store, result.run_id, args.baseline)
+    try:
+        report = check_regression(store, result.run_id, args.baseline)
+    except ValueError as exc:
+        # e.g. the named baseline pins a run of a different problem —
+        # the registry refuses cross-problem comparison.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     print(report.describe(), file=sys.stderr)
     return 0 if report.passed else 1
 
@@ -648,19 +768,21 @@ def _cmd_serve(args) -> int:
 
 
 def _build_submit_request(args):
-    from repro.service import CampaignRequest, SpecRequest
+    from repro.problems import get_problem
+    from repro.service import CampaignRequest
 
-    specs = tuple(
-        SpecRequest.from_spec(_parse_campaign_spec(text)) for text in args.spec
-    )
+    definition = get_problem(args.problem)
+    specs = tuple(definition.parse_cli_spec(text) for text in args.spec)
+    population, generations = _resolve_ga_sizing(args, definition)
     return CampaignRequest(
         specs=specs,
-        population_size=args.population,
-        generations=args.generations,
+        population_size=population,
+        generations=generations,
         seed=args.seed,
         backend=args.backend,
         workers=args.workers,
         engine=args.engine,
+        problem=args.problem,
     )
 
 
@@ -692,6 +814,9 @@ def _cmd_submit(args) -> int:
 
     try:
         request = _build_submit_request(args)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 1
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -744,13 +869,19 @@ def _run_registry_command(args, store) -> int:
     import time as _time
 
     if args.runs_command == "list":
-        records = store.list_runs(limit=args.limit, status=args.status)
+        records = store.list_runs(
+            limit=args.limit,
+            status=args.status,
+            offset=args.offset,
+            problem=args.problem,
+        )
         baselines = {run_id: name for name, run_id in store.baselines().items()}
         rows = [
             (
                 r.run_id,
                 r.name or "-",
                 baselines.get(r.run_id, "-"),
+                r.problem,
                 r.status,
                 ", ".join(r.specs),
                 r.front_size,
@@ -761,25 +892,30 @@ def _run_registry_command(args, store) -> int:
             for r in records
         ]
         print(ascii_table(
-            ["run", "name", "baseline", "status", "specs", "front",
-             "evals", "wall s", "age"],
+            ["run", "name", "baseline", "problem", "status", "specs",
+             "front", "evals", "wall s", "age"],
             rows,
         ))
-        print(f"{len(records)} runs shown ({len(store)} recorded)")
+        shown = f"{len(records)} runs shown ({len(store)} recorded)"
+        if args.offset:
+            shown += f", offset {args.offset}"
+        print(shown)
         return 0
 
     if args.runs_command == "show":
+        from repro.problems import get_problem
+        from repro.reporting.runs import front_columns, front_rows
+
         record = store.resolve(args.run)
         print(record.describe())
         front = store.front(record.run_id)
-        rows = [
-            (p.precision, p.n, p.h, p.l, p.k,
-             " ".join(f"{o:.4g}" for o in p.objectives))
-            for p in front
-        ]
-        print(ascii_table(
-            ["prec", "N", "H", "L", "k", "objectives [A D E -T]"], rows
-        ))
+        try:
+            legend = " ".join(get_problem(record.problem).objectives)
+        except KeyError:  # recorded by a problem not registered here
+            legend = "per-problem order"
+        headers = list(front_columns(front))
+        headers[-1] = f"objectives [{legend}]"
+        print(ascii_table(headers, front_rows(front, precision=4)))
         return 0
 
     if args.runs_command == "compare":
@@ -890,6 +1026,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_lint(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "problems":
+        return _cmd_problems(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
     if args.command == "serve":

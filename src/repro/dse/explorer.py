@@ -85,6 +85,12 @@ class DesignSpaceExplorer:
         engine: cost-engine backend (``auto``/``numpy``/``python``)
             forwarded to every :class:`DcimProblem`; all backends are
             bit-identical, so this is purely a throughput knob.
+        problem_factory: optional ``spec -> problem`` hook replacing the
+            default :class:`DcimProblem` construction; this is how the
+            campaign layer dispatches through the
+            :mod:`repro.problems` registry.  The returned object must
+            implement the :class:`~repro.dse.nsga2.Problem` protocol
+            plus ``decode``.
     """
 
     def __init__(
@@ -94,14 +100,18 @@ class DesignSpaceExplorer:
         cache=None,
         executor=None,
         engine: str = "auto",
+        problem_factory: Callable | None = None,
     ) -> None:
         self.library = library or CellLibrary.default()
         self.config = config or NSGA2Config()
         self.cache = cache
         self.executor = executor
         self.engine = engine
+        self.problem_factory = problem_factory
 
     def _problem(self, spec: DcimSpec) -> DcimProblem:
+        if self.problem_factory is not None:
+            return self.problem_factory(spec)
         return DcimProblem(spec, self.library, engine_backend=self.engine)
 
     def _evaluator(self, problem: DcimProblem):

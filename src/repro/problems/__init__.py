@@ -1,0 +1,51 @@
+"""Pluggable optimisation problems behind the campaign API.
+
+The serving stack is problem-agnostic: every front-end (the v2
+``CampaignRequest`` schema, :func:`repro.service.campaign.run_campaign`,
+the job queue, the HTTP server, the CLI) dispatches through the
+:class:`~repro.problems.registry.ProblemRegistry`, where each entry
+(:class:`~repro.problems.base.ProblemDefinition`) bundles a name, a
+spec codec, a problem factory, objective metadata and default GA
+sizing.
+
+Built-ins:
+
+* ``"dcim"`` (:mod:`repro.problems.dcim`) — the original macro
+  architecture search over :class:`~repro.core.spec.DcimSpec`,
+* ``"mapping"`` (:mod:`repro.problems.mapping`) — network-to-system
+  mapping search over :mod:`repro.workloads.mapping`/``system``.
+
+They are imported (and registered) lazily on the first
+:func:`get_problem`/:func:`problem_names` call.  Register your own with
+:func:`register_problem` — see ``examples/custom_problem.py``.
+"""
+
+from repro.problems.base import (
+    DEFAULT_PROBLEM,
+    GASizing,
+    ProblemDefinition,
+    SpecValidationError,
+)
+from repro.problems.registry import (
+    REGISTRY,
+    ProblemRegistry,
+    get_problem,
+    load_builtin_problems,
+    problem_catalog,
+    problem_names,
+    register_problem,
+)
+
+__all__ = [
+    "DEFAULT_PROBLEM",
+    "GASizing",
+    "ProblemDefinition",
+    "SpecValidationError",
+    "ProblemRegistry",
+    "REGISTRY",
+    "register_problem",
+    "get_problem",
+    "problem_names",
+    "problem_catalog",
+    "load_builtin_problems",
+]

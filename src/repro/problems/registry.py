@@ -1,0 +1,126 @@
+"""The problem registry every campaign front-end dispatches through.
+
+The module-level :data:`REGISTRY` holds one
+:class:`~repro.problems.base.ProblemDefinition` per name.  Built-in
+problems (``"dcim"``, ``"mapping"``) register themselves when their
+modules are imported; :func:`get_problem`/:func:`problem_names` import
+them lazily first, so ``import repro.problems`` stays cheap and
+user-registered problems can import the service layer without cycles.
+"""
+
+from __future__ import annotations
+
+import importlib
+import threading
+
+from repro.problems.base import ProblemDefinition
+
+__all__ = [
+    "ProblemRegistry",
+    "REGISTRY",
+    "register_problem",
+    "load_builtin_problems",
+    "get_problem",
+    "problem_names",
+    "problem_catalog",
+]
+
+#: Modules that register the built-in problems on import.
+_BUILTIN_MODULES = ("repro.problems.dcim", "repro.problems.mapping")
+
+
+class ProblemRegistry:
+    """Name -> :class:`ProblemDefinition` map with collision checks."""
+
+    def __init__(self) -> None:
+        self._definitions: dict[str, ProblemDefinition] = {}
+        self._lock = threading.Lock()
+
+    def register(
+        self, definition: ProblemDefinition, replace: bool = False
+    ) -> ProblemDefinition:
+        """Add one definition; returns it (decorator-friendly).
+
+        Raises:
+            ValueError: on a missing/ill-formed name, or when the name
+                is already taken and ``replace`` is False.
+        """
+        name = getattr(definition, "name", None)
+        if not isinstance(name, str) or not name or not name.replace("_", "a").isalnum():
+            raise ValueError(
+                f"problem name must be a non-empty alphanumeric/underscore "
+                f"string, got {name!r}"
+            )
+        with self._lock:
+            if name in self._definitions and not replace:
+                raise ValueError(
+                    f"problem {name!r} is already registered; pass "
+                    f"replace=True to override it"
+                )
+            self._definitions[name] = definition
+        return definition
+
+    def get(self, name: str) -> ProblemDefinition:
+        """The definition for ``name``; raises :class:`KeyError`."""
+        with self._lock:
+            try:
+                return self._definitions[name]
+            except KeyError:
+                known = ", ".join(sorted(self._definitions)) or "none"
+                raise KeyError(
+                    f"unknown problem {name!r} (registered: {known})"
+                ) from None
+
+    def names(self) -> list[str]:
+        """Registered problem names, sorted."""
+        with self._lock:
+            return sorted(self._definitions)
+
+    def describe_all(self) -> list[dict]:
+        """Discovery payloads of every registered problem, name-sorted."""
+        with self._lock:
+            definitions = [self._definitions[n] for n in sorted(self._definitions)]
+        return [definition.describe() for definition in definitions]
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._definitions
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._definitions)
+
+
+#: The default registry the serving stack dispatches through.
+REGISTRY = ProblemRegistry()
+
+
+def register_problem(
+    definition: ProblemDefinition, replace: bool = False
+) -> ProblemDefinition:
+    """Register a definition with the default registry; returns it."""
+    return REGISTRY.register(definition, replace=replace)
+
+
+def load_builtin_problems() -> None:
+    """Import (and thereby register) the built-in problem modules."""
+    for module in _BUILTIN_MODULES:
+        importlib.import_module(module)
+
+
+def get_problem(name: str) -> ProblemDefinition:
+    """Look ``name`` up in the default registry (built-ins loaded first)."""
+    load_builtin_problems()
+    return REGISTRY.get(name)
+
+
+def problem_names() -> list[str]:
+    """Every registered problem name (built-ins loaded first)."""
+    load_builtin_problems()
+    return REGISTRY.names()
+
+
+def problem_catalog() -> list[dict]:
+    """Discovery payloads for ``GET /api/problems`` and the CLI."""
+    load_builtin_problems()
+    return REGISTRY.describe_all()

@@ -14,24 +14,46 @@ from repro.service.api import FrontierPoint
 from repro.store.analytics import FrontComparison
 from repro.store.runstore import RunRecord
 
-__all__ = ["run_report_markdown", "run_report_csv", "comparison_markdown"]
+__all__ = [
+    "run_report_markdown",
+    "run_report_csv",
+    "comparison_markdown",
+    "front_columns",
+    "front_rows",
+]
 
-#: Column order shared by the Markdown and CSV front tables.
+#: Column order shared by the Markdown/CSV front tables and
+#: ``repro runs show``.  The ``extras`` column appears only when some
+#: point actually carries extras, so dcim renderings keep their pre-v2
+#: column layout.
 FRONT_COLUMNS = ("precision", "n", "h", "l", "k", "objectives")
+FRONT_COLUMNS_EXTRAS = ("precision", "n", "h", "l", "k", "extras",
+                        "objectives")
 
 
-def _front_rows(front: list[FrontierPoint]) -> list[tuple]:
-    return [
-        (
-            p.precision,
-            p.n,
-            p.h,
-            p.l,
-            p.k,
-            " ".join(f"{o:.6g}" for o in p.objectives),
-        )
-        for p in front
-    ]
+def front_columns(front: list[FrontierPoint]) -> tuple[str, ...]:
+    """Headers matching :func:`front_rows` for this front."""
+    if any(p.extras for p in front):
+        return FRONT_COLUMNS_EXTRAS
+    return FRONT_COLUMNS
+
+
+def front_rows(
+    front: list[FrontierPoint], precision: int = 6
+) -> list[tuple]:
+    """Render a front as table rows (shared by reports and the CLI)."""
+    with_extras = any(p.extras for p in front)
+    rows = []
+    for p in front:
+        row = [p.precision, p.n, p.h, p.l, p.k]
+        if with_extras:
+            row.append(
+                " ".join(f"{k}={v}" for k, v in sorted(p.extras.items()))
+                or "-"
+            )
+        row.append(" ".join(f"{o:.{precision}g}" for o in p.objectives))
+        rows.append(tuple(row))
+    return rows
 
 
 def _markdown_table(headers: tuple[str, ...], rows: list[tuple]) -> str:
@@ -57,6 +79,7 @@ def run_report_markdown(
         f"# Campaign run `{title}`",
         "",
         f"- run id: `{record.run_id}`",
+        f"- problem: `{record.problem}`",
         f"- status: **{record.status}**",
         f"- recorded: {recorded}",
         f"- specs: {', '.join(record.specs) or '-'}",
@@ -76,7 +99,9 @@ def run_report_markdown(
         lines.append(f"- error: {record.error}")
     lines.extend(["", f"## Merged frontier ({len(front)} designs)", ""])
     if front:
-        lines.append(_markdown_table(FRONT_COLUMNS, _front_rows(front)))
+        lines.append(
+            _markdown_table(front_columns(front), front_rows(front))
+        )
     else:
         lines.append("*(no front recorded)*")
     return "\n".join(lines) + "\n"
@@ -84,8 +109,8 @@ def run_report_markdown(
 
 def run_report_csv(record: RunRecord, front: list[FrontierPoint]) -> str:
     """One run's front as CSV (objectives space-separated in one cell)."""
-    rows = [(record.run_id,) + row for row in _front_rows(front)]
-    return csv_table(("run_id",) + FRONT_COLUMNS, rows)
+    rows = [(record.run_id,) + row for row in front_rows(front)]
+    return csv_table(("run_id",) + front_columns(front), rows)
 
 
 def comparison_markdown(comparison: FrontComparison) -> str:

@@ -23,6 +23,7 @@ MOGA explorer into shared infrastructure:
 """
 
 from repro.service.api import (
+    SCHEMA_VERSION,
     CampaignRequest,
     CampaignResponse,
     FrontierPoint,
@@ -64,6 +65,7 @@ from repro.service.server import (
 )
 
 __all__ = [
+    "SCHEMA_VERSION",
     "CampaignCancelled",
     "CampaignEvent",
     "EventBuffer",

@@ -3,7 +3,21 @@
 Campaigns are driven programmatically (:func:`repro.service.campaign.
 run_campaign`) or through the job queue; either way the boundary speaks
 these dataclasses, and every record round-trips through JSON so requests
-can be submitted from the CLI, files, or — later — a network front-end.
+can be submitted from the CLI, files, or a network front-end.
+
+Schema v2 (this release) makes the wire format problem-agnostic::
+
+    {"schema_version": 2, "problem": "dcim",
+     "specs": [{"wstore": 8192, "precision": "INT8"}], ...}
+
+``problem`` names a :mod:`repro.problems` registry entry, which owns
+the per-problem spec validation.  Legacy v1 payloads (no
+``schema_version``/``problem`` keys) are upgraded transparently by the
+loaders — they resolve to ``problem: "dcim"`` and produce bit-identical
+campaign results and identical :meth:`CampaignRequest.fingerprint`
+values, so existing request files, caches and registry rows keep
+matching.  Loaders ignore unknown keys with a warning instead of
+raising, so files written by newer schema versions stay readable.
 """
 
 from __future__ import annotations
@@ -12,19 +26,33 @@ import json
 from dataclasses import asdict, dataclass, field
 
 from repro.core.spec import DcimSpec, DesignPoint
+from repro.problems.base import DEFAULT_PROBLEM, filter_unknown_keys
 from repro.service.cache import stable_hash
 
 __all__ = [
+    "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "SpecRequest",
     "CampaignRequest",
     "FrontierPoint",
     "CampaignResponse",
 ]
 
+#: The schema this release writes.
+SCHEMA_VERSION = 2
+
+#: Schemas the loaders accept (v1 payloads are upgraded in place).
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+
 
 @dataclass(frozen=True)
 class SpecRequest:
-    """JSON-able mirror of :class:`~repro.core.spec.DcimSpec`."""
+    """JSON-able mirror of :class:`~repro.core.spec.DcimSpec`.
+
+    This is the wire spec of the ``"dcim"`` problem; other problems
+    carry their own spec dataclasses (see the
+    :mod:`repro.problems` registry).
+    """
 
     wstore: int
     precision: str
@@ -55,44 +83,95 @@ class SpecRequest:
             max_n=spec.max_n,
         )
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SpecRequest":
+        """Tolerant loader: unknown keys are dropped with a warning."""
+        return cls(**filter_unknown_keys(dict(payload), cls, "SpecRequest"))
+
 
 @dataclass(frozen=True)
 class CampaignRequest:
-    """One multi-spec exploration campaign.
+    """One multi-spec exploration campaign (schema v2).
 
     Attributes:
-        specs: the specifications to explore (one NSGA-II run each).
-        population_size / generations: GA sizing shared by all runs.
+        specs: the specifications to explore (one NSGA-II run each);
+            raw dicts are validated through the problem's registry
+            entry, so each problem enforces its own spec schema.
+        population_size / generations: GA sizing shared by all runs;
+            ``None`` resolves to the problem's own default sizing (the
+            one ``GET /api/problems`` advertises) at construction, so
+            a stored request always carries concrete numbers.
         seed: base GA seed; spec ``i`` runs with ``seed + i``.
         backend: evaluation backend (``serial``/``thread``/``process``).
         workers: campaign-level parallelism (specs explored at once).
         chunk_size: genomes per executor task (``None`` = automatic).
         engine: cost-engine backend (``auto``/``numpy``/``python``);
             all choices return bit-identical objective vectors.
+        schema_version: wire-format version; v1 payloads are accepted
+            and upgraded, so a constructed request always carries
+            :data:`SCHEMA_VERSION`.
+        problem: :mod:`repro.problems` registry name this campaign
+            optimises (default ``"dcim"``).
     """
 
-    specs: tuple[SpecRequest, ...]
-    population_size: int = 64
-    generations: int = 60
+    specs: tuple
+    population_size: int | None = None
+    generations: int | None = None
     seed: int = 0
     backend: str = "serial"
     workers: int = 1
     chunk_size: int | None = None
     engine: str = "auto"
+    schema_version: int = SCHEMA_VERSION
+    problem: str = DEFAULT_PROBLEM
 
     def __post_init__(self) -> None:
-        # Tolerate lists and raw dicts from JSON callers.
-        specs = tuple(
-            s if isinstance(s, SpecRequest) else SpecRequest(**s)
-            for s in self.specs
-        )
+        if self.schema_version not in SUPPORTED_SCHEMA_VERSIONS:
+            raise ValueError(
+                f"unsupported schema_version {self.schema_version!r}; "
+                f"supported: {list(SUPPORTED_SCHEMA_VERSIONS)}"
+            )
+        # Requests are always upgraded to the current schema in memory.
+        object.__setattr__(self, "schema_version", SCHEMA_VERSION)
+        from repro.problems import get_problem
+
+        try:
+            definition = get_problem(self.problem)
+        except KeyError as exc:
+            raise ValueError(str(exc.args[0])) from None
+        # Omitted GA sizing resolves to the problem's own defaults —
+        # the numbers GET /api/problems advertises — so a raw HTTP
+        # submit and the CLI run the same campaign.
+        if self.population_size is None:
+            object.__setattr__(
+                self, "population_size", definition.sizing.population_size
+            )
+        if self.generations is None:
+            object.__setattr__(
+                self, "generations", definition.sizing.generations
+            )
+        # Tolerate lists and raw dicts from JSON callers; the problem's
+        # registry entry validates each spec payload.
+        specs = tuple(definition.parse_spec(s) for s in self.specs)
         object.__setattr__(self, "specs", specs)
         if not specs:
             raise ValueError("a campaign needs at least one spec")
 
     def fingerprint(self) -> str:
-        """Stable content hash used for request deduplication."""
-        return stable_hash(self.to_dict())
+        """Stable content hash used for request deduplication.
+
+        ``schema_version`` never participates: the hash identifies the
+        *workload*, and a request upgraded across schema bumps must keep
+        matching its job-queue dedup entries and registry rows.  For the
+        default ``"dcim"`` problem the ``problem`` key is dropped too,
+        reproducing the v1-era layout exactly, so fingerprints recorded
+        before the v2 schema keep matching as well.
+        """
+        payload = self.to_dict()
+        del payload["schema_version"]
+        if self.problem == DEFAULT_PROBLEM:
+            del payload["problem"]
+        return stable_hash(payload)
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -102,11 +181,18 @@ class CampaignRequest:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "CampaignRequest":
+        """Load a v1 or v2 payload (v1 is upgraded to ``problem: dcim``)."""
         payload = dict(payload)
-        payload["specs"] = tuple(
-            SpecRequest(**spec) for spec in payload.get("specs", ())
-        )
-        return cls(**payload)
+        version = payload.pop("schema_version", 1)
+        problem = payload.pop("problem", DEFAULT_PROBLEM)
+        if version not in SUPPORTED_SCHEMA_VERSIONS:
+            raise ValueError(
+                f"unsupported schema_version {version!r}; "
+                f"supported: {list(SUPPORTED_SCHEMA_VERSIONS)}"
+            )
+        payload = filter_unknown_keys(payload, cls, "CampaignRequest")
+        payload["specs"] = tuple(payload.get("specs", ()))
+        return cls(schema_version=version, problem=problem, **payload)
 
     @classmethod
     def from_json(cls, text: str) -> "CampaignRequest":
@@ -115,7 +201,14 @@ class CampaignRequest:
 
 @dataclass(frozen=True)
 class FrontierPoint:
-    """One merged-frontier design plus its objective vector."""
+    """One merged-frontier design plus its objective vector.
+
+    The ``(precision, n, h, l, k)`` columns describe the underlying
+    macro design; problems whose candidates carry more state (e.g. the
+    ``"mapping"`` problem's macro count) put it in ``extras``, which is
+    serialised only when non-empty so ``"dcim"`` payloads and content
+    hashes are byte-identical to the v1 era.
+    """
 
     precision: str
     n: int
@@ -123,6 +216,31 @@ class FrontierPoint:
     l: int
     k: int
     objectives: tuple[float, ...] = ()
+    extras: dict = field(default_factory=dict)
+
+    def __hash__(self) -> int:
+        # The generated frozen-dataclass hash would choke on the extras
+        # dict; hash its canonical JSON instead so points stay usable
+        # in sets/dict keys (as they were before extras existed), even
+        # when extras values are themselves lists/dicts.  Treat extras
+        # as immutable — mutating it in place would desync equality,
+        # hashes and the store's content addresses.
+        extras_key = (
+            json.dumps(self.extras, sort_keys=True, default=str)
+            if self.extras
+            else ""
+        )
+        return hash(
+            (
+                self.precision,
+                self.n,
+                self.h,
+                self.l,
+                self.k,
+                self.objectives,
+                extras_key,
+            )
+        )
 
     @classmethod
     def from_design(
@@ -145,13 +263,16 @@ class FrontierPoint:
     def to_dict(self) -> dict:
         payload = asdict(self)
         payload["objectives"] = list(self.objectives)
+        if not self.extras:
+            del payload["extras"]
         return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "FrontierPoint":
-        return cls(
-            **{**payload, "objectives": tuple(payload.get("objectives", ()))}
-        )
+        payload = filter_unknown_keys(dict(payload), cls, "FrontierPoint")
+        payload["objectives"] = tuple(payload.get("objectives", ()))
+        payload["extras"] = dict(payload.get("extras", ()))
+        return cls(**payload)
 
 
 @dataclass(frozen=True)
@@ -171,6 +292,7 @@ class CampaignResponse:
         wall_time_s: end-to-end campaign wall clock.
         engine_backend: which cost-engine backend ran
             (``numpy``/``python``).
+        problem: registry name of the problem the campaign optimised.
     """
 
     frontier: tuple[FrontierPoint, ...]
@@ -180,10 +302,11 @@ class CampaignResponse:
     cache_stats: dict | None = None
     wall_time_s: float = 0.0
     engine_backend: str = "python"
+    problem: str = DEFAULT_PROBLEM
 
     def __post_init__(self) -> None:
         frontier = tuple(
-            p if isinstance(p, FrontierPoint) else FrontierPoint(**p)
+            p if isinstance(p, FrontierPoint) else FrontierPoint.from_dict(p)
             for p in self.frontier
         )
         object.__setattr__(self, "frontier", frontier)
@@ -192,17 +315,27 @@ class CampaignResponse:
         )
 
     def to_dict(self) -> dict:
-        payload = asdict(self)
-        for point in payload["frontier"]:
-            point["objectives"] = list(point["objectives"])
-        return payload
+        # Not asdict(): that would deep-convert the frontier only for
+        # the next line to redo it point by point.
+        return {
+            "frontier": [point.to_dict() for point in self.frontier],
+            "evaluations": self.evaluations,
+            "fresh_evaluations": self.fresh_evaluations,
+            "per_spec_evaluations": list(self.per_spec_evaluations),
+            "cache_stats": (
+                dict(self.cache_stats) if self.cache_stats is not None else None
+            ),
+            "wall_time_s": self.wall_time_s,
+            "engine_backend": self.engine_backend,
+            "problem": self.problem,
+        }
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), sort_keys=True)
 
     @classmethod
     def from_dict(cls, payload: dict) -> "CampaignResponse":
-        payload = dict(payload)
+        payload = filter_unknown_keys(dict(payload), cls, "CampaignResponse")
         payload["frontier"] = tuple(
             FrontierPoint.from_dict(point)
             for point in payload.get("frontier", ())

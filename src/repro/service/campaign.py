@@ -30,7 +30,8 @@ from repro.dse.explorer import (
 )
 from repro.dse.nsga2 import GenerationProgress, NSGA2Config
 from repro.model.engine import ENGINE_BACKENDS, resolve_backend
-from repro.service.api import CampaignRequest, CampaignResponse, FrontierPoint
+from repro.problems import DEFAULT_PROBLEM, get_problem
+from repro.service.api import CampaignRequest, CampaignResponse
 from repro.service.cache import CacheStats, EvaluationCache
 from repro.service.events import (
     CampaignCancelled,
@@ -67,6 +68,8 @@ class CampaignConfig:
             executor.
         engine: cost-engine backend (``auto``/``numpy``/``python``)
             used inside every problem; bit-identical across choices.
+        problem: :mod:`repro.problems` registry name; every spec of the
+            campaign is explored through that entry's problem factory.
     """
 
     nsga2: NSGA2Config = field(default_factory=NSGA2Config)
@@ -75,6 +78,7 @@ class CampaignConfig:
     backend: str = "serial"
     chunk_size: int | None = None
     engine: str = "auto"
+    problem: str = DEFAULT_PROBLEM
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -86,6 +90,10 @@ class CampaignConfig:
                 f"unknown engine backend {self.engine!r}; "
                 f"choose from {ENGINE_BACKENDS}"
             )
+        try:
+            get_problem(self.problem)
+        except KeyError as exc:
+            raise ValueError(str(exc.args[0])) from None
 
 
 @dataclass
@@ -107,6 +115,9 @@ class CampaignResult:
         run_id: registry id assigned when the campaign was recorded
             into a :class:`~repro.store.runstore.RunStore` (``None``
             for unrecorded campaigns).
+        problem: :mod:`repro.problems` registry name the campaign
+            optimised (decides how ``merged_points`` flatten into
+            frontier records).
     """
 
     results: list[ExplorationResult]
@@ -117,6 +128,7 @@ class CampaignResult:
     wall_time_s: float = 0.0
     engine_backend: str = "python"
     run_id: str | None = None
+    problem: str = DEFAULT_PROBLEM
 
     @property
     def fresh_evaluations(self) -> int:
@@ -133,8 +145,9 @@ class CampaignResult:
 
     def to_response(self) -> CampaignResponse:
         """Flatten into the JSON-able API record."""
+        definition = get_problem(self.problem)
         frontier = tuple(
-            FrontierPoint.from_design(point, tuple(row))
+            definition.frontier_point(point, tuple(row))
             for point, row in zip(self.merged_points, self.merged_objectives)
         )
         return CampaignResponse(
@@ -145,32 +158,41 @@ class CampaignResult:
             cache_stats=self.cache_stats.as_dict() if self.cache_stats else None,
             wall_time_s=self.wall_time_s,
             engine_backend=self.engine_backend,
+            problem=self.problem,
         )
 
 
 def spec_label(spec: DcimSpec) -> str:
-    """The ``"<wstore>:<precision>"`` label events identify a spec by."""
+    """The ``"<wstore>:<precision>"`` label events identify a spec by.
+
+    This is the ``"dcim"`` labelling; generic campaigns label specs
+    through their problem definition's ``spec_label``.
+    """
     return f"{spec.wstore}:{spec.precision.name}"
 
 
-def _campaign_fingerprint(
-    specs: list[DcimSpec], config: CampaignConfig
-) -> str:
+def _campaign_fingerprint(specs: list, config: CampaignConfig) -> str:
     """Content hash of a programmatic campaign (mirrors
     :meth:`~repro.service.api.CampaignRequest.fingerprint` in spirit —
-    identical workloads share it)."""
+    identical workloads share it).  Like the request fingerprint, the
+    default ``"dcim"`` problem hashes the pre-v2 config layout so
+    registry rows recorded before the schema upgrade keep matching.
+    """
     from repro.service.cache import stable_hash
 
+    config_payload = dataclasses.asdict(config)
+    if config.problem == DEFAULT_PROBLEM:
+        del config_payload["problem"]
     return stable_hash(
         {
             "specs": [dataclasses.asdict(spec) for spec in specs],
-            "config": dataclasses.asdict(config),
+            "config": config_payload,
         }
     )
 
 
 def run_campaign(
-    specs: list[DcimSpec],
+    specs: list,
     config: CampaignConfig | None = None,
     library: CellLibrary | None = None,
     cache: EvaluationCache | None = None,
@@ -183,7 +205,10 @@ def run_campaign(
     """Explore ``specs`` concurrently and merge their Pareto fronts.
 
     Args:
-        specs: the specifications to explore (one GA run each).
+        specs: the specifications to explore (one GA run each) —
+            concrete spec objects of ``config.problem``'s registry
+            entry (:class:`~repro.core.spec.DcimSpec` for the default
+            ``"dcim"`` problem).
         config: campaign sizing/backing (defaults everywhere).
         library: shared normalised cell library.
         cache: shared evaluation cache; campaigns that pass the same
@@ -217,13 +242,21 @@ def run_campaign(
         raise ValueError("a campaign needs at least one spec")
     config = config or CampaignConfig()
     library = library or CellLibrary.default()
+    definition = get_problem(config.problem)
     # Resolve the engine first: a resolution failure must not leak a
     # freshly spawned worker pool.
     engine_backend = resolve_backend(config.engine)
     own_executor = executor is None
     executor = executor or make_executor(config.backend, chunk_size=config.chunk_size)
     explorer = DesignSpaceExplorer(
-        library, config.nsga2, cache=cache, executor=executor, engine=config.engine
+        library,
+        config.nsga2,
+        cache=cache,
+        executor=executor,
+        engine=config.engine,
+        problem_factory=lambda spec: definition.make_problem(
+            spec, library=library, engine=config.engine
+        ),
     )
     stats_before = dataclasses.replace(cache.stats) if cache is not None else None
 
@@ -249,7 +282,7 @@ def run_campaign(
     def explore_one(i: int, spec: DcimSpec) -> ExplorationResult | None:
         if should_stop is not None and should_stop():
             return None
-        label = spec_label(spec)
+        label = definition.spec_label(spec)
         emit(
             CampaignEvent(
                 kind=EventKind.SPEC_STARTED,
@@ -317,7 +350,7 @@ def run_campaign(
             executor.close()
     wall_time = time.perf_counter() - started
 
-    labels = [spec_label(spec) for spec in specs]
+    labels = [definition.spec_label(spec) for spec in specs]
     if any(result is None for result in maybe_results) or (
         should_stop is not None and should_stop()
     ):
@@ -331,6 +364,7 @@ def run_campaign(
                 specs=labels,
                 name=run_name,
                 fingerprint=_campaign_fingerprint(specs, config),
+                problem=config.problem,
             )
         raise CampaignCancelled(message)
     results: list[ExplorationResult] = maybe_results
@@ -364,6 +398,7 @@ def run_campaign(
         cache_stats=stats,
         wall_time_s=wall_time,
         engine_backend=engine_backend,
+        problem=config.problem,
     )
     if store is not None:
         record = _record_safely(
@@ -413,9 +448,12 @@ def execute_request(
     drives: a pure ``CampaignRequest -> CampaignResponse`` function,
     optionally narrating progress through ``observer`` and stopping
     cooperatively when ``should_stop`` returns True (by raising
-    :class:`~repro.service.events.CampaignCancelled`).
+    :class:`~repro.service.events.CampaignCancelled`).  The request's
+    ``problem`` picks the :mod:`repro.problems` registry entry that
+    materialises the specs and builds the GA problems.
     """
-    specs = [spec.to_spec() for spec in request.specs]
+    definition = get_problem(request.problem)
+    specs = [definition.to_spec(spec) for spec in request.specs]
     config = CampaignConfig(
         nsga2=NSGA2Config(
             population_size=request.population_size,
@@ -426,6 +464,7 @@ def execute_request(
         backend=request.backend,
         chunk_size=request.chunk_size,
         engine=request.engine,
+        problem=request.problem,
     )
     result = run_campaign(
         specs,

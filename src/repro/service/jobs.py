@@ -5,7 +5,10 @@ The queue is the serving core the front-ends wrap: campaigns are
 in-flight requests collapse onto one job (content-addressed by the
 request fingerprint), and each job carries a status/result record plus
 a bounded :class:`~repro.service.events.EventBuffer` that streams the
-campaign's progress events.
+campaign's progress events.  The queue is problem-agnostic: the default
+runner (:func:`~repro.service.campaign.execute_request`) dispatches
+each request through its ``problem``'s :mod:`repro.problems` registry
+entry, so any registered problem is servable without queue changes.
 
 Execution comes in two flavours that share one scheduler:
 

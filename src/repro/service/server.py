@@ -15,13 +15,16 @@ dedup layer):
 * :class:`CampaignHTTPServer` — a stdlib-only (``http.server``)
   JSON-over-HTTP server so campaigns are drivable over a socket::
 
-      POST /api/campaigns                 submit (body: CampaignRequest)
+      POST /api/campaigns                 submit (body: CampaignRequest
+                                          v2; v1 payloads are upgraded)
       GET  /api/campaigns                 list jobs
       GET  /api/campaigns/<id>            status record
       GET  /api/campaigns/<id>/result     CampaignResponse (409 until done)
       GET  /api/campaigns/<id>/events     ?cursor=N&wait=SECONDS long-poll
       POST /api/campaigns/<id>/cancel     cooperative cancellation
-      GET  /api/runs                      recorded runs (?status=&limit=)
+      GET  /api/problems                  registered problem catalogue
+      GET  /api/runs                      recorded runs
+                                          (?status=&problem=&limit=&offset=)
       GET  /api/runs/<id>                 one registry row
       GET  /api/runs/<id>/front           recorded merged frontier
       GET  /api/compare?a=..&b=..         front-quality indicators
@@ -30,7 +33,8 @@ dedup layer):
 
   The ``/api/runs`` family answers 404 unless the server was given a
   :class:`~repro.store.runstore.RunStore` (the same instance the queue
-  records into).
+  records into).  Every non-2xx answer carries a structured JSON error
+  envelope ``{"error": {"code": ..., "message": ...}}``.
 
 :class:`CampaignClient` is the matching ``urllib``-based client used by
 ``repro submit`` / ``repro watch``.
@@ -158,16 +162,32 @@ class AsyncCampaignService:
             if done:
                 return
 
+    # Problem discovery ----------------------------------------------------
+    async def problems(self) -> list[dict]:
+        """Discovery payloads of every registered problem."""
+        from repro.problems import problem_catalog
+
+        # First call imports/registers the built-ins: keep it off-loop.
+        return await asyncio.to_thread(problem_catalog)
+
     # Run registry ---------------------------------------------------------
     def _require_store(self):
         if self.store is None:
             raise RuntimeError("no run store attached to this service")
         return self.store
 
-    async def runs(self, limit: int | None = None, status: str | None = None):
+    async def runs(
+        self,
+        limit: int | None = None,
+        status: str | None = None,
+        offset: int = 0,
+        problem: str | None = None,
+    ):
         """Recorded runs, newest first (requires an attached store)."""
         store = self._require_store()
-        return await asyncio.to_thread(store.list_runs, limit, status)
+        return await asyncio.to_thread(
+            store.list_runs, limit, status, offset, problem
+        )
 
     async def run(self, run_id: str):
         """One registry row by id."""
@@ -201,17 +221,37 @@ class AsyncCampaignService:
 # HTTP server ---------------------------------------------------------------
 
 
-class _ApiError(Exception):
-    """Maps a handler failure onto an HTTP status."""
+#: Default error codes per HTTP status (overridable per raise site).
+_DEFAULT_ERROR_CODES = {
+    400: "bad_request",
+    404: "not_found",
+    405: "method_not_allowed",
+    409: "conflict",
+    500: "internal",
+    503: "unavailable",
+}
 
-    def __init__(self, status: int, message: str) -> None:
+
+class _ApiError(Exception):
+    """Maps a handler failure onto an HTTP status + error envelope.
+
+    Every failure answer has the shape
+    ``{"error": {"code": <machine-readable>, "message": <human>}}``.
+    """
+
+    def __init__(self, status: int, message: str, code: str | None = None) -> None:
         super().__init__(message)
         self.status = status
+        self.code = code or _DEFAULT_ERROR_CODES.get(status, "error")
+
+    def envelope(self) -> dict:
+        return {"error": {"code": self.code, "message": str(self)}}
 
 
 def _job_payload(record) -> dict:
     return {
         "job_id": record.job_id,
+        "problem": record.request.problem,
         "status": record.status.value,
         "submissions": record.submissions,
         "error": record.error,
@@ -240,9 +280,10 @@ class _CampaignHandler(BaseHTTPRequestHandler):
         try:
             payload, status = self._route(method)
         except _ApiError as exc:
-            payload, status = {"error": str(exc)}, exc.status
+            payload, status = exc.envelope(), exc.status
         except Exception as exc:  # defensive: a handler bug must answer
-            payload, status = {"error": f"{type(exc).__name__}: {exc}"}, 500
+            error = _ApiError(500, f"{type(exc).__name__}: {exc}")
+            payload, status = error.envelope(), error.status
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -261,6 +302,10 @@ class _CampaignHandler(BaseHTTPRequestHandler):
         if method == "GET" and parts == ["api", "stats"]:
             queue.sweep_expired()  # stats reads tick the TTL sweep
             return queue.stats.as_dict(), 200
+        if method == "GET" and parts == ["api", "problems"]:
+            from repro.problems import problem_catalog
+
+            return {"problems": problem_catalog()}, 200
         if method == "GET" and parts[:2] == ["api", "runs"]:
             return self._runs(parts[2:], query)
         if method == "GET" and parts == ["api", "compare"]:
@@ -293,12 +338,22 @@ class _CampaignHandler(BaseHTTPRequestHandler):
 
     # Endpoints ------------------------------------------------------------
     def _submit(self) -> dict:
+        from repro.problems import SpecValidationError
+
         length = int(self.headers.get("Content-Length", 0))
         raw = self.rfile.read(length) if length else b""
         try:
             request = CampaignRequest.from_json(raw.decode("utf-8"))
+        except json.JSONDecodeError as exc:
+            raise _ApiError(
+                400, f"request body is not valid JSON: {exc}", "invalid_json"
+            ) from None
+        except SpecValidationError as exc:
+            raise _ApiError(400, str(exc), "invalid_spec") from None
         except Exception as exc:
-            raise _ApiError(400, f"bad campaign request: {exc}") from None
+            raise _ApiError(
+                400, f"bad campaign request: {exc}", "invalid_request"
+            ) from None
         try:
             job_id = self.server.queue.submit(request)
         except RuntimeError as exc:  # queue closed
@@ -309,31 +364,46 @@ class _CampaignHandler(BaseHTTPRequestHandler):
         queue = self.server.queue
         status = queue.status(job_id)
         if status in (JobStatus.PENDING, JobStatus.RUNNING):
-            raise _ApiError(409, f"{job_id} is still {status.value}")
+            raise _ApiError(
+                409, f"{job_id} is still {status.value}", "not_ready"
+            )
         if status is not JobStatus.DONE:
             record = queue.record(job_id)
             raise _ApiError(
-                410, record.error or f"{job_id} was {status.value}"
+                409,
+                record.error or f"{job_id} was {status.value}",
+                f"campaign_{status.value}",
             )
         return queue.result(job_id).to_dict(), 200
 
     def _store(self):
         store = self.server.store
         if store is None:
-            raise _ApiError(404, "no run store configured")
+            raise _ApiError(404, "no run store configured", "no_store")
         return store
 
     def _runs(self, tail: list[str], query: dict) -> tuple[dict, int]:
         store = self._store()
         if not tail:
             status = query.get("status", [None])[0]
+            problem = query.get("problem", [None])[0]
             try:
                 limit_text = query.get("limit", [None])[0]
                 limit = int(limit_text) if limit_text is not None else None
+                offset = int(query.get("offset", ["0"])[0])
             except ValueError as exc:
                 raise _ApiError(400, f"bad query parameter: {exc}") from None
-            records = store.list_runs(limit=limit, status=status)
-            return {"runs": [r.to_dict() for r in records]}, 200
+            try:
+                records = store.list_runs(
+                    limit=limit, status=status, offset=offset, problem=problem
+                )
+            except ValueError as exc:  # e.g. negative offset
+                raise _ApiError(400, str(exc)) from None
+            return {
+                "runs": [r.to_dict() for r in records],
+                "limit": limit,
+                "offset": offset,
+            }, 200
         run_id = tail[0]
         try:
             if len(tail) == 1:
@@ -361,7 +431,7 @@ class _CampaignHandler(BaseHTTPRequestHandler):
         except KeyError as exc:
             raise _ApiError(404, str(exc)) from None
         except ValueError as exc:
-            raise _ApiError(409, str(exc)) from None
+            raise _ApiError(409, str(exc), "not_comparable") from None
         return comparison.to_dict()
 
     def _events(self, job_id: str, query: dict) -> dict:
@@ -474,13 +544,26 @@ def serve(
 class CampaignClient:
     """Minimal ``urllib`` client for :class:`CampaignHTTPServer`.
 
-    Every method raises :class:`RuntimeError` with the server's
-    ``error`` message on non-2xx answers.
+    Every method raises :class:`RuntimeError` on non-2xx answers,
+    carrying the server's structured error envelope (code + message).
     """
 
     def __init__(self, base_url: str, timeout: float = 60.0) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+
+    @staticmethod
+    def _error_detail(raw: bytes) -> str:
+        """Flatten an error envelope (or legacy string) for the message."""
+        try:
+            error = json.loads(raw.decode("utf-8")).get("error", "")
+        except Exception:
+            return ""
+        if isinstance(error, dict):
+            code = error.get("code", "error")
+            message = error.get("message", "")
+            return f"{code}: {message}" if message else str(code)
+        return str(error)
 
     def _call(self, method: str, path: str, payload: dict | None = None) -> dict:
         body = None if payload is None else json.dumps(payload).encode("utf-8")
@@ -494,10 +577,7 @@ class CampaignClient:
             with _urllib_request.urlopen(req, timeout=self.timeout) as answer:
                 return json.loads(answer.read().decode("utf-8"))
         except HTTPError as exc:
-            try:
-                detail = json.loads(exc.read().decode("utf-8")).get("error", "")
-            except Exception:
-                detail = ""
+            detail = self._error_detail(exc.read())
             raise RuntimeError(
                 f"{method} {path} failed: HTTP {exc.code}"
                 + (f" ({detail})" if detail else "")
@@ -537,8 +617,16 @@ class CampaignClient:
             if done:
                 return
 
+    def problems(self) -> list[dict]:
+        """The server's registered problem catalogue."""
+        return self._call("GET", "/api/problems")["problems"]
+
     def runs(
-        self, limit: int | None = None, status: str | None = None
+        self,
+        limit: int | None = None,
+        status: str | None = None,
+        offset: int = 0,
+        problem: str | None = None,
     ) -> list[dict]:
         """Recorded runs (registry rows as dicts), newest first."""
         params = []
@@ -546,6 +634,10 @@ class CampaignClient:
             params.append(f"limit={limit}")
         if status is not None:
             params.append(f"status={status}")
+        if offset:
+            params.append(f"offset={offset}")
+        if problem is not None:
+            params.append(f"problem={_quote(problem)}")
         tail = f"?{'&'.join(params)}" if params else ""
         return self._call("GET", f"/api/runs{tail}")["runs"]
 

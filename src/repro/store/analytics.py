@@ -264,11 +264,19 @@ def compare_runs(store: RunStore, ref_a: str, ref_b: str) -> FrontComparison:
     """Compare two recorded runs (by id, baseline name, or run name).
 
     Raises :class:`KeyError` for unknown references and
-    :class:`ValueError` when either run recorded an empty front (failed
-    or cancelled runs have nothing to compare).
+    :class:`ValueError` when the runs optimised different problems
+    (their objective spaces are incomparable) or when either run
+    recorded an empty front (failed or cancelled runs have nothing to
+    compare).
     """
     record_a = store.resolve(ref_a)
     record_b = store.resolve(ref_b)
+    if record_a.problem != record_b.problem:
+        raise ValueError(
+            f"cannot compare runs of different problems: "
+            f"{record_a.run_id} optimised {record_a.problem!r}, "
+            f"{record_b.run_id} optimised {record_b.problem!r}"
+        )
     front_a = store.front(record_a.run_id)
     front_b = store.front(record_b.run_id)
     if not front_a or not front_b:

@@ -50,7 +50,8 @@ CREATE TABLE IF NOT EXISTS runs (
     specs TEXT NOT NULL,
     request TEXT,
     cache_stats TEXT,
-    error TEXT
+    error TEXT,
+    problem TEXT NOT NULL DEFAULT 'dcim'
 );
 CREATE INDEX IF NOT EXISTS runs_by_fingerprint ON runs(fingerprint);
 CREATE INDEX IF NOT EXISTS runs_by_created ON runs(created_at);
@@ -61,7 +62,8 @@ CREATE TABLE IF NOT EXISTS design_points (
     h INTEGER NOT NULL,
     l INTEGER NOT NULL,
     k INTEGER NOT NULL,
-    objectives TEXT NOT NULL
+    objectives TEXT NOT NULL,
+    extras TEXT NOT NULL DEFAULT '{}'
 );
 CREATE TABLE IF NOT EXISTS fronts (
     run_id TEXT NOT NULL REFERENCES runs(run_id) ON DELETE CASCADE,
@@ -78,17 +80,23 @@ CREATE TABLE IF NOT EXISTS baselines (
 
 
 def point_hash(point: FrontierPoint) -> str:
-    """Content address of one frontier point (design + objectives)."""
-    return stable_hash(
-        {
-            "precision": point.precision,
-            "n": point.n,
-            "h": point.h,
-            "l": point.l,
-            "k": point.k,
-            "objectives": list(point.objectives),
-        }
-    )
+    """Content address of one frontier point (design + objectives).
+
+    ``extras`` participates only when non-empty, so hashes of plain
+    DCIM points are identical to those recorded before problems with
+    extra point state existed.
+    """
+    payload = {
+        "precision": point.precision,
+        "n": point.n,
+        "h": point.h,
+        "l": point.l,
+        "k": point.k,
+        "objectives": list(point.objectives),
+    }
+    if point.extras:
+        payload["extras"] = point.extras
+    return stable_hash(payload)
 
 
 @dataclass(frozen=True)
@@ -106,10 +114,13 @@ class RunRecord:
         evaluations / fresh_evaluations: unique genomes looked up /
             actually computed (cache misses).
         engine_backend: cost-engine backend that ran.
-        specs: per-spec labels (``"<wstore>:<precision>"``).
+        specs: per-spec labels (``"<wstore>:<precision>"`` for DCIM).
         front_size: merged-frontier rows recorded for this run.
         cache_stats: cache counter snapshot (``None`` when uncached).
         error: failure/cancellation detail for non-``done`` runs.
+        problem: :mod:`repro.problems` registry name the run optimised;
+            analytics and the regression gate only compare runs of the
+            same problem.
     """
 
     run_id: str
@@ -125,6 +136,7 @@ class RunRecord:
     front_size: int = 0
     cache_stats: dict | None = None
     error: str | None = None
+    problem: str = "dcim"
 
     def to_dict(self) -> dict:
         return {
@@ -141,6 +153,7 @@ class RunRecord:
             "front_size": self.front_size,
             "cache_stats": self.cache_stats,
             "error": self.error,
+            "problem": self.problem,
         }
 
     @classmethod
@@ -153,7 +166,7 @@ class RunRecord:
         """One-line human rendering used by ``repro runs list``."""
         label = f" ({self.name})" if self.name else ""
         return (
-            f"{self.run_id}{label}: {self.status}, "
+            f"{self.run_id}{label}: {self.problem}, {self.status}, "
             f"{len(self.specs)} specs, front {self.front_size}, "
             f"{self.evaluations} evaluations, {self.wall_time_s:.2f} s"
         )
@@ -184,7 +197,37 @@ class RunStore:
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA foreign_keys=ON")
         self._conn.executescript(_SCHEMA)
+        self._migrate()
         self._conn.commit()
+
+    def _migrate(self) -> None:
+        """Bring pre-v2 databases up to the current schema in place.
+
+        ``CREATE TABLE IF NOT EXISTS`` leaves existing tables alone, so
+        columns added since a database was created are backfilled here
+        (``ALTER TABLE ADD COLUMN`` appends, matching the column order
+        of a freshly created schema).
+        """
+        migrations = {
+            "runs": ("problem", "TEXT NOT NULL DEFAULT 'dcim'"),
+            "design_points": ("extras", "TEXT NOT NULL DEFAULT '{}'"),
+        }
+        for table, (column, decl) in migrations.items():
+            present = {
+                row[1]
+                for row in self._conn.execute(f"PRAGMA table_info({table})")
+            }
+            if column not in present:
+                try:
+                    self._conn.execute(
+                        f"ALTER TABLE {table} ADD COLUMN {column} {decl}"
+                    )
+                except sqlite3.OperationalError as exc:
+                    # Two stores opening the same pre-v2 file can race
+                    # the check-then-alter; the loser finds the column
+                    # already added, which is the state we wanted.
+                    if "duplicate column name" not in str(exc).lower():
+                        raise
 
     # Recording ------------------------------------------------------------
     def record_response(
@@ -195,11 +238,14 @@ class RunStore:
         specs: tuple[str, ...] | list[str] = (),
         name: str | None = None,
         fingerprint: str | None = None,
+        problem: str | None = None,
     ) -> RunRecord:
         """Record one successfully finished campaign; returns its row.
 
         ``fingerprint`` defaults to the request's content hash (or, for
-        request-less programmatic campaigns, a hash of the spec labels).
+        request-less programmatic campaigns, a hash of the spec labels);
+        ``problem`` defaults to the request's (or response's) problem
+        name.
         """
         return self._record(
             status="done",
@@ -208,6 +254,7 @@ class RunStore:
             specs=tuple(specs),
             name=name,
             fingerprint=fingerprint,
+            problem=problem,
         )
 
     def record_failure(
@@ -219,6 +266,7 @@ class RunStore:
         specs: tuple[str, ...] | list[str] = (),
         name: str | None = None,
         fingerprint: str | None = None,
+        problem: str | None = None,
     ) -> RunRecord:
         """Record a failed or cancelled campaign (no front rows)."""
         if status not in ("failed", "cancelled"):
@@ -231,6 +279,7 @@ class RunStore:
             name=name,
             fingerprint=fingerprint,
             error=error,
+            problem=problem,
         )
 
     def _record(
@@ -242,66 +291,47 @@ class RunStore:
         name: str | None,
         fingerprint: str | None,
         error: str | None = None,
+        problem: str | None = None,
     ) -> RunRecord:
         if request is not None and not specs:
-            specs = tuple(f"{s.wstore}:{s.precision}" for s in request.specs)
+            from repro.problems import get_problem
+
+            definition = get_problem(request.problem)
+            labels = []
+            for spec in request.specs:
+                try:
+                    labels.append(definition.request_label(spec))
+                except Exception:  # labels must never block recording
+                    labels.append("<unlabelled spec>")
+            specs = tuple(labels)
         if fingerprint is None:
             fingerprint = (
                 request.fingerprint()
                 if request is not None
                 else stable_hash({"specs": list(specs)})
             )
+        if problem is None:
+            if request is not None:
+                problem = request.problem
+            elif response is not None:
+                problem = response.problem
+            else:
+                problem = "dcim"
         run_id = f"run-{uuid.uuid4().hex[:12]}"
         created_at = time.time()
         frontier = response.frontier if response is not None else ()
         with self._lock:
-            self._conn.execute(
-                "INSERT INTO runs (run_id, name, fingerprint, status, "
-                "created_at, wall_time_s, evaluations, fresh_evaluations, "
-                "engine_backend, specs, request, cache_stats, error) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                (
-                    run_id,
-                    name,
-                    fingerprint,
-                    status,
-                    created_at,
-                    response.wall_time_s if response is not None else 0.0,
-                    response.evaluations if response is not None else 0,
-                    response.fresh_evaluations if response is not None else 0,
-                    response.engine_backend if response is not None else None,
-                    json.dumps(list(specs)),
-                    request.to_json() if request is not None else None,
-                    (
-                        json.dumps(response.cache_stats)
-                        if response is not None and response.cache_stats is not None
-                        else None
-                    ),
-                    error,
-                ),
-            )
-            for position, point in enumerate(frontier):
-                digest = point_hash(point)
-                self._conn.execute(
-                    "INSERT OR IGNORE INTO design_points "
-                    "(point_hash, precision, n, h, l, k, objectives) "
-                    "VALUES (?, ?, ?, ?, ?, ?, ?)",
-                    (
-                        digest,
-                        point.precision,
-                        point.n,
-                        point.h,
-                        point.l,
-                        point.k,
-                        json.dumps(list(point.objectives)),
-                    ),
+            try:
+                self._insert_run_locked(
+                    run_id, name, fingerprint, status, created_at,
+                    response, request, specs, error, problem, frontier,
                 )
-                self._conn.execute(
-                    "INSERT INTO fronts (run_id, position, point_hash) "
-                    "VALUES (?, ?, ?)",
-                    (run_id, position, digest),
-                )
-            self._conn.commit()
+                self._conn.commit()
+            except Exception:
+                # A half-inserted run (row without its front) must not
+                # be committed later by an unrelated write.
+                self._conn.rollback()
+                raise
         return RunRecord(
             run_id=run_id,
             name=name,
@@ -320,25 +350,117 @@ class RunStore:
             front_size=len(frontier),
             cache_stats=response.cache_stats if response is not None else None,
             error=error,
+            problem=problem,
         )
+
+    def _insert_run_locked(
+        self,
+        run_id: str,
+        name: str | None,
+        fingerprint: str,
+        status: str,
+        created_at: float,
+        response: CampaignResponse | None,
+        request: CampaignRequest | None,
+        specs: tuple[str, ...],
+        error: str | None,
+        problem: str,
+        frontier,
+    ) -> None:
+        self._conn.execute(
+            "INSERT INTO runs (run_id, name, fingerprint, status, "
+            "created_at, wall_time_s, evaluations, fresh_evaluations, "
+            "engine_backend, specs, request, cache_stats, error, problem) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                run_id,
+                name,
+                fingerprint,
+                status,
+                created_at,
+                response.wall_time_s if response is not None else 0.0,
+                response.evaluations if response is not None else 0,
+                response.fresh_evaluations if response is not None else 0,
+                response.engine_backend if response is not None else None,
+                json.dumps(list(specs)),
+                request.to_json() if request is not None else None,
+                (
+                    json.dumps(response.cache_stats)
+                    if response is not None and response.cache_stats is not None
+                    else None
+                ),
+                error,
+                problem,
+            ),
+        )
+        for position, point in enumerate(frontier):
+            digest = point_hash(point)
+            self._conn.execute(
+                "INSERT OR IGNORE INTO design_points "
+                "(point_hash, precision, n, h, l, k, objectives, extras) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    digest,
+                    point.precision,
+                    point.n,
+                    point.h,
+                    point.l,
+                    point.k,
+                    json.dumps(list(point.objectives)),
+                    # default=str matches point_hash's tolerant
+                    # stable_hash: extras that hash must also store.
+                    json.dumps(
+                        point.extras or {}, sort_keys=True, default=str
+                    ),
+                ),
+            )
+            self._conn.execute(
+                "INSERT INTO fronts (run_id, position, point_hash) "
+                "VALUES (?, ?, ?)",
+                (run_id, position, digest),
+            )
 
     # Lookup ---------------------------------------------------------------
     def list_runs(
-        self, limit: int | None = None, status: str | None = None
+        self,
+        limit: int | None = None,
+        status: str | None = None,
+        offset: int = 0,
+        problem: str | None = None,
     ) -> list[RunRecord]:
-        """Recorded runs, newest first (optionally status-filtered)."""
+        """Recorded runs, newest first.
+
+        Args:
+            limit / offset: page through the registry (``limit=None``
+                returns everything from ``offset`` on).
+            status: only runs with this terminal status.
+            problem: only runs of this registered problem.
+        """
+        if offset < 0:
+            raise ValueError(f"offset must be >= 0, got {offset}")
+        if limit is not None and limit < 0:
+            # A negative LIMIT means "unbounded" to SQLite — exactly the
+            # unpaginated read this parameter exists to prevent.
+            raise ValueError(f"limit must be >= 0, got {limit}")
         query = (
             "SELECT r.*, (SELECT COUNT(*) FROM fronts f "
             "WHERE f.run_id = r.run_id) AS front_size FROM runs r"
         )
         params: list = []
+        clauses = []
         if status is not None:
-            query += " WHERE r.status = ?"
+            clauses.append("r.status = ?")
             params.append(status)
+        if problem is not None:
+            clauses.append("r.problem = ?")
+            params.append(problem)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
         query += " ORDER BY r.created_at DESC, r.rowid DESC"
-        if limit is not None:
-            query += " LIMIT ?"
-            params.append(limit)
+        if limit is not None or offset:
+            # SQLite requires a LIMIT clause to use OFFSET; -1 = no cap.
+            query += " LIMIT ? OFFSET ?"
+            params.extend([-1 if limit is None else limit, offset])
         with self._lock:
             rows = self._conn.execute(query, params).fetchall()
         return [self._row_to_record(row) for row in rows]
@@ -382,8 +504,8 @@ class RunStore:
         self.get_run(run_id)  # raise KeyError for unknown ids
         with self._lock:
             rows = self._conn.execute(
-                "SELECT p.precision, p.n, p.h, p.l, p.k, p.objectives "
-                "FROM fronts f JOIN design_points p "
+                "SELECT p.precision, p.n, p.h, p.l, p.k, p.objectives, "
+                "p.extras FROM fronts f JOIN design_points p "
                 "ON p.point_hash = f.point_hash "
                 "WHERE f.run_id = ? ORDER BY f.position",
                 (run_id,),
@@ -396,8 +518,9 @@ class RunStore:
                 l=l,
                 k=k,
                 objectives=tuple(json.loads(objectives)),
+                extras=json.loads(extras) if extras else {},
             )
-            for precision, n, h, l, k, objectives in rows
+            for precision, n, h, l, k, objectives, extras in rows
         ]
 
     def front_hashes(self, run_id: str) -> list[str]:
@@ -524,6 +647,7 @@ class RunStore:
             _request,
             cache_stats,
             error,
+            problem,
             front_size,
         ) = row
         return RunRecord(
@@ -540,6 +664,7 @@ class RunStore:
             front_size=front_size,
             cache_stats=json.loads(cache_stats) if cache_stats else None,
             error=error,
+            problem=problem,
         )
 
     def request_of(self, run_id: str) -> CampaignRequest | None:

@@ -1,0 +1,230 @@
+"""Tests for the built-in ``"mapping"`` problem, end to end."""
+
+import random
+
+import pytest
+
+from repro.dse.nsga2 import NSGA2Config, nsga2
+from repro.problems import get_problem
+from repro.problems.mapping import (
+    MAPPING_OBJECTIVES,
+    MappingProblem,
+    MappingSpec,
+    SystemPoint,
+)
+from repro.service import CampaignConfig, CampaignRequest, run_campaign
+from repro.service.campaign import execute_request
+from repro.store import RunStore
+
+TINY = CampaignConfig(
+    nsga2=NSGA2Config(population_size=12, generations=4),
+    problem="mapping",
+)
+
+
+def tiny_mapping_request(**overrides) -> CampaignRequest:
+    payload = dict(
+        problem="mapping",
+        specs=({"network": "tiny_cnn", "precision": "INT8"},),
+        population_size=12,
+        generations=3,
+        seed=1,
+    )
+    payload.update(overrides)
+    return CampaignRequest(**payload)
+
+
+class TestMappingSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown network"):
+            MappingSpec(network="nope")
+        with pytest.raises(ValueError, match="unknown schedule"):
+            MappingSpec(network="tiny_cnn", schedule="warp")
+        with pytest.raises(ValueError, match="max_macros"):
+            MappingSpec(network="tiny_cnn", max_macros=0)
+        with pytest.raises(ValueError):
+            MappingSpec(network="tiny_cnn", precision="NOPE")
+
+    def test_dcim_spec_derived_from_network(self):
+        spec = MappingSpec(network="tiny_cnn").dcim_spec()
+        # Largest tiny_cnn layer has 64*128*9 = 73728 weights.
+        assert spec.wstore == 131072
+        explicit = MappingSpec(network="tiny_cnn", wstore=4096).dcim_spec()
+        assert explicit.wstore == 4096
+
+
+class TestMappingProblem:
+    def test_genome_shape_and_repair(self):
+        problem = MappingProblem(MappingSpec(network="tiny_cnn", wstore=4096))
+        rng = random.Random(0)
+        genome = problem.sample(rng)
+        assert len(genome) == 5
+        assert 0 <= genome[4] <= problem.max_em
+        wild = (99, -5, 0, 99, 99)
+        repaired = problem.repair(wild, rng)
+        assert problem.codec.is_feasible(repaired[:4])
+        assert 0 <= repaired[4] <= problem.max_em
+
+    def test_decode_and_macro_count_power_of_two(self):
+        problem = MappingProblem(
+            MappingSpec(network="tiny_cnn", wstore=4096, max_macros=8)
+        )
+        rng = random.Random(1)
+        for _ in range(20):
+            point = problem.decode(problem.sample(rng))
+            assert isinstance(point, SystemPoint)
+            assert point.n_macros in (1, 2, 4, 8)
+            assert point.schedule == "sequential"
+
+    def test_scalar_equals_batch(self):
+        problem = MappingProblem(MappingSpec(network="tiny_cnn", wstore=4096))
+        rng = random.Random(2)
+        genomes = [problem.sample(rng) for _ in range(8)]
+        assert problem.evaluate_batch(genomes) == [
+            problem.evaluate(g) for g in genomes
+        ]
+
+    def test_objectives_shape_and_sign(self):
+        problem = MappingProblem(MappingSpec(network="tiny_cnn", wstore=4096))
+        objectives = problem.evaluate(problem.sample(random.Random(3)))
+        assert len(objectives) == len(MAPPING_OBJECTIVES)
+        area, latency, energy, neg_throughput = objectives
+        assert area > 0 and latency > 0 and energy > 0
+        assert neg_throughput < 0
+
+    def test_more_macros_trade_area_for_latency(self):
+        problem = MappingProblem(
+            MappingSpec(network="tiny_cnn", wstore=4096, max_macros=8)
+        )
+        base = problem.repair((3, 5, 4, 0, 0), random.Random(4))
+        one = problem.evaluate((*base[:4], 0))
+        eight = problem.evaluate((*base[:4], 3))
+        assert eight[0] == pytest.approx(one[0] * 8)  # area scales
+        assert eight[1] <= one[1]  # latency never worse
+
+    def test_nsga2_runs_deterministically(self):
+        problem = MappingProblem(MappingSpec(network="tiny_cnn", wstore=4096))
+        config = NSGA2Config(population_size=12, generations=4, seed=5)
+        a = nsga2(problem, config)
+        b = nsga2(problem, config)
+        assert [i.genome for i in a.front] == [i.genome for i in b.front]
+        assert [i.objectives for i in a.front] == [
+            i.objectives for i in b.front
+        ]
+
+
+class TestMappingCampaigns:
+    def test_run_campaign_end_to_end(self):
+        spec = MappingSpec(network="tiny_cnn", wstore=4096)
+        result = run_campaign([spec], TINY)
+        assert result.problem == "mapping"
+        assert len(result.merged_points) > 0
+        assert all(isinstance(p, SystemPoint) for p in result.merged_points)
+        response = result.to_response()
+        assert response.problem == "mapping"
+        point = response.frontier[0]
+        assert point.extras["n_macros"] >= 1
+        assert point.extras["schedule"] == "sequential"
+
+    def test_execute_request_deterministic(self):
+        request = tiny_mapping_request()
+        a = execute_request(request)
+        b = execute_request(request)
+        assert [p.to_dict() for p in a.frontier] == [
+            p.to_dict() for p in b.frontier
+        ]
+
+    def test_response_json_round_trip_keeps_extras(self):
+        from repro.service.api import CampaignResponse
+
+        response = execute_request(tiny_mapping_request())
+        clone = CampaignResponse.from_json(response.to_json())
+        assert clone == response
+        assert clone.frontier[0].extras == response.frontier[0].extras
+
+    def test_store_records_problem_and_extras(self, tmp_path):
+        spec = MappingSpec(network="tiny_cnn", wstore=4096)
+        with RunStore(tmp_path / "runs.sqlite") as store:
+            result = run_campaign([spec], TINY, store=store, run_name="map")
+            record = store.get_run(result.run_id)
+            assert record.problem == "mapping"
+            assert record.specs == ("tiny_cnn:INT8:sequential",)
+            front = store.front(result.run_id)
+            assert front and front[0].extras["n_macros"] >= 1
+            # problem filter in pagination
+            assert store.list_runs(problem="mapping")[0].run_id \
+                == result.run_id
+            assert store.list_runs(problem="dcim") == []
+
+    def test_compare_refuses_cross_problem_runs(self, tmp_path):
+        from repro.core.spec import DcimSpec
+        from repro.store import compare_runs
+
+        with RunStore(tmp_path / "runs.sqlite") as store:
+            dcim_result = run_campaign(
+                [DcimSpec(wstore=4096, precision="INT8")],
+                CampaignConfig(
+                    nsga2=NSGA2Config(population_size=12, generations=3)
+                ),
+                store=store,
+                run_name="dcim-run",
+            )
+            map_result = run_campaign(
+                [MappingSpec(network="tiny_cnn", wstore=4096)],
+                TINY,
+                store=store,
+                run_name="map-run",
+            )
+            with pytest.raises(ValueError, match="different problems"):
+                compare_runs(store, dcim_result.run_id, map_result.run_id)
+
+    def test_mapping_through_job_queue(self):
+        from repro.service.jobs import JobQueue, JobStatus
+
+        queue = JobQueue()
+        job_id = queue.submit(tiny_mapping_request())
+        job = queue.run_next()
+        assert job.status is JobStatus.DONE
+        response = queue.result(job_id)
+        assert response.problem == "mapping"
+        assert response.frontier[0].extras["n_macros"] >= 1
+
+    def test_definition_point_row_matches_columns(self):
+        definition = get_problem("mapping")
+        problem = MappingProblem(MappingSpec(network="tiny_cnn", wstore=4096))
+        genome = problem.sample(random.Random(6))
+        point = problem.decode(genome)
+        row = definition.point_row(point, problem.evaluate(genome))
+        assert len(row) == len(definition.point_columns())
+
+
+class TestMappingReports:
+    def test_reports_show_extras_only_when_present(self, tmp_path):
+        from repro.reporting.runs import run_report_csv
+
+        with RunStore(tmp_path / "runs.sqlite") as store:
+            map_run = run_campaign(
+                [MappingSpec(network="tiny_cnn", wstore=4096)],
+                TINY, store=store,
+            )
+            from repro.core.spec import DcimSpec
+
+            dcim_run = run_campaign(
+                [DcimSpec(wstore=4096, precision="INT8")],
+                CampaignConfig(
+                    nsga2=NSGA2Config(population_size=12, generations=3)
+                ),
+                store=store,
+            )
+            map_csv = run_report_csv(
+                store.get_run(map_run.run_id), store.front(map_run.run_id)
+            )
+            dcim_csv = run_report_csv(
+                store.get_run(dcim_run.run_id), store.front(dcim_run.run_id)
+            )
+        # mapping rows carry extras; dcim keeps the pre-v2 layout
+        assert map_csv.splitlines()[0] \
+            == "run_id,precision,n,h,l,k,extras,objectives"
+        assert "n_macros=" in map_csv
+        assert dcim_csv.splitlines()[0] \
+            == "run_id,precision,n,h,l,k,objectives"

@@ -15,6 +15,11 @@ CAMPAIGN = [
     "--population", "16", "--generations", "4",
 ]
 
+MAPPING_CAMPAIGN = [
+    "campaign", "--problem", "mapping", "--spec", "tiny_cnn:INT8",
+    "--population", "12", "--generations", "3",
+]
+
 
 def run_cli(*argv) -> int:
     return main(list(argv))
@@ -110,6 +115,27 @@ class TestRunsCommands:
                        "--status", "failed") == 0
         assert "0 runs shown" in capsys.readouterr().out
 
+    def test_list_pagination(self, seeded_store, capsys):
+        assert run_cli("runs", "list", "--store", seeded_store,
+                       "--limit", "1") == 0
+        first = capsys.readouterr().out
+        assert "1 runs shown (2 recorded)" in first
+        assert run_cli("runs", "list", "--store", seeded_store,
+                       "--limit", "1", "--offset", "1") == 0
+        second = capsys.readouterr().out
+        assert "offset 1" in second
+        first_id = [l for l in first.splitlines() if "run-" in l]
+        second_id = [l for l in second.splitlines() if "run-" in l]
+        assert first_id != second_id
+
+    def test_list_problem_filter(self, seeded_store, capsys):
+        assert run_cli("runs", "list", "--store", seeded_store,
+                       "--problem", "mapping") == 0
+        assert "0 runs shown" in capsys.readouterr().out
+        assert run_cli("runs", "list", "--store", seeded_store,
+                       "--problem", "dcim") == 0
+        assert "2 runs shown" in capsys.readouterr().out
+
     def test_show_by_baseline_name(self, seeded_store, capsys):
         assert run_cli("runs", "show", "main",
                        "--store", seeded_store) == 0
@@ -177,3 +203,75 @@ class TestRunsCommands:
         payload = json.loads(capsys.readouterr().out)
         assert payload["passed"] is True
         assert payload["failures"] == []
+
+
+class TestProblemsCLI:
+    def test_problems_list(self, capsys):
+        assert run_cli("problems", "list") == 0
+        out = capsys.readouterr().out
+        assert "dcim" in out and "mapping" in out
+        assert "neg_throughput" in out
+
+    def test_problems_list_json(self, capsys):
+        assert run_cli("problems", "list", "--json") == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = [p["name"] for p in payload["problems"]]
+        assert names == ["dcim", "mapping"]
+
+    def test_unknown_problem_errors(self, capsys):
+        assert run_cli("campaign", "--problem", "nope",
+                       "--spec", "whatever") == 1
+        assert "unknown problem" in capsys.readouterr().err
+
+    def test_bad_mapping_spec_errors(self, capsys):
+        assert run_cli("campaign", "--problem", "mapping",
+                       "--spec", "not_a_network:INT8") == 1
+        assert "unknown network" in capsys.readouterr().err
+
+
+class TestMappingCampaignCLI:
+    def test_mapping_campaign_records_problem(self, store_path, capsys):
+        assert run_cli(*MAPPING_CAMPAIGN, "--store", store_path,
+                       "--name", "deploy", "--limit", "3") == 0
+        out = capsys.readouterr().out
+        assert "Merged mapping frontier" in out
+        assert "macros" in out
+        with RunStore(store_path) as store:
+            record = store.list_runs()[0]
+            assert record.problem == "mapping"
+            assert record.specs == ("tiny_cnn:INT8:sequential",)
+
+    def test_mapping_campaign_json(self, capsys):
+        assert run_cli(*MAPPING_CAMPAIGN, "--json") == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["problem"] == "mapping"
+        assert payload["frontier"][0]["extras"]["n_macros"] >= 1
+
+    def test_mapping_campaign_honours_corner_flag(self, capsys):
+        """--pdk/--corner must reach the mapping spec: the physical
+        objectives differ between PVT corners."""
+        assert run_cli(*MAPPING_CAMPAIGN, "--json", "--corner", "tt") == 0
+        tt = json.loads(capsys.readouterr().out)
+        assert run_cli(*MAPPING_CAMPAIGN, "--json", "--corner", "ss") == 0
+        ss = json.loads(capsys.readouterr().out)
+        assert tt["frontier"][0]["objectives"] \
+            != ss["frontier"][0]["objectives"]
+
+    def test_mapping_gate_against_baseline(self, store_path, capsys):
+        assert run_cli(*MAPPING_CAMPAIGN, "--store", store_path,
+                       "--baseline", "deploy-main") == 0
+        assert run_cli(*MAPPING_CAMPAIGN, "--store", store_path,
+                       "--baseline", "deploy-main") == 0
+        err = capsys.readouterr().err
+        assert "gate" in err and "PASS" in err
+
+    def test_cross_problem_baseline_is_clean_error(self, store_path, capsys):
+        """Gating a mapping run against a dcim baseline must exit 1
+        with an error message, not an unhandled traceback."""
+        assert run_cli(*CAMPAIGN, "--store", store_path,
+                       "--set-baseline", "main") == 0
+        capsys.readouterr()
+        assert run_cli(*MAPPING_CAMPAIGN, "--store", store_path,
+                       "--baseline", "main") == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "different problems" in err

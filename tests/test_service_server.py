@@ -141,8 +141,9 @@ class TestHTTPServer:
                 generations += 1
         assert client.status(job_id)["status"] == "cancelled"
         assert 1 <= generations < 200
-        # The result endpoint refuses a cancelled job.
-        with pytest.raises(RuntimeError, match="410"):
+        # The result endpoint refuses a cancelled job with a structured
+        # 409 envelope.
+        with pytest.raises(RuntimeError, match="409.*campaign_cancelled"):
             client.result(job_id)
 
     def test_result_before_finish_conflicts(self, http_setup):
@@ -169,3 +170,55 @@ class TestHTTPServer:
         client, _ = http_setup
         with pytest.raises(RuntimeError, match="404"):
             client._call("GET", "/api/nonsense")
+
+    def test_problem_discovery_endpoint(self, http_setup):
+        client, _ = http_setup
+        problems = client.problems()
+        names = [p["name"] for p in problems]
+        assert names == ["dcim", "mapping"]
+        dcim = problems[0]
+        assert dcim["objectives"] == ["area", "delay", "energy",
+                                      "neg_throughput"]
+        assert dcim["spec_schema"]["wstore"]["required"] is True
+
+    def test_error_envelope_is_structured(self, http_setup):
+        import json as _json
+        from urllib.error import HTTPError
+        from urllib.request import urlopen
+
+        client, _ = http_setup
+        try:
+            urlopen(f"{client.base_url}/api/campaigns/job-404")
+        except HTTPError as exc:
+            assert exc.code == 404
+            envelope = _json.loads(exc.read().decode("utf-8"))
+            assert envelope["error"]["code"] == "not_found"
+            assert "job-404" in envelope["error"]["message"]
+        else:  # pragma: no cover - the request must fail
+            pytest.fail("expected an HTTP 404")
+
+    def test_invalid_spec_is_400_with_code(self, http_setup):
+        client, _ = http_setup
+        with pytest.raises(RuntimeError, match="400.*invalid"):
+            client._call(
+                "POST",
+                "/api/campaigns",
+                {"problem": "mapping", "specs": [{"network": "nope"}]},
+            )
+
+    def test_mapping_campaign_over_http(self, http_setup):
+        client, _ = http_setup
+        request = CampaignRequest(
+            problem="mapping",
+            specs=({"network": "tiny_cnn", "wstore": 4096},),
+            population_size=12,
+            generations=3,
+            seed=2,
+        )
+        job_id = client.submit(request)
+        events = list(client.watch(job_id))
+        assert events[-1].kind is EventKind.CAMPAIGN_DONE
+        assert events[0].spec == "tiny_cnn:INT8:sequential"
+        response = client.result(job_id)
+        assert response.problem == "mapping"
+        assert response.frontier[0].extras["n_macros"] >= 1

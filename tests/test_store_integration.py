@@ -272,6 +272,24 @@ class TestHTTPRegistry:
         with pytest.raises(RuntimeError, match="400"):
             client.compare("", "")
 
+    def test_runs_pagination_over_http(self, http_registry):
+        client, store = http_registry
+        everything = client.runs()
+        assert len(everything) >= 2
+        page_one = client.runs(limit=1)
+        page_two = client.runs(limit=1, offset=1)
+        assert page_one[0]["run_id"] == everything[0]["run_id"]
+        assert page_two[0]["run_id"] == everything[1]["run_id"]
+        # offset past the end is empty, not an error
+        assert client.runs(limit=5, offset=len(everything)) == []
+        # problem filter: this registry only holds dcim runs
+        assert len(client.runs(problem="dcim")) == len(everything)
+        assert client.runs(problem="mapping") == []
+        with pytest.raises(RuntimeError, match="400"):
+            client._call("GET", "/api/runs?offset=-1")
+        with pytest.raises(RuntimeError, match="400"):
+            client._call("GET", "/api/runs?limit=banana")
+
     def test_compare_unknown_run_404(self, http_registry):
         client, _ = http_registry
         with pytest.raises(RuntimeError, match="404"):

@@ -11,9 +11,10 @@ from repro.service.api import (
 from repro.store import RunRecord, RunStore, point_hash
 
 
-def fp(n=32, objectives=(1.0, 2.0), precision="INT8"):
+def fp(n=32, objectives=(1.0, 2.0), precision="INT8", extras=None):
     return FrontierPoint(
-        precision=precision, n=n, h=128, l=4, k=8, objectives=objectives
+        precision=precision, n=n, h=128, l=4, k=8, objectives=objectives,
+        extras=extras or {},
     )
 
 
@@ -194,3 +195,81 @@ class TestPersistence:
         with RunStore(":memory:") as store:
             store.record_response(response())
             assert len(store) == 1
+
+    def test_migrates_pre_v2_schema_in_place(self, tmp_path):
+        """A database created before the problem/extras columns opens
+        cleanly and records both old and new rows."""
+        import sqlite3
+
+        path = tmp_path / "old.sqlite"
+        conn = sqlite3.connect(path)
+        conn.executescript(
+            """
+            CREATE TABLE runs (
+                run_id TEXT PRIMARY KEY, name TEXT,
+                fingerprint TEXT NOT NULL, status TEXT NOT NULL,
+                created_at REAL NOT NULL,
+                wall_time_s REAL NOT NULL DEFAULT 0.0,
+                evaluations INTEGER NOT NULL DEFAULT 0,
+                fresh_evaluations INTEGER NOT NULL DEFAULT 0,
+                engine_backend TEXT, specs TEXT NOT NULL, request TEXT,
+                cache_stats TEXT, error TEXT
+            );
+            CREATE TABLE design_points (
+                point_hash TEXT PRIMARY KEY, precision TEXT NOT NULL,
+                n INTEGER NOT NULL, h INTEGER NOT NULL,
+                l INTEGER NOT NULL, k INTEGER NOT NULL,
+                objectives TEXT NOT NULL
+            );
+            CREATE TABLE fronts (
+                run_id TEXT NOT NULL, position INTEGER NOT NULL,
+                point_hash TEXT NOT NULL, PRIMARY KEY (run_id, position)
+            );
+            CREATE TABLE baselines (
+                name TEXT PRIMARY KEY, run_id TEXT NOT NULL,
+                updated_at REAL NOT NULL
+            );
+            INSERT INTO runs VALUES ('run-old', NULL, 'fp', 'done', 1.0,
+                                     0.1, 5, 5, 'numpy', '["4096:INT8"]',
+                                     NULL, NULL, NULL);
+            """
+        )
+        conn.commit()
+        conn.close()
+        with RunStore(path) as store:
+            old = store.get_run("run-old")
+            assert old.problem == "dcim"
+            record = store.record_response(
+                response(fp(32, extras={"n_macros": 2})), problem="mapping"
+            )
+            assert store.get_run(record.run_id).problem == "mapping"
+            assert store.front(record.run_id)[0].extras == {"n_macros": 2}
+
+
+class TestPagination:
+    def test_offset_paginates_newest_first(self, store):
+        for i in range(5):
+            store.record_response(response(), name=f"run{i}")
+        everything = store.list_runs()
+        assert store.list_runs(limit=2) == everything[:2]
+        assert store.list_runs(limit=2, offset=2) == everything[2:4]
+        assert store.list_runs(offset=4) == everything[4:]
+        assert store.list_runs(limit=3, offset=10) == []
+
+    def test_negative_offset_rejected(self, store):
+        with pytest.raises(ValueError, match="offset"):
+            store.list_runs(offset=-1)
+
+    def test_negative_limit_rejected(self, store):
+        # SQLite would read a negative LIMIT as "unbounded".
+        with pytest.raises(ValueError, match="limit"):
+            store.list_runs(limit=-5)
+
+    def test_problem_filter(self, store):
+        store.record_response(response(), name="a")
+        store.record_response(
+            response(fp(64, extras={"n_macros": 2})), name="b",
+            problem="mapping",
+        )
+        assert [r.name for r in store.list_runs(problem="mapping")] == ["b"]
+        assert [r.name for r in store.list_runs(problem="dcim")] == ["a"]
