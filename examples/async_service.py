@@ -76,12 +76,37 @@ async def cancel_long(service: AsyncCampaignService) -> None:
     )
 
 
+def print_live_metrics() -> None:
+    """Everything above also fed the process-global metrics registry.
+
+    This is the same sample ``GET /metrics`` (Prometheus text) and
+    ``GET /api/metrics`` (JSON) serve over HTTP, and the rows
+    ``repro serve --snapshot-every`` records for ``repro dashboard``.
+    """
+    from repro.obs import get_registry
+
+    sample = get_registry().sample_values()
+    interesting = (
+        "repro_evaluations_total",
+        "repro_jobs_submitted_total",
+        "repro_jobs_total",
+        "repro_campaign_generations_total",
+        "repro_cache_hits_total",
+        "repro_job_run_seconds_p95",
+    )
+    print("\nlive metrics (subset of the /metrics sample):")
+    for key in sorted(sample):
+        if key.startswith(interesting):
+            print(f"  {key} = {sample[key]:g}")
+
+
 async def main() -> None:
     cache = EvaluationCache()
     async with AsyncCampaignService(workers=2, cache=cache) as service:
         await stream_short(service)
         await cancel_long(service)
     print(f"\nshared cache: {cache.stats.hits} hits / {cache.stats.misses} misses")
+    print_live_metrics()
 
 
 if __name__ == "__main__":

@@ -87,8 +87,10 @@ fi
 
 echo "== serve / submit / watch round trip =="
 server_log="$workdir/serve.log"
+serve_store="$workdir/serve_runs.sqlite"
 python -m repro serve --host 127.0.0.1 --port 0 --workers 1 \
-    --cache "$workdir/serve_evals.jsonl" >"$server_log" 2>&1 &
+    --cache "$workdir/serve_evals.jsonl" \
+    --store "$serve_store" --snapshot-every 1 >"$server_log" 2>&1 &
 server_pid=$!
 url=""
 for _ in $(seq 100); do
@@ -136,8 +138,45 @@ assert response.problem == "mapping" and response.frontier
 assert response.frontier[0].extras["n_macros"] >= 1
 print(f"mapping over HTTP: {len(response.frontier)} frontier points")
 PY
+echo "== operations: /metrics scrape + dashboard render =="
+python - "$url" <<'PY'
+import sys
+from urllib.request import urlopen
+
+from repro.service import CampaignClient
+
+url = sys.argv[1]
+with urlopen(f"{url}/metrics", timeout=10) as answer:
+    assert "text/plain" in answer.headers["Content-Type"]
+    text = answer.read().decode("utf-8")
+for series in ("repro_http_requests_total", "repro_evaluations_total",
+               "repro_jobs_submitted_total", "repro_campaign_generations_total"):
+    assert series in text, f"/metrics is missing {series}"
+payload = CampaignClient(url).metrics()
+names = {family["name"] for family in payload["metrics"]}
+assert "repro_http_requests_total" in names, names
+print(f"/metrics: {len(text.splitlines())} lines, "
+      f"/api/metrics: {len(names)} families")
+PY
+sleep 1.5  # let the snapshotter land at least one history row
 kill "$server_pid" && wait "$server_pid" 2>/dev/null || true
 server_pid=""
+dashboard_out="$workdir/dashboard.html"
+python -m repro dashboard --store "$serve_store" --out "$dashboard_out"
+if ! grep -q "<html" "$dashboard_out"; then
+    echo "smoke: repro dashboard produced no HTML" >&2
+    exit 1
+fi
+python - "$serve_store" <<'PY'
+import sys
+
+from repro.store import RunStore
+
+with RunStore(sys.argv[1]) as store:
+    history = store.metrics_history()
+assert history, "serve --snapshot-every recorded no metrics history"
+print(f"dashboard rendered from {len(history)} metrics snapshots")
+PY
 
 echo "== run registry: record -> list -> compare -> gate =="
 store="$workdir/runs.sqlite"

@@ -12,6 +12,9 @@ Usage (also via ``python -m repro``)::
     repro campaign --problem mapping --spec tiny_cnn:INT8
     repro campaign --spec 8192:INT8 --store build/runs.sqlite --baseline main
     repro serve  --port 8000 --workers 2 --cache build/evals.jsonl
+    repro serve  --store build/runs.sqlite --snapshot-every 30 \\
+                 --rate-limit 5 --max-pending 32 --max-budget 100000
+    repro dashboard --store build/runs.sqlite --out build/dashboard.html
     repro submit --url http://127.0.0.1:8000 --spec 8192:INT8 --watch
     repro watch  --url http://127.0.0.1:8000 job-1
     repro runs list --store build/runs.sqlite --limit 20 --offset 0
@@ -191,6 +194,47 @@ def build_parser() -> argparse.ArgumentParser:
                          help="progress events retained per job")
     serve_p.add_argument("--verbose", action="store_true",
                          help="log HTTP requests to stderr")
+    serve_p.add_argument("--log-level", default="warning",
+                         choices=["debug", "info", "warning", "error"],
+                         help="structured JSON-lines log level on stderr")
+    serve_p.add_argument("--rate-limit", type=float, default=None,
+                         metavar="R/S",
+                         help="admission control: sustained submissions "
+                              "per second allowed per client")
+    serve_p.add_argument("--burst", type=int, default=None, metavar="N",
+                         help="admission control: token-bucket burst "
+                              "capacity (default ceil(rate))")
+    serve_p.add_argument("--max-pending", type=int, default=None,
+                         metavar="N",
+                         help="admission control: reject submissions "
+                              "(429) once N campaigns are pending")
+    serve_p.add_argument("--max-budget", type=int, default=None,
+                         metavar="N",
+                         help="admission control: reject requests (413) "
+                              "whose specs x generations x population "
+                              "exceeds N")
+    serve_p.add_argument("--snapshot-every", type=float, default=None,
+                         metavar="S",
+                         help="sample /metrics into the run registry "
+                              "every S seconds (needs --store; feeds "
+                              "'repro dashboard')")
+
+    dashboard_p = sub.add_parser(
+        "dashboard",
+        help="render a static HTML operations dashboard from a run "
+             "registry's metrics history",
+    )
+    dashboard_p.add_argument("--store", required=True, metavar="PATH",
+                             help="run registry database (SQLite)")
+    dashboard_p.add_argument("--out", default="build/dashboard.html",
+                             metavar="PATH", help="output HTML file")
+    dashboard_p.add_argument("--title", default="repro operations",
+                             help="page heading")
+    dashboard_p.add_argument("--history", type=int, default=500,
+                             metavar="N",
+                             help="most recent metrics snapshots charted")
+    dashboard_p.add_argument("--runs", type=int, default=15, metavar="N",
+                             help="rows in the recent-runs table")
 
     def add_client_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--url", default="http://127.0.0.1:8000",
@@ -730,14 +774,28 @@ def _campaign_registry_epilogue(args, store, result) -> int:
 
 
 def _cmd_serve(args) -> int:
+    from repro import obs
     from repro.service import EvaluationCache, serve
 
+    obs.configure(level=args.log_level)
+    if args.snapshot_every is not None and not args.store:
+        print("error: --snapshot-every needs --store", file=sys.stderr)
+        return 1
     cache = EvaluationCache(args.cache) if args.cache else EvaluationCache()
     store = None
     if args.store:
         from repro.store import RunStore
 
         store = RunStore(args.store)
+    admission = None
+    policy = obs.AdmissionPolicy(
+        rate_limit=args.rate_limit,
+        burst=args.burst,
+        max_pending=args.max_pending,
+        max_budget=args.max_budget,
+    )
+    if policy.enabled:
+        admission = obs.AdmissionController(policy)
     server = serve(
         host=args.host,
         port=args.port,
@@ -747,7 +805,14 @@ def _cmd_serve(args) -> int:
         ttl_s=args.ttl,
         store=store,
         verbose=args.verbose,
+        admission=admission,
     )
+    snapshotter = None
+    if args.snapshot_every is not None:
+        snapshotter = obs.MetricsSnapshotter(
+            store, interval_s=args.snapshot_every
+        )
+        snapshotter.start()
     # The bound port matters when --port 0 asked for an ephemeral one;
     # scripts parse this line (see scripts/smoke.sh).
     registry = f", registry {args.store}" if store is not None else ""
@@ -759,11 +824,36 @@ def _cmd_serve(args) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        if snapshotter is not None:
+            snapshotter.stop()
         server.shutdown()
         server.queue.close(wait=False)
         cache.close()
         if store is not None:
             store.close()
+    return 0
+
+
+def _cmd_dashboard(args) -> int:
+    from pathlib import Path
+
+    from repro.reporting import write_dashboard
+    from repro.store import RunStore
+
+    # Rendering reads an existing registry; opening a typo'd path would
+    # silently create an empty database (matching the runs commands).
+    if not Path(args.store).exists():
+        print(f"error: no run registry at {args.store}", file=sys.stderr)
+        return 1
+    with RunStore(args.store) as store:
+        out = write_dashboard(
+            store,
+            args.out,
+            title=args.title,
+            history_limit=args.history,
+            runs_limit=args.runs,
+        )
+    print(f"wrote dashboard to {out}")
     return 0
 
 
@@ -1032,6 +1122,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_campaign(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "dashboard":
+        return _cmd_dashboard(args)
     if args.command == "submit":
         return _cmd_submit(args)
     if args.command == "watch":

@@ -1,0 +1,61 @@
+"""Observability layer: metrics, structured logging, admission control.
+
+Dependency-free operational plumbing for the serving stack:
+
+* :mod:`repro.obs.metrics` — thread-safe ``Counter``/``Gauge``/
+  ``Histogram`` instruments, labelled families, and a
+  ``MetricsRegistry`` rendering Prometheus text, JSON, and flat
+  samples,
+* :mod:`repro.obs.log` — a JSON-lines structured logger shared by the
+  HTTP server and job-queue workers,
+* :mod:`repro.obs.admission` — token-bucket rate limiting, bounded
+  queues, and per-request budget caps for ``repro serve``,
+* :mod:`repro.obs.snapshot` — a periodic sampler appending metrics
+  history into the :class:`~repro.store.runstore.RunStore` for the
+  ``repro dashboard`` renderer.
+"""
+
+from repro.obs.admission import (
+    AdmissionController,
+    AdmissionError,
+    AdmissionPolicy,
+    RateLimiter,
+    TokenBucket,
+    request_budget,
+)
+from repro.obs.log import LEVELS, JsonLogger, configure, get_logger
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.snapshot import MetricsSnapshotter
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "NULL_REGISTRY",
+    "get_registry",
+    "set_registry",
+    "JsonLogger",
+    "LEVELS",
+    "configure",
+    "get_logger",
+    "AdmissionController",
+    "AdmissionError",
+    "AdmissionPolicy",
+    "RateLimiter",
+    "TokenBucket",
+    "request_budget",
+    "MetricsSnapshotter",
+]

@@ -1,0 +1,131 @@
+"""Shared JSON-lines structured logger.
+
+One line per event, machine-parseable, stdlib-only::
+
+    {"ts": 1754650000.123, "level": "info", "logger": "repro.http",
+     "event": "request", "route": "/api/campaigns", "status": 200,
+     "duration_ms": 12.5}
+
+The module keeps one process-global configuration (level + stream),
+set by :func:`configure` (``repro serve --log-level`` calls it); every
+:class:`JsonLogger` falls back to it unless constructed with explicit
+overrides.  Writes are serialised under one lock so concurrent worker
+threads never interleave partial lines.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import IO
+
+__all__ = ["LEVELS", "JsonLogger", "configure", "get_logger"]
+
+#: Accepted level names, in increasing severity.
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+_config_lock = threading.Lock()
+_write_lock = threading.Lock()
+#: Process-global defaults: quiet (warnings only) on stderr.
+_config: dict = {"level": LEVELS["warning"], "stream": None}
+
+
+def _level_number(level: str | int) -> int:
+    if isinstance(level, int):
+        return level
+    try:
+        return LEVELS[level.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; choose from {sorted(LEVELS)}"
+        ) from None
+
+
+def configure(
+    level: str | int = "warning", stream: IO[str] | None = None
+) -> None:
+    """Set the process-global log level (and optionally the stream).
+
+    ``stream=None`` keeps logging on whatever ``sys.stderr`` is at
+    write time (so pytest's capture and shell redirection both work).
+    """
+    number = _level_number(level)
+    with _config_lock:
+        _config["level"] = number
+        _config["stream"] = stream
+
+
+class JsonLogger:
+    """Named logger writing one JSON object per line.
+
+    Args:
+        name: dotted logger name carried on every line.
+        level: explicit threshold; ``None`` follows the global
+            configuration (including later :func:`configure` calls).
+        stream: explicit output; ``None`` follows the global
+            configuration, which itself defaults to ``sys.stderr``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        level: str | int | None = None,
+        stream: IO[str] | None = None,
+    ) -> None:
+        self.name = name
+        self._level = None if level is None else _level_number(level)
+        self._stream = stream
+
+    def enabled_for(self, level: str | int) -> bool:
+        threshold = self._level
+        if threshold is None:
+            with _config_lock:
+                threshold = _config["level"]
+        return _level_number(level) >= threshold
+
+    def _resolve_stream(self) -> IO[str]:
+        if self._stream is not None:
+            return self._stream
+        with _config_lock:
+            stream = _config["stream"]
+        return stream if stream is not None else sys.stderr
+
+    def log(self, level: str, event: str, **fields) -> None:
+        """Emit one structured line (no-op below the threshold)."""
+        if not self.enabled_for(level):
+            return
+        record = {
+            "ts": round(time.time(), 3),
+            "level": level,
+            "logger": self.name,
+            "event": event,
+        }
+        record.update(fields)
+        line = json.dumps(record, default=str)
+        stream = self._resolve_stream()
+        with _write_lock:
+            try:
+                stream.write(line + "\n")
+                stream.flush()
+            except (ValueError, OSError):
+                # A closed/broken stream must never take a worker down.
+                pass
+
+    def debug(self, event: str, **fields) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields) -> None:
+        self.log("error", event, **fields)
+
+
+def get_logger(name: str) -> JsonLogger:
+    """A logger following the process-global configuration."""
+    return JsonLogger(name)

@@ -1,5 +1,6 @@
 """Reporting utilities for benches, examples, and the run registry."""
 
+from repro.reporting.dashboard import render_dashboard, write_dashboard
 from repro.reporting.plots import ascii_scatter
 from repro.reporting.power import area_report, full_report, power_report, timing_report
 from repro.reporting.runs import (
@@ -21,4 +22,6 @@ __all__ = [
     "run_report_markdown",
     "run_report_csv",
     "comparison_markdown",
+    "render_dashboard",
+    "write_dashboard",
 ]

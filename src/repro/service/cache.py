@@ -23,13 +23,17 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import itertools
 import json
 import sqlite3
 import threading
+import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.obs.metrics import MetricsRegistry, get_registry
 
 __all__ = [
     "CacheStats",
@@ -217,10 +221,18 @@ class EvaluationCache:
             memory-only caches.  Defaults to guessing from the path
             suffix (``.sqlite``/``.db`` -> sqlite, else jsonl).
         max_memory_entries: LRU capacity of the memory tier.
+        registry: :class:`~repro.obs.metrics.MetricsRegistry` the cache
+            publishes into (defaults to the process global).  Counters
+            are mirrored at scrape time through a collector — zero work
+            per lookup — and the disk tier's get/put latencies feed
+            ``repro_cache_disk_seconds`` (cold path only).
 
     The cache is agnostic to what produced the key — callers address it
     with :func:`evaluation_key` (or any other stable string).
     """
+
+    #: Distinguishes cache instances in the metrics ``cache=`` label.
+    _instance_ids = itertools.count(1)
 
     def __init__(
         self,
@@ -228,6 +240,7 @@ class EvaluationCache:
         *,
         backend: str | None = None,
         max_memory_entries: int = 262_144,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if max_memory_entries < 1:
             raise ValueError("max_memory_entries must be >= 1")
@@ -249,6 +262,64 @@ class EvaluationCache:
             )
         self.backend = backend if path is not None else "memory"
         self.path = Path(path) if path is not None else None
+        self._init_metrics(registry)
+
+    def _init_metrics(self, registry: MetricsRegistry | None) -> None:
+        registry = registry if registry is not None else get_registry()
+        label = f"cache-{next(self._instance_ids)}"
+        self.metrics_label = label
+        labelnames = ("cache", "backend")
+
+        def series(family):
+            return family.labels(label, self.backend)
+
+        self._m_hits = series(registry.counter(
+            "repro_cache_hits_total", "Cache lookups served (both tiers)",
+            labelnames,
+        ))
+        self._m_misses = series(registry.counter(
+            "repro_cache_misses_total", "Cache lookups missed", labelnames,
+        ))
+        self._m_disk_hits = series(registry.counter(
+            "repro_cache_disk_hits_total",
+            "Cache lookups served by the disk tier", labelnames,
+        ))
+        self._m_puts = series(registry.counter(
+            "repro_cache_puts_total", "Evaluations stored", labelnames,
+        ))
+        self._m_evictions = series(registry.counter(
+            "repro_cache_evictions_total",
+            "Memory-tier LRU evictions", labelnames,
+        ))
+        self._m_hit_rate = series(registry.gauge(
+            "repro_cache_hit_rate",
+            "Fraction of lookups served from either tier", labelnames,
+        ))
+        self._m_entries = series(registry.gauge(
+            "repro_cache_entries", "Distinct cached evaluations", labelnames,
+        ))
+        self._m_disk_seconds = registry.histogram(
+            "repro_cache_disk_seconds",
+            "Disk-tier operation latency", ("cache", "op"),
+        )
+        self._m_disk_get = self._m_disk_seconds.labels(label, "get")
+        self._m_disk_put = self._m_disk_seconds.labels(label, "put")
+        # Collector pattern: CacheStats stays the source of truth and is
+        # mirrored only when something scrapes (weakly referenced, so
+        # registration never keeps a finished cache alive).
+        registry.register_collector(self._collect_metrics)
+
+    def _collect_metrics(self) -> None:
+        with self._lock:
+            stats = dataclasses.replace(self.stats)
+            entries = len(self)
+        self._m_hits.set_total(stats.hits)
+        self._m_misses.set_total(stats.misses)
+        self._m_disk_hits.set_total(stats.disk_hits)
+        self._m_puts.set_total(stats.puts)
+        self._m_evictions.set_total(stats.evictions)
+        self._m_hit_rate.set(stats.hit_rate)
+        self._m_entries.set(entries)
 
     # Core operations ------------------------------------------------------
     def get(self, key: str) -> Objectives | None:
@@ -261,7 +332,9 @@ class EvaluationCache:
                 self.stats.memory_hits += 1
                 return value
             if self._disk is not None:
+                started = time.perf_counter()
                 value = self._disk.get(key)
+                self._m_disk_get.observe(time.perf_counter() - started)
                 if value is not None:
                     self.stats.hits += 1
                     self.stats.disk_hits += 1
@@ -277,7 +350,9 @@ class EvaluationCache:
             self.stats.puts += 1
             self._insert_memory(key, value)
             if self._disk is not None:
+                started = time.perf_counter()
                 self._disk.put(key, value)
+                self._m_disk_put.observe(time.perf_counter() - started)
 
     def get_many(self, keys: Sequence[str]) -> list[Objectives | None]:
         """Vector lookup, one slot per key (``None`` on miss)."""

@@ -30,6 +30,7 @@ from repro.dse.explorer import (
 )
 from repro.dse.nsga2 import GenerationProgress, NSGA2Config
 from repro.model.engine import ENGINE_BACKENDS, resolve_backend
+from repro.obs.metrics import get_registry
 from repro.problems import DEFAULT_PROBLEM, get_problem
 from repro.service.api import CampaignRequest, CampaignResponse
 from repro.service.cache import CacheStats, EvaluationCache
@@ -260,6 +261,36 @@ def run_campaign(
     )
     stats_before = dataclasses.replace(cache.stats) if cache is not None else None
 
+    # Resolve metric handles once per campaign; observers fire between
+    # generations, outside all rng draws, so instrumenting here keeps
+    # the run bit-identical (the ProgressObserver contract).
+    registry = get_registry()
+    m_generations = registry.counter(
+        "repro_campaign_generations_total",
+        "GA generations completed across campaigns",
+        ("problem",),
+    ).labels(config.problem)
+    m_generation_seconds = registry.histogram(
+        "repro_campaign_generation_seconds",
+        "Wall time of one GA generation",
+        ("problem",),
+    ).labels(config.problem)
+    m_front_size = registry.gauge(
+        "repro_campaign_front_size",
+        "Pareto front size reported by the most recent generation",
+        ("problem",),
+    ).labels(config.problem)
+    m_campaigns = registry.counter(
+        "repro_campaigns_total",
+        "Campaigns finished, by outcome",
+        ("problem", "status"),
+    )
+    m_campaign_seconds = registry.histogram(
+        "repro_campaign_seconds",
+        "End-to-end campaign wall time",
+        ("problem",),
+    ).labels(config.problem)
+
     def emit(event: CampaignEvent) -> None:
         if observer is not None:
             observer(event)
@@ -291,10 +322,16 @@ def run_campaign(
                 generations=config.nsga2.generations,
             )
         )
-        ga_observer = None
-        if observer is not None:
+        last_tick = time.perf_counter()
 
-            def ga_observer(progress: GenerationProgress) -> None:
+        def ga_observer(progress: GenerationProgress) -> None:
+            nonlocal last_tick
+            now = time.perf_counter()
+            m_generations.inc()
+            m_generation_seconds.observe(now - last_tick)
+            m_front_size.set(progress.front_size)
+            last_tick = now
+            if observer is not None:
                 emit(
                     CampaignEvent(
                         kind=EventKind.GENERATION_DONE,
@@ -356,6 +393,7 @@ def run_campaign(
     ):
         done = sum(result is not None for result in maybe_results)
         message = f"campaign cancelled after {done}/{len(specs)} specs"
+        m_campaigns.labels(config.problem, "cancelled").inc()
         if store is not None:
             _record_safely(
                 store.record_failure,
@@ -369,6 +407,8 @@ def run_campaign(
         raise CampaignCancelled(message)
     results: list[ExplorationResult] = maybe_results
 
+    m_campaigns.labels(config.problem, "done").inc()
+    m_campaign_seconds.observe(wall_time)
     merged_points, merged_objs = merge_exploration_results(results)
     emit(
         CampaignEvent(

@@ -29,8 +29,10 @@ import concurrent.futures
 import math
 import os
 import threading
+import time
 from typing import Callable, Protocol, Sequence
 
+from repro.obs.metrics import get_registry
 from repro.service.cache import EvaluationCache, problem_fingerprint, stable_hash
 
 __all__ = [
@@ -70,6 +72,52 @@ def _evaluate_chunk(problem, genomes: Sequence[Genome]) -> list[Objectives]:
     return [problem.evaluate(genome) for genome in genomes]
 
 
+def _evaluate_chunk_timed(
+    problem, genomes: Sequence[Genome]
+) -> tuple[float, list[Objectives]]:
+    """:func:`_evaluate_chunk` plus its worker-side wall time.
+
+    Module-level and returning plain picklable data, so process pools
+    can measure the chunk *where it ran* — the parent observes the
+    elapsed time into its own registry (child-side counters would be
+    lost with the worker process).
+    """
+    started = time.perf_counter()
+    results = _evaluate_chunk(problem, genomes)
+    return time.perf_counter() - started, results
+
+
+class _ExecutorMetrics:
+    """Per-executor metric handles, re-resolved when the registry swaps.
+
+    Families are looked up once per registry identity (not per batch),
+    keeping the hot path at two attribute reads plus one identity
+    check; :func:`~repro.obs.metrics.set_registry` (e.g. the overhead
+    benchmark flipping to the null registry) invalidates the handles.
+    """
+
+    __slots__ = ("_registry", "evaluations", "chunk_seconds")
+
+    def __init__(self) -> None:
+        self._registry = None
+
+    def resolve(self, backend: str) -> "_ExecutorMetrics":
+        registry = get_registry()
+        if registry is not self._registry:
+            self._registry = registry
+            self.evaluations = registry.counter(
+                "repro_evaluations_total",
+                "Genomes evaluated through the batch executors",
+                ("backend",),
+            ).labels(backend)
+            self.chunk_seconds = registry.histogram(
+                "repro_eval_chunk_seconds",
+                "Worker-side latency of one evaluation chunk",
+                ("backend",),
+            ).labels(backend)
+        return self
+
+
 class BatchExecutor(Protocol):
     """Anything that can evaluate many genomes against one problem."""
 
@@ -98,15 +146,27 @@ class SerialExecutor:
 
     def __init__(self, chunk_size: int | None = None) -> None:
         self.chunk_size = chunk_size
+        self._metrics = _ExecutorMetrics()
 
     def evaluate_batch(
         self, problem, genomes: Sequence[Genome]
     ) -> list[Objectives]:
+        metrics = self._metrics.resolve(self.name)
         if self.chunk_size is None or len(genomes) <= self.chunk_size:
-            return _evaluate_chunk(problem, genomes)
+            chunks = [genomes]
+        else:
+            chunks = chunked(list(genomes), self.chunk_size)
         results: list[Objectives] = []
-        for chunk in chunked(list(genomes), self.chunk_size):
-            results.extend(_evaluate_chunk(problem, chunk))
+        chunk_times: list[float] = []
+        for chunk in chunks:
+            elapsed, fresh = _evaluate_chunk_timed(problem, chunk)
+            chunk_times.append(elapsed)
+            results.extend(fresh)
+        # One instrument transaction per batch, not per chunk: the
+        # histogram still records every per-chunk latency, but the
+        # lock/call overhead is paid once.
+        metrics.chunk_seconds.observe_many(chunk_times)
+        metrics.evaluations.inc(len(results))
         return results
 
     def close(self) -> None:
@@ -126,6 +186,7 @@ class _PoolExecutor:
         self.chunk_size = chunk_size
         self._pool: concurrent.futures.Executor | None = None
         self._pool_lock = threading.Lock()
+        self._metrics = _ExecutorMetrics()
 
     def _ensure_pool(self) -> concurrent.futures.Executor:
         # Campaign workers share one executor; without the lock two
@@ -147,14 +208,29 @@ class _PoolExecutor:
     ) -> list[Objectives]:
         if not genomes:
             return []
+        metrics = self._metrics.resolve(self.name)
         chunks = chunked(list(genomes), self._chunk_size_for(len(genomes)))
         if len(chunks) == 1:
-            return _evaluate_chunk(problem, chunks[0])
+            elapsed, results = _evaluate_chunk_timed(problem, chunks[0])
+            metrics.chunk_seconds.observe(elapsed)
+            metrics.evaluations.inc(len(chunks[0]))
+            return results
         pool = self._ensure_pool()
-        futures = [pool.submit(_evaluate_chunk, problem, chunk) for chunk in chunks]
-        results: list[Objectives] = []
+        # The timed wrapper measures each chunk where it ran (worker
+        # side); the parent records it — process-pool children would
+        # lose any metrics they incremented themselves.
+        futures = [
+            pool.submit(_evaluate_chunk_timed, problem, chunk)
+            for chunk in chunks
+        ]
+        results = []
+        chunk_times = []
         for future in futures:
-            results.extend(future.result())
+            elapsed, fresh = future.result()
+            chunk_times.append(elapsed)
+            results.extend(fresh)
+        metrics.chunk_seconds.observe_many(chunk_times)
+        metrics.evaluations.inc(len(results))
         return results
 
     def close(self) -> None:

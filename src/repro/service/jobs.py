@@ -44,6 +44,8 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.obs.log import JsonLogger, get_logger
+from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.service.api import CampaignRequest, CampaignResponse
 from repro.service.campaign import execute_request
 from repro.service.events import (
@@ -126,8 +128,20 @@ class _QueueStats:
     queue_depth: int = 0
     workers: int = 0
     busy_workers: int = 0
+    #: The owning queue's lock; ``as_dict`` snapshots under it so a
+    #: reader never sees a torn view (e.g. completed already bumped but
+    #: queue_depth not yet refreshed) while workers transition jobs.
+    _lock: threading.RLock | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def as_dict(self) -> dict:
+        if self._lock is not None:
+            with self._lock:
+                return self._as_dict_unlocked()
+        return self._as_dict_unlocked()
+
+    def _as_dict_unlocked(self) -> dict:
         return {
             "submitted": self.submitted,
             "deduplicated": self.deduplicated,
@@ -202,10 +216,13 @@ class JobQueue:
         event_buffer_size: int = 256,
         ttl_s: float | None = None,
         store=None,
+        registry: MetricsRegistry | None = None,
+        logger: JsonLogger | None = None,
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
         self.store = store
+        self._log = logger if logger is not None else get_logger("repro.jobs")
         if runner is None:
             def runner(request, observer=None, should_stop=None):
                 return execute_request(
@@ -230,7 +247,8 @@ class JobQueue:
         self._pending: deque[str] = deque()
         self._ids = itertools.count(1)
         self._closed = False
-        self.stats = _QueueStats()
+        self.stats = _QueueStats(_lock=self._lock)
+        self._init_metrics(registry)
         self._workers: list[threading.Thread] = []
         for n in range(workers):
             thread = threading.Thread(
@@ -239,6 +257,69 @@ class JobQueue:
             thread.start()
             self._workers.append(thread)
         self.stats.workers = len(self._workers)
+
+    # Metrics ---------------------------------------------------------------
+    def _init_metrics(self, registry: MetricsRegistry | None) -> None:
+        """Mirror the queue's cheap counters into a metrics registry.
+
+        Lifecycle counters already live in ``stats`` (updated under the
+        queue lock), so they are exported through a scrape-time
+        collector at zero hot-path cost; only the wait/run latency
+        histograms are observed directly at the transitions.
+        """
+        registry = registry if registry is not None else get_registry()
+        self._m_submitted = registry.counter(
+            "repro_jobs_submitted_total", "Campaign submissions accepted"
+        )
+        self._m_deduplicated = registry.counter(
+            "repro_jobs_deduplicated_total",
+            "Submissions collapsed onto an existing job",
+        )
+        self._m_jobs = registry.counter(
+            "repro_jobs_total", "Jobs finished, by terminal status", ("status",)
+        )
+        self._m_purged = registry.counter(
+            "repro_jobs_purged_total", "Terminal records dropped by TTL/purge"
+        )
+        self._m_recorded = registry.counter(
+            "repro_jobs_recorded_total", "Job outcomes persisted to the run registry"
+        )
+        self._m_record_errors = registry.counter(
+            "repro_jobs_record_errors_total", "Run-registry writes that failed"
+        )
+        self._m_depth = registry.gauge(
+            "repro_queue_depth", "Jobs pending (not yet running)"
+        )
+        self._m_workers = registry.gauge(
+            "repro_queue_workers", "Background worker threads"
+        )
+        self._m_busy = registry.gauge(
+            "repro_queue_busy_workers", "Workers currently executing a job"
+        )
+        self._m_wait_seconds = registry.histogram(
+            "repro_job_wait_seconds", "Time a job spent queued before running"
+        )
+        self._m_run_seconds = registry.histogram(
+            "repro_job_run_seconds",
+            "Execution time of one job, by terminal status",
+            ("status",),
+        )
+        registry.register_collector(self._collect_metrics)
+
+    def _collect_metrics(self) -> None:
+        with self._lock:
+            stats = self.stats._as_dict_unlocked()
+        self._m_submitted.set_total(stats["submitted"])
+        self._m_deduplicated.set_total(stats["deduplicated"])
+        self._m_jobs.labels("done").set_total(stats["completed"])
+        self._m_jobs.labels("failed").set_total(stats["failed"])
+        self._m_jobs.labels("cancelled").set_total(stats["cancelled"])
+        self._m_purged.set_total(stats["purged"])
+        self._m_recorded.set_total(stats["recorded"])
+        self._m_record_errors.set_total(stats["record_errors"])
+        self._m_depth.set(stats["queue_depth"])
+        self._m_workers.set(stats["workers"])
+        self._m_busy.set(stats["busy_workers"])
 
     # Submission -----------------------------------------------------------
     def submit(self, request: CampaignRequest) -> str:
@@ -450,6 +531,7 @@ class JobQueue:
             if job.status is JobStatus.PENDING:
                 job.status = JobStatus.RUNNING
                 job.started_at = time.monotonic()
+                self._m_wait_seconds.observe(job.started_at - job.created_at)
                 self._refresh_depth()
                 return job
         self._refresh_depth()
@@ -475,6 +557,10 @@ class JobQueue:
                 self.stats.failed += 1
             elif status is JobStatus.CANCELLED:
                 self.stats.cancelled += 1
+            if job.started_at is not None:
+                self._m_run_seconds.labels(status.value).observe(
+                    job.finished_at - job.started_at
+                )
             self._refresh_depth()
             self._done.notify_all()
         if event is not None and not job.events.closed:
@@ -506,6 +592,12 @@ class JobQueue:
 
     def _execute(self, job: JobRecord) -> None:
         """Run one RUNNING job to a terminal state (no lock held)."""
+        self._log.debug(
+            "job_started",
+            job_id=job.job_id,
+            problem=job.request.problem,
+            specs=len(job.request.specs),
+        )
 
         def observer(event: CampaignEvent) -> None:
             # Terminal events close the stream and wake watchers, who
@@ -561,6 +653,16 @@ class JobQueue:
                     wall_time_s=response.wall_time_s,
                 ),
             )
+        duration = None
+        if job.started_at is not None and job.finished_at is not None:
+            duration = round(job.finished_at - job.started_at, 6)
+        self._log.info(
+            "job_finished",
+            job_id=job.job_id,
+            status=job.status.value,
+            duration_s=duration,
+            error=job.error,
+        )
 
     # Background workers ----------------------------------------------------
     def _worker_loop(self) -> None:

@@ -29,12 +29,22 @@ dedup layer):
       GET  /api/runs/<id>/front           recorded merged frontier
       GET  /api/compare?a=..&b=..         front-quality indicators
       GET  /api/stats                     queue counters/gauges
+      GET  /api/metrics                   metrics registry as JSON
+      GET  /metrics                       Prometheus text exposition
       GET  /healthz                       liveness
 
   The ``/api/runs`` family answers 404 unless the server was given a
   :class:`~repro.store.runstore.RunStore` (the same instance the queue
   records into).  Every non-2xx answer carries a structured JSON error
   envelope ``{"error": {"code": ..., "message": ...}}``.
+
+  With an :class:`~repro.obs.admission.AdmissionController` attached,
+  submissions pass through budget/rate/queue-bound guards first:
+  oversized requests answer ``413`` and over-rate clients (keyed by the
+  ``X-Client-Id`` header, else the remote address) or a full queue
+  answer ``429`` with a ``Retry-After`` hint.  Every request is counted
+  in ``repro_http_requests_total{route,method,status}`` and timed in
+  ``repro_http_request_seconds{route}``.
 
 :class:`CampaignClient` is the matching ``urllib``-based client used by
 ``repro submit`` / ``repro watch``.
@@ -45,12 +55,16 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import AsyncIterator, Iterator
 from urllib import request as _urllib_request
 from urllib.error import HTTPError
 from urllib.parse import parse_qs, quote as _quote, urlparse
 
+from repro.obs.admission import AdmissionController, AdmissionError
+from repro.obs.log import JsonLogger, get_logger
+from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.service.api import CampaignRequest, CampaignResponse, FrontierPoint
 from repro.service.events import CampaignEvent
 from repro.service.jobs import JobQueue, JobStatus
@@ -227,6 +241,8 @@ _DEFAULT_ERROR_CODES = {
     404: "not_found",
     405: "method_not_allowed",
     409: "conflict",
+    413: "too_large",
+    429: "too_many_requests",
     500: "internal",
     503: "unavailable",
 }
@@ -236,16 +252,32 @@ class _ApiError(Exception):
     """Maps a handler failure onto an HTTP status + error envelope.
 
     Every failure answer has the shape
-    ``{"error": {"code": <machine-readable>, "message": <human>}}``.
+    ``{"error": {"code": <machine-readable>, "message": <human>}}``;
+    ``headers`` ride along on the response (e.g. ``Retry-After``).
     """
 
-    def __init__(self, status: int, message: str, code: str | None = None) -> None:
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        code: str | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.code = code or _DEFAULT_ERROR_CODES.get(status, "error")
+        self.headers = headers or {}
 
     def envelope(self) -> dict:
         return {"error": {"code": self.code, "message": str(self)}}
+
+
+class _RawResponse:
+    """A non-JSON answer (the Prometheus text exposition)."""
+
+    def __init__(self, body: bytes, content_type: str) -> None:
+        self.body = body
+        self.content_type = content_type
 
 
 def _job_payload(record) -> dict:
@@ -277,19 +309,36 @@ class _CampaignHandler(BaseHTTPRequestHandler):
         self._dispatch("POST")
 
     def _dispatch(self, method: str) -> None:
+        started = time.perf_counter()
+        # The matched route *template* (set at the match sites in
+        # _route) keeps metric label cardinality bounded — raw paths
+        # with job/run ids would mint a new series per request.
+        self._route_template = "<unmatched>"
+        headers: dict[str, str] = {}
         try:
             payload, status = self._route(method)
         except _ApiError as exc:
             payload, status = exc.envelope(), exc.status
+            headers = exc.headers
         except Exception as exc:  # defensive: a handler bug must answer
             error = _ApiError(500, f"{type(exc).__name__}: {exc}")
             payload, status = error.envelope(), error.status
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, _RawResponse):
+            body, content_type = payload.body, payload.content_type
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in headers.items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+        elapsed = time.perf_counter() - started
+        self.server.observe_request(
+            self._route_template, method, status, elapsed
+        )
 
     def _route(self, method: str) -> tuple[dict, int]:
         queue = self.server.queue
@@ -298,22 +347,43 @@ class _CampaignHandler(BaseHTTPRequestHandler):
         query = parse_qs(url.query)
 
         if method == "GET" and parts == ["healthz"]:
+            self._route_template = "/healthz"
             return {"status": "ok"}, 200
+        if method == "GET" and parts == ["metrics"]:
+            self._route_template = "/metrics"
+            text = self.server.registry.render_prometheus()
+            return _RawResponse(
+                text.encode("utf-8"),
+                "text/plain; version=0.0.4; charset=utf-8",
+            ), 200
+        if method == "GET" and parts == ["api", "metrics"]:
+            self._route_template = "/api/metrics"
+            return self.server.registry.to_dict(), 200
         if method == "GET" and parts == ["api", "stats"]:
+            self._route_template = "/api/stats"
             queue.sweep_expired()  # stats reads tick the TTL sweep
             return queue.stats.as_dict(), 200
         if method == "GET" and parts == ["api", "problems"]:
+            self._route_template = "/api/problems"
             from repro.problems import problem_catalog
 
             return {"problems": problem_catalog()}, 200
         if method == "GET" and parts[:2] == ["api", "runs"]:
-            return self._runs(parts[2:], query)
+            tail = parts[2:]
+            self._route_template = (
+                "/api/runs" if not tail
+                else "/api/runs/<id>/front" if tail[1:] == ["front"]
+                else "/api/runs/<id>"
+            )
+            return self._runs(tail, query)
         if method == "GET" and parts == ["api", "compare"]:
+            self._route_template = "/api/compare"
             return self._compare(query), 200
         if parts[:2] != ["api", "campaigns"]:
             raise _ApiError(404, f"unknown path {url.path!r}")
 
         if len(parts) == 2:
+            self._route_template = "/api/campaigns"
             if method == "POST":
                 return self._submit(), 200
             return {"jobs": [_job_payload(j) for j in queue.jobs()]}, 200
@@ -322,14 +392,18 @@ class _CampaignHandler(BaseHTTPRequestHandler):
         tail = parts[3:]
         try:
             if not tail:
+                self._route_template = "/api/campaigns/<id>"
                 if method != "GET":
                     raise _ApiError(405, "status is GET-only")
                 return _job_payload(queue.record(job_id)), 200
             if tail == ["result"] and method == "GET":
+                self._route_template = "/api/campaigns/<id>/result"
                 return self._result(job_id)
             if tail == ["events"] and method == "GET":
+                self._route_template = "/api/campaigns/<id>/events"
                 return self._events(job_id, query), 200
             if tail == ["cancel"] and method == "POST":
+                self._route_template = "/api/campaigns/<id>/cancel"
                 status = queue.cancel(job_id)
                 return {"job_id": job_id, "status": status.value}, 200
         except KeyError:
@@ -354,6 +428,19 @@ class _CampaignHandler(BaseHTTPRequestHandler):
             raise _ApiError(
                 400, f"bad campaign request: {exc}", "invalid_request"
             ) from None
+        admission = self.server.admission
+        if admission is not None:
+            client_id = (
+                self.headers.get("X-Client-Id") or self.client_address[0]
+            )
+            try:
+                admission.admit(
+                    request, client_id, self.server.queue.pending_count()
+                )
+            except AdmissionError as exc:
+                raise _ApiError(
+                    exc.status, str(exc), exc.code, headers=exc.headers
+                ) from None
         try:
             job_id = self.server.queue.submit(request)
         except RuntimeError as exc:  # queue closed
@@ -467,6 +554,14 @@ class CampaignHTTPServer(ThreadingHTTPServer):
             the ``/api/runs`` and ``/api/compare`` endpoints (defaults
             to the queue's store, so recorded runs are immediately
             queryable).
+        registry: metrics registry served at ``/metrics`` and
+            ``/api/metrics`` (defaults to the process global — the one
+            the queue/cache/executors report into).
+        admission: optional
+            :class:`~repro.obs.admission.AdmissionController` applied
+            to every submission.
+        logger: structured request logger (defaults to the shared
+            ``repro.http`` JSON-lines logger).
     """
 
     daemon_threads = True
@@ -477,11 +572,41 @@ class CampaignHTTPServer(ThreadingHTTPServer):
         queue: JobQueue,
         verbose: bool = False,
         store=None,
+        registry: MetricsRegistry | None = None,
+        admission: AdmissionController | None = None,
+        logger: JsonLogger | None = None,
     ) -> None:
         super().__init__(address, _CampaignHandler)
         self.queue = queue
         self.verbose = verbose
         self.store = store if store is not None else queue.store
+        self.registry = registry if registry is not None else get_registry()
+        self.admission = admission
+        self.logger = logger if logger is not None else get_logger("repro.http")
+        self._m_requests = self.registry.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by route template",
+            ("route", "method", "status"),
+        )
+        self._m_request_seconds = self.registry.histogram(
+            "repro_http_request_seconds",
+            "End-to-end HTTP request latency",
+            ("route",),
+        )
+
+    def observe_request(
+        self, route: str, method: str, status: int, elapsed_s: float
+    ) -> None:
+        """Count/time one handled request (called from handler threads)."""
+        self._m_requests.labels(route, method, str(status)).inc()
+        self._m_request_seconds.labels(route).observe(elapsed_s)
+        self.logger.info(
+            "request",
+            route=route,
+            method=method,
+            status=status,
+            duration_s=round(elapsed_s, 6),
+        )
 
     @property
     def host(self) -> str:
@@ -517,11 +642,16 @@ def serve(
     ttl_s: float | None = None,
     store=None,
     verbose: bool = False,
+    registry: MetricsRegistry | None = None,
+    admission: AdmissionController | None = None,
+    logger: JsonLogger | None = None,
 ) -> CampaignHTTPServer:
     """Build a ready-to-run HTTP server (queue included unless given).
 
     With ``store`` set, an owned queue records every campaign into it
-    and the ``/api/runs`` endpoints serve the registry.  The caller
+    and the ``/api/runs`` endpoints serve the registry.  ``registry``,
+    ``admission`` and ``logger`` configure the operations layer
+    (``/metrics``, admission control, request logging).  The caller
     drives ``server.serve_forever()`` (or ``serve_in_background()``)
     and is responsible for closing the queue on shutdown —
     :func:`repro.cli.main`'s ``repro serve`` shows the full lifecycle.
@@ -534,8 +664,18 @@ def serve(
         event_buffer_size=event_buffer_size,
         ttl_s=ttl_s,
         store=store,
+        registry=registry,
+        logger=logger,
     )
-    return CampaignHTTPServer((host, port), queue, verbose=verbose, store=store)
+    return CampaignHTTPServer(
+        (host, port),
+        queue,
+        verbose=verbose,
+        store=store,
+        registry=registry,
+        admission=admission,
+        logger=logger,
+    )
 
 
 # HTTP client ---------------------------------------------------------------
@@ -658,6 +798,16 @@ class CampaignClient:
 
     def stats(self) -> dict:
         return self._call("GET", "/api/stats")
+
+    def metrics(self) -> dict:
+        """The server's metrics registry as JSON."""
+        return self._call("GET", "/api/metrics")
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus text exposition from ``/metrics``."""
+        req = _urllib_request.Request(f"{self.base_url}/metrics")
+        with _urllib_request.urlopen(req, timeout=self.timeout) as answer:
+            return answer.read().decode("utf-8")
 
     def healthy(self) -> bool:
         try:

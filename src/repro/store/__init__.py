@@ -30,11 +30,17 @@ from repro.store.analytics import (
     union_hypervolumes,
 )
 from repro.store.gate import GateConfig, GateReport, check_regression
-from repro.store.runstore import RunRecord, RunStore, point_hash
+from repro.store.runstore import (
+    MetricsSnapshot,
+    RunRecord,
+    RunStore,
+    point_hash,
+)
 
 __all__ = [
     "RunStore",
     "RunRecord",
+    "MetricsSnapshot",
     "point_hash",
     "FrontComparison",
     "compare_fronts",

@@ -1,0 +1,100 @@
+"""Tests for the shared JSON-lines structured logger."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs.log import LEVELS, JsonLogger, configure, get_logger
+
+
+@pytest.fixture(autouse=True)
+def restore_global_config():
+    yield
+    configure(level="warning", stream=None)
+
+
+def lines_of(stream: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestJsonLogger:
+    def test_line_shape(self):
+        stream = io.StringIO()
+        JsonLogger("repro.test", level="info", stream=stream).info(
+            "request", route="/api/campaigns", status=200, duration_ms=12.5
+        )
+        (record,) = lines_of(stream)
+        assert record["level"] == "info"
+        assert record["logger"] == "repro.test"
+        assert record["event"] == "request"
+        assert record["route"] == "/api/campaigns"
+        assert record["status"] == 200
+        assert isinstance(record["ts"], float)
+
+    def test_level_filtering(self):
+        stream = io.StringIO()
+        logger = JsonLogger("repro.test", level="warning", stream=stream)
+        logger.debug("hidden")
+        logger.info("hidden")
+        logger.warning("shown")
+        logger.error("shown")
+        assert [r["level"] for r in lines_of(stream)] == ["warning", "error"]
+
+    def test_follows_global_configure(self):
+        stream = io.StringIO()
+        logger = JsonLogger("repro.test", stream=stream)
+        logger.info("hidden")  # global default is warning
+        configure(level="debug")
+        logger.debug("shown")
+        assert [r["event"] for r in lines_of(stream)] == ["shown"]
+
+    def test_configure_sets_global_stream(self):
+        stream = io.StringIO()
+        configure(level="info", stream=stream)
+        get_logger("repro.test").info("routed")
+        assert lines_of(stream)[0]["event"] == "routed"
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError):
+            configure(level="loud")
+        with pytest.raises(ValueError):
+            JsonLogger("x", level="silly")
+
+    def test_non_json_fields_are_stringified(self):
+        stream = io.StringIO()
+        JsonLogger("x", level="info", stream=stream).info(
+            "event", path=threading.Lock()
+        )
+        (record,) = lines_of(stream)
+        assert isinstance(record["path"], str)
+
+    def test_closed_stream_never_raises(self):
+        stream = io.StringIO()
+        logger = JsonLogger("x", level="info", stream=stream)
+        stream.close()
+        logger.info("dropped")  # must not raise
+
+    def test_concurrent_writers_never_interleave(self):
+        stream = io.StringIO()
+        logger = JsonLogger("x", level="info", stream=stream)
+        per_thread = 200
+
+        def write(worker_id):
+            for i in range(per_thread):
+                logger.info("tick", worker=worker_id, i=i)
+
+        threads = [
+            threading.Thread(target=write, args=(w,)) for w in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        records = lines_of(stream)  # every line parses: no torn writes
+        assert len(records) == 4 * per_thread
+
+    def test_levels_table(self):
+        assert list(LEVELS) == ["debug", "info", "warning", "error"]
+        assert LEVELS["debug"] < LEVELS["info"] < LEVELS["warning"] < LEVELS["error"]

@@ -114,6 +114,34 @@ class TestEventBuffer:
         with pytest.raises(ValueError):
             EventBuffer(maxlen=0)
 
+    def test_overflow_under_concurrent_writers(self):
+        # Many producers hammer a small buffer at once: every append is
+        # either retained or counted as dropped (no lost events), and
+        # the retained window is contiguous, in-order, and full.
+        buffer = EventBuffer(maxlen=8)
+        threads, per_thread = 8, 250
+
+        def produce(worker_id):
+            for i in range(per_thread):
+                buffer.append(event(spec_index=worker_id, generation=i))
+
+        workers = [
+            threading.Thread(target=produce, args=(w,))
+            for w in range(threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=30.0)
+        total = threads * per_thread
+        retained = buffer.replay()
+        assert len(retained) + buffer.dropped == total
+        seqs = [e.seq for e in retained]
+        # The window is the contiguous tail of the global sequence.
+        assert seqs == list(range(total - len(retained), total))
+        assert len(retained) == buffer.maxlen
+        assert not buffer.closed
+
     def test_cursor_reads_race_the_producer(self):
         # A producer streams 200 events (terminal last) while a consumer
         # drains by cursor: the consumer must see every event exactly
