@@ -43,6 +43,9 @@ LONG = CampaignRequest(
     population_size=32,
     generations=500,  # far more than we intend to wait for
     seed=1,
+    # Small dcim spaces default to instant exhaustive enumeration,
+    # which would leave nothing to cancel — force the GA for the demo.
+    exhaustive_threshold=0,
 )
 
 

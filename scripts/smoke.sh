@@ -39,6 +39,9 @@ PY
 echo "== DSE runtime bench (records benchmarks/results/dse_runtime.txt) =="
 python -m pytest benchmarks/test_dse_runtime.py -q
 
+echo "== GA kernel bench (>=3x gate, appends to dse_runtime.txt) =="
+python -m pytest benchmarks/test_ga_kernels.py -q
+
 workdir="$(mktemp -d)"
 server_pid=""
 cleanup() {
@@ -65,6 +68,36 @@ echo "$warm_output"
 # The warm run must be fully served from the persistent cache.
 if ! grep -q "hit rate 100.0%" <<<"$warm_output"; then
     echo "smoke: warm campaign run was not served from the cache" >&2
+    exit 1
+fi
+# These specs enumerate under the default threshold, so both runs must
+# have routed through exhaustive enumeration.
+if ! grep -q "strategy: .*=exhaustive" <<<"$warm_output"; then
+    echo "smoke: small-space campaign did not default to exhaustive" >&2
+    exit 1
+fi
+
+echo "== GA kernel backends: bit-identical fronts =="
+run_ga_campaign() {
+    python -m repro campaign \
+        --spec 4096:INT8 --population 16 --generations 6 \
+        --ga-backend "$1" --exhaustive-threshold 0 \
+        --cache "$cache" --limit 5
+}
+ga_py_output="$(run_ga_campaign python)"
+ga_auto_output="$(run_ga_campaign auto)"
+echo "$ga_auto_output"
+if ! grep -q "ga kernels: python (requested python)" <<<"$ga_py_output"; then
+    echo "smoke: --ga-backend python was not honoured" >&2
+    exit 1
+fi
+if ! grep -q "strategy: 4096:INT8=ga" <<<"$ga_auto_output"; then
+    echo "smoke: --exhaustive-threshold 0 did not force the GA" >&2
+    exit 1
+fi
+# The frontier tables (every '|' row) must match across backends.
+if [[ "$(grep '^|' <<<"$ga_py_output")" != "$(grep '^|' <<<"$ga_auto_output")" ]]; then
+    echo "smoke: GA kernel backends produced different fronts" >&2
     exit 1
 fi
 
@@ -221,7 +254,14 @@ store.record_response(CampaignResponse(frontier=degraded),
 
 # Parity + overhead: same campaign with and without recording.
 specs = [DcimSpec(wstore=4096, precision=p) for p in ("INT4", "INT8")]
-config = CampaignConfig(nsga2=NSGA2Config(population_size=16, generations=6))
+# Force the GA and size it up: the instant exhaustive path (and the
+# vectorised GA kernels) shrank campaign wall time to the point where
+# the fixed ~1 ms sqlite write would dominate a tiny run's ratio,
+# which is not what this overhead bound is about.
+config = CampaignConfig(
+    nsga2=NSGA2Config(population_size=32, generations=24),
+    exhaustive_threshold=0,
+)
 
 def run(store):
     start = time.perf_counter()

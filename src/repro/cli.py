@@ -144,6 +144,15 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=["auto", "numpy", "python"],
                           help="cost-engine backend (bit-identical "
                                "objectives either way)")
+    campaign.add_argument("--ga-backend", default="auto",
+                          choices=["auto", "numpy", "python"],
+                          help="GA kernel backend (bit-identical fronts "
+                               "either way)")
+    campaign.add_argument("--exhaustive-threshold", type=int, default=None,
+                          metavar="N",
+                          help="enumerate design spaces of up to N "
+                               "genomes instead of running the GA "
+                               "(0 always runs the GA; default 512)")
     campaign.add_argument("--workers", type=int, default=1,
                           help="specs explored concurrently")
     campaign.add_argument("--cache", default=None, metavar="PATH",
@@ -267,6 +276,15 @@ def build_parser() -> argparse.ArgumentParser:
     submit_p.add_argument("--engine", default="auto",
                           choices=["auto", "numpy", "python"],
                           help="cost-engine backend")
+    submit_p.add_argument("--ga-backend", default="auto",
+                          choices=["auto", "numpy", "python"],
+                          help="GA kernel backend (bit-identical fronts "
+                               "either way)")
+    submit_p.add_argument("--exhaustive-threshold", type=int, default=None,
+                          metavar="N",
+                          help="enumerate design spaces of up to N "
+                               "genomes instead of running the GA "
+                               "(0 always runs the GA; default 512)")
     submit_p.add_argument("--watch", action="store_true",
                           help="stream progress events until the "
                                "campaign finishes")
@@ -632,9 +650,16 @@ def _cmd_campaign(args) -> int:
         ]
         specs = [definition.to_spec(request) for request in spec_requests]
         population, generations = _resolve_ga_sizing(args, definition)
+        # None keeps CampaignConfig's default threshold; an explicit
+        # value (including 0 = always GA) overrides it.
+        threshold = {}
+        if args.exhaustive_threshold is not None:
+            threshold["exhaustive_threshold"] = args.exhaustive_threshold
         config = CampaignConfig(
             nsga2=NSGA2Config(
-                population_size=population, generations=generations
+                population_size=population,
+                generations=generations,
+                backend=args.ga_backend,
             ),
             seed=args.seed,
             workers=args.workers,
@@ -642,6 +667,7 @@ def _cmd_campaign(args) -> int:
             chunk_size=args.chunk_size,
             engine=args.engine,
             problem=args.problem,
+            **threshold,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -713,6 +739,14 @@ def _cmd_campaign(args) -> int:
             f"engine: {result.engine_backend} "
             f"(requested {args.engine}); "
             f"executor: {args.backend}, chunk size {chunk_text}"
+        )
+        strategy_text = ", ".join(
+            f"{definition.spec_label(spec)}={strategy}"
+            for spec, strategy in zip(specs, result.strategies)
+        )
+        print(
+            f"strategy: {strategy_text}; "
+            f"ga kernels: {result.ga_backend} (requested {args.ga_backend})"
         )
         print(
             f"evaluations: {result.evaluations} unique genomes "
@@ -873,6 +907,8 @@ def _build_submit_request(args):
         workers=args.workers,
         engine=args.engine,
         problem=args.problem,
+        ga_backend=args.ga_backend,
+        exhaustive_threshold=args.exhaustive_threshold,
     )
 
 
@@ -998,6 +1034,8 @@ def _run_registry_command(args, store) -> int:
 
         record = store.resolve(args.run)
         print(record.describe())
+        if record.ga_backend:
+            print(f"ga kernels: {record.ga_backend}")
         front = store.front(record.run_id)
         try:
             legend = " ".join(get_problem(record.problem).objectives)

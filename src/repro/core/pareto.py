@@ -15,6 +15,8 @@ import numpy as np
 
 __all__ = [
     "dominates",
+    "dominance_matrix",
+    "dominated_flags",
     "pareto_mask",
     "pareto_front",
     "hypervolume",
@@ -23,6 +25,11 @@ __all__ = [
 ]
 
 T = TypeVar("T")
+
+#: Candidate rows per broadcasting block in :func:`dominated_flags`.
+#: Bounds the ``(n, chunk, m)`` comparison intermediates to a few tens
+#: of MB no matter how large the front grows.
+_DOMINANCE_CHUNK = 1024
 
 
 def dominates(u: Sequence[float], v: Sequence[float]) -> bool:
@@ -37,28 +44,54 @@ def dominates(u: Sequence[float], v: Sequence[float]) -> bool:
     return not_worse and strictly_better
 
 
-def pareto_mask(objectives: np.ndarray) -> np.ndarray:
-    """Boolean mask of non-dominated rows of an ``(n, m)`` objective array.
+def dominance_matrix(objectives: np.ndarray) -> np.ndarray:
+    """Full ``(n, n)`` boolean matrix with ``D[i, j] = row i dominates row j``.
 
-    Duplicate rows are all kept (none strictly dominates its twin).
+    One O(M·N²) broadcast instead of N² Python-level comparisons; this
+    is the array kernel the GA's non-dominated sort
+    (:mod:`repro.dse.kernels`) and :func:`pareto_mask` are built on.
+    The diagonal is always False (nothing dominates itself — equal rows
+    have no strictly-better component).
+    """
+    points = np.asarray(objectives, dtype=float)
+    if points.ndim != 2:
+        raise ValueError(f"expected a 2-D objective array, got shape {points.shape}")
+    left = points[:, None, :]
+    right = points[None, :, :]
+    return (left <= right).all(axis=2) & (left < right).any(axis=2)
+
+
+def dominated_flags(objectives: np.ndarray) -> np.ndarray:
+    """Boolean vector: row ``j`` is strictly dominated by some other row.
+
+    Evaluates the dominance matrix in column blocks of
+    :data:`_DOMINANCE_CHUNK` candidates, so memory stays bounded for
+    large merged fronts while small inputs still run as one broadcast.
     """
     points = np.asarray(objectives, dtype=float)
     if points.ndim != 2:
         raise ValueError(f"expected a 2-D objective array, got shape {points.shape}")
     n = len(points)
-    mask = np.ones(n, dtype=bool)
-    for i in range(n):
-        if not mask[i]:
-            continue
-        # A row is dominated if some other row is <= everywhere and <
-        # somewhere.
-        not_worse = (points <= points[i]).all(axis=1)
-        strictly = (points < points[i]).any(axis=1)
-        dominators = not_worse & strictly
-        dominators[i] = False
-        if dominators.any():
-            mask[i] = False
-    return mask
+    dominated = np.zeros(n, dtype=bool)
+    for start in range(0, n, _DOMINANCE_CHUNK):
+        block = points[start:start + _DOMINANCE_CHUNK]
+        left = points[:, None, :]
+        right = block[None, :, :]
+        beats = (left <= right).all(axis=2) & (left < right).any(axis=2)
+        dominated[start:start + _DOMINANCE_CHUNK] = beats.any(axis=0)
+    return dominated
+
+
+def pareto_mask(objectives: np.ndarray) -> np.ndarray:
+    """Boolean mask of non-dominated rows of an ``(n, m)`` objective array.
+
+    Duplicate rows are all kept (none strictly dominates its twin).
+    Built on :func:`dominated_flags`: a dominated dominator changes
+    nothing (dominance is transitive, so anything it beats is also
+    beaten by a non-dominated row), which is why one vectorised pass
+    replaces the old row-by-row elimination loop exactly.
+    """
+    return ~dominated_flags(objectives)
 
 
 def pareto_front(

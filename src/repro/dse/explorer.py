@@ -25,10 +25,31 @@ from repro.dse.problem import DcimProblem
 from repro.tech.cells import CellLibrary
 
 __all__ = [
+    "DEFAULT_EXHAUSTIVE_THRESHOLD",
     "ExplorationResult",
     "DesignSpaceExplorer",
+    "design_space_size",
     "merge_exploration_results",
 ]
+
+#: Largest enumerable design space (decoded genome count) that defaults
+#: to exhaustive enumeration instead of the GA.  With batch evaluation a
+#: few hundred genomes cost one engine call, which is cheaper than any
+#: GA run *and* exact; every stock DCIM spec enumerates well under this.
+DEFAULT_EXHAUSTIVE_THRESHOLD = 512
+
+
+def design_space_size(problem) -> int | None:
+    """Decoded design-space size, or None when not enumerable.
+
+    Only problems exposing the optional ``enumerate_genomes`` hook (see
+    :meth:`repro.dse.problem.DcimProblem.enumerate_genomes`) report a
+    size; anything else — e.g. the mapping problem, whose codec covers
+    only part of its genome — returns None and always runs the GA.
+    """
+    if not hasattr(problem, "enumerate_genomes"):
+        return None
+    return len(problem.enumerate_genomes())
 
 
 @dataclass
@@ -45,6 +66,8 @@ class ExplorationResult:
             configured when the run was cancelled).
         stopped_early: True when a ``should_stop`` hook ended the GA
             before all configured generations.
+        strategy: how the frontier was obtained — ``"ga"`` (NSGA-II) or
+            ``"exhaustive"`` (full enumeration; exact by construction).
     """
 
     spec: DcimSpec
@@ -54,6 +77,7 @@ class ExplorationResult:
     history: list[list[tuple[float, ...]]] = field(default_factory=list)
     generations_run: int = 0
     stopped_early: bool = False
+    strategy: str = "ga"
 
     def __len__(self) -> int:
         return len(self.points)
@@ -91,6 +115,10 @@ class DesignSpaceExplorer:
             :mod:`repro.problems` registry.  The returned object must
             implement the :class:`~repro.dse.nsga2.Problem` protocol
             plus ``decode``.
+        exhaustive_threshold: largest enumerable design space
+            :meth:`explore_auto` resolves to exhaustive enumeration;
+            ``0`` or ``None`` disables the exhaustive default and always
+            runs the GA.
     """
 
     def __init__(
@@ -101,6 +129,7 @@ class DesignSpaceExplorer:
         executor=None,
         engine: str = "auto",
         problem_factory: Callable | None = None,
+        exhaustive_threshold: int | None = DEFAULT_EXHAUSTIVE_THRESHOLD,
     ) -> None:
         self.library = library or CellLibrary.default()
         self.config = config or NSGA2Config()
@@ -108,6 +137,7 @@ class DesignSpaceExplorer:
         self.executor = executor
         self.engine = engine
         self.problem_factory = problem_factory
+        self.exhaustive_threshold = exhaustive_threshold
 
     def _problem(self, spec: DcimSpec) -> DcimProblem:
         if self.problem_factory is not None:
@@ -164,18 +194,86 @@ class DesignSpaceExplorer:
             stopped_early=result.stopped_early,
         )
 
-    def explore_exhaustive(self, spec: DcimSpec) -> ExplorationResult:
-        """Exact frontier by enumeration (baseline / small spaces)."""
+    def select_strategy(self, spec: DcimSpec) -> str:
+        """``"exhaustive"`` or ``"ga"`` for a spec, per the threshold.
+
+        Exhaustive wins when the problem can enumerate its genomes
+        (:func:`design_space_size` is not None) and the space is no
+        larger than ``exhaustive_threshold``; everything else runs the
+        GA.
+        """
+        if not self.exhaustive_threshold:
+            return "ga"
+        size = design_space_size(self._problem(spec))
+        if size is not None and size <= self.exhaustive_threshold:
+            return "exhaustive"
+        return "ga"
+
+    def explore_auto(
+        self,
+        spec: DcimSpec,
+        seed: int | None = None,
+        observer: ProgressObserver | None = None,
+        should_stop: Callable[[], bool] | None = None,
+    ) -> ExplorationResult:
+        """Explore one spec with the strategy :meth:`select_strategy` picks.
+
+        Small enumerable spaces get the exact exhaustive frontier (the
+        GA could only ever approximate it, at higher cost); larger or
+        non-enumerable spaces run NSGA-II.  The chosen strategy is
+        recorded on the result.
+        """
+        if self.select_strategy(spec) == "exhaustive":
+            return self.explore_exhaustive(spec, should_stop=should_stop)
+        return self.explore(
+            spec, seed=seed, observer=observer, should_stop=should_stop
+        )
+
+    def explore_exhaustive(
+        self,
+        spec: DcimSpec,
+        should_stop: Callable[[], bool] | None = None,
+    ) -> ExplorationResult:
+        """Exact frontier by enumeration (baseline / small spaces).
+
+        Evaluation routes through the same cached batch evaluator the GA
+        uses, so an exhaustive run both warms and is served by the
+        shared evaluation cache.  ``evaluations`` counts the full
+        enumeration (every genome is requested, wherever it is served
+        from).
+        """
         problem = self._problem(spec)
-        points, objectives = problem.exhaustive_front_with_objectives()
-        order = np.argsort([o[0] for o in objectives]) if objectives else []
+        if not hasattr(problem, "enumerate_genomes"):
+            raise ValueError(
+                f"problem {type(problem).__name__} cannot enumerate its "
+                "design space; run the GA instead"
+            )
+        if should_stop is not None and should_stop():
+            return ExplorationResult(
+                spec=spec,
+                points=[],
+                objectives=np.empty((0, 0)),
+                stopped_early=True,
+                strategy="exhaustive",
+            )
+        genomes = problem.enumerate_genomes()
+        evaluator = self._evaluator(problem)
+        if evaluator is not None:
+            objectives = list(evaluator.evaluate_batch(genomes))
+        else:
+            objectives = list(problem.evaluate_batch(genomes))
+        front = pareto_front(list(zip(genomes, objectives)), objectives)
+        points = [problem.decode(g) for g, _ in front]
+        kept = [o for _, o in front]
+        order = np.argsort([o[0] for o in kept]) if kept else []
         points = [points[i] for i in order]
-        objectives = [objectives[i] for i in order]
+        kept = [kept[i] for i in order]
         return ExplorationResult(
             spec=spec,
             points=points,
-            objectives=np.array(objectives, dtype=float).reshape(len(points), -1),
-            evaluations=len(problem.codec.enumerate()),
+            objectives=np.array(kept, dtype=float).reshape(len(points), -1),
+            evaluations=len(genomes),
+            strategy="exhaustive",
         )
 
     def explore_many(

@@ -1,0 +1,243 @@
+"""Array-native NSGA-II primitives with numpy and pure-Python backends.
+
+The GA's per-generation bookkeeping — non-dominated sorting, crowding
+distance, the archive front filter — is the dominant cost now that
+evaluation is batched (PR 2).  This package provides those primitives
+in two bit-identical backends, selected exactly like
+:mod:`repro.model.engine`:
+
+* ``"numpy"`` (:mod:`repro.dse.kernels.numpy`): O(M·N²) broadcast
+  dominance matrix, stable argsorts per objective.
+* ``"python"`` (:mod:`repro.dse.kernels.python`): the pre-kernel
+  reference implementation in index form.
+* ``"auto"``: numpy when importable, else python.
+
+Both backends return the same ranks, the same front orders (including
+every tie-break) and the same float64 crowding values, so per-seed
+``nsga2()`` trajectories are unchanged no matter which one runs — the
+hypothesis parity suite and golden-fingerprint tests pin this.
+
+The *variation* operators (tournament, uniform crossover, step
+mutation) and the hash-based archive dedup live here as shared code:
+they draw from the run's single ``random.Random`` stream in a frozen
+order (tournament × 2, crossover, then per child mutation + repair),
+and the problem's ``repair`` hook consumes that stream too, so
+vectorising them would change per-seed results.  They operate on the
+parallel rank/crowding arrays the sort kernels produce, which is what
+makes the whole loop array-native.
+
+:class:`GAKernels` is the facade ``nsga2()`` drives; it resolves the
+backend once and times every sort/crowding call into the
+``repro_ga_sort_seconds`` / ``repro_ga_crowding_seconds`` histograms
+(labelled by backend) of the process metrics registry.  Timing happens
+outside all rng draws, so instrumentation never perturbs a run.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Sequence
+
+from repro.model.engine import HAS_NUMPY
+from repro.obs.metrics import get_registry
+
+__all__ = [
+    "KERNEL_BACKENDS",
+    "HAS_NUMPY",
+    "resolve_kernel_backend",
+    "GAKernels",
+    "tournament_index",
+    "uniform_crossover",
+    "step_mutation",
+    "breed_offspring",
+    "novel_genomes",
+]
+
+Genome = tuple[int, ...]
+
+#: Backend names ``resolve_kernel_backend`` accepts.
+KERNEL_BACKENDS = ("auto", "numpy", "python")
+
+
+def resolve_kernel_backend(backend: str = "auto") -> str:
+    """Resolve a requested GA-kernel backend to the one that will run.
+
+    ``"auto"`` picks numpy when importable and falls back to the pure
+    Python reference otherwise; the explicit names force one path
+    (useful for parity tests and numpy-less deployments).
+
+    Raises:
+        ValueError: on an unknown name, or when ``"numpy"`` is forced
+            but numpy is not importable.
+    """
+    if backend not in KERNEL_BACKENDS:
+        raise ValueError(
+            f"unknown GA kernel backend {backend!r}; "
+            f"choose from {KERNEL_BACKENDS}"
+        )
+    if backend == "auto":
+        return "numpy" if HAS_NUMPY else "python"
+    if backend == "numpy" and not HAS_NUMPY:
+        raise ValueError(
+            "GA kernel backend 'numpy' requested but numpy is not importable"
+        )
+    return backend
+
+
+class GAKernels:
+    """Resolved sort/crowding/front kernels plus their instrumentation.
+
+    Args:
+        backend: requested backend name (``auto``/``numpy``/``python``).
+        registry: metrics registry to time kernel calls into; defaults
+            to the process registry
+            (:func:`repro.obs.metrics.get_registry`).  With the null
+            registry every observation is a no-op.
+    """
+
+    def __init__(self, backend: str = "auto", registry=None) -> None:
+        self.backend = resolve_kernel_backend(backend)
+        if self.backend == "numpy":
+            from repro.dse.kernels import numpy as impl
+        else:
+            from repro.dse.kernels import python as impl
+        self._impl = impl
+        registry = get_registry() if registry is None else registry
+        self._sort_seconds = registry.histogram(
+            "repro_ga_sort_seconds",
+            "Wall time of one non-dominated sort kernel call",
+            ("backend",),
+        ).labels(self.backend)
+        self._crowding_seconds = registry.histogram(
+            "repro_ga_crowding_seconds",
+            "Wall time of one crowding-distance kernel call",
+            ("backend",),
+        ).labels(self.backend)
+
+    def as_matrix(self, objectives: Sequence[Sequence[float]]):
+        """Backend-native (N, M) objective container.
+
+        A float64 array for the numpy backend (exact conversion from
+        CPython floats), the sequence itself for the python reference.
+        """
+        if self.backend == "numpy":
+            import numpy as np
+
+            if not len(objectives):
+                return np.empty((0, 0), dtype=float)
+            return np.asarray(objectives, dtype=float)
+        return objectives
+
+    def nondominated_sort(self, matrix) -> tuple[list[int], list[list[int]]]:
+        """(ranks, fronts-as-index-lists) for an ``as_matrix`` result."""
+        start = time.perf_counter()
+        result = self._impl.nondominated_sort(matrix)
+        self._sort_seconds.observe(time.perf_counter() - start)
+        return result
+
+    def crowding(self, matrix, front: Sequence[int]) -> tuple[list[int], list[float]]:
+        """(post-sort permutation, crowding per position) for one front."""
+        start = time.perf_counter()
+        result = self._impl.crowding(matrix, front)
+        self._crowding_seconds.observe(time.perf_counter() - start)
+        return result
+
+    def pareto_filter(self, matrix) -> list[int]:
+        """Non-dominated row indices in input order (archive front)."""
+        start = time.perf_counter()
+        result = self._impl.pareto_filter(matrix)
+        self._sort_seconds.observe(time.perf_counter() - start)
+        return result
+
+
+# Variation operators ------------------------------------------------------
+#
+# These are deliberately *not* vectorised: they share one Random stream
+# with the problem's repair hook in a frozen draw order, which is the
+# bit-parity contract.  They consume the rank/crowding arrays the sort
+# kernels produce.
+
+
+def tournament_index(
+    rng: random.Random, ranks: Sequence[int], crowding: Sequence[float]
+) -> int:
+    """Binary tournament on (rank, crowding); returns the winning index.
+
+    Consumes exactly one ``rng.sample`` of two indices — the same draw
+    the pre-kernel implementation made over the population list.
+    """
+    i, j = rng.sample(range(len(ranks)), 2)
+    if ranks[i] != ranks[j]:
+        return i if ranks[i] < ranks[j] else j
+    return i if crowding[i] > crowding[j] else j
+
+
+def uniform_crossover(
+    rng: random.Random, mother: Genome, father: Genome, prob: float
+) -> tuple[Genome, Genome]:
+    """Per-gene uniform crossover (one skip draw, then one per gene)."""
+    if rng.random() >= prob:
+        return mother, father
+    child_a = list(mother)
+    child_b = list(father)
+    for i in range(len(mother)):
+        if rng.random() < 0.5:
+            child_a[i], child_b[i] = child_b[i], child_a[i]
+    return tuple(child_a), tuple(child_b)
+
+
+def step_mutation(
+    rng: random.Random, genome: Genome, steps: Sequence[int], prob: float
+) -> Genome:
+    """Random-step mutation (one gate draw per gene, one step when hit)."""
+    genes = list(genome)
+    for i, step in enumerate(steps):
+        if rng.random() < prob:
+            delta = rng.randint(-step, step)
+            genes[i] += delta
+    return tuple(genes)
+
+
+def breed_offspring(
+    rng: random.Random,
+    genomes: Sequence[Genome],
+    ranks: Sequence[int],
+    crowding: Sequence[float],
+    steps: Sequence[int],
+    crossover_prob: float,
+    mutation_prob: float,
+    repair: Callable[[Genome, random.Random], Genome],
+    count: int,
+) -> list[Genome]:
+    """Breed a full offspring batch from parallel population arrays.
+
+    Per pair the rng stream is: tournament × 2, crossover draws, then
+    for each child the mutation draws followed by ``repair`` (which may
+    draw too).  The loop overshoots by at most one child and truncates,
+    exactly like the pre-kernel implementation.
+    """
+    children: list[Genome] = []
+    while len(children) < count:
+        mother = genomes[tournament_index(rng, ranks, crowding)]
+        father = genomes[tournament_index(rng, ranks, crowding)]
+        for child in uniform_crossover(rng, mother, father, crossover_prob):
+            child = step_mutation(rng, child, steps, mutation_prob)
+            children.append(repair(child, rng))
+    return children[:count]
+
+
+def novel_genomes(
+    genomes: Sequence[Genome], known: Sequence[Genome] | dict
+) -> list[Genome]:
+    """Hash-based archive dedup: unseen genomes in first-seen order.
+
+    ``known`` is anything supporting ``in`` by genome (the run's
+    archive dict).  Duplicates within ``genomes`` collapse to their
+    first occurrence — the order the evaluator batch receives.
+    """
+    pending: dict[Genome, None] = {}
+    for genome in genomes:
+        if genome not in known and genome not in pending:
+            pending[genome] = None
+    return list(pending)

@@ -13,6 +13,14 @@ NSGA-II with:
 
 It is deliberately independent of DCIM specifics: anything implementing
 the small :class:`Problem` protocol can be optimised.
+
+Population state runs as parallel arrays (genome / objective / rank /
+crowding sequences) through the backend-selectable sort and crowding
+kernels of :mod:`repro.dse.kernels` — ``NSGA2Config.backend`` picks
+``numpy`` or the pure-Python reference exactly like the cost engine's
+``engine`` option, and both produce bit-identical per-seed results.
+:class:`Individual` objects are built only at the API boundary (the
+returned front and population), so the public shapes are unchanged.
 """
 
 from __future__ import annotations
@@ -20,6 +28,14 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Protocol, Sequence, runtime_checkable
+
+from repro.dse.kernels import (
+    KERNEL_BACKENDS,
+    GAKernels,
+    breed_offspring,
+    novel_genomes,
+)
+from repro.dse.kernels import python as _reference_kernels
 
 __all__ = [
     "Problem",
@@ -103,6 +119,10 @@ class NSGA2Config:
     The defaults are sized so one (Wstore, precision) exploration runs in
     seconds (the paper quotes "within 30 minutes" on their server; our
     analytical models are much cheaper to evaluate).
+
+    ``backend`` selects the sort/crowding kernel implementation
+    (``auto``/``numpy``/``python``, see :mod:`repro.dse.kernels`); it
+    never changes results, only speed.
     """
 
     population_size: int = 64
@@ -110,6 +130,7 @@ class NSGA2Config:
     crossover_prob: float = 0.9
     mutation_prob: float = 0.3
     seed: int | None = None
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.population_size < 4 or self.population_size % 2:
@@ -119,6 +140,11 @@ class NSGA2Config:
         for p in (self.crossover_prob, self.mutation_prob):
             if not 0.0 <= p <= 1.0:
                 raise ValueError("probabilities must lie in [0, 1]")
+        if self.backend not in KERNEL_BACKENDS:
+            raise ValueError(
+                f"unknown GA kernel backend {self.backend!r}; "
+                f"choose from {KERNEL_BACKENDS}"
+            )
 
 
 @dataclass(frozen=True)
@@ -193,93 +219,36 @@ def dominates(u: Sequence[float], v: Sequence[float]) -> bool:
 
 
 def fast_non_dominated_sort(population: list[Individual]) -> list[list[Individual]]:
-    """Deb's fast non-dominated sort; assigns ranks and returns the fronts."""
-    dominated_by: list[list[int]] = [[] for _ in population]
-    domination_count = [0] * len(population)
-    fronts: list[list[int]] = [[]]
-    for i, p in enumerate(population):
-        for j, q in enumerate(population):
-            if i == j:
-                continue
-            if dominates(p.objectives, q.objectives):
-                dominated_by[i].append(j)
-            elif dominates(q.objectives, p.objectives):
-                domination_count[i] += 1
-        if domination_count[i] == 0:
-            p.rank = 0
-            fronts[0].append(i)
-    current = 0
-    while fronts[current]:
-        next_front: list[int] = []
-        for i in fronts[current]:
-            for j in dominated_by[i]:
-                domination_count[j] -= 1
-                if domination_count[j] == 0:
-                    population[j].rank = current + 1
-                    next_front.append(j)
-        current += 1
-        fronts.append(next_front)
-    return [[population[i] for i in front] for front in fronts[:-1]]
+    """Deb's fast non-dominated sort; assigns ranks and returns the fronts.
+
+    Object-level convenience over the index-form reference kernel
+    (:func:`repro.dse.kernels.python.nondominated_sort`), kept for
+    callers that work with :class:`Individual` lists directly.
+    """
+    objectives = [ind.objectives for ind in population]
+    ranks, fronts = _reference_kernels.nondominated_sort(objectives)
+    for ind, rank in zip(population, ranks):
+        ind.rank = rank
+    return [[population[i] for i in front] for front in fronts]
 
 
 def crowding_distance(front: list[Individual]) -> None:
-    """Assign crowding distances in place (boundary points get infinity)."""
-    n = len(front)
-    for ind in front:
-        ind.crowding = 0.0
-    if n == 0:
-        return
-    if n <= 2:
-        for ind in front:
-            ind.crowding = INFINITY
-        return
-    n_obj = len(front[0].objectives)
-    for m in range(n_obj):
-        front.sort(key=lambda ind: ind.objectives[m])
-        lo = front[0].objectives[m]
-        hi = front[-1].objectives[m]
-        front[0].crowding = INFINITY
-        front[-1].crowding = INFINITY
-        span = hi - lo
-        if span == 0:
-            continue
-        for i in range(1, n - 1):
-            gap = front[i + 1].objectives[m] - front[i - 1].objectives[m]
-            front[i].crowding += gap / span
+    """Assign crowding distances in place (boundary points get infinity).
+
+    Reorders ``front`` the way the per-objective stable sorts leave it,
+    exactly as before the kernel refactor — object-level convenience
+    over :func:`repro.dse.kernels.python.crowding`.
+    """
+    objectives = [ind.objectives for ind in front]
+    perm, dist = _reference_kernels.crowding(objectives, range(len(front)))
+    front[:] = [front[i] for i in perm]
+    for ind, value in zip(front, dist):
+        ind.crowding = value
 
 
-def _tournament(rng: random.Random, population: list[Individual]) -> Individual:
-    a, b = rng.sample(population, 2)
-    if a.rank != b.rank:
-        return a if a.rank < b.rank else b
-    return a if a.crowding > b.crowding else b
-
-
-def _crossover(
-    rng: random.Random, mother: Genome, father: Genome, prob: float
-) -> tuple[Genome, Genome]:
-    if rng.random() >= prob:
-        return mother, father
-    child_a = list(mother)
-    child_b = list(father)
-    for i in range(len(mother)):
-        if rng.random() < 0.5:
-            child_a[i], child_b[i] = child_b[i], child_a[i]
-    return tuple(child_a), tuple(child_b)
-
-
-def _mutate(
-    rng: random.Random, genome: Genome, steps: Sequence[int], prob: float
-) -> Genome:
-    genes = list(genome)
-    for i, step in enumerate(steps):
-        if rng.random() < prob:
-            delta = rng.randint(-step, step)
-            genes[i] += delta
-    return tuple(genes)
-
-
-def _archive_front(archive: dict[Genome, tuple[float, ...]]) -> list[Individual]:
+def _archive_front(
+    archive: dict[Genome, tuple[float, ...]], kernels: GAKernels
+) -> list[Individual]:
     """Rank-0 individuals over the whole evaluation archive.
 
     Only the first front is needed, so this runs a single non-dominated
@@ -287,19 +256,15 @@ def _archive_front(archive: dict[Genome, tuple[float, ...]]) -> list[Individual]
     archive size *per front*).  The archive dict is already deduplicated
     by genome, so no further dedup pass is required.
     """
-    items = [Individual(g, o) for g, o in archive.items()]
-    front: list[Individual] = []
-    for candidate in items:
-        if any(
-            dominates(other.objectives, candidate.objectives)
-            for other in items
-            if other is not candidate
-        ):
-            continue
-        candidate.rank = 0
-        front.append(candidate)
-    crowding_distance(front)
-    return front
+    genomes = list(archive)
+    objectives = [archive[g] for g in genomes]
+    matrix = kernels.as_matrix(objectives)
+    keep = kernels.pareto_filter(matrix)
+    perm, dist = kernels.crowding(matrix, keep)
+    return [
+        Individual(genomes[i], objectives[i], 0, value)
+        for i, value in zip(perm, dist)
+    ]
 
 
 def nsga2(
@@ -320,6 +285,12 @@ def nsga2(
     evaluation is pure and order-preserving, the run is bit-identical
     for a fixed seed regardless of the backend.
 
+    Population state lives in parallel arrays (genomes, objectives,
+    ranks, crowding); sorting and crowding run through the configured
+    :mod:`repro.dse.kernels` backend, variation through the shared
+    single-rng-stream operators.  ``config.backend`` therefore never
+    changes results — the numpy and python kernels are bit-identical.
+
     Args:
         observer: called with a :class:`GenerationProgress` after each
             completed generation.  Observers run between generations
@@ -335,6 +306,7 @@ def nsga2(
     """
     config = config or NSGA2Config()
     rng = random.Random(config.seed)
+    kernels = GAKernels(config.backend)
     #: Every genome ever evaluated, keyed for O(1) dedup lookups.
     archive: dict[Genome, tuple[float, ...]] = {}
     evaluations = 0
@@ -353,13 +325,10 @@ def nsga2(
         """Batch-evaluate the not-yet-archived genomes (deduplicated)."""
         nonlocal evaluations, requested
         requested += len(genomes)
-        pending: dict[Genome, None] = {}
-        for genome in genomes:
-            if genome not in archive:
-                pending[genome] = None
+        pending = novel_genomes(genomes, archive)
         if not pending:
             return
-        fresh = batch_fn(list(pending))
+        fresh = batch_fn(pending)
         if len(fresh) != len(pending):
             raise ValueError(
                 f"evaluator returned {len(fresh)} results for "
@@ -369,9 +338,14 @@ def nsga2(
             archive[genome] = tuple(objectives)
         evaluations += len(pending)
 
-    genomes = [problem.sample(rng) for _ in range(config.population_size)]
-    evaluate_all(genomes)
-    population = [Individual(g, archive[g]) for g in genomes]
+    # Parallel population arrays: genome, objective vector, rank and
+    # crowding per slot.  Ranks/crowding hold their defaults until the
+    # first generation's sort runs (matching the old Individual fields).
+    pop_genomes = [problem.sample(rng) for _ in range(config.population_size)]
+    evaluate_all(pop_genomes)
+    pop_objectives = [archive[g] for g in pop_genomes]
+    pop_ranks = [0] * config.population_size
+    pop_crowding = [0.0] * config.population_size
 
     history: list[list[tuple[float, ...]]] = []
     steps = problem.mutation_steps()
@@ -382,40 +356,59 @@ def nsga2(
         if should_stop is not None and should_stop():
             stopped_early = True
             break
-        fronts = fast_non_dominated_sort(population)
+        # Parent ranking feeds tournament selection.
+        matrix = kernels.as_matrix(pop_objectives)
+        ranks, fronts = kernels.nondominated_sort(matrix)
+        pop_ranks = ranks
         for front in fronts:
-            crowding_distance(front)
+            perm, dist = kernels.crowding(matrix, front)
+            for i, value in zip(perm, dist):
+                pop_crowding[i] = value
         # Variation: fill an offspring population of equal size.  The
         # children are bred first (all rng draws happen here), then the
         # generation's new genomes are evaluated as one batch.
-        children: list[Genome] = []
-        while len(children) < config.population_size:
-            mother = _tournament(rng, population)
-            father = _tournament(rng, population)
-            for child in _crossover(
-                rng, mother.genome, father.genome, config.crossover_prob
-            ):
-                child = _mutate(rng, child, steps, config.mutation_prob)
-                child = problem.repair(child, rng)
-                children.append(child)
-        children = children[: config.population_size]
+        children = breed_offspring(
+            rng,
+            pop_genomes,
+            pop_ranks,
+            pop_crowding,
+            steps,
+            config.crossover_prob,
+            config.mutation_prob,
+            problem.repair,
+            config.population_size,
+        )
         evaluate_all(children)
-        offspring = [Individual(g, archive[g]) for g in children]
         # Elitist environmental selection over parents + offspring.
-        merged = population + offspring
-        fronts = fast_non_dominated_sort(merged)
-        survivors: list[Individual] = []
+        merged_genomes = pop_genomes + children
+        merged_objectives = pop_objectives + [archive[g] for g in children]
+        matrix = kernels.as_matrix(merged_objectives)
+        ranks, fronts = kernels.nondominated_sort(matrix)
+        survivors: list[int] = []
+        survivor_crowding: list[float] = []
         for front in fronts:
-            crowding_distance(front)
-            if len(survivors) + len(front) <= config.population_size:
-                survivors.extend(front)
+            perm, dist = kernels.crowding(matrix, front)
+            if len(survivors) + len(perm) <= config.population_size:
+                survivors.extend(perm)
+                survivor_crowding.extend(dist)
             else:
-                front.sort(key=lambda ind: ind.crowding, reverse=True)
-                survivors.extend(front[: config.population_size - len(survivors)])
+                # Stable descending-crowding truncation — same order the
+                # old `front.sort(key=..., reverse=True)` produced.
+                order = sorted(range(len(dist)), key=lambda k: -dist[k])
+                room = config.population_size - len(survivors)
+                survivors.extend(perm[k] for k in order[:room])
+                survivor_crowding.extend(dist[k] for k in order[:room])
                 break
-        population = survivors
+        pop_genomes = [merged_genomes[i] for i in survivors]
+        pop_objectives = [merged_objectives[i] for i in survivors]
+        pop_ranks = [ranks[i] for i in survivors]
+        pop_crowding = survivor_crowding
         history.append(
-            [ind.objectives for ind in population if ind.rank == 0]
+            [
+                objectives
+                for objectives, rank in zip(pop_objectives, pop_ranks)
+                if rank == 0
+            ]
         )
         generations_run = generation + 1
         if observer is not None:
@@ -430,10 +423,16 @@ def nsga2(
                 )
             )
 
+    population = [
+        Individual(genome, objectives, rank, crowding)
+        for genome, objectives, rank, crowding in zip(
+            pop_genomes, pop_objectives, pop_ranks, pop_crowding
+        )
+    ]
     # Final front over the archive of everything evaluated, not just the
     # surviving population.  The archive is keyed by genome, so the
     # front needs no separate dedup pass.
-    front = _archive_front(archive)
+    front = _archive_front(archive, kernels)
     return NSGA2Result(
         front=front,
         population=population,

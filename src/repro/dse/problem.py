@@ -111,6 +111,17 @@ class DcimProblem:
         """Materialise a genome as a design point."""
         return self.codec.decode(genome)
 
+    def enumerate_genomes(self) -> list[Genome]:
+        """Every feasible genome, in codec enumeration order.
+
+        Optional capability hook the explorer uses to size the design
+        space and to default small specs to exhaustive enumeration
+        instead of the GA.  Problems whose codec does not cover the full
+        genome (e.g. the mapping problem's extra loop-order genes)
+        simply don't implement it and always run the GA.
+        """
+        return self.codec.enumerate()
+
     def exhaustive_front(self) -> list[DesignPoint]:
         """Brute-force true Pareto front by enumerating the whole space.
 

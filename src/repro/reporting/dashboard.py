@@ -273,6 +273,7 @@ def _runs_table(runs) -> str:
         f"<tr><td><code>{html.escape(record.run_id)}</code></td>"
         f"<td>{html.escape(record.problem)}</td>"
         f"<td>{html.escape(record.status)}</td>"
+        f"<td>{html.escape(record.strategy or '-')}</td>"
         f'<td class="num">{len(record.specs)}</td>'
         f'<td class="num">{record.front_size}</td>'
         f'<td class="num">{record.evaluations}</td>'
@@ -282,6 +283,7 @@ def _runs_table(runs) -> str:
     )
     return (
         "<table><thead><tr><th>run</th><th>problem</th><th>status</th>"
+        '<th>strategy</th>'
         '<th class="num">specs</th><th class="num">front</th>'
         '<th class="num">evals</th><th class="num">wall (s)</th>'
         f"<th>recorded</th></tr></thead><tbody>{rows}</tbody></table>"

@@ -107,6 +107,14 @@ class CampaignRequest:
         chunk_size: genomes per executor task (``None`` = automatic).
         engine: cost-engine backend (``auto``/``numpy``/``python``);
             all choices return bit-identical objective vectors.
+        ga_backend: GA sort/crowding kernel backend
+            (``auto``/``numpy``/``python``, see
+            :mod:`repro.dse.kernels`); all choices return bit-identical
+            campaign results, so it never enters the fingerprint.
+        exhaustive_threshold: largest enumerable design space explored
+            exhaustively instead of via the GA; ``0`` forces the GA
+            everywhere, omitted/``None`` resolves to the library
+            default at construction.
         schema_version: wire-format version; v1 payloads are accepted
             and upgraded, so a constructed request always carries
             :data:`SCHEMA_VERSION`.
@@ -122,6 +130,8 @@ class CampaignRequest:
     workers: int = 1
     chunk_size: int | None = None
     engine: str = "auto"
+    ga_backend: str = "auto"
+    exhaustive_threshold: int | None = None
     schema_version: int = SCHEMA_VERSION
     problem: str = DEFAULT_PROBLEM
 
@@ -131,6 +141,22 @@ class CampaignRequest:
                 f"unsupported schema_version {self.schema_version!r}; "
                 f"supported: {list(SUPPORTED_SCHEMA_VERSIONS)}"
             )
+        from repro.dse.explorer import DEFAULT_EXHAUSTIVE_THRESHOLD
+        from repro.dse.kernels import KERNEL_BACKENDS
+
+        if self.ga_backend not in KERNEL_BACKENDS:
+            raise ValueError(
+                f"unknown GA kernel backend {self.ga_backend!r}; "
+                f"choose from {KERNEL_BACKENDS}"
+            )
+        # Omitted threshold resolves to the library default, so stored
+        # requests always carry the concrete number they ran with.
+        if self.exhaustive_threshold is None:
+            object.__setattr__(
+                self, "exhaustive_threshold", DEFAULT_EXHAUSTIVE_THRESHOLD
+            )
+        if self.exhaustive_threshold < 0:
+            raise ValueError("exhaustive_threshold must be >= 0")
         # Requests are always upgraded to the current schema in memory.
         object.__setattr__(self, "schema_version", SCHEMA_VERSION)
         from repro.problems import get_problem
@@ -171,6 +197,15 @@ class CampaignRequest:
         del payload["schema_version"]
         if self.problem == DEFAULT_PROBLEM:
             del payload["problem"]
+        # The GA kernel backend can never change results, so it never
+        # hashes; the exhaustive threshold only hashes when it differs
+        # from the library default.  Both rules keep fingerprints from
+        # before these knobs existed matching.
+        del payload["ga_backend"]
+        from repro.dse.explorer import DEFAULT_EXHAUSTIVE_THRESHOLD
+
+        if self.exhaustive_threshold == DEFAULT_EXHAUSTIVE_THRESHOLD:
+            del payload["exhaustive_threshold"]
         return stable_hash(payload)
 
     def to_dict(self) -> dict:
@@ -293,6 +328,11 @@ class CampaignResponse:
         engine_backend: which cost-engine backend ran
             (``numpy``/``python``).
         problem: registry name of the problem the campaign optimised.
+        strategies: per-spec exploration strategy (``"ga"`` or
+            ``"exhaustive"``), in spec input order; empty for records
+            written before strategies were tracked.
+        ga_backend: resolved GA kernel backend (``numpy``/``python``),
+            or ``None`` for pre-kernel records.
     """
 
     frontier: tuple[FrontierPoint, ...]
@@ -303,6 +343,8 @@ class CampaignResponse:
     wall_time_s: float = 0.0
     engine_backend: str = "python"
     problem: str = DEFAULT_PROBLEM
+    strategies: tuple[str, ...] = ()
+    ga_backend: str | None = None
 
     def __post_init__(self) -> None:
         frontier = tuple(
@@ -313,6 +355,7 @@ class CampaignResponse:
         object.__setattr__(
             self, "per_spec_evaluations", tuple(self.per_spec_evaluations)
         )
+        object.__setattr__(self, "strategies", tuple(self.strategies))
 
     def to_dict(self) -> dict:
         # Not asdict(): that would deep-convert the frontier only for
@@ -328,6 +371,8 @@ class CampaignResponse:
             "wall_time_s": self.wall_time_s,
             "engine_backend": self.engine_backend,
             "problem": self.problem,
+            "strategies": list(self.strategies),
+            "ga_backend": self.ga_backend,
         }
 
     def to_json(self) -> str:

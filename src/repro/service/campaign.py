@@ -24,10 +24,12 @@ import numpy as np
 
 from repro.core.spec import DcimSpec, DesignPoint
 from repro.dse.explorer import (
+    DEFAULT_EXHAUSTIVE_THRESHOLD,
     DesignSpaceExplorer,
     ExplorationResult,
     merge_exploration_results,
 )
+from repro.dse.kernels import resolve_kernel_backend
 from repro.dse.nsga2 import GenerationProgress, NSGA2Config
 from repro.model.engine import ENGINE_BACKENDS, resolve_backend
 from repro.obs.metrics import get_registry
@@ -71,6 +73,10 @@ class CampaignConfig:
             used inside every problem; bit-identical across choices.
         problem: :mod:`repro.problems` registry name; every spec of the
             campaign is explored through that entry's problem factory.
+        exhaustive_threshold: largest enumerable design space that is
+            explored exhaustively instead of via the GA (see
+            :meth:`~repro.dse.explorer.DesignSpaceExplorer.explore_auto`);
+            ``0`` or ``None`` forces the GA for every spec.
     """
 
     nsga2: NSGA2Config = field(default_factory=NSGA2Config)
@@ -80,12 +86,15 @@ class CampaignConfig:
     chunk_size: int | None = None
     engine: str = "auto"
     problem: str = DEFAULT_PROBLEM
+    exhaustive_threshold: int | None = DEFAULT_EXHAUSTIVE_THRESHOLD
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ValueError("chunk_size must be >= 1 when given")
+        if self.exhaustive_threshold is not None and self.exhaustive_threshold < 0:
+            raise ValueError("exhaustive_threshold must be >= 0 when given")
         if self.engine not in ENGINE_BACKENDS:
             raise ValueError(
                 f"unknown engine backend {self.engine!r}; "
@@ -119,6 +128,10 @@ class CampaignResult:
         problem: :mod:`repro.problems` registry name the campaign
             optimised (decides how ``merged_points`` flatten into
             frontier records).
+        strategies: per-spec exploration strategy (``"ga"`` or
+            ``"exhaustive"``), in spec input order.
+        ga_backend: resolved GA kernel backend
+            (``numpy``/``python``) that ran the sort/crowding kernels.
     """
 
     results: list[ExplorationResult]
@@ -130,6 +143,8 @@ class CampaignResult:
     engine_backend: str = "python"
     run_id: str | None = None
     problem: str = DEFAULT_PROBLEM
+    strategies: tuple[str, ...] = ()
+    ga_backend: str | None = None
 
     @property
     def fresh_evaluations(self) -> int:
@@ -160,6 +175,8 @@ class CampaignResult:
             wall_time_s=self.wall_time_s,
             engine_backend=self.engine_backend,
             problem=self.problem,
+            strategies=self.strategies,
+            ga_backend=self.ga_backend,
         )
 
 
@@ -178,12 +195,19 @@ def _campaign_fingerprint(specs: list, config: CampaignConfig) -> str:
     identical workloads share it).  Like the request fingerprint, the
     default ``"dcim"`` problem hashes the pre-v2 config layout so
     registry rows recorded before the schema upgrade keep matching.
+    The GA kernel backend never enters the hash (it cannot change
+    results), and the exhaustive threshold only does when it differs
+    from the default — so rows recorded before these knobs existed keep
+    matching too.
     """
     from repro.service.cache import stable_hash
 
     config_payload = dataclasses.asdict(config)
     if config.problem == DEFAULT_PROBLEM:
         del config_payload["problem"]
+    del config_payload["nsga2"]["backend"]
+    if config.exhaustive_threshold == DEFAULT_EXHAUSTIVE_THRESHOLD:
+        del config_payload["exhaustive_threshold"]
     return stable_hash(
         {
             "specs": [dataclasses.asdict(spec) for spec in specs],
@@ -244,9 +268,10 @@ def run_campaign(
     config = config or CampaignConfig()
     library = library or CellLibrary.default()
     definition = get_problem(config.problem)
-    # Resolve the engine first: a resolution failure must not leak a
+    # Resolve the backends first: a resolution failure must not leak a
     # freshly spawned worker pool.
     engine_backend = resolve_backend(config.engine)
+    ga_backend = resolve_kernel_backend(config.nsga2.backend)
     own_executor = executor is None
     executor = executor or make_executor(config.backend, chunk_size=config.chunk_size)
     explorer = DesignSpaceExplorer(
@@ -258,6 +283,7 @@ def run_campaign(
         problem_factory=lambda spec: definition.make_problem(
             spec, library=library, engine=config.engine
         ),
+        exhaustive_threshold=config.exhaustive_threshold,
     )
     stats_before = dataclasses.replace(cache.stats) if cache is not None else None
 
@@ -268,28 +294,28 @@ def run_campaign(
     m_generations = registry.counter(
         "repro_campaign_generations_total",
         "GA generations completed across campaigns",
-        ("problem",),
-    ).labels(config.problem)
+        ("problem", "ga_backend"),
+    ).labels(config.problem, ga_backend)
     m_generation_seconds = registry.histogram(
         "repro_campaign_generation_seconds",
         "Wall time of one GA generation",
-        ("problem",),
-    ).labels(config.problem)
+        ("problem", "ga_backend"),
+    ).labels(config.problem, ga_backend)
     m_front_size = registry.gauge(
         "repro_campaign_front_size",
         "Pareto front size reported by the most recent generation",
-        ("problem",),
-    ).labels(config.problem)
+        ("problem", "ga_backend"),
+    ).labels(config.problem, ga_backend)
     m_campaigns = registry.counter(
         "repro_campaigns_total",
         "Campaigns finished, by outcome",
-        ("problem", "status"),
+        ("problem", "status", "ga_backend"),
     )
     m_campaign_seconds = registry.histogram(
         "repro_campaign_seconds",
         "End-to-end campaign wall time",
-        ("problem",),
-    ).labels(config.problem)
+        ("problem", "ga_backend"),
+    ).labels(config.problem, ga_backend)
 
     def emit(event: CampaignEvent) -> None:
         if observer is not None:
@@ -314,14 +340,39 @@ def run_campaign(
         if should_stop is not None and should_stop():
             return None
         label = definition.spec_label(spec)
+        # Small enumerable spaces skip the GA entirely: exhaustive
+        # enumeration is exact and (batched) cheaper.  An exhaustive
+        # spec emits no GENERATION_DONE events and reports 0
+        # generations in its SPEC_* events.
+        strategy = explorer.select_strategy(spec)
+        spec_generations = (
+            0 if strategy == "exhaustive" else config.nsga2.generations
+        )
         emit(
             CampaignEvent(
                 kind=EventKind.SPEC_STARTED,
                 spec_index=i,
                 spec=label,
-                generations=config.nsga2.generations,
+                generations=spec_generations,
             )
         )
+        if strategy == "exhaustive":
+            result = explorer.explore_exhaustive(spec, should_stop=should_stop)
+            if result.stopped_early:
+                return None
+            emit(
+                CampaignEvent(
+                    kind=EventKind.SPEC_DONE,
+                    spec_index=i,
+                    spec=label,
+                    generation=0,
+                    generations=0,
+                    evaluations=result.evaluations,
+                    front_size=len(result),
+                    cache_hit_rate=hit_rate(),
+                )
+            )
+            return result
         last_tick = time.perf_counter()
 
         def ga_observer(progress: GenerationProgress) -> None:
@@ -393,7 +444,7 @@ def run_campaign(
     ):
         done = sum(result is not None for result in maybe_results)
         message = f"campaign cancelled after {done}/{len(specs)} specs"
-        m_campaigns.labels(config.problem, "cancelled").inc()
+        m_campaigns.labels(config.problem, "cancelled", ga_backend).inc()
         if store is not None:
             _record_safely(
                 store.record_failure,
@@ -407,7 +458,7 @@ def run_campaign(
         raise CampaignCancelled(message)
     results: list[ExplorationResult] = maybe_results
 
-    m_campaigns.labels(config.problem, "done").inc()
+    m_campaigns.labels(config.problem, "done", ga_backend).inc()
     m_campaign_seconds.observe(wall_time)
     merged_points, merged_objs = merge_exploration_results(results)
     emit(
@@ -439,6 +490,8 @@ def run_campaign(
         wall_time_s=wall_time,
         engine_backend=engine_backend,
         problem=config.problem,
+        strategies=tuple(r.strategy for r in results),
+        ga_backend=ga_backend,
     )
     if store is not None:
         record = _record_safely(
@@ -498,6 +551,7 @@ def execute_request(
         nsga2=NSGA2Config(
             population_size=request.population_size,
             generations=request.generations,
+            backend=request.ga_backend,
         ),
         seed=request.seed,
         workers=request.workers,
@@ -505,6 +559,7 @@ def execute_request(
         chunk_size=request.chunk_size,
         engine=request.engine,
         problem=request.problem,
+        exhaustive_threshold=request.exhaustive_threshold,
     )
     result = run_campaign(
         specs,

@@ -51,7 +51,9 @@ CREATE TABLE IF NOT EXISTS runs (
     request TEXT,
     cache_stats TEXT,
     error TEXT,
-    problem TEXT NOT NULL DEFAULT 'dcim'
+    problem TEXT NOT NULL DEFAULT 'dcim',
+    strategy TEXT,
+    ga_backend TEXT
 );
 CREATE INDEX IF NOT EXISTS runs_by_fingerprint ON runs(fingerprint);
 CREATE INDEX IF NOT EXISTS runs_by_created ON runs(created_at);
@@ -83,6 +85,18 @@ CREATE TABLE IF NOT EXISTS metrics_history (
 );
 CREATE INDEX IF NOT EXISTS metrics_by_time ON metrics_history(snapshot_at);
 """
+
+
+def _summarize_strategies(response: CampaignResponse | None) -> str | None:
+    """Collapse per-spec strategies into the run row's summary value.
+
+    All-same collapses to that strategy, a mix becomes ``"mixed"``, and
+    responses without strategy info (pre-kernel records) yield ``None``.
+    """
+    if response is None or not response.strategies:
+        return None
+    unique = set(response.strategies)
+    return unique.pop() if len(unique) == 1 else "mixed"
 
 
 def point_hash(point: FrontierPoint) -> str:
@@ -127,6 +141,11 @@ class RunRecord:
         problem: :mod:`repro.problems` registry name the run optimised;
             analytics and the regression gate only compare runs of the
             same problem.
+        strategy: exploration strategy summary — ``"ga"`` or
+            ``"exhaustive"`` when every spec used that strategy,
+            ``"mixed"`` otherwise, ``None`` for pre-strategy rows.
+        ga_backend: resolved GA kernel backend (``numpy``/``python``),
+            ``None`` for pre-kernel rows.
     """
 
     run_id: str
@@ -143,6 +162,8 @@ class RunRecord:
     cache_stats: dict | None = None
     error: str | None = None
     problem: str = "dcim"
+    strategy: str | None = None
+    ga_backend: str | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -160,6 +181,8 @@ class RunRecord:
             "cache_stats": self.cache_stats,
             "error": self.error,
             "problem": self.problem,
+            "strategy": self.strategy,
+            "ga_backend": self.ga_backend,
         }
 
     @classmethod
@@ -171,10 +194,11 @@ class RunRecord:
     def describe(self) -> str:
         """One-line human rendering used by ``repro runs list``."""
         label = f" ({self.name})" if self.name else ""
+        via = f" via {self.strategy}" if self.strategy else ""
         return (
             f"{self.run_id}{label}: {self.problem}, {self.status}, "
             f"{len(self.specs)} specs, front {self.front_size}, "
-            f"{self.evaluations} evaluations, {self.wall_time_s:.2f} s"
+            f"{self.evaluations} evaluations{via}, {self.wall_time_s:.2f} s"
         )
 
 
@@ -235,14 +259,17 @@ class RunStore:
 
         ``CREATE TABLE IF NOT EXISTS`` leaves existing tables alone, so
         columns added since a database was created are backfilled here
-        (``ALTER TABLE ADD COLUMN`` appends, matching the column order
-        of a freshly created schema).
+        (``ALTER TABLE ADD COLUMN`` appends; the list is ordered by the
+        release each column landed in, so altered databases end up with
+        the column order of a freshly created schema).
         """
-        migrations = {
-            "runs": ("problem", "TEXT NOT NULL DEFAULT 'dcim'"),
-            "design_points": ("extras", "TEXT NOT NULL DEFAULT '{}'"),
-        }
-        for table, (column, decl) in migrations.items():
+        migrations = [
+            ("runs", "problem", "TEXT NOT NULL DEFAULT 'dcim'"),
+            ("design_points", "extras", "TEXT NOT NULL DEFAULT '{}'"),
+            ("runs", "strategy", "TEXT"),
+            ("runs", "ga_backend", "TEXT"),
+        ]
+        for table, column, decl in migrations:
             present = {
                 row[1]
                 for row in self._conn.execute(f"PRAGMA table_info({table})")
@@ -381,6 +408,8 @@ class RunStore:
             cache_stats=response.cache_stats if response is not None else None,
             error=error,
             problem=problem,
+            strategy=_summarize_strategies(response),
+            ga_backend=response.ga_backend if response is not None else None,
         )
 
     def _insert_run_locked(
@@ -400,8 +429,9 @@ class RunStore:
         self._conn.execute(
             "INSERT INTO runs (run_id, name, fingerprint, status, "
             "created_at, wall_time_s, evaluations, fresh_evaluations, "
-            "engine_backend, specs, request, cache_stats, error, problem) "
-            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            "engine_backend, specs, request, cache_stats, error, problem, "
+            "strategy, ga_backend) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
             (
                 run_id,
                 name,
@@ -421,6 +451,8 @@ class RunStore:
                 ),
                 error,
                 problem,
+                _summarize_strategies(response),
+                response.ga_backend if response is not None else None,
             ),
         )
         for position, point in enumerate(frontier):
@@ -752,6 +784,8 @@ class RunStore:
             cache_stats,
             error,
             problem,
+            strategy,
+            ga_backend,
             front_size,
         ) = row
         return RunRecord(
@@ -769,6 +803,8 @@ class RunStore:
             cache_stats=json.loads(cache_stats) if cache_stats else None,
             error=error,
             problem=problem,
+            strategy=strategy,
+            ga_backend=ga_backend,
         )
 
     def request_of(self, run_id: str) -> CampaignRequest | None:

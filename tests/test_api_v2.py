@@ -153,6 +153,10 @@ class TestV1Upgrade:
         )
         expected = request.to_dict()
         del expected["schema_version"]
+        # GA backend and the default exhaustive threshold never change
+        # results, so they are excluded from workload identity too.
+        del expected["ga_backend"]
+        del expected["exhaustive_threshold"]
         assert request.fingerprint() == stable_hash(expected)
 
     def test_dcim_wire_spec_fails_fast_on_bad_precision(self):
@@ -266,6 +270,9 @@ class TestProgrammaticFingerprint:
         config = CampaignConfig()
         legacy_config = dataclasses.asdict(config)
         del legacy_config["problem"]  # the pre-v2 config had no such key
+        # bit-parity knobs that never affect results stay out of the hash
+        del legacy_config["nsga2"]["backend"]
+        del legacy_config["exhaustive_threshold"]
         assert _campaign_fingerprint(specs, config) == stable_hash(
             {
                 "specs": [dataclasses.asdict(s) for s in specs],

@@ -1,0 +1,416 @@
+"""Bit-parity and behaviour tests for the array-native GA kernels.
+
+Three layers of evidence that vectorising the NSGA-II bookkeeping
+changed nothing:
+
+* a Hypothesis suite feeding adversarial objective matrices (ties,
+  duplicate rows, infinities, zero-range columns) through both kernel
+  backends and asserting bitwise-identical ranks, front orders and
+  crowding values;
+* golden result fingerprints of full ``nsga2()`` runs, captured from
+  the pre-kernel implementation and pinned for both backends;
+* strategy/bookkeeping coverage: exhaustive-vs-GA routing, response
+  surfacing, and the run-registry schema migration.
+"""
+
+import hashlib
+import math
+import random
+import sqlite3
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.spec import DcimSpec
+from repro.dse.kernels import (
+    HAS_NUMPY,
+    KERNEL_BACKENDS,
+    GAKernels,
+    novel_genomes,
+    resolve_kernel_backend,
+    tournament_index,
+)
+from repro.dse.kernels import python as py_kernels
+from repro.dse.nsga2 import NSGA2Config, nsga2
+from repro.dse.problem import DcimProblem
+
+pytestmark = pytest.mark.skipif(
+    not HAS_NUMPY, reason="parity needs both backends importable"
+)
+
+
+def bits(values):
+    """Bitwise float identity — nan-safe, unlike ``==``."""
+    return [struct.pack("<d", float(v)) for v in values]
+
+
+# Objective values that provoke every tie-break: exact ties, signed
+# zeros, infinities (inf - inf => nan inside crowding) and plain floats.
+OBJECTIVE_VALUES = st.one_of(
+    st.sampled_from([0.0, -0.0, 1.0, 2.0, math.inf, -math.inf]),
+    st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, width=64
+    ),
+)
+
+
+@st.composite
+def objective_matrices(draw):
+    n = draw(st.integers(min_value=0, max_value=24))
+    m = draw(st.integers(min_value=1, max_value=4))
+    rows = draw(
+        st.lists(
+            st.tuples(*[OBJECTIVE_VALUES] * m), min_size=n, max_size=n
+        )
+    )
+    # Duplicate some rows outright: identical objective vectors exercise
+    # the mutual-non-domination and crowding-tie paths hardest.
+    if rows and draw(st.booleans()):
+        idx = draw(st.integers(min_value=0, max_value=len(rows) - 1))
+        rows.append(rows[idx])
+    return rows
+
+
+class TestKernelParity:
+    """numpy and python kernels agree bit-for-bit on adversarial input."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(objectives=objective_matrices())
+    def test_nondominated_sort_identical(self, objectives):
+        np_k = GAKernels("numpy")
+        py_k = GAKernels("python")
+        np_ranks, np_fronts = np_k.nondominated_sort(
+            np_k.as_matrix(objectives)
+        )
+        py_ranks, py_fronts = py_k.nondominated_sort(
+            py_k.as_matrix(objectives)
+        )
+        assert np_ranks == py_ranks
+        assert np_fronts == py_fronts
+
+    @settings(max_examples=200, deadline=None)
+    @given(objectives=objective_matrices())
+    def test_crowding_identical(self, objectives):
+        np_k = GAKernels("numpy")
+        py_k = GAKernels("python")
+        _, fronts = py_k.nondominated_sort(objectives)
+        for front in fronts:
+            np_perm, np_dist = np_k.crowding(
+                np_k.as_matrix(objectives), front
+            )
+            py_perm, py_dist = py_k.crowding(objectives, front)
+            assert np_perm == py_perm
+            assert bits(np_dist) == bits(py_dist)
+
+    @settings(max_examples=200, deadline=None)
+    @given(objectives=objective_matrices())
+    def test_pareto_filter_identical(self, objectives):
+        np_k = GAKernels("numpy")
+        py_k = GAKernels("python")
+        assert np_k.pareto_filter(
+            np_k.as_matrix(objectives)
+        ) == py_k.pareto_filter(objectives)
+
+    @settings(max_examples=100, deadline=None)
+    @given(objectives=objective_matrices(), seed=st.integers(0, 2**32 - 1))
+    def test_tournament_selects_identical_indices(self, objectives, seed):
+        if len(objectives) < 2:
+            return
+        np_k = GAKernels("numpy")
+        py_k = GAKernels("python")
+        results = []
+        for kernels in (np_k, py_k):
+            matrix = kernels.as_matrix(objectives)
+            ranks, fronts = kernels.nondominated_sort(matrix)
+            crowding = [0.0] * len(objectives)
+            for front in fronts:
+                perm, dist = kernels.crowding(matrix, front)
+                for i, value in zip(perm, dist):
+                    crowding[i] = value
+            rng = random.Random(seed)
+            results.append(
+                [tournament_index(rng, ranks, crowding) for _ in range(32)]
+            )
+        assert results[0] == results[1]
+
+    def test_zero_range_column_is_not_divided_by(self):
+        # A constant objective column has span 0; both backends must
+        # skip it instead of dividing (the reference skips before any
+        # division, so no inf/nan leaks in).
+        objectives = [(1.0, 5.0), (2.0, 5.0), (3.0, 5.0)]
+        for backend in ("numpy", "python"):
+            k = GAKernels(backend)
+            perm, dist = k.crowding(
+                k.as_matrix(objectives), range(len(objectives))
+            )
+            assert dist[perm.index(1)] == 1.0  # only objective 0 counts
+            assert math.isinf(dist[perm.index(0)])
+            assert math.isinf(dist[perm.index(2)])
+
+
+class TestBackendSelection:
+    def test_auto_resolves_to_numpy_here(self):
+        assert resolve_kernel_backend("auto") == "numpy"
+        assert resolve_kernel_backend() == "numpy"
+
+    def test_explicit_backends_round_trip(self):
+        for backend in ("numpy", "python"):
+            assert resolve_kernel_backend(backend) == backend
+            assert GAKernels(backend).backend == backend
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown GA kernel backend"):
+            resolve_kernel_backend("fortran")
+        assert "fortran" not in KERNEL_BACKENDS
+
+    def test_kernels_time_into_registry(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        k = GAKernels("python", registry=registry)
+        k.nondominated_sort([(1.0, 2.0), (2.0, 1.0)])
+        k.crowding([(1.0, 2.0), (2.0, 1.0)], [0, 1])
+        sample = registry.sample_values()
+        assert (
+            sample['repro_ga_sort_seconds_count{backend="python"}'] == 1.0
+        )
+        assert (
+            sample['repro_ga_crowding_seconds_count{backend="python"}']
+            == 1.0
+        )
+
+
+class TestNovelGenomes:
+    def test_dedups_against_archive_and_itself(self):
+        archive = {(1, 1): None}
+        batch = [(1, 1), (2, 2), (3, 3), (2, 2), (4, 4)]
+        assert novel_genomes(batch, archive) == [(2, 2), (3, 3), (4, 4)]
+
+    def test_empty(self):
+        assert novel_genomes([], {}) == []
+
+
+class GoldenGridProblem:
+    """Synthetic bi-objective problem used to capture the golden runs."""
+
+    def __init__(self, size=12):
+        self.size = size
+
+    def sample(self, rng: random.Random):
+        return (rng.randrange(self.size), rng.randrange(self.size))
+
+    def repair(self, genome, rng: random.Random):
+        return tuple(min(max(g, 0), self.size - 1) for g in genome)
+
+    def evaluate(self, genome):
+        x, y = genome
+        top = self.size - 1
+        return (float(x + y), float((top - x) + (top - y)))
+
+    def mutation_steps(self):
+        return (2, 2)
+
+
+def result_fingerprint(result) -> str:
+    """sha256 over every genome/objective/rank/crowding of a run."""
+    h = hashlib.sha256()
+    for ind in result.front:
+        h.update(
+            repr(
+                (ind.genome, ind.objectives, ind.rank, ind.crowding)
+            ).encode()
+        )
+    h.update(b"|pop|")
+    for ind in result.population:
+        h.update(
+            repr(
+                (ind.genome, ind.objectives, ind.rank, ind.crowding)
+            ).encode()
+        )
+    h.update(b"|hist|")
+    h.update(repr(result.history).encode())
+    h.update(
+        repr(
+            (result.evaluations, result.generations_run, result.stopped_early)
+        ).encode()
+    )
+    return h.hexdigest()
+
+
+# Captured by running the pre-kernel nsga2() implementation (the list
+# based one this PR replaced) on these exact problems and seeds.  Any
+# drift here means per-seed results changed — a parity break, whichever
+# backend produced it.
+GOLDEN_GRID = {
+    0: "554e2b806bf6c1a570e014bad71b4eec6951725b82d234191346410ee6d6b9f0",
+    1: "a9be61e57b71bdbe05950a9d21f9b5db99b59e000661d54288b13fdac8f2b4b8",
+    7: "90ee8822953769feccca9ecddd70af382e95bb49b688d6886675bbd47c15c2b4",
+}
+GOLDEN_DCIM_4096_INT8 = {
+    0: "5a5e86a0b2e28e8ce293165223d02a00eb233e40dd54b756df20786420fc7f68",
+    3: "a39f8af8c3c722411276126aca8641122083d82a25cddd68fd668cf7144f8bf9",
+}
+GOLDEN_DCIM_64K_BF16_SEED5 = (
+    "997109a04d8b8f88833e05004dfa93148cd08eba9dd04dc78e0de48b338bf62b"
+)
+
+
+@pytest.mark.parametrize("backend", ["numpy", "python"])
+class TestGoldenFingerprints:
+    """Full nsga2() runs are bit-identical to the pre-kernel code."""
+
+    def test_grid_runs(self, backend):
+        for seed, golden in GOLDEN_GRID.items():
+            result = nsga2(
+                GoldenGridProblem(),
+                NSGA2Config(
+                    population_size=16,
+                    generations=10,
+                    seed=seed,
+                    backend=backend,
+                ),
+            )
+            assert result_fingerprint(result) == golden, f"seed {seed}"
+
+    def test_dcim_int8_runs(self, backend):
+        problem = DcimProblem(DcimSpec(wstore=4096, precision="INT8"))
+        for seed, golden in GOLDEN_DCIM_4096_INT8.items():
+            result = nsga2(
+                problem,
+                NSGA2Config(
+                    population_size=16,
+                    generations=8,
+                    seed=seed,
+                    backend=backend,
+                ),
+            )
+            assert result_fingerprint(result) == golden, f"seed {seed}"
+
+    def test_dcim_bf16_run(self, backend):
+        problem = DcimProblem(DcimSpec(wstore=65536, precision="BF16"))
+        result = nsga2(
+            problem,
+            NSGA2Config(
+                population_size=24, generations=12, seed=5, backend=backend
+            ),
+        )
+        assert result_fingerprint(result) == GOLDEN_DCIM_64K_BF16_SEED5
+
+
+class TestExhaustiveStrategy:
+    """Auto-routing between exhaustive enumeration and the GA."""
+
+    SPEC = DcimSpec(wstore=4096, precision="INT8")
+
+    def test_auto_picks_exhaustive_for_small_spaces(self):
+        from repro.dse.explorer import (
+            DesignSpaceExplorer,
+            design_space_size,
+        )
+
+        explorer = DesignSpaceExplorer()
+        size = design_space_size(DcimProblem(self.SPEC))
+        assert size is not None and size <= explorer.exhaustive_threshold
+        assert explorer.select_strategy(self.SPEC) == "exhaustive"
+        result = explorer.explore_auto(self.SPEC)
+        assert result.strategy == "exhaustive"
+        assert result.evaluations == size
+
+    def test_threshold_zero_forces_ga(self):
+        from repro.dse.explorer import DesignSpaceExplorer
+
+        explorer = DesignSpaceExplorer(
+            config=NSGA2Config(population_size=8, generations=2),
+            exhaustive_threshold=0,
+        )
+        assert explorer.select_strategy(self.SPEC) == "ga"
+        assert explorer.explore_auto(self.SPEC, seed=1).strategy == "ga"
+
+    def test_exhaustive_front_matches_problem_baseline(self):
+        from repro.dse.explorer import DesignSpaceExplorer
+
+        problem = DcimProblem(self.SPEC)
+        result = DesignSpaceExplorer().explore_exhaustive(self.SPEC)
+        baseline = {
+            (p.n, p.h, p.l, p.k) for p in problem.exhaustive_front()
+        }
+        assert {(p.n, p.h, p.l, p.k) for p in result.points} == baseline
+
+    def test_non_enumerable_problem_raises(self):
+        from repro.dse.explorer import DesignSpaceExplorer
+
+        class Opaque:
+            pass
+
+        explorer = DesignSpaceExplorer(problem_factory=lambda spec: Opaque())
+        with pytest.raises(ValueError, match="cannot enumerate"):
+            explorer.explore_exhaustive(self.SPEC)
+
+    def test_campaign_response_surfaces_strategy_and_backend(self):
+        from repro.service import CampaignConfig, run_campaign
+
+        result = run_campaign([self.SPEC], CampaignConfig())
+        assert result.strategies == ("exhaustive",)
+        assert result.ga_backend == resolve_kernel_backend("auto")
+        response = result.to_response()
+        assert response.strategies == ("exhaustive",)
+        assert response.to_dict()["ga_backend"] == result.ga_backend
+
+    def test_exhaustive_never_beaten_by_ga(self):
+        # The enumerated front is exact: no GA point may dominate it.
+        from repro.core.pareto import dominates
+        from repro.dse.explorer import DesignSpaceExplorer
+
+        exact = DesignSpaceExplorer().explore_exhaustive(self.SPEC)
+        ga = DesignSpaceExplorer(
+            config=NSGA2Config(population_size=16, generations=8),
+            exhaustive_threshold=0,
+        ).explore_auto(self.SPEC, seed=0)
+        exact_rows = [tuple(row) for row in exact.objectives]
+        for row in ga.objectives:
+            assert not any(
+                dominates(tuple(row), kept) for kept in exact_rows
+            )
+
+
+class TestRunStoreStrategyColumns:
+    def test_strategy_recorded(self, tmp_path):
+        from repro.service import CampaignConfig, run_campaign
+        from repro.store import RunStore
+
+        with RunStore(tmp_path / "runs.sqlite") as store:
+            result = run_campaign(
+                [DcimSpec(wstore=4096, precision="INT8")],
+                CampaignConfig(),
+                store=store,
+            )
+            record = store.get_run(result.run_id)
+        assert record.strategy == "exhaustive"
+        assert record.ga_backend == resolve_kernel_backend("auto")
+        assert "via exhaustive" in record.describe()
+        assert record.to_dict()["strategy"] == "exhaustive"
+
+    def test_migration_adds_columns_to_pre_kernel_db(self, tmp_path):
+        from repro.service import CampaignConfig, run_campaign
+        from repro.store import RunStore
+
+        path = tmp_path / "runs.sqlite"
+        with RunStore(path) as store:
+            result = run_campaign(
+                [DcimSpec(wstore=4096, precision="INT8")],
+                CampaignConfig(),
+                store=store,
+            )
+            run_id = result.run_id
+        # Rebuild the pre-kernel schema: drop the new columns outright.
+        with sqlite3.connect(path) as conn:
+            conn.execute("ALTER TABLE runs DROP COLUMN strategy")
+            conn.execute("ALTER TABLE runs DROP COLUMN ga_backend")
+        # Re-opening migrates additively; old rows read back as unknown.
+        with RunStore(path) as store:
+            record = store.get_run(run_id)
+            assert record.strategy is None
+            assert record.ga_backend is None
+            assert "via" not in record.describe()

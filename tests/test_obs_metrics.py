@@ -305,6 +305,8 @@ class TestCampaignParity:
         config = CampaignConfig(
             nsga2=NSGA2Config(population_size=16, generations=5)
         )
+        # The GA and exhaustive paths are instrumented alike; either
+        # strategy must satisfy this parity criterion.
 
         def run():
             return run_campaign(specs, config)
@@ -328,14 +330,30 @@ class TestCampaignParity:
             run_campaign(
                 [DcimSpec(wstore=4096, precision="INT4")],
                 CampaignConfig(
-                    nsga2=NSGA2Config(population_size=16, generations=3)
+                    nsga2=NSGA2Config(population_size=16, generations=3),
+                    exhaustive_threshold=0,  # force the GA: we count generations
                 ),
             )
             sample = scoped.sample_values()
         finally:
             set_registry(previous)
-        assert sample['repro_campaign_generations_total{problem="dcim"}'] == 3.0
-        assert sample['repro_campaigns_total{problem="dcim",status="done"}'] == 1.0
+        from repro.dse.kernels import resolve_kernel_backend
+
+        backend = resolve_kernel_backend("auto")
+        assert (
+            sample[
+                "repro_campaign_generations_total"
+                f'{{problem="dcim",ga_backend="{backend}"}}'
+            ]
+            == 3.0
+        )
+        assert (
+            sample[
+                "repro_campaigns_total"
+                f'{{problem="dcim",status="done",ga_backend="{backend}"}}'
+            ]
+            == 1.0
+        )
         assert any(
             key.startswith("repro_evaluations_total") and value > 0
             for key, value in sample.items()

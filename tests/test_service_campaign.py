@@ -18,6 +18,9 @@ SMALL_GA = NSGA2Config(population_size=16, generations=8)
 
 
 def small_config(**overrides) -> CampaignConfig:
+    # These tests exercise the GA path (events, sharding, cancellation
+    # windows), so opt out of the exhaustive-enumeration default.
+    overrides.setdefault("exhaustive_threshold", 0)
     return CampaignConfig(nsga2=SMALL_GA, seed=3, **overrides)
 
 

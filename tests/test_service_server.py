@@ -17,6 +17,7 @@ def tiny_request(**overrides) -> CampaignRequest:
         population_size=16,
         generations=4,
         seed=1,
+        exhaustive_threshold=0,  # force the GA: these tests watch generations
     )
     payload.update(overrides)
     return CampaignRequest(**payload)

@@ -31,6 +31,7 @@ def tiny_request(**overrides) -> CampaignRequest:
         population_size=16,
         generations=4,
         seed=1,
+        exhaustive_threshold=0,  # force the GA: cancellation needs generations
     )
     payload.update(overrides)
     return CampaignRequest(**payload)
@@ -42,7 +43,9 @@ def store(tmp_path):
         yield s
 
 
-TINY = CampaignConfig(nsga2=NSGA2Config(population_size=16, generations=4))
+TINY = CampaignConfig(
+    nsga2=NSGA2Config(population_size=16, generations=4), exhaustive_threshold=0
+)
 
 
 class TestRunCampaignHook:
