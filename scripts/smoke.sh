@@ -42,6 +42,9 @@ python -m pytest benchmarks/test_dse_runtime.py -q
 echo "== GA kernel bench (>=3x gate, appends to dse_runtime.txt) =="
 python -m pytest benchmarks/test_ga_kernels.py -q
 
+echo "== cache pipeline bench (>=5x gate, records cache_pipeline.txt) =="
+python -m pytest benchmarks/test_cache_pipeline.py -q
+
 workdir="$(mktemp -d)"
 server_pid=""
 cleanup() {
@@ -56,8 +59,77 @@ run_campaign() {
         --spec 4096:INT4 --spec 4096:INT8 \
         --population 16 --generations 6 \
         --engine auto --chunk-size 64 \
-        --cache "$cache" --limit 5
+        --cache "$cache" --cache-flush-every 128 --limit 5
 }
+
+echo "== cache key parity: pre-PR cache file resolves hit-for-hit =="
+# The writer is pinned to the *pre-PR* key formula and on-disk layout —
+# plain file writes, no cache classes — so any drift in GenomeKeyer or
+# the JSONL tier shows up as a miss here.
+legacy_cache="$workdir/legacy_evals.jsonl"
+python - "$legacy_cache" <<'PY'
+import dataclasses
+import hashlib
+import json
+import sys
+
+from repro.core.spec import DcimSpec
+from repro.dse.problem import DcimProblem
+from repro.tech.cells import CellLibrary
+
+
+def sha(payload):  # the pre-PR stable_hash, frozen
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+spec = DcimSpec(wstore=4096, precision="INT8")
+library = CellLibrary.default()
+cells = {name: (c.area, c.delay, c.energy) for name, c in library.cells.items()}
+context = sha({
+    "spec": dataclasses.asdict(spec),
+    "library": {"name": library.name, "cells": cells},
+})
+genomes = DcimProblem(spec, library).codec.enumerate()
+with open(sys.argv[1], "w", encoding="utf-8") as out:
+    for i, genome in enumerate(genomes):
+        key = sha({"genome": list(genome), "context": context})
+        out.write(json.dumps({"key": key, "objectives": [float(i), -1.0]}) + "\n")
+print(f"pinned writer: {len(genomes)} pre-PR entries")
+PY
+python - "$legacy_cache" <<'PY'
+import sys
+
+from repro.core.spec import DcimSpec
+from repro.dse.problem import DcimProblem
+from repro.service.cache import EvaluationCache, GenomeKeyer
+from repro.tech.cells import CellLibrary
+
+spec = DcimSpec(wstore=4096, precision="INT8")
+library = CellLibrary.default()
+genomes = DcimProblem(spec, library).codec.enumerate()
+keyer = GenomeKeyer.for_problem(spec, library)
+with EvaluationCache(sys.argv[1]) as cache:
+    results = cache.get_many([keyer(g) for g in genomes])
+    assert all(r is not None for r in results), "pre-PR keys stopped resolving"
+    assert cache.stats.hit_rate == 1.0
+    assert [r[0] for r in results] == [float(i) for i in range(len(genomes))]
+print(f"key parity: {len(genomes)}/{len(genomes)} pre-PR entries hit")
+PY
+
+echo "== cache CLI: stats + migrate jsonl -> sqlite =="
+python -m repro cache stats "$legacy_cache"
+python -m repro cache migrate "$legacy_cache" "$workdir/legacy_evals.sqlite"
+python -m repro cache stats "$workdir/legacy_evals.sqlite" --json
+python - "$legacy_cache" "$workdir/legacy_evals.sqlite" <<'PY'
+import sys
+
+from repro.service.cache import EvaluationCache
+
+with EvaluationCache(sys.argv[1]) as src, EvaluationCache(sys.argv[2]) as dst:
+    assert sorted(src.items()) == sorted(dst.items()), "migration dropped entries"
+    print(f"migrate parity: {len(dst)} entries survived jsonl -> sqlite")
+PY
 
 echo "== campaign (cold cache) =="
 run_campaign

@@ -9,6 +9,10 @@ Usage (also via ``python -m repro``)::
     repro report  --precision INT8 --n 64 --h 128 --l 64 --k 8
     repro problems list
     repro campaign --spec 8192:INT8 --spec 8192:BF16 --cache build/evals.jsonl
+    repro campaign --spec 8192:INT8 --cache build/evals.sqlite \\
+                   --cache-flush-every 256
+    repro cache stats build/evals.jsonl
+    repro cache migrate build/evals.jsonl build/evals.sqlite
     repro campaign --problem mapping --spec tiny_cnn:INT8
     repro campaign --spec 8192:INT8 --store build/runs.sqlite --baseline main
     repro serve  --port 8000 --workers 2 --cache build/evals.jsonl
@@ -113,6 +117,36 @@ def build_parser() -> argparse.ArgumentParser:
     problems_list.add_argument("--json", action="store_true",
                                help="print the problem catalogue as JSON")
 
+    cache_p = sub.add_parser(
+        "cache",
+        help="inspect and maintain persistent evaluation caches "
+             "(stats/compact/migrate)",
+    )
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="entry counts, tier sizes, and stale-line report"
+    )
+    cache_stats.add_argument("path", help="cache file (.jsonl or .sqlite)")
+    cache_stats.add_argument("--json", action="store_true",
+                             help="print the report as JSON")
+    cache_compact = cache_sub.add_parser(
+        "compact",
+        help="rewrite the disk tier dropping stale duplicates "
+             "(jsonl) or reclaiming free pages (sqlite VACUUM)",
+    )
+    cache_compact.add_argument("path", help="cache file (.jsonl or .sqlite)")
+    cache_migrate = cache_sub.add_parser(
+        "migrate",
+        help="copy every entry into a new cache file, converting "
+             "between tiers (e.g. evals.jsonl -> evals.sqlite)",
+    )
+    cache_migrate.add_argument("src", help="source cache file")
+    cache_migrate.add_argument("dst", help="destination cache file "
+                                           "(backend guessed from suffix)")
+    cache_migrate.add_argument("--batch-size", type=int, default=1024,
+                               metavar="N",
+                               help="entries per put_many transaction")
+
     campaign = sub.add_parser(
         "campaign",
         help="explore many specs through the evaluation service and "
@@ -158,6 +192,12 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--cache", default=None, metavar="PATH",
                           help="persistent evaluation cache "
                                "(.jsonl or .sqlite; omit for in-memory)")
+    campaign.add_argument("--cache-flush-every", type=int, default=None,
+                          metavar="N",
+                          help="write-behind: buffer cache misses and "
+                               "flush them as one disk transaction per "
+                               "N entries (flushed at campaign end, "
+                               "even on failure; default: write-through)")
     campaign.add_argument("--pdk", default="generic28", help="technology node")
     campaign.add_argument("--corner", default="tt",
                           choices=sorted(STANDARD_CORNERS), help="PVT corner")
@@ -193,6 +233,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--cache", default=None, metavar="PATH",
                          help="shared persistent evaluation cache "
                               "(.jsonl or .sqlite; omit for in-memory)")
+    serve_p.add_argument("--cache-flush-every", type=int, default=None,
+                         metavar="N",
+                         help="write-behind: flush buffered cache "
+                              "entries as one disk transaction per N "
+                              "(default: write-through; buffered "
+                              "entries also land on shutdown)")
     serve_p.add_argument("--store", default=None, metavar="PATH",
                          help="record every campaign into this run "
                               "registry (SQLite) and serve the "
@@ -633,6 +679,78 @@ def _resolve_ga_sizing(args, definition) -> tuple[int, int]:
     return population, generations
 
 
+def _cmd_cache(args) -> int:
+    from pathlib import Path
+
+    from repro.service import EvaluationCache
+
+    # Every cache subcommand reads an existing file; opening a typo'd
+    # path would silently create an empty cache (matching `repro runs`).
+    if not Path(args.path if args.cache_command != "migrate" else args.src).exists():
+        missing = args.path if args.cache_command != "migrate" else args.src
+        print(f"error: no evaluation cache at {missing}", file=sys.stderr)
+        return 1
+
+    if args.cache_command == "stats":
+        with EvaluationCache(args.path) as cache:
+            info = cache.info()
+        if args.json:
+            import json as _json
+
+            print(_json.dumps(info, sort_keys=True))
+            return 0
+        rows = [
+            ("backend", info["backend"]),
+            ("entries", info["entries"]),
+            ("disk bytes", info.get("disk_bytes", "-")),
+            ("memory entries", info["memory_entries"]),
+            ("pending writes", info["pending_writes"]),
+            ("hit rate", f"{info['stats']['hit_rate']:.1%}"),
+        ]
+        if "log_lines" in info:
+            rows.append(("log lines", info["log_lines"]))
+            rows.append(("stale lines", info["stale_lines"]))
+        print(ascii_table(["property", "value"], rows))
+        return 0
+
+    if args.cache_command == "compact":
+        with EvaluationCache(args.path) as cache:
+            report = cache.compact()
+            entries = len(cache)
+        if report["backend"] == "jsonl":
+            print(
+                f"compacted {args.path}: {report['lines_before']} -> "
+                f"{report['lines_after']} lines "
+                f"({report['bytes_before']} -> {report['bytes_after']} "
+                f"bytes), {entries} entries"
+            )
+        else:
+            print(
+                f"vacuumed {args.path}: {report['bytes_before']} -> "
+                f"{report['bytes_after']} bytes, {entries} entries"
+            )
+        return 0
+
+    if args.cache_command == "migrate":
+        if Path(args.dst).resolve() == Path(args.src).resolve():
+            print("error: migrate needs distinct src and dst paths",
+                  file=sys.stderr)
+            return 1
+        with EvaluationCache(args.src) as src:
+            entries = src.items()
+            with EvaluationCache(args.dst) as dst:
+                for start in range(0, len(entries), args.batch_size):
+                    dst.put_many(dict(entries[start:start + args.batch_size]))
+                migrated = len(dst)
+            print(
+                f"migrated {len(entries)} entries: {args.src} "
+                f"[{src.backend}] -> {args.dst} ({migrated} stored)"
+            )
+        return 0
+
+    raise AssertionError(f"unhandled cache command {args.cache_command!r}")
+
+
 def _cmd_campaign(args) -> int:
     from repro.dse.nsga2 import NSGA2Config
     from repro.problems import get_problem
@@ -667,6 +785,7 @@ def _cmd_campaign(args) -> int:
             chunk_size=args.chunk_size,
             engine=args.engine,
             problem=args.problem,
+            cache_flush_every=args.cache_flush_every,
             **threshold,
         )
     except ValueError as exc:
@@ -815,7 +934,11 @@ def _cmd_serve(args) -> int:
     if args.snapshot_every is not None and not args.store:
         print("error: --snapshot-every needs --store", file=sys.stderr)
         return 1
-    cache = EvaluationCache(args.cache) if args.cache else EvaluationCache()
+    cache = (
+        EvaluationCache(args.cache, flush_every=args.cache_flush_every)
+        if args.cache
+        else EvaluationCache()
+    )
     store = None
     if args.store:
         from repro.store import RunStore
@@ -1156,6 +1279,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_sweep(args)
     if args.command == "problems":
         return _cmd_problems(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
     if args.command == "serve":

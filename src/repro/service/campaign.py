@@ -15,6 +15,7 @@ NSGA-II run while the genome-level batches fan out through the shared
 from __future__ import annotations
 
 import concurrent.futures
+import contextlib
 import dataclasses
 import time
 from dataclasses import dataclass, field
@@ -77,6 +78,13 @@ class CampaignConfig:
             explored exhaustively instead of via the GA (see
             :meth:`~repro.dse.explorer.DesignSpaceExplorer.explore_auto`);
             ``0`` or ``None`` forces the GA for every spec.
+        cache_flush_every: write-behind cadence for the campaign's
+            shared cache — misses coalesce into one disk transaction
+            per N entries for the campaign's duration, with a
+            guaranteed flush at the end (also on failure or
+            cancellation).  ``None``/``0`` (default) keeps the cache's
+            own write policy.  Pure I/O scheduling: never changes
+            results, never enters the campaign fingerprint.
     """
 
     nsga2: NSGA2Config = field(default_factory=NSGA2Config)
@@ -87,12 +95,15 @@ class CampaignConfig:
     engine: str = "auto"
     problem: str = DEFAULT_PROBLEM
     exhaustive_threshold: int | None = DEFAULT_EXHAUSTIVE_THRESHOLD
+    cache_flush_every: int | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ValueError("chunk_size must be >= 1 when given")
+        if self.cache_flush_every is not None and self.cache_flush_every < 0:
+            raise ValueError("cache_flush_every must be >= 0 when given")
         if self.exhaustive_threshold is not None and self.exhaustive_threshold < 0:
             raise ValueError("exhaustive_threshold must be >= 0 when given")
         if self.engine not in ENGINE_BACKENDS:
@@ -198,7 +209,8 @@ def _campaign_fingerprint(specs: list, config: CampaignConfig) -> str:
     The GA kernel backend never enters the hash (it cannot change
     results), and the exhaustive threshold only does when it differs
     from the default — so rows recorded before these knobs existed keep
-    matching too.
+    matching too.  ``cache_flush_every`` is pure I/O scheduling and
+    stays out unconditionally.
     """
     from repro.service.cache import stable_hash
 
@@ -206,6 +218,7 @@ def _campaign_fingerprint(specs: list, config: CampaignConfig) -> str:
     if config.problem == DEFAULT_PROBLEM:
         del config_payload["problem"]
     del config_payload["nsga2"]["backend"]
+    del config_payload["cache_flush_every"]
     if config.exhaustive_threshold == DEFAULT_EXHAUSTIVE_THRESHOLD:
         del config_payload["exhaustive_threshold"]
     return stable_hash(
@@ -420,19 +433,29 @@ def run_campaign(
 
     started = time.perf_counter()
     try:
-        if config.workers == 1 or len(specs) == 1:
-            maybe_results = [
-                explore_one(i, spec) for i, spec in enumerate(specs)
-            ]
-        else:
-            with concurrent.futures.ThreadPoolExecutor(
-                max_workers=min(config.workers, len(specs))
-            ) as pool:
-                futures = [
-                    pool.submit(explore_one, i, spec)
-                    for i, spec in enumerate(specs)
+        with contextlib.ExitStack() as stack:
+            if cache is not None and config.cache_flush_every:
+                # Write-behind for the campaign's duration: misses
+                # coalesce into one disk transaction per flush window,
+                # and the context's exit flushes even when a spec fails
+                # or the campaign is cancelled mid-flight — completed
+                # evaluations always land on disk.
+                stack.enter_context(
+                    cache.write_behind(config.cache_flush_every)
+                )
+            if config.workers == 1 or len(specs) == 1:
+                maybe_results = [
+                    explore_one(i, spec) for i, spec in enumerate(specs)
                 ]
-                maybe_results = [f.result() for f in futures]
+            else:
+                with concurrent.futures.ThreadPoolExecutor(
+                    max_workers=min(config.workers, len(specs))
+                ) as pool:
+                    futures = [
+                        pool.submit(explore_one, i, spec)
+                        for i, spec in enumerate(specs)
+                    ]
+                    maybe_results = [f.result() for f in futures]
     finally:
         if own_executor:
             executor.close()

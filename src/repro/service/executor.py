@@ -33,7 +33,7 @@ import time
 from typing import Callable, Protocol, Sequence
 
 from repro.obs.metrics import get_registry
-from repro.service.cache import EvaluationCache, problem_fingerprint, stable_hash
+from repro.service.cache import EvaluationCache, GenomeKeyer
 
 __all__ = [
     "BatchExecutor",
@@ -285,20 +285,29 @@ class ProblemEvaluator:
     generation that
 
     1. deduplicates the batch,
-    2. serves whatever the shared cache already knows,
+    2. serves whatever the shared cache already knows through **one**
+       :meth:`~repro.service.cache.EvaluationCache.get_many`,
     3. ships only the genuinely new genomes to the executor backend, and
-    4. writes fresh results back to the cache.
+    4. writes fresh results back through **one**
+       :meth:`~repro.service.cache.EvaluationCache.put_many`.
+
+    So a generation costs one batched disk read plus one batched disk
+    transaction, never one round trip per genome.
 
     Args:
         problem: the problem instance (must offer ``evaluate`` or
             ``evaluate_batch``).
         cache: shared evaluation cache; ``None`` disables caching.
         executor: batch backend; defaults to :class:`SerialExecutor`.
-        key_fn: maps a genome to a cache key.  Defaults to hashing the
-            genome together with the problem's ``spec``/``library``
-            attributes (the :class:`~repro.dse.problem.DcimProblem`
-            shape); problems without those attributes run uncached
-            unless a key function is supplied.
+        key_fn: maps a genome to a cache key.  Defaults to a
+            :class:`~repro.service.cache.GenomeKeyer` over the
+            problem's ``spec``/``library`` attributes (the
+            :class:`~repro.dse.problem.DcimProblem` shape) — the
+            context is hashed once, per-genome keys are one hashlib
+            update, and the keys are bit-identical to
+            :func:`~repro.service.cache.evaluation_key`.  Problems
+            without those attributes run uncached unless a key
+            function is supplied.
     """
 
     def __init__(
@@ -325,34 +334,35 @@ class ProblemEvaluator:
         library = getattr(problem, "library", None)
         if spec is None or library is None:
             return None
-        context = stable_hash(problem_fingerprint(spec, library))
-        return lambda genome: stable_hash(
-            {"genome": list(genome), "context": context}
-        )
+        return GenomeKeyer.for_problem(spec, library)
 
     def evaluate_batch(self, genomes: Sequence[Genome]) -> list[Objectives]:
         """Objective vectors for ``genomes``, in input order."""
-        unique: dict[Genome, Objectives | None] = {}
-        for genome in genomes:
-            unique.setdefault(genome, None)
+        unique: dict[Genome, Objectives | None] = dict.fromkeys(genomes)
         pending: list[Genome] = []
+        pending_keys: list[str] = []
         if self.cache is not None and self.key_fn is not None:
-            for genome in unique:
-                hit = self.cache.get(self.key_fn(genome))
+            order = list(unique)
+            keys = [self.key_fn(genome) for genome in order]
+            for genome, key, hit in zip(order, keys, self.cache.get_many(keys)):
                 if hit is not None:
                     unique[genome] = hit
                 else:
                     pending.append(genome)
+                    pending_keys.append(key)
         else:
             pending = list(unique)
         if pending:
             fresh = self.executor.evaluate_batch(self.problem, pending)
             self.evaluated += len(pending)
-            for genome, objectives in zip(pending, fresh):
+            updates: dict[str, Objectives] = {}
+            for i, (genome, objectives) in enumerate(zip(pending, fresh)):
                 objectives = tuple(objectives)
                 unique[genome] = objectives
-                if self.cache is not None and self.key_fn is not None:
-                    self.cache.put(self.key_fn(genome), objectives)
+                if pending_keys:
+                    updates[pending_keys[i]] = objectives
+            if updates and self.cache is not None:
+                self.cache.put_many(updates)
         return [unique[genome] for genome in genomes]
 
     def close(self) -> None:

@@ -273,6 +273,7 @@ class TestProgrammaticFingerprint:
         # bit-parity knobs that never affect results stay out of the hash
         del legacy_config["nsga2"]["backend"]
         del legacy_config["exhaustive_threshold"]
+        del legacy_config["cache_flush_every"]
         assert _campaign_fingerprint(specs, config) == stable_hash(
             {
                 "specs": [dataclasses.asdict(s) for s in specs],

@@ -1,6 +1,11 @@
 """Tests for the content-addressed evaluation cache."""
 
+import hashlib
+import json
+import subprocess
+import sys
 import threading
+from pathlib import Path
 
 import pytest
 
@@ -8,7 +13,9 @@ from repro.core.spec import DcimSpec
 from repro.service.cache import (
     CacheStats,
     EvaluationCache,
+    GenomeKeyer,
     evaluation_key,
+    problem_fingerprint,
     stable_hash,
 )
 from repro.tech.cells import CellLibrary
@@ -132,6 +139,309 @@ class TestDiskTier:
             t.join()
         assert len(cache) == 200
         cache.close()
+
+
+class TestGenomeKeyer:
+    """The fast keyer must stay bit-identical to evaluation_key forever:
+    every cache file in the wild is addressed by the old formula."""
+
+    GOLDEN_CONTEXT = "c" * 64
+    # sha256 of the literal pre-PR canonical JSON
+    # {"context":"ccc...ccc","genome":[1,2,3,0]} — never regenerate this.
+    GOLDEN_KEY = "d22c611dfdebcd6fd5f4eb1d7e7b29bb259aac2ee9505b1b3deff491a6d95409"
+
+    def test_golden_digest_pinned(self):
+        assert GenomeKeyer(self.GOLDEN_CONTEXT)((1, 2, 3, 0)) == self.GOLDEN_KEY
+
+    def test_matches_literal_pre_pr_formula(self):
+        keyer = GenomeKeyer(self.GOLDEN_CONTEXT)
+        for genome in [(0,), (1, 2, 3, 0), (7, 0, 0, 4, 2), tuple(range(12))]:
+            text = json.dumps(
+                {"genome": list(genome), "context": self.GOLDEN_CONTEXT},
+                sort_keys=True,
+                separators=(",", ":"),
+                default=str,
+            )
+            assert keyer(genome) == hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    def test_matches_evaluation_key_for_problem(self):
+        keyer = GenomeKeyer.for_problem(SPEC, LIB)
+        assert keyer.context == stable_hash(problem_fingerprint(SPEC, LIB))
+        for genome in [(1, 2, 3, 0), (2, 4, 1, 1), (0, 0, 0, 0)]:
+            assert keyer(genome) == evaluation_key(genome, SPEC, LIB)
+
+    def test_matches_on_non_int_elements(self):
+        # Exotic genome element types fall through json's default=str in
+        # both the old and the new path (e.g. numpy integers).
+        np = pytest.importorskip("numpy")
+        keyer = GenomeKeyer(self.GOLDEN_CONTEXT)
+        genome = tuple(np.int64(v) for v in (1, 2, 3, 0))
+        assert keyer(genome) == stable_hash(
+            {"genome": list(genome), "context": self.GOLDEN_CONTEXT}
+        )
+
+    def test_exhaustive_parity_over_codec(self):
+        from repro.dse.problem import DcimProblem
+
+        problem = DcimProblem(SPEC, LIB)
+        keyer = GenomeKeyer.for_problem(SPEC, LIB)
+        for genome in problem.codec.enumerate():
+            assert keyer(genome) == evaluation_key(genome, SPEC, LIB)
+
+
+@pytest.mark.parametrize("backend,suffix", [("jsonl", ".jsonl"), ("sqlite", ".sqlite")])
+class TestBatchedDiskTier:
+    def test_get_many_crosses_sqlite_chunk_boundary(self, tmp_path, backend, suffix):
+        # 1200 keys spans three SELECT ... IN chunks on the sqlite tier.
+        entries = {f"k{i}": (float(i),) for i in range(1200)}
+        with EvaluationCache(tmp_path / f"c{suffix}", backend=backend) as cache:
+            cache.put_many(entries)
+        with EvaluationCache(
+            tmp_path / f"c{suffix}", backend=backend, max_memory_entries=1
+        ) as cache:
+            keys = [f"k{i}" for i in range(1200)] + ["absent"]
+            results = cache.get_many(keys)
+            assert results[:-1] == [(float(i),) for i in range(1200)]
+            assert results[-1] is None
+            assert cache.stats.disk_hits == 1200
+            assert cache.stats.misses == 1
+
+    def test_get_many_counts_each_slot(self, tmp_path, backend, suffix):
+        with EvaluationCache(
+            tmp_path / f"c{suffix}", backend=backend, max_memory_entries=1
+        ) as cache:
+            cache.put_many({"a": (1.0,)})
+            results = cache.get_many(["a", "a", "nope", "nope"])
+            assert results == [(1.0,), (1.0,), None, None]
+            # duplicate keys count once per slot, like a get() loop would
+            assert cache.stats.hits == 2
+            assert cache.stats.misses == 2
+
+    def test_get_many_promotes_disk_hits(self, tmp_path, backend, suffix):
+        with EvaluationCache(tmp_path / f"c{suffix}", backend=backend) as cache:
+            cache.put("a", (1.0,))
+        with EvaluationCache(tmp_path / f"c{suffix}", backend=backend) as cache:
+            assert cache.get_many(["a"]) == [(1.0,)]
+            assert cache.stats.disk_hits == 1
+            assert cache.get("a") == (1.0,)
+            assert cache.stats.memory_hits == 1  # second read from memory
+
+    def test_put_many_round_trips_after_reopen(self, tmp_path, backend, suffix):
+        with EvaluationCache(tmp_path / f"c{suffix}", backend=backend) as cache:
+            cache.put_many({"a": (1.0, 2.0), "b": (3.0,)})
+        with EvaluationCache(tmp_path / f"c{suffix}", backend=backend) as cache:
+            assert cache.get_many(["a", "b"]) == [(1.0, 2.0), (3.0,)]
+
+
+@pytest.mark.parametrize("backend,suffix", [("jsonl", ".jsonl"), ("sqlite", ".sqlite")])
+class TestWriteBehind:
+    def test_buffers_until_threshold(self, tmp_path, backend, suffix):
+        path = tmp_path / f"c{suffix}"
+        with EvaluationCache(path, backend=backend, flush_every=3) as cache:
+            cache.put("a", (1.0,))
+            cache.put("b", (2.0,))
+            assert cache.pending_writes == 2
+            with EvaluationCache(path, backend=backend) as other:
+                assert other.get("a") is None  # nothing on disk yet
+            cache.put("c", (3.0,))  # hits the threshold
+            assert cache.pending_writes == 0
+            with EvaluationCache(path, backend=backend) as other:
+                assert other.get_many(["a", "b", "c"]) == [(1.0,), (2.0,), (3.0,)]
+
+    def test_pending_entries_are_readable_and_counted(self, tmp_path, backend, suffix):
+        with EvaluationCache(
+            tmp_path / f"c{suffix}",
+            backend=backend,
+            flush_every=100,
+            max_memory_entries=1,
+        ) as cache:
+            cache.put("a", (1.0,))
+            cache.put("b", (2.0,))  # evicts "a" from the memory tier
+            # "a" only exists in the write-behind buffer now, yet it
+            # must still resolve (and count as a disk-tier hit).
+            assert cache.get("a") == (1.0,)
+            assert cache.stats.disk_hits == 1
+            assert cache.get_many(["a", "b"]) == [(1.0,), (2.0,)]
+            assert "a" in cache
+            assert len(cache) == 2
+
+    def test_explicit_flush_and_flush_on_close(self, tmp_path, backend, suffix):
+        path = tmp_path / f"c{suffix}"
+        cache = EvaluationCache(path, backend=backend, flush_every=100)
+        cache.put("a", (1.0,))
+        cache.flush()
+        assert cache.pending_writes == 0
+        cache.put("b", (2.0,))
+        cache.close()  # flush-on-close is the durability backstop
+        with EvaluationCache(path, backend=backend) as reopened:
+            assert reopened.get_many(["a", "b"]) == [(1.0,), (2.0,)]
+
+    def test_write_behind_context_flushes_on_exception(self, tmp_path, backend, suffix):
+        path = tmp_path / f"c{suffix}"
+        cache = EvaluationCache(path, backend=backend)
+        with pytest.raises(RuntimeError):
+            with cache.write_behind(1000):
+                cache.put("a", (1.0,))
+                assert cache.pending_writes == 1
+                raise RuntimeError("campaign died")
+        assert cache.pending_writes == 0
+        assert cache.flush_every is None  # previous cadence restored
+        with EvaluationCache(path, backend=backend) as reopened:
+            assert reopened.get("a") == (1.0,)  # durable despite the crash
+        cache.close()
+
+    def test_items_flushes_first(self, tmp_path, backend, suffix):
+        with EvaluationCache(
+            tmp_path / f"c{suffix}", backend=backend, flush_every=100
+        ) as cache:
+            cache.put_many({"a": (1.0,), "b": (2.0,)})
+            assert sorted(cache.items()) == [("a", (1.0,)), ("b", (2.0,))]
+            assert cache.pending_writes == 0
+
+    def test_rejects_bad_cadence(self, tmp_path, backend, suffix):
+        with pytest.raises(ValueError):
+            EvaluationCache(tmp_path / f"c{suffix}", backend=backend, flush_every=0)
+        with EvaluationCache(tmp_path / f"c{suffix}", backend=backend) as cache:
+            with pytest.raises(ValueError):
+                with cache.write_behind(0):
+                    pass
+
+
+class TestBatchMetrics:
+    def test_batched_ops_feed_batch_histograms(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        cache = EvaluationCache(
+            tmp_path / "c.sqlite", backend="sqlite", registry=registry
+        )
+        cache.put_many({f"k{i}": (float(i),) for i in range(4)})
+        cache.get_many(["k0", "k1", "missing"])
+        with cache.write_behind(100):
+            cache.put("late", (9.0,))
+        # flush happened on context exit -> one "flush" batch observed
+        text = registry.render_prometheus()
+        assert 'repro_cache_batch_size_count{cache="' in text
+        for op in ("get", "put", "flush"):
+            assert f'op="{op}"' in text
+        cache.close()
+
+    def test_per_key_ops_do_not_touch_batch_series(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        cache = EvaluationCache(
+            tmp_path / "c.sqlite", backend="sqlite", registry=registry
+        )
+        cache.put("k", (1.0,))
+        cache.get("k")
+        counts = [
+            line
+            for line in registry.render_prometheus().splitlines()
+            if line.startswith("repro_cache_batch_size_count")
+        ]
+        assert counts  # the series exist from construction...
+        assert all(line.endswith(" 0") for line in counts)  # ...but idle
+        cache.close()
+
+
+class TestJsonlCompaction:
+    def _stale_log(self, path, rewrites: int) -> None:
+        with EvaluationCache(path, backend="jsonl") as cache:
+            for round_ in range(rewrites):
+                cache.put_many({f"k{i}": (float(round_), float(i)) for i in range(4)})
+
+    def test_auto_compacts_mostly_stale_log_on_open(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        self._stale_log(path, rewrites=4)  # 16 lines, 4 live -> 75% stale
+        assert sum(1 for _ in path.open()) == 16
+        with EvaluationCache(path, backend="jsonl") as cache:
+            assert cache.info()["log_lines"] == 4
+            assert cache.info()["stale_lines"] == 0
+            assert cache.get_many([f"k{i}" for i in range(4)]) == [
+                (3.0, float(i)) for i in range(4)
+            ]
+        assert sum(1 for _ in path.open()) == 4
+
+    def test_leaves_mostly_live_log_alone(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        with EvaluationCache(path, backend="jsonl") as cache:
+            cache.put_many({f"k{i}": (float(i),) for i in range(10)})
+            cache.put("k0", (99.0,))  # 11 lines, 1 stale -> 9% stale
+        with EvaluationCache(path, backend="jsonl") as cache:
+            assert cache.info()["log_lines"] == 11
+            assert cache.info()["stale_lines"] == 1
+
+    def test_explicit_compact_reports_savings(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        with EvaluationCache(path, backend="jsonl") as cache:
+            cache.put_many({f"k{i}": (0.0,) for i in range(8)})
+            cache.put_many({f"k{i}": (1.0,) for i in range(2)})
+            report = cache.compact()
+            assert report["backend"] == "jsonl"
+            assert report["lines_before"] == 10
+            assert report["lines_after"] == 8
+            assert report["bytes_after"] < report["bytes_before"]
+            # the reopened append handle still works after a rewrite
+            cache.put("extra", (2.0,))
+        with EvaluationCache(path, backend="jsonl") as cache:
+            assert cache.get("extra") == (2.0,)
+            assert cache.get("k0") == (1.0,)
+
+    def test_sqlite_compact_vacuums(self, tmp_path):
+        path = tmp_path / "c.sqlite"
+        with EvaluationCache(path, backend="sqlite") as cache:
+            cache.put_many({f"k{i}": (float(i),) for i in range(16)})
+            report = cache.compact()
+            assert report["backend"] == "sqlite"
+            assert report["bytes_after"] > 0
+
+    def test_memory_only_compact_rejected(self):
+        with pytest.raises(ValueError):
+            EvaluationCache().compact()
+
+
+_WRITER_SCRIPT = """
+import sys
+from repro.service.cache import EvaluationCache
+
+path, base = sys.argv[1], int(sys.argv[2])
+cache = EvaluationCache(path, backend="sqlite")
+for start in range(0, 400, 20):
+    cache.put_many(
+        {f"w{base}-{start + i}": (float(base), float(start + i)) for i in range(20)}
+    )
+cache.close()
+"""
+
+
+class TestConcurrentWriters:
+    def test_two_processes_share_one_wal_cache(self, tmp_path):
+        """Two writers batch into one sqlite file at once: WAL mode plus
+        the busy timeout means no lost entries and no 'database is
+        locked' failures."""
+        path = tmp_path / "shared.sqlite"
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", _WRITER_SCRIPT, str(path), str(base)],
+                env={"PYTHONPATH": src, "PATH": "/usr/bin:/bin"},
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for base in (1, 2)
+        ]
+        for proc in procs:
+            _, stderr = proc.communicate(timeout=120)
+            assert proc.returncode == 0, stderr
+            assert "database is locked" not in stderr
+        with EvaluationCache(path, backend="sqlite") as cache:
+            assert len(cache) == 800
+            keys = [f"w{base}-{i}" for base in (1, 2) for i in range(400)]
+            results = cache.get_many(keys)
+            assert all(r is not None for r in results)
+            assert results[0] == (1.0, 0.0)
+            assert results[-1] == (2.0, 399.0)
 
 
 class TestStats:

@@ -151,6 +151,54 @@ class TestWarmCache:
         assert result.cache_stats is None
 
 
+class TestWriteBehind:
+    def test_flush_cadence_never_changes_results(self, tmp_path):
+        plain = run_campaign(SPECS, small_config())
+        with EvaluationCache(tmp_path / "wb.sqlite") as cache:
+            buffered = run_campaign(
+                SPECS, small_config(cache_flush_every=64), cache=cache
+            )
+            assert cache.pending_writes == 0  # flushed on campaign exit
+        assert front_keys(plain) == front_keys(buffered)
+        assert plain.merged_objectives.tolist() == buffered.merged_objectives.tolist()
+
+    def test_flush_cadence_stays_out_of_fingerprint(self, tmp_path):
+        from repro.service.campaign import _campaign_fingerprint
+
+        assert _campaign_fingerprint(SPECS, small_config()) == _campaign_fingerprint(
+            SPECS, small_config(cache_flush_every=64)
+        )
+
+    def test_rejects_negative_cadence(self):
+        with pytest.raises(ValueError, match="cache_flush_every"):
+            CampaignConfig(cache_flush_every=-1)
+
+    def test_cancelled_campaign_flushes_completed_work(self, tmp_path):
+        from repro.service.events import CampaignCancelled, EventKind
+
+        path = tmp_path / "cancelled.sqlite"
+        seen = {"generations": 0}
+
+        def observer(event):
+            if event.kind is EventKind.GENERATION_DONE:
+                seen["generations"] += 1
+
+        with EvaluationCache(path) as cache:
+            with pytest.raises(CampaignCancelled):
+                run_campaign(
+                    SPECS,
+                    small_config(cache_flush_every=10_000),  # never hits threshold
+                    cache=cache,
+                    observer=observer,
+                    should_stop=lambda: seen["generations"] >= 2,
+                )
+            assert cache.pending_writes == 0
+            stored = len(cache)
+        assert stored > 0  # completed evaluations survived the cancel
+        with EvaluationCache(path) as reopened:
+            assert len(reopened) == stored  # ...and are really on disk
+
+
 class TestObserverAndCancellation:
     def test_observer_never_changes_results(self):
         events = []

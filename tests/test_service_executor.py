@@ -119,6 +119,40 @@ class TestProblemEvaluator:
         assert evaluator.evaluate_batch(genomes[:10]) == expected
 
 
+class _SpyCache(EvaluationCache):
+    """Counts batched cache calls without changing behavior."""
+
+    def __init__(self):
+        super().__init__()
+        self.get_many_calls = 0
+        self.put_many_calls = 0
+
+    def get_many(self, keys):
+        self.get_many_calls += 1
+        return super().get_many(keys)
+
+    def put_many(self, entries):
+        self.put_many_calls += 1
+        return super().put_many(entries)
+
+
+class TestBatchedCacheTraffic:
+    def test_one_get_many_and_one_put_many_per_batch(self, problem, genomes):
+        cache = _SpyCache()
+        evaluator = ProblemEvaluator(problem, cache=cache)
+        evaluator.evaluate_batch(genomes[:12])
+        assert cache.get_many_calls == 1
+        assert cache.put_many_calls == 1
+
+    def test_fully_warm_batch_skips_put_many(self, problem, genomes):
+        cache = _SpyCache()
+        evaluator = ProblemEvaluator(problem, cache=cache)
+        evaluator.evaluate_batch(genomes[:12])
+        evaluator.evaluate_batch(genomes[:12])
+        assert cache.get_many_calls == 2
+        assert cache.put_many_calls == 1  # nothing new to store
+
+
 class TestNsga2AcrossBackends:
     """The acceptance bar: any backend reproduces the serial front."""
 
