@@ -8,6 +8,11 @@ times the same
 evaluation workload against the real process-global registry and
 against :data:`~repro.obs.metrics.NULL_REGISTRY` (all instruments
 no-ops) and asserts the relative overhead stays under 3%.
+
+The tracing layer (Issue 9) makes the same promise: a fully sampled
+:class:`~repro.obs.trace.Tracer` (every trace kept) versus
+:data:`~repro.obs.trace.NULL_TRACER` on the same workload must also
+stay under the 3% gate.
 """
 
 import statistics
@@ -16,6 +21,7 @@ import timeit
 from repro.core.spec import DcimSpec
 from repro.dse.problem import DcimProblem
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry, set_registry
+from repro.obs.trace import NULL_TRACER, Tracer, get_tracer, set_tracer
 from repro.reporting import ascii_table
 from repro.service.executor import SerialExecutor
 
@@ -23,7 +29,9 @@ from repro.service.executor import SerialExecutor
 MAX_OVERHEAD = 0.03
 
 
-def _interleaved_overhead(evaluate, real, rounds: int = 160):
+def _interleaved_overhead(
+    evaluate, real, rounds: int = 160, null=NULL_REGISTRY, switch=set_registry
+):
     """Median paired overhead ratio plus the best real/null times.
 
     Timing all real repeats and then all null repeats lets one
@@ -34,19 +42,22 @@ def _interleaved_overhead(evaluate, real, rounds: int = 160):
     bursts — alternating which goes first so a systematic
     first-position penalty cannot bill to one mode.  The reported
     overhead is the *median* of the per-round ratios: rounds wrecked by
-    a burst cannot move it.
+    a burst cannot move it.  Each sample averages three runs so
+    single-run scheduler jitter does not dominate the per-round ratio.
+    ``switch``/``null`` select which global the modes toggle (metrics
+    registry by default, tracer for the tracing gate).
     """
-    def sample(registry):
-        set_registry(registry)
-        evaluate()  # re-resolve metric handles outside the timed run
-        return timeit.timeit(evaluate, number=1)
+    def sample(mode):
+        switch(mode)
+        evaluate()  # re-resolve instrument handles outside the timed run
+        return timeit.timeit(evaluate, number=3) / 3
 
     ratios, t_real, t_null = [], float("inf"), float("inf")
     for round_index in range(rounds):
         if round_index % 2 == 0:
-            r, n = sample(real), sample(NULL_REGISTRY)
+            r, n = sample(real), sample(null)
         else:
-            n, r = sample(NULL_REGISTRY), sample(real)
+            n, r = sample(null), sample(real)
         ratios.append(r / n)
         t_real, t_null = min(t_real, r), min(t_null, n)
     return statistics.median(ratios) - 1.0, t_real, t_null
@@ -88,5 +99,53 @@ def test_instrumentation_overhead(record):
     assert overhead < MAX_OVERHEAD, (
         f"instrumentation overhead {overhead:+.1%} exceeds "
         f"{MAX_OVERHEAD:.0%} (real {t_real * 1e3:.2f} ms vs "
+        f"null {t_null * 1e3:.2f} ms)"
+    )
+
+
+def test_tracing_overhead(record):
+    """Fully sampled tracing vs NULL_TRACER on the evaluation hot path."""
+    problem = DcimProblem(DcimSpec(wstore=64 * 1024, precision="INT8"))
+    genomes = problem.codec.enumerate()
+    chunk_size = 32  # matches the metrics gate: finest real granularity
+    executor = SerialExecutor(chunk_size=chunk_size)
+
+    def evaluate():
+        # A root span makes the chunk spans record (the executor only
+        # reports spans under an ambient trace) — exactly the traced
+        # campaign shape, one span per chunk.
+        with get_tracer().span("bench", root_if_orphan=True):
+            return executor.evaluate_batch(problem, genomes)
+
+    # A bounded ring with every trace kept: the worst-case retention.
+    real = Tracer(sample_ratio=1.0, max_traces=8)
+    previous_tracer = get_tracer()
+    previous_registry = set_registry(NULL_REGISTRY)  # isolate tracing cost
+    try:
+        set_tracer(real)
+        baseline = evaluate()
+        set_tracer(NULL_TRACER)
+        assert evaluate() == baseline  # spans never touch results
+        overhead, t_real, t_null = _interleaved_overhead(
+            evaluate, real, null=NULL_TRACER, switch=set_tracer
+        )
+    finally:
+        set_tracer(previous_tracer)
+        set_registry(previous_registry)
+
+    chunks = (len(genomes) + chunk_size - 1) // chunk_size
+    rows = [
+        (f"null tracer ({len(genomes)} genomes, {chunks} chunks)",
+         "-", f"{t_null * 1e3:.2f} ms"),
+        ("sampled tracer (ratio 1.0)", f"< {MAX_OVERHEAD:.0%} overhead",
+         f"{t_real * 1e3:.2f} ms ({overhead:+.1%})"),
+    ]
+    record(
+        "trace_overhead",
+        ascii_table(["configuration", "budget", "measured"], rows),
+    )
+    assert overhead < MAX_OVERHEAD, (
+        f"tracing overhead {overhead:+.1%} exceeds "
+        f"{MAX_OVERHEAD:.0%} (traced {t_real * 1e3:.2f} ms vs "
         f"null {t_null * 1e3:.2f} ms)"
     )

@@ -103,13 +103,39 @@ def print_live_metrics() -> None:
             print(f"  {key} = {sample[key]:g}")
 
 
+def print_trace_tree(tracer) -> None:
+    """Show where the newest campaign's time went, span by span.
+
+    Every campaign above also produced an end-to-end trace (queue wait
+    -> run -> campaign -> specs -> generations -> executor chunks).
+    This renders the newest campaign trace the way
+    ``repro trace show <id>`` would.
+    """
+    from repro.obs.trace import trace_tree
+
+    records = [r for r in tracer.finished() if r.name != "null"]
+    if not records:
+        print("\nno finished traces (unexpected)")
+        return
+    print("\ntrace of the most recent campaign:")
+    print(trace_tree(records[0].spans))
+
+
 async def main() -> None:
+    # Install a fully-sampling tracer so the demo always keeps its
+    # traces; `repro serve --trace-sample` does the same over HTTP.
+    from repro.obs.trace import Tracer, set_tracer
+
+    tracer = Tracer(sample_ratio=1.0)
+    set_tracer(tracer)
+
     cache = EvaluationCache()
     async with AsyncCampaignService(workers=2, cache=cache) as service:
         await stream_short(service)
         await cancel_long(service)
     print(f"\nshared cache: {cache.stats.hits} hits / {cache.stats.misses} misses")
     print_live_metrics()
+    print_trace_tree(tracer)
 
 
 if __name__ == "__main__":

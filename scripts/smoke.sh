@@ -263,6 +263,48 @@ assert "repro_http_requests_total" in names, names
 print(f"/metrics: {len(text.splitlines())} lines, "
       f"/api/metrics: {len(names)} families")
 PY
+echo "== tracing: list -> show -> Perfetto export round trip =="
+trace_id="$(python - "$url" <<'PY'
+import sys
+import time
+
+from repro.service import CampaignClient
+
+client = CampaignClient(sys.argv[1])
+deadline = time.time() + 15
+while time.time() < deadline:
+    # The submitted campaign's trace completes just after its result:
+    # find the one covering the whole submit -> campaign -> chunk path.
+    for summary in client.traces():
+        detail = client.trace(summary["trace_id"])
+        names = {span["name"] for span in detail["spans"]}
+        if {"http.request", "campaign", "executor.chunk"} <= names:
+            print(summary["trace_id"])
+            sys.exit(0)
+    time.sleep(0.2)
+sys.exit("no end-to-end campaign trace on /api/traces")
+PY
+)"
+show_output="$(python -m repro trace show "$trace_id" --url "$url")"
+echo "$show_output"
+for span in job.queue_wait campaign generation executor.chunk; do
+    if ! grep -q "$span" <<<"$show_output"; then
+        echo "smoke: trace $trace_id is missing a $span span" >&2
+        exit 1
+    fi
+done
+trace_json="$workdir/trace.json"
+python -m repro trace export "$trace_id" --url "$url" --out "$trace_json"
+python - "$trace_json" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as fh:
+    payload = json.load(fh)
+events = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+assert events, "Perfetto export contains no complete events"
+print(f"Perfetto export: {len(events)} span events")
+PY
 sleep 1.5  # let the snapshotter land at least one history row
 kill "$server_pid" && wait "$server_pid" 2>/dev/null || true
 server_pid=""
@@ -282,6 +324,13 @@ with RunStore(sys.argv[1]) as store:
 assert history, "serve --snapshot-every recorded no metrics history"
 print(f"dashboard rendered from {len(history)} metrics snapshots")
 PY
+# Traces persisted into the run registry survive the server: the same
+# trace id must still render from the store alone.
+store_show="$(python -m repro trace show "$trace_id" --store "$serve_store")"
+if ! grep -q "campaign" <<<"$store_show"; then
+    echo "smoke: persisted trace $trace_id missing from $serve_store" >&2
+    exit 1
+fi
 
 echo "== run registry: record -> list -> compare -> gate =="
 store="$workdir/runs.sqlite"

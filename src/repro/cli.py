@@ -23,6 +23,9 @@ Usage (also via ``python -m repro``)::
     repro watch  --url http://127.0.0.1:8000 job-1
     repro runs list --store build/runs.sqlite --limit 20 --offset 0
     repro runs compare run-abc run-def --store build/runs.sqlite
+    repro trace list --store build/runs.sqlite
+    repro trace show  trace-id --url http://127.0.0.1:8000
+    repro trace export trace-id --store build/runs.sqlite --out build/t.json
 """
 
 from __future__ import annotations
@@ -273,6 +276,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="sample /metrics into the run registry "
                               "every S seconds (needs --store; feeds "
                               "'repro dashboard')")
+    serve_p.add_argument("--trace-sample", type=float, default=1.0,
+                         metavar="RATIO",
+                         help="head-sample this fraction of new traces "
+                              "(errored and slow traces are always "
+                              "kept; default 1.0 = keep everything)")
+    serve_p.add_argument("--trace-slow", type=float, default=None,
+                         metavar="S",
+                         help="always keep a trace whose longest span "
+                              "is >= S seconds, even when sampled out")
+    serve_p.add_argument("--no-trace", action="store_true",
+                         help="disable request/campaign tracing")
 
     dashboard_p = sub.add_parser(
         "dashboard",
@@ -400,7 +414,9 @@ def build_parser() -> argparse.ArgumentParser:
                              help="write here instead of stdout")
 
     runs_gc = runs_sub.add_parser(
-        "gc", help="delete old runs (baseline-pinned runs are kept)"
+        "gc",
+        help="delete old runs and prune observability history "
+             "(baseline-pinned runs are kept)",
     )
     add_store_arg(runs_gc)
     runs_gc.add_argument("--keep", type=int, default=None, metavar="N",
@@ -408,6 +424,14 @@ def build_parser() -> argparse.ArgumentParser:
     runs_gc.add_argument("--older-than", type=float, default=None,
                          metavar="SECONDS",
                          help="only delete runs older than this")
+    runs_gc.add_argument("--keep-traces", type=float, default=None,
+                         metavar="SECONDS",
+                         help="prune trace spans started more than this "
+                              "many seconds ago")
+    runs_gc.add_argument("--keep-snapshots", type=float, default=None,
+                         metavar="SECONDS",
+                         help="prune metrics snapshots sampled more "
+                              "than this many seconds ago")
 
     runs_baseline = runs_sub.add_parser(
         "baseline", help="pin or show a named baseline"
@@ -440,6 +464,50 @@ def build_parser() -> argparse.ArgumentParser:
                                 "fraction of the baseline's")
     runs_gate.add_argument("--json", action="store_true",
                            help="print the gate report as JSON")
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="inspect end-to-end traces (list/show/export) from a run "
+             "registry or a running server",
+    )
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+
+    def add_trace_source_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--store", default=None, metavar="PATH",
+                       help="read persisted traces from this run "
+                            "registry (SQLite)")
+        p.add_argument("--url", default=None, metavar="URL",
+                       help="read traces from this campaign server "
+                            "(e.g. http://127.0.0.1:8000)")
+
+    trace_list = trace_sub.add_parser(
+        "list", help="finished traces, newest first"
+    )
+    add_trace_source_args(trace_list)
+    trace_list.add_argument("--limit", type=int, default=20,
+                            help="max rows to print")
+    trace_list.add_argument("--run", default=None, metavar="RUN_ID",
+                            help="only traces linked to this run")
+    trace_list.add_argument("--json", action="store_true",
+                            help="print trace summaries as JSON")
+
+    trace_show = trace_sub.add_parser(
+        "show", help="one trace as an ascii span tree"
+    )
+    add_trace_source_args(trace_show)
+    trace_show.add_argument("trace_id", help="trace id (from 'trace list')")
+    trace_show.add_argument("--json", action="store_true",
+                            help="print the trace's spans as JSON")
+
+    trace_export = trace_sub.add_parser(
+        "export",
+        help="export one trace as Chrome trace-event JSON "
+             "(open in ui.perfetto.dev or chrome://tracing)",
+    )
+    add_trace_source_args(trace_export)
+    trace_export.add_argument("trace_id", help="trace id (from 'trace list')")
+    trace_export.add_argument("--out", default=None, metavar="PATH",
+                              help="write here instead of stdout")
 
     mc = sub.add_parser("mc", help="Monte-Carlo variation of one design")
     mc.add_argument("--precision", required=True)
@@ -953,6 +1021,29 @@ def _cmd_serve(args) -> int:
     )
     if policy.enabled:
         admission = obs.AdmissionController(policy)
+    if args.no_trace:
+        tracer = obs.NULL_TRACER
+    else:
+        try:
+            tracer = obs.Tracer(
+                sample_ratio=args.trace_sample,
+                slow_threshold_s=args.trace_slow,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if store is not None:
+            # Persist every kept trace so `repro trace`/the dashboard
+            # can read it after the server (or its ring) is gone.
+            trace_source = obs.normalize_source("serve")
+            tracer.add_sink(
+                lambda record: store.append_trace_spans(
+                    obs.spans_to_dicts(record.spans), source=trace_source
+                )
+            )
+    # The campaign/cache/executor layers trace through the process
+    # global; the server additionally serves /api/traces from it.
+    obs.set_tracer(tracer)
     server = serve(
         host=args.host,
         port=args.port,
@@ -963,6 +1054,7 @@ def _cmd_serve(args) -> int:
         store=store,
         verbose=args.verbose,
         admission=admission,
+        tracer=tracer,
     )
     snapshotter = None
     if args.snapshot_every is not None:
@@ -1201,12 +1293,27 @@ def _run_registry_command(args, store) -> int:
         return 0
 
     if args.runs_command == "gc":
-        if args.keep is None and args.older_than is None:
-            print("error: gc needs --keep and/or --older-than",
+        if (
+            args.keep is None
+            and args.older_than is None
+            and args.keep_traces is None
+            and args.keep_snapshots is None
+        ):
+            print("error: gc needs --keep, --older-than, --keep-traces, "
+                  "and/or --keep-snapshots",
                   file=sys.stderr)
             return 1
-        deleted = store.gc(keep_last=args.keep, older_than_s=args.older_than)
-        print(f"deleted {deleted} runs ({len(store)} kept)")
+        if args.keep is not None or args.older_than is not None:
+            deleted = store.gc(
+                keep_last=args.keep, older_than_s=args.older_than
+            )
+            print(f"deleted {deleted} runs ({len(store)} kept)")
+        if args.keep_snapshots is not None:
+            pruned = store.prune_metrics_history(args.keep_snapshots)
+            print(f"pruned {pruned} metrics snapshots")
+        if args.keep_traces is not None:
+            pruned = store.prune_trace_spans(args.keep_traces)
+            print(f"pruned {pruned} trace spans")
         return 0
 
     if args.runs_command == "baseline":
@@ -1239,6 +1346,122 @@ def _run_registry_command(args, store) -> int:
         return 0 if report.passed else 1
 
     raise AssertionError(f"unhandled runs command {args.runs_command!r}")
+
+
+def _trace_backend(args):
+    """Resolve ``--store``/``--url`` into (summaries_fn, spans_fn).
+
+    Exactly one source is required: the registry holds persisted
+    traces, a running server additionally serves its in-memory ring.
+    """
+    if (args.store is None) == (args.url is None):
+        raise ValueError("trace commands need exactly one of --store/--url")
+    if args.store is not None:
+        from pathlib import Path
+
+        from repro.store import RunStore
+
+        if not Path(args.store).exists():
+            raise ValueError(f"no run registry at {args.store}")
+        store = RunStore(args.store)
+
+        def summaries(limit, run_id=None):
+            return store.trace_list(limit=limit, run_id=run_id)
+
+        return summaries, store.trace_spans, store.close
+    from repro.service import CampaignClient
+
+    client = CampaignClient(args.url)
+
+    def summaries(limit, run_id=None):
+        traces = client.traces(limit=limit)
+        if run_id is not None:
+            traces = [t for t in traces if t.get("run_id") == run_id]
+        return traces
+
+    def spans(trace_id):
+        try:
+            return client.trace(trace_id).get("spans", [])
+        except RuntimeError as exc:
+            if "404" in str(exc):
+                return []
+            raise
+
+    return summaries, spans, lambda: None
+
+
+def _cmd_trace(args) -> int:
+    import json as _json
+    import time as _time
+
+    from repro.obs.trace import chrome_trace, trace_tree
+
+    try:
+        summaries, span_rows, close = _trace_backend(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        if args.trace_command == "list":
+            traces = summaries(args.limit, getattr(args, "run", None))
+            if args.json:
+                print(_json.dumps({"traces": traces}, sort_keys=True))
+                return 0
+            rows = [
+                (
+                    t["trace_id"],
+                    t.get("name", ""),
+                    t.get("status", "ok"),
+                    t.get("span_count", "-"),
+                    f"{t.get('duration_s', 0.0) * 1000.0:.1f}",
+                    t.get("run_id") or "-",
+                    f"{max(0.0, _time.time() - t.get('start_time', 0.0)):.0f}s",
+                )
+                for t in traces
+            ]
+            print(ascii_table(
+                ["trace", "name", "status", "spans", "ms", "run", "age"],
+                rows,
+            ))
+            print(f"{len(traces)} traces shown")
+            return 0
+
+        spans = span_rows(args.trace_id)
+        if not spans:
+            print(f"error: unknown trace id {args.trace_id!r}",
+                  file=sys.stderr)
+            return 1
+        if args.trace_command == "show":
+            if args.json:
+                from repro.obs.trace import spans_to_dicts
+
+                print(_json.dumps(
+                    {"trace_id": args.trace_id,
+                     "spans": spans_to_dicts(spans)},
+                    sort_keys=True, default=str,
+                ))
+            else:
+                print(trace_tree(spans))
+            return 0
+        if args.trace_command == "export":
+            text = _json.dumps(chrome_trace(spans), default=str)
+            if args.out:
+                from pathlib import Path
+
+                Path(args.out).parent.mkdir(parents=True, exist_ok=True)
+                Path(args.out).write_text(text)
+                print(f"wrote Chrome trace JSON to {args.out}")
+            else:
+                print(text)
+            return 0
+        raise AssertionError(
+            f"unhandled trace command {args.trace_command!r}"
+        )
+    except (RuntimeError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        close()
 
 
 def _cmd_mc(args) -> int:
@@ -1293,6 +1516,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_watch(args)
     if args.command == "runs":
         return _cmd_runs(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "mc":
         return _cmd_mc(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -12,7 +12,10 @@ Dependency-free operational plumbing for the serving stack:
   queues, and per-request budget caps for ``repro serve``,
 * :mod:`repro.obs.snapshot` — a periodic sampler appending metrics
   history into the :class:`~repro.store.runstore.RunStore` for the
-  ``repro dashboard`` renderer.
+  ``repro dashboard`` renderer,
+* :mod:`repro.obs.trace` — a span tracer with contextvar-based ambient
+  spans, W3C ``traceparent`` propagation, head sampling, and
+  ascii-tree / Chrome-trace exports for ``repro trace``.
 """
 
 from repro.obs.admission import (
@@ -36,6 +39,25 @@ from repro.obs.metrics import (
     set_registry,
 )
 from repro.obs.snapshot import MetricsSnapshotter
+from repro.obs.trace import (
+    KNOWN_SOURCES,
+    NULL_SPAN,
+    NULL_TRACER,
+    Span,
+    SpanContext,
+    TraceRecord,
+    Tracer,
+    chrome_trace,
+    current_span,
+    format_traceparent,
+    get_tracer,
+    normalize_source,
+    parse_traceparent,
+    set_tracer,
+    spans_to_dicts,
+    trace_tree,
+    use_span,
+)
 
 __all__ = [
     "Counter",
@@ -58,4 +80,21 @@ __all__ = [
     "TokenBucket",
     "request_budget",
     "MetricsSnapshotter",
+    "KNOWN_SOURCES",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "Span",
+    "SpanContext",
+    "TraceRecord",
+    "Tracer",
+    "chrome_trace",
+    "current_span",
+    "format_traceparent",
+    "get_tracer",
+    "normalize_source",
+    "parse_traceparent",
+    "set_tracer",
+    "spans_to_dicts",
+    "trace_tree",
+    "use_span",
 ]

@@ -6,6 +6,9 @@ One line per event, machine-parseable, stdlib-only::
      "event": "request", "route": "/api/campaigns", "status": 200,
      "duration_ms": 12.5}
 
+Lines emitted while a :mod:`repro.obs.trace` span is active also
+carry ``trace_id``/``span_id``, so logs and traces join on one id.
+
 The module keeps one process-global configuration (level + stream),
 set by :func:`configure` (``repro serve --log-level`` calls it); every
 :class:`JsonLogger` falls back to it unless constructed with explicit
@@ -20,6 +23,8 @@ import sys
 import threading
 import time
 from typing import IO
+
+from repro.obs.trace import current_span
 
 __all__ = ["LEVELS", "JsonLogger", "configure", "get_logger"]
 
@@ -102,6 +107,12 @@ class JsonLogger:
             "logger": self.name,
             "event": event,
         }
+        # Correlate with the ambient trace: any log line emitted under
+        # an active span carries its ids (explicit fields still win).
+        span = current_span()
+        if span is not None and span.trace_id:
+            record["trace_id"] = span.trace_id
+            record["span_id"] = span.span_id
         record.update(fields)
         line = json.dumps(record, default=str)
         stream = self._resolve_stream()

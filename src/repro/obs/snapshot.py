@@ -18,6 +18,7 @@ from __future__ import annotations
 import threading
 
 from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import normalize_source
 
 __all__ = ["MetricsSnapshotter"]
 
@@ -32,7 +33,10 @@ class MetricsSnapshotter:
             global.
         interval_s: seconds between snapshots.
         source: tag recorded with every row (lets one registry hold
-            history from several processes/servers).
+            history from several processes/servers).  Normalised
+            through :func:`repro.obs.trace.normalize_source`, so
+            snapshot rows and persisted trace spans share one
+            ``source`` vocabulary.
 
     Use as a context manager, or ``start()``/``stop()`` explicitly::
 
@@ -52,7 +56,7 @@ class MetricsSnapshotter:
         self.store = store
         self.registry = registry if registry is not None else get_registry()
         self.interval_s = interval_s
-        self.source = source
+        self.source = normalize_source(source)
         #: Snapshots appended / store writes failed since construction.
         self.snapshots = 0
         self.errors = 0

@@ -49,6 +49,7 @@ from pathlib import Path
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import NULL_SPAN, get_tracer
 
 __all__ = [
     "CacheStats",
@@ -581,6 +582,23 @@ class EvaluationCache:
         one round trip per key.  Disk hits are promoted into the memory
         tier exactly as :meth:`get` would.
         """
+        # Child span only when a trace is already ambient (a campaign
+        # above us); a bare cache call never starts a trace of its own.
+        span = get_tracer().start_span("cache.get_many", category="cache")
+        try:
+            results = self._get_many(keys)
+        except BaseException as exc:
+            span.end(status="error", error=f"{type(exc).__name__}: {exc}")
+            raise
+        if span is not NULL_SPAN:
+            span.set_attributes(
+                keys=len(keys),
+                misses=sum(1 for value in results if value is None),
+            )
+        span.end()
+        return results
+
+    def _get_many(self, keys: Sequence[str]) -> list[Objectives | None]:
         results: list[Objectives | None] = [None] * len(keys)
         with self._lock:
             missing: dict[str, list[int]] = {}
@@ -630,6 +648,13 @@ class EvaluationCache:
         }
         if not values:
             return
+        with get_tracer().start_span(
+            "cache.put_many", attributes={"entries": len(values)},
+            category="cache",
+        ):
+            self._put_many(values)
+
+    def _put_many(self, values: Mapping[str, Objectives]) -> None:
         with self._lock:
             self.stats.puts += len(values)
             for key, value in values.items():
@@ -657,11 +682,15 @@ class EvaluationCache:
         if not self._pending or self._disk is None:
             return
         pending, self._pending = self._pending, {}
-        started = time.perf_counter()
-        self._disk.put_many(pending)
-        seconds, size = self._m_batch["flush"]
-        seconds.observe(time.perf_counter() - started)
-        size.observe(len(pending))
+        with get_tracer().start_span(
+            "cache.flush", attributes={"entries": len(pending)},
+            category="cache",
+        ):
+            started = time.perf_counter()
+            self._disk.put_many(pending)
+            seconds, size = self._m_batch["flush"]
+            seconds.observe(time.perf_counter() - started)
+            size.observe(len(pending))
 
     @property
     def pending_writes(self) -> int:

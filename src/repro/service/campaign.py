@@ -34,6 +34,12 @@ from repro.dse.kernels import resolve_kernel_backend
 from repro.dse.nsga2 import GenerationProgress, NSGA2Config
 from repro.model.engine import ENGINE_BACKENDS, resolve_backend
 from repro.obs.metrics import get_registry
+from repro.obs.trace import (
+    NULL_SPAN,
+    get_tracer,
+    set_current_span,
+    use_span,
+)
 from repro.problems import DEFAULT_PROBLEM, get_problem
 from repro.service.api import CampaignRequest, CampaignResponse
 from repro.service.cache import CacheStats, EvaluationCache
@@ -300,6 +306,23 @@ def run_campaign(
     )
     stats_before = dataclasses.replace(cache.stats) if cache is not None else None
 
+    # One span for the whole campaign: a child when something above us
+    # (the job queue's run span) is already tracing, a fresh trace root
+    # when run standalone (`repro campaign`).  Span work happens outside
+    # all rng draws, so attaching a tracer keeps runs bit-identical.
+    tracer = get_tracer()
+    campaign_span = tracer.start_span(
+        "campaign",
+        attributes={
+            "problem": config.problem,
+            "specs": len(specs),
+            "backend": getattr(executor, "name", config.backend),
+            "workers": config.workers,
+        },
+        root_if_orphan=True,
+        category="campaign",
+    )
+
     # Resolve metric handles once per campaign; observers fire between
     # generations, outside all rng draws, so instrumenting here keeps
     # the run bit-identical (the ProgressObserver contract).
@@ -361,17 +384,34 @@ def run_campaign(
         spec_generations = (
             0 if strategy == "exhaustive" else config.nsga2.generations
         )
+        with tracer.span(
+            "spec",
+            attributes={"index": i, "spec": label, "strategy": strategy},
+            parent=campaign_span,
+            category="campaign",
+        ) as spec_span:
+            return _explore_spec(i, spec, label, strategy, spec_span)
+
+    def _explore_spec(
+        i: int, spec: DcimSpec, label: str, strategy: str, spec_span
+    ) -> ExplorationResult | None:
         emit(
             CampaignEvent(
                 kind=EventKind.SPEC_STARTED,
                 spec_index=i,
                 spec=label,
-                generations=spec_generations,
+                generations=(
+                    0 if strategy == "exhaustive" else config.nsga2.generations
+                ),
             )
         )
         if strategy == "exhaustive":
-            result = explorer.explore_exhaustive(spec, should_stop=should_stop)
+            with tracer.span("spec.exhaustive", category="campaign"):
+                result = explorer.explore_exhaustive(
+                    spec, should_stop=should_stop
+                )
             if result.stopped_early:
+                spec_span.set_attribute("stopped", True)
                 return None
             emit(
                 CampaignEvent(
@@ -387,6 +427,21 @@ def run_campaign(
             )
             return result
         last_tick = time.perf_counter()
+        # One span per GA generation.  The GA loop is a black box from
+        # here, but its observer fires at every generation boundary
+        # (outside all rng draws), so the observer closes the finished
+        # generation's span and opens — and makes ambient — the next
+        # one; executor chunks and cache batches started inside the
+        # loop then attach to the right generation automatically.
+        gen_holder = [
+            tracer.start_span(
+                "generation",
+                attributes={"generation": 0},
+                parent=spec_span,
+                category="campaign",
+            )
+        ]
+        set_current_span(gen_holder[0])
 
         def ga_observer(progress: GenerationProgress) -> None:
             nonlocal last_tick
@@ -395,6 +450,21 @@ def run_campaign(
             m_generation_seconds.observe(now - last_tick)
             m_front_size.set(progress.front_size)
             last_tick = now
+            done_span = gen_holder[0]
+            done_span.set_attributes(
+                generation=progress.generation,
+                evaluations=progress.evaluations,
+                front_size=progress.front_size,
+            )
+            done_span.end()
+            next_span = tracer.start_span(
+                "generation",
+                attributes={"generation": progress.generation + 1},
+                parent=spec_span,
+                category="campaign",
+            )
+            gen_holder[0] = next_span
+            set_current_span(next_span)
             if observer is not None:
                 emit(
                     CampaignEvent(
@@ -409,13 +479,31 @@ def run_campaign(
                     )
                 )
 
-        result = explorer.explore(
-            spec,
-            seed=config.seed + i,
-            observer=ga_observer,
-            should_stop=should_stop,
-        )
+        try:
+            result = explorer.explore(
+                spec,
+                seed=config.seed + i,
+                observer=ga_observer,
+                should_stop=should_stop,
+            )
+        except BaseException as exc:
+            gen_holder[0].end(
+                status="error", error=f"{type(exc).__name__}: {exc}"
+            )
+            raise
+        finally:
+            # Whatever happened, the ambient span must not leak past
+            # this spec into the caller's context.
+            set_current_span(spec_span)
+        # The span opened after the last observer tick covers the GA's
+        # wind-down (final front assembly), not a generation.
+        tail_span = gen_holder[0]
+        if tail_span is not NULL_SPAN:
+            tail_span.name = "spec.finalize"
+            tail_span.attributes.pop("generation", None)
+        tail_span.end()
         if result.stopped_early:
+            spec_span.set_attribute("stopped", True)
             return None
         emit(
             CampaignEvent(
@@ -431,6 +519,13 @@ def run_campaign(
         )
         return result
 
+    def explore_in_worker(i: int, spec: DcimSpec) -> ExplorationResult | None:
+        # contextvars do not follow threads: spec worker threads start
+        # from an empty context, so the campaign span is re-activated
+        # explicitly on each side of the pool boundary.
+        with use_span(campaign_span):
+            return explore_one(i, spec)
+
     started = time.perf_counter()
     try:
         with contextlib.ExitStack() as stack:
@@ -444,18 +539,22 @@ def run_campaign(
                     cache.write_behind(config.cache_flush_every)
                 )
             if config.workers == 1 or len(specs) == 1:
-                maybe_results = [
-                    explore_one(i, spec) for i, spec in enumerate(specs)
-                ]
+                with use_span(campaign_span):
+                    maybe_results = [
+                        explore_one(i, spec) for i, spec in enumerate(specs)
+                    ]
             else:
                 with concurrent.futures.ThreadPoolExecutor(
                     max_workers=min(config.workers, len(specs))
                 ) as pool:
                     futures = [
-                        pool.submit(explore_one, i, spec)
+                        pool.submit(explore_in_worker, i, spec)
                         for i, spec in enumerate(specs)
                     ]
                     maybe_results = [f.result() for f in futures]
+    except BaseException as exc:
+        campaign_span.end(status="error", error=f"{type(exc).__name__}: {exc}")
+        raise
     finally:
         if own_executor:
             executor.close()
@@ -467,6 +566,7 @@ def run_campaign(
     ):
         done = sum(result is not None for result in maybe_results)
         message = f"campaign cancelled after {done}/{len(specs)} specs"
+        campaign_span.end(status="error", error=message)
         m_campaigns.labels(config.problem, "cancelled", ga_backend).inc()
         if store is not None:
             _record_safely(
@@ -526,6 +626,15 @@ def run_campaign(
         )
         if record is not None:
             campaign_result.run_id = record.run_id
+    if campaign_result.run_id is not None:
+        # Link the trace to the recorded run; the trace sink picks the
+        # attribute up when persisting rows into ``trace_spans``.
+        campaign_span.set_attribute("run_id", campaign_result.run_id)
+    campaign_span.set_attributes(
+        evaluations=campaign_result.evaluations,
+        front_size=len(merged_points),
+    )
+    campaign_span.end()
     return campaign_result
 
 

@@ -33,6 +33,7 @@ import time
 from typing import Callable, Protocol, Sequence
 
 from repro.obs.metrics import get_registry
+from repro.obs.trace import current_span, get_tracer
 from repro.service.cache import EvaluationCache, GenomeKeyer
 
 __all__ = [
@@ -156,15 +157,35 @@ class SerialExecutor:
             chunks = [genomes]
         else:
             chunks = chunked(list(genomes), self.chunk_size)
+        tracer, trace_parent = get_tracer(), current_span()
         results: list[Objectives] = []
         chunk_times: list[float] = []
+        end_times: list[float] | None = (
+            [] if trace_parent is not None else None
+        )
         for chunk in chunks:
             elapsed, fresh = _evaluate_chunk_timed(problem, chunk)
             chunk_times.append(elapsed)
             results.extend(fresh)
+            if end_times is not None:
+                # One float per chunk is the entire hot-loop tracing
+                # cost; the series records each span back-dated to its
+                # true wall-clock slot.
+                end_times.append(time.time())
         # One instrument transaction per batch, not per chunk: the
         # histogram still records every per-chunk latency, but the
-        # lock/call overhead is paid once.
+        # lock/call overhead is paid once.  Chunk spans batch the same
+        # way.
+        if end_times:
+            tracer.record_span_series(
+                "executor.chunk",
+                chunk_times,
+                end_times,
+                parent=trace_parent,
+                category="executor",
+                attributes={"backend": self.name},
+                per_span=("genomes", [len(c) for c in chunks]),
+            )
         metrics.chunk_seconds.observe_many(chunk_times)
         metrics.evaluations.inc(len(results))
         return results
@@ -209,26 +230,54 @@ class _PoolExecutor:
         if not genomes:
             return []
         metrics = self._metrics.resolve(self.name)
+        tracer, trace_parent = get_tracer(), current_span()
         chunks = chunked(list(genomes), self._chunk_size_for(len(genomes)))
         if len(chunks) == 1:
             elapsed, results = _evaluate_chunk_timed(problem, chunks[0])
             metrics.chunk_seconds.observe(elapsed)
             metrics.evaluations.inc(len(chunks[0]))
+            if trace_parent is not None:
+                tracer.record_span(
+                    "executor.chunk",
+                    elapsed,
+                    attributes={
+                        "backend": self.name, "genomes": len(chunks[0]),
+                    },
+                    parent=trace_parent,
+                    category="executor",
+                )
             return results
         pool = self._ensure_pool()
         # The timed wrapper measures each chunk where it ran (worker
         # side); the parent records it — process-pool children would
-        # lose any metrics they incremented themselves.
+        # lose any metrics (or spans) they created themselves.
         futures = [
             pool.submit(_evaluate_chunk_timed, problem, chunk)
             for chunk in chunks
         ]
         results = []
         chunk_times = []
+        end_times: list[float] | None = (
+            [] if trace_parent is not None else None
+        )
         for future in futures:
             elapsed, fresh = future.result()
             chunk_times.append(elapsed)
             results.extend(fresh)
+            if end_times is not None:
+                # End time = arrival at the parent; the series record
+                # back-dates by the worker-side elapsed time.
+                end_times.append(time.time())
+        if end_times:
+            tracer.record_span_series(
+                "executor.chunk",
+                chunk_times,
+                end_times,
+                parent=trace_parent,
+                category="executor",
+                attributes={"backend": self.name},
+                per_span=("genomes", [len(c) for c in chunks]),
+            )
         metrics.chunk_seconds.observe_many(chunk_times)
         metrics.evaluations.inc(len(results))
         return results

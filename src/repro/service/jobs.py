@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 
 from repro.obs.log import JsonLogger, get_logger
 from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import NULL_SPAN, get_tracer, use_span
 from repro.service.api import CampaignRequest, CampaignResponse
 from repro.service.campaign import execute_request
 from repro.service.events import (
@@ -90,6 +91,11 @@ class JobRecord:
         run_id: registry id once the outcome was recorded into the
             queue's :class:`~repro.store.runstore.RunStore` (``None``
             without a store, or for jobs cancelled before running).
+        trace_id: id of the trace this job belongs to (``None`` with
+            tracing off).  The queue-wait span is started at submit —
+            inside the submitting request's span when one is ambient —
+            and the job's run span is parented to it, so one trace
+            follows the job across the worker-thread boundary.
         created_at / started_at / finished_at: monotonic timestamps
             (``None`` until the transition happens).
     """
@@ -103,6 +109,10 @@ class JobRecord:
     events: EventBuffer = field(default_factory=EventBuffer)
     cancel_requested: bool = False
     run_id: str | None = None
+    trace_id: str | None = None
+    #: The open queue-wait span (internal; closed when the job starts
+    #: running or reaches a terminal state without running).
+    trace_span: object = field(default=None, repr=False, compare=False)
     created_at: float = field(default_factory=time.monotonic)
     started_at: float | None = None
     finished_at: float | None = None
@@ -344,11 +354,23 @@ class JobQueue:
                     self.stats.deduplicated += 1
                     return existing_id
             job_id = f"job-{next(self._ids)}"
-            self._jobs[job_id] = JobRecord(
+            job = JobRecord(
                 job_id=job_id,
                 request=request,
                 events=EventBuffer(self._event_buffer_size),
             )
+            # The queue-wait span starts here — while the submitting
+            # request's span (if any) is still open — so the trace
+            # stays alive through the hand-off to a worker thread.
+            wait_span = get_tracer().start_span(
+                "job.queue_wait",
+                attributes={"job_id": job_id},
+                root_if_orphan=True,
+                category="queue",
+            )
+            job.trace_span = wait_span
+            job.trace_id = wait_span.trace_id or None
+            self._jobs[job_id] = job
             self._by_fingerprint[fingerprint] = job_id
             self._pending.append(job_id)
             self._refresh_depth()
@@ -546,6 +568,16 @@ class JobQueue:
         event: CampaignEvent | None = None,
     ) -> None:
         """Terminal transition: record, count, emit, wake waiters."""
+        # A job that reaches a terminal state without ever running
+        # (cancelled while pending) must still close its queue-wait
+        # span, or the trace would stay open forever.  For executed
+        # jobs the span was already closed at start (end is idempotent).
+        wait_span = job.trace_span
+        if wait_span is not None:
+            if status is JobStatus.DONE:
+                wait_span.end()
+            else:
+                wait_span.end(status="error", error=error or status.value)
         with self._done:
             job.status = status
             job.response = response
@@ -592,9 +624,26 @@ class JobQueue:
 
     def _execute(self, job: JobRecord) -> None:
         """Run one RUNNING job to a terminal state (no lock held)."""
+        # Start the run span *before* closing the queue-wait span: a
+        # trace completes when its open-span count returns to zero, so
+        # the two must overlap to keep the trace alive across the
+        # wait -> run transition.
+        wait_span = job.trace_span if job.trace_span is not None else NULL_SPAN
+        run_span = get_tracer().start_span(
+            "job.run",
+            attributes={
+                "job_id": job.job_id,
+                "problem": job.request.problem,
+                "specs": len(job.request.specs),
+            },
+            parent=wait_span,
+            category="queue",
+        )
+        wait_span.end()
         self._log.debug(
             "job_started",
             job_id=job.job_id,
+            trace_id=job.trace_id,
             problem=job.request.problem,
             specs=len(job.request.specs),
         )
@@ -607,16 +656,21 @@ class JobQueue:
                 job.events.append(event)
 
         try:
-            if self._runner_takes_hooks:
-                response = self._runner(
-                    job.request,
-                    observer=observer,
-                    should_stop=lambda: job.cancel_requested,
-                )
-            else:
-                response = self._runner(job.request)
+            # contextvars do not follow threads; the run span is made
+            # ambient here, in the worker thread, so the campaign
+            # below attaches its spans to this job's trace.
+            with use_span(run_span):
+                if self._runner_takes_hooks:
+                    response = self._runner(
+                        job.request,
+                        observer=observer,
+                        should_stop=lambda: job.cancel_requested,
+                    )
+                else:
+                    response = self._runner(job.request)
         except CampaignCancelled as exc:
             self._record_run(job, JobStatus.CANCELLED, error=str(exc))
+            run_span.end(status="error", error=str(exc))
             self._finish(
                 job,
                 JobStatus.CANCELLED,
@@ -627,6 +681,7 @@ class JobQueue:
         except Exception as exc:  # a failed campaign must not kill the queue
             error = f"{type(exc).__name__}: {exc}"
             self._record_run(job, JobStatus.FAILED, error=error)
+            run_span.end(status="error", error=error)
             self._finish(
                 job,
                 JobStatus.FAILED,
@@ -639,6 +694,9 @@ class JobQueue:
             stats = response.cache_stats or {}
             lookups = stats.get("hits", 0) + stats.get("misses", 0)
             self._record_run(job, JobStatus.DONE, response=response)
+            if job.run_id is not None:
+                run_span.set_attribute("run_id", job.run_id)
+            run_span.end()
             self._finish(
                 job,
                 JobStatus.DONE,
@@ -659,6 +717,7 @@ class JobQueue:
         self._log.info(
             "job_finished",
             job_id=job.job_id,
+            trace_id=job.trace_id,
             status=job.status.value,
             duration_s=duration,
             error=job.error,

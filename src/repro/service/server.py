@@ -29,6 +29,8 @@ dedup layer):
       GET  /api/runs/<id>/front           recorded merged frontier
       GET  /api/compare?a=..&b=..         front-quality indicators
       GET  /api/stats                     queue counters/gauges
+      GET  /api/traces                    finished traces (?limit=N)
+      GET  /api/traces/<id>               one trace with its spans
       GET  /api/metrics                   metrics registry as JSON
       GET  /metrics                       Prometheus text exposition
       GET  /healthz                       liveness
@@ -45,6 +47,13 @@ dedup layer):
   answer ``429`` with a ``Retry-After`` hint.  Every request is counted
   in ``repro_http_requests_total{route,method,status}`` and timed in
   ``repro_http_request_seconds{route}``.
+
+  Requests (other than health/scrape/trace-inspection paths) run under
+  a ``http.request`` span: an incoming W3C ``traceparent`` header joins
+  the caller's trace, the response echoes the request span's
+  ``traceparent``, and finished traces are browsable at
+  ``/api/traces``.  :class:`CampaignClient` injects ``traceparent``
+  from its ambient span automatically.
 
 :class:`CampaignClient` is the matching ``urllib``-based client used by
 ``repro submit`` / ``repro watch``.
@@ -65,6 +74,15 @@ from urllib.parse import parse_qs, quote as _quote, urlparse
 from repro.obs.admission import AdmissionController, AdmissionError
 from repro.obs.log import JsonLogger, get_logger
 from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import (
+    Tracer,
+    current_span,
+    format_traceparent,
+    get_tracer,
+    parse_traceparent,
+    reset_current_span,
+    set_current_span,
+)
 from repro.service.api import CampaignRequest, CampaignResponse, FrontierPoint
 from repro.service.events import CampaignEvent
 from repro.service.jobs import JobQueue, JobStatus
@@ -308,6 +326,11 @@ class _CampaignHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:
         self._dispatch("POST")
 
+    #: Paths that never start a request span: health probes and scrape /
+    #: trace-inspection endpoints would otherwise flood the trace ring
+    #: with their own polling traffic.
+    _UNTRACED_PREFIXES = ("/healthz", "/metrics", "/api/traces")
+
     def _dispatch(self, method: str) -> None:
         started = time.perf_counter()
         # The matched route *template* (set at the match sites in
@@ -315,30 +338,58 @@ class _CampaignHandler(BaseHTTPRequestHandler):
         # with job/run ids would mint a new series per request.
         self._route_template = "<unmatched>"
         headers: dict[str, str] = {}
+        span, token = None, None
+        plain_path = self.path.split("?", 1)[0]
+        if not plain_path.startswith(self._UNTRACED_PREFIXES):
+            # Join the caller's trace when it sent a W3C ``traceparent``
+            # header; otherwise this request roots a fresh trace.
+            remote = parse_traceparent(self.headers.get("traceparent"))
+            span = self.server.tracer.start_root(
+                "http.request",
+                attributes={"method": method},
+                parent_context=remote,
+                category="http",
+            )
+            token = set_current_span(span)
         try:
-            payload, status = self._route(method)
-        except _ApiError as exc:
-            payload, status = exc.envelope(), exc.status
-            headers = exc.headers
-        except Exception as exc:  # defensive: a handler bug must answer
-            error = _ApiError(500, f"{type(exc).__name__}: {exc}")
-            payload, status = error.envelope(), error.status
-        if isinstance(payload, _RawResponse):
-            body, content_type = payload.body, payload.content_type
-        else:
-            body = json.dumps(payload).encode("utf-8")
-            content_type = "application/json"
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
-        for name, value in headers.items():
-            self.send_header(name, value)
-        self.end_headers()
-        self.wfile.write(body)
-        elapsed = time.perf_counter() - started
-        self.server.observe_request(
-            self._route_template, method, status, elapsed
-        )
+            try:
+                payload, status = self._route(method)
+            except _ApiError as exc:
+                payload, status = exc.envelope(), exc.status
+                headers = exc.headers
+            except Exception as exc:  # defensive: a handler bug must answer
+                error = _ApiError(500, f"{type(exc).__name__}: {exc}")
+                payload, status = error.envelope(), error.status
+            if isinstance(payload, _RawResponse):
+                body, content_type = payload.body, payload.content_type
+            else:
+                body = json.dumps(payload).encode("utf-8")
+                content_type = "application/json"
+            if span is not None and span.context is not None:
+                headers.setdefault(
+                    "traceparent", format_traceparent(span.context)
+                )
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in headers.items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+            elapsed = time.perf_counter() - started
+            self.server.observe_request(
+                self._route_template, method, status, elapsed
+            )
+            if span is not None:
+                span.set_attributes(
+                    route=self._route_template, status=status
+                )
+                span.end(status="error" if status >= 500 else "ok")
+        finally:
+            if token is not None:
+                reset_current_span(token)
+            if span is not None:
+                span.end()  # idempotent; closes the span on write errors
 
     def _route(self, method: str) -> tuple[dict, int]:
         queue = self.server.queue
@@ -368,6 +419,20 @@ class _CampaignHandler(BaseHTTPRequestHandler):
             from repro.problems import problem_catalog
 
             return {"problems": problem_catalog()}, 200
+        if method == "GET" and parts[:2] == ["api", "traces"]:
+            tail = parts[2:]
+            if not tail:
+                self._route_template = "/api/traces"
+                try:
+                    limit_text = query.get("limit", [None])[0]
+                    limit = int(limit_text) if limit_text is not None else 50
+                except ValueError as exc:
+                    raise _ApiError(400, f"bad query parameter: {exc}") from None
+                return {"traces": self._trace_list(limit)}, 200
+            if len(tail) == 1:
+                self._route_template = "/api/traces/<id>"
+                return self._trace(tail[0]), 200
+            raise _ApiError(404, f"unknown traces path {url.path!r}")
         if method == "GET" and parts[:2] == ["api", "runs"]:
             tail = parts[2:]
             self._route_template = (
@@ -521,6 +586,56 @@ class _CampaignHandler(BaseHTTPRequestHandler):
             raise _ApiError(409, str(exc), "not_comparable") from None
         return comparison.to_dict()
 
+    def _trace_list(self, limit: int) -> list[dict]:
+        """Finished traces: the in-memory ring first, store rows after.
+
+        The ring holds what this process finished recently; the store
+        (when attached) remembers persisted traces across restarts.
+        Ring entries win on trace-id collisions.
+        """
+        listed: list[dict] = []
+        seen: set[str] = set()
+        for record in self.server.tracer.finished():
+            listed.append(record.to_dict(include_spans=False))
+            seen.add(record.trace_id)
+        store = self.server.store
+        if store is not None and hasattr(store, "trace_list"):
+            try:
+                stored = store.trace_list(limit=limit + len(seen))
+            except Exception:  # noqa: BLE001 — listing must not 500 on store issues
+                stored = []
+            for row in stored:
+                if row.get("trace_id") not in seen:
+                    listed.append(row)
+        listed.sort(key=lambda r: r.get("start_time") or 0.0, reverse=True)
+        return listed[: max(0, limit)]
+
+    def _trace(self, trace_id: str) -> dict:
+        record = self.server.tracer.get(trace_id)
+        if record is not None:
+            return record.to_dict(include_spans=True)
+        store = self.server.store
+        if store is not None and hasattr(store, "trace_spans"):
+            spans = store.trace_spans(trace_id)
+            if spans:
+                start = min(s["start_time"] for s in spans)
+                end = max(s["start_time"] + s["duration_s"] for s in spans)
+                roots = [s for s in spans if not s.get("parent_id")]
+                return {
+                    "trace_id": trace_id,
+                    "name": roots[0]["name"] if roots else spans[0]["name"],
+                    "start_time": start,
+                    "duration_s": end - start,
+                    "status": (
+                        "error"
+                        if any(s.get("status") == "error" for s in spans)
+                        else "ok"
+                    ),
+                    "span_count": len(spans),
+                    "spans": spans,
+                }
+        raise _ApiError(404, f"unknown trace id {trace_id!r}")
+
     def _events(self, job_id: str, query: dict) -> dict:
         try:
             cursor = int(query.get("cursor", ["0"])[0])
@@ -562,6 +677,8 @@ class CampaignHTTPServer(ThreadingHTTPServer):
             to every submission.
         logger: structured request logger (defaults to the shared
             ``repro.http`` JSON-lines logger).
+        tracer: span tracer for request tracing and the ``/api/traces``
+            endpoints (defaults to the process-global tracer).
     """
 
     daemon_threads = True
@@ -575,6 +692,7 @@ class CampaignHTTPServer(ThreadingHTTPServer):
         registry: MetricsRegistry | None = None,
         admission: AdmissionController | None = None,
         logger: JsonLogger | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         super().__init__(address, _CampaignHandler)
         self.queue = queue
@@ -583,6 +701,7 @@ class CampaignHTTPServer(ThreadingHTTPServer):
         self.registry = registry if registry is not None else get_registry()
         self.admission = admission
         self.logger = logger if logger is not None else get_logger("repro.http")
+        self.tracer = tracer if tracer is not None else get_tracer()
         self._m_requests = self.registry.counter(
             "repro_http_requests_total",
             "HTTP requests served, by route template",
@@ -645,6 +764,7 @@ def serve(
     registry: MetricsRegistry | None = None,
     admission: AdmissionController | None = None,
     logger: JsonLogger | None = None,
+    tracer: Tracer | None = None,
 ) -> CampaignHTTPServer:
     """Build a ready-to-run HTTP server (queue included unless given).
 
@@ -675,6 +795,7 @@ def serve(
         registry=registry,
         admission=admission,
         logger=logger,
+        tracer=tracer,
     )
 
 
@@ -707,11 +828,19 @@ class CampaignClient:
 
     def _call(self, method: str, path: str, payload: dict | None = None) -> dict:
         body = None if payload is None else json.dumps(payload).encode("utf-8")
+        headers = {"Content-Type": "application/json"}
+        # Propagate the caller's ambient span so the server's request
+        # trace joins ours instead of rooting a disconnected one.
+        span = current_span()
+        if span is not None:
+            traceparent = format_traceparent(span.context)
+            if traceparent:
+                headers["traceparent"] = traceparent
         req = _urllib_request.Request(
             f"{self.base_url}{path}",
             data=body,
             method=method,
-            headers={"Content-Type": "application/json"},
+            headers=headers,
         )
         try:
             with _urllib_request.urlopen(req, timeout=self.timeout) as answer:
@@ -795,6 +924,15 @@ class CampaignClient:
         return self._call(
             "GET", f"/api/compare?a={_quote(ref_a)}&b={_quote(ref_b)}"
         )
+
+    def traces(self, limit: int | None = None) -> list[dict]:
+        """Finished traces (summary dicts), newest first."""
+        tail = f"?limit={limit}" if limit is not None else ""
+        return self._call("GET", f"/api/traces{tail}")["traces"]
+
+    def trace(self, trace_id: str) -> dict:
+        """One finished trace with its full span list."""
+        return self._call("GET", f"/api/traces/{_quote(trace_id)}")
 
     def stats(self) -> dict:
         return self._call("GET", "/api/stats")
