@@ -18,6 +18,13 @@ MOGA explorer into shared infrastructure:
 * :mod:`repro.service.server` — asyncio front-end
   (:class:`~repro.service.server.AsyncCampaignService`) plus a
   stdlib-only HTTP/JSON server and client,
+* :mod:`repro.service.distributed` — coordinator that shards campaigns
+  into leasable per-spec work units (TTL leases, heartbeats, bounded
+  retry, idempotent result submission),
+* :mod:`repro.service.worker` — the ``repro worker`` loop that leases,
+  evaluates and submits units over the HTTP protocol,
+* :mod:`repro.service.cache_backends` — pluggable storage backends for
+  the evaluation cache (memory/JSONL/SQLite/remote-over-HTTP),
 * :mod:`repro.service.api` — typed, JSON round-trippable
   request/response records.
 """
@@ -30,11 +37,16 @@ from repro.service.api import (
     SpecRequest,
 )
 from repro.service.cache import (
+    CacheBackend,
     CacheStats,
     EvaluationCache,
+    JsonlCacheBackend,
+    MemoryCacheBackend,
+    SqliteCacheBackend,
     evaluation_key,
     stable_hash,
 )
+from repro.service.cache_backends import RemoteCacheBackend, make_cache
 from repro.service.campaign import (
     CampaignConfig,
     CampaignResult,
@@ -56,6 +68,7 @@ from repro.service.executor import (
     ThreadPoolExecutor,
     make_executor,
 )
+from repro.service.distributed import DistributedRunner, WorkCoordinator
 from repro.service.jobs import JobQueue, JobRecord, JobStatus
 from repro.service.server import (
     AsyncCampaignService,
@@ -63,6 +76,7 @@ from repro.service.server import (
     CampaignHTTPServer,
     serve,
 )
+from repro.service.worker import CampaignWorker, worker_cache
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -74,10 +88,20 @@ __all__ = [
     "CampaignClient",
     "CampaignHTTPServer",
     "serve",
+    "CacheBackend",
     "CacheStats",
     "EvaluationCache",
+    "JsonlCacheBackend",
+    "MemoryCacheBackend",
+    "SqliteCacheBackend",
+    "RemoteCacheBackend",
+    "make_cache",
     "evaluation_key",
     "stable_hash",
+    "WorkCoordinator",
+    "DistributedRunner",
+    "CampaignWorker",
+    "worker_cache",
     "BatchExecutor",
     "SerialExecutor",
     "ThreadPoolExecutor",

@@ -46,15 +46,19 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Iterable, Iterator, Mapping, Protocol, Sequence, runtime_checkable
 
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.trace import NULL_SPAN, get_tracer
 
 __all__ = [
+    "CacheBackend",
     "CacheStats",
     "EvaluationCache",
     "GenomeKeyer",
+    "JsonlCacheBackend",
+    "MemoryCacheBackend",
+    "SqliteCacheBackend",
     "evaluation_key",
     "problem_fingerprint",
     "stable_hash",
@@ -197,6 +201,81 @@ class CacheStats:
         }
 
 
+@runtime_checkable
+class CacheBackend(Protocol):
+    """Pluggable persistent tier behind :class:`EvaluationCache`.
+
+    Implementations store ``key -> objectives`` pairs durably (or
+    remotely) and are **batch-first**: :meth:`get_many`/:meth:`put_many`
+    move a whole generation in one round trip.  The built-ins are
+    :class:`JsonlCacheBackend`, :class:`SqliteCacheBackend`,
+    :class:`MemoryCacheBackend`, and the HTTP-speaking
+    :class:`~repro.service.cache_backends.RemoteCacheBackend` that lets
+    N worker processes share one dedup layer.  Pass an instance as
+    ``EvaluationCache(backend=...)`` to front it with the memory LRU.
+    """
+
+    #: Short backend label used in metrics and ``info()`` payloads.
+    name: str
+
+    def get(self, key: str) -> Objectives | None: ...
+
+    def get_many(self, keys: Sequence[str]) -> dict[str, Objectives]: ...
+
+    def put(self, key: str, objectives: Objectives) -> None: ...
+
+    def put_many(self, entries: Mapping[str, Objectives]) -> None: ...
+
+    def compact(self) -> dict: ...
+
+    def __len__(self) -> int: ...
+
+    def items(self) -> Iterator[tuple[str, Objectives]]: ...
+
+    def close(self) -> None: ...
+
+
+class MemoryCacheBackend:
+    """Dict-backed :class:`CacheBackend` (no persistence).
+
+    Useful for tests and for processes that want the backend interface
+    without a file — e.g. a coordinator serving ``/api/cache`` from
+    RAM.  Unlike the memory *tier* of :class:`EvaluationCache`, this
+    store is unbounded and never evicts.
+    """
+
+    name = "memory"
+
+    def __init__(self) -> None:
+        self._entries: dict[str, Objectives] = {}
+
+    def get(self, key: str) -> Objectives | None:
+        return self._entries.get(key)
+
+    def get_many(self, keys: Sequence[str]) -> dict[str, Objectives]:
+        entries = self._entries
+        return {key: entries[key] for key in keys if key in entries}
+
+    def put(self, key: str, objectives: Objectives) -> None:
+        self._entries[key] = tuple(objectives)
+
+    def put_many(self, entries: Mapping[str, Objectives]) -> None:
+        for key, objectives in entries.items():
+            self._entries[key] = tuple(objectives)
+
+    def compact(self) -> dict:
+        return {"backend": self.name, "entries": len(self._entries)}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def items(self) -> Iterator[tuple[str, Objectives]]:
+        return iter(list(self._entries.items()))
+
+    def close(self) -> None:
+        pass
+
+
 class _JsonlStore:
     """Append-only JSONL disk tier.
 
@@ -209,6 +288,8 @@ class _JsonlStore:
     compacted in place (the index is rewritten atomically) before the
     append handle opens.
     """
+
+    name = "jsonl"
 
     def __init__(self, path: Path) -> None:
         self.path = path
@@ -309,6 +390,8 @@ class _SqliteStore:
     genome.
     """
 
+    name = "sqlite"
+
     def __init__(self, path: Path) -> None:
         self.path = path
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -396,10 +479,15 @@ class EvaluationCache:
     """Two-tier (memory LRU + optional disk) evaluation cache.
 
     Args:
-        path: disk-tier location.  ``None`` keeps the cache memory-only.
-        backend: ``"jsonl"`` (append log) or ``"sqlite"``.  Ignored for
-            memory-only caches.  Defaults to guessing from the path
-            suffix (``.sqlite``/``.db`` -> sqlite, else jsonl).
+        path: disk-tier location.  ``None`` keeps the cache memory-only
+            (unless a backend *instance* is passed).
+        backend: ``"jsonl"`` (append log) or ``"sqlite"``, or a
+            :class:`CacheBackend` *instance* to plug in directly (e.g.
+            a :class:`~repro.service.cache_backends.RemoteCacheBackend`
+            sharing a server-side dedup layer; ``path`` must be omitted
+            then).  A string backend is ignored for memory-only caches
+            and defaults to guessing from the path suffix
+            (``.sqlite``/``.db`` -> sqlite, else jsonl).
         max_memory_entries: LRU capacity of the memory tier.
         flush_every: write-behind cadence.  ``None``/``0`` (default)
             writes every put straight through to disk; ``N`` buffers
@@ -426,7 +514,7 @@ class EvaluationCache:
         self,
         path: str | Path | None = None,
         *,
-        backend: str | None = None,
+        backend: str | CacheBackend | None = None,
         max_memory_entries: int = 262_144,
         flush_every: int | None = None,
         registry: MetricsRegistry | None = None,
@@ -441,20 +529,39 @@ class EvaluationCache:
         self._lock = threading.RLock()
         self._memory: OrderedDict[str, Objectives] = OrderedDict()
         self._pending: dict[str, Objectives] = {}
-        self._disk: _JsonlStore | _SqliteStore | None = None
-        if path is not None:
-            path = Path(path)
-            if backend is None:
-                backend = "sqlite" if path.suffix in {".sqlite", ".db"} else "jsonl"
-            if backend not in DISK_BACKENDS:
+        self._disk: CacheBackend | None = None
+        if backend is not None and not isinstance(backend, str):
+            # A caller-built CacheBackend instance plugs in directly;
+            # the memory LRU fronts it exactly like the disk tiers.
+            if path is not None:
                 raise ValueError(
-                    f"unknown cache backend {backend!r}; choose from {DISK_BACKENDS}"
+                    "pass either a path or a CacheBackend instance, not both"
                 )
-            self._disk = (
-                _SqliteStore(path) if backend == "sqlite" else _JsonlStore(path)
+            self._disk = backend
+            self.backend = getattr(backend, "name", type(backend).__name__)
+            backend_path = getattr(backend, "path", None)
+            self.path = (
+                Path(backend_path)
+                if isinstance(backend_path, (str, Path))
+                else None
             )
-        self.backend = backend if path is not None else "memory"
-        self.path = Path(path) if path is not None else None
+        else:
+            if path is not None:
+                path = Path(path)
+                if backend is None:
+                    backend = (
+                        "sqlite" if path.suffix in {".sqlite", ".db"} else "jsonl"
+                    )
+                if backend not in DISK_BACKENDS:
+                    raise ValueError(
+                        f"unknown cache backend {backend!r}; "
+                        f"choose from {DISK_BACKENDS}"
+                    )
+                self._disk = (
+                    _SqliteStore(path) if backend == "sqlite" else _JsonlStore(path)
+                )
+            self.backend = backend if path is not None else "memory"
+            self.path = Path(path) if path is not None else None
         self._init_metrics(registry)
 
     def _init_metrics(self, registry: MetricsRegistry | None) -> None:
@@ -811,3 +918,9 @@ class EvaluationCache:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+#: Public names for the built-in disk tiers, now that the backend
+#: interface is pluggable (the underscore spellings predate it).
+JsonlCacheBackend = _JsonlStore
+SqliteCacheBackend = _SqliteStore

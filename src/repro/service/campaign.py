@@ -91,6 +91,16 @@ class CampaignConfig:
             cancellation).  ``None``/``0`` (default) keeps the cache's
             own write policy.  Pure I/O scheduling: never changes
             results, never enters the campaign fingerprint.
+        cache_backend: cache spec string used to *build* the campaign's
+            evaluation cache when :func:`run_campaign` is not handed a
+            cache instance — ``"memory"``, a cache file path, or
+            ``"remote:http://host:port"`` for a coordinator's shared
+            dedup layer (see
+            :func:`~repro.service.cache_backends.make_cache`).
+            ``None`` (default) keeps the campaign uncached unless a
+            cache is passed in.  Caching is pure dedup — it never
+            changes results — so this stays out of the campaign
+            fingerprint unconditionally.
     """
 
     nsga2: NSGA2Config = field(default_factory=NSGA2Config)
@@ -102,6 +112,7 @@ class CampaignConfig:
     problem: str = DEFAULT_PROBLEM
     exhaustive_threshold: int | None = DEFAULT_EXHAUSTIVE_THRESHOLD
     cache_flush_every: int | None = None
+    cache_backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -215,8 +226,8 @@ def _campaign_fingerprint(specs: list, config: CampaignConfig) -> str:
     The GA kernel backend never enters the hash (it cannot change
     results), and the exhaustive threshold only does when it differs
     from the default — so rows recorded before these knobs existed keep
-    matching too.  ``cache_flush_every`` is pure I/O scheduling and
-    stays out unconditionally.
+    matching too.  ``cache_flush_every`` and ``cache_backend`` are pure
+    I/O/dedup plumbing and stay out unconditionally.
     """
     from repro.service.cache import stable_hash
 
@@ -225,6 +236,7 @@ def _campaign_fingerprint(specs: list, config: CampaignConfig) -> str:
         del config_payload["problem"]
     del config_payload["nsga2"]["backend"]
     del config_payload["cache_flush_every"]
+    del config_payload["cache_backend"]
     if config.exhaustive_threshold == DEFAULT_EXHAUSTIVE_THRESHOLD:
         del config_payload["exhaustive_threshold"]
     return stable_hash(
@@ -286,6 +298,11 @@ def run_campaign(
         raise ValueError("a campaign needs at least one spec")
     config = config or CampaignConfig()
     library = library or CellLibrary.default()
+    own_cache = cache is None and config.cache_backend is not None
+    if own_cache:
+        from repro.service.cache_backends import make_cache
+
+        cache = make_cache(config.cache_backend)
     definition = get_problem(config.problem)
     # Resolve the backends first: a resolution failure must not leak a
     # freshly spawned worker pool.
@@ -558,6 +575,8 @@ def run_campaign(
     finally:
         if own_executor:
             executor.close()
+        if own_cache:
+            cache.close()
     wall_time = time.perf_counter() - started
 
     labels = [definition.spec_label(spec) for spec in specs]

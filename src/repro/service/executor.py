@@ -97,7 +97,7 @@ class _ExecutorMetrics:
     benchmark flipping to the null registry) invalidates the handles.
     """
 
-    __slots__ = ("_registry", "evaluations", "chunk_seconds")
+    __slots__ = ("_registry", "evaluations", "chunk_seconds", "pool_rebuilds")
 
     def __init__(self) -> None:
         self._registry = None
@@ -114,6 +114,11 @@ class _ExecutorMetrics:
             self.chunk_seconds = registry.histogram(
                 "repro_eval_chunk_seconds",
                 "Worker-side latency of one evaluation chunk",
+                ("backend",),
+            ).labels(backend)
+            self.pool_rebuilds = registry.counter(
+                "repro_executor_pool_rebuilds_total",
+                "Worker pools rebuilt after a BrokenExecutor failure",
                 ("backend",),
             ).labels(backend)
         return self
@@ -217,12 +222,46 @@ class _PoolExecutor:
                 self._pool = self._pool_factory(max_workers=self.workers)
             return self._pool
 
+    def _rebuild_pool(self) -> None:
+        """Drop a broken pool so the next batch spawns fresh workers."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+                self._pool = None
+
     def _chunk_size_for(self, n: int) -> int:
         if self.chunk_size is not None:
             return self.chunk_size
         # Aim for a few chunks per worker so stragglers even out, while
         # keeping chunks large enough to amortise submission overhead.
         return max(1, math.ceil(n / (4 * self.workers)))
+
+    def _scatter_gather(
+        self, problem, chunks: list, timed: bool
+    ) -> tuple[list[float], list[float] | None, list[Objectives]]:
+        """Submit every chunk and gather results in input order.
+
+        The timed wrapper measures each chunk where it ran (worker
+        side); the parent records it — process-pool children would
+        lose any metrics (or spans) they created themselves.
+        """
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(_evaluate_chunk_timed, problem, chunk)
+            for chunk in chunks
+        ]
+        results: list[Objectives] = []
+        chunk_times: list[float] = []
+        end_times: list[float] | None = [] if timed else None
+        for future in futures:
+            elapsed, fresh = future.result()
+            chunk_times.append(elapsed)
+            results.extend(fresh)
+            if end_times is not None:
+                # End time = arrival at the parent; the series record
+                # back-dates by the worker-side elapsed time.
+                end_times.append(time.time())
+        return chunk_times, end_times, results
 
     def evaluate_batch(
         self, problem, genomes: Sequence[Genome]
@@ -247,27 +286,30 @@ class _PoolExecutor:
                     category="executor",
                 )
             return results
-        pool = self._ensure_pool()
-        # The timed wrapper measures each chunk where it ran (worker
-        # side); the parent records it — process-pool children would
-        # lose any metrics (or spans) they created themselves.
-        futures = [
-            pool.submit(_evaluate_chunk_timed, problem, chunk)
-            for chunk in chunks
-        ]
-        results = []
-        chunk_times = []
-        end_times: list[float] | None = (
-            [] if trace_parent is not None else None
-        )
-        for future in futures:
-            elapsed, fresh = future.result()
-            chunk_times.append(elapsed)
-            results.extend(fresh)
-            if end_times is not None:
-                # End time = arrival at the parent; the series record
-                # back-dates by the worker-side elapsed time.
-                end_times.append(time.time())
+        try:
+            chunk_times, end_times, results = self._scatter_gather(
+                problem, chunks, timed=trace_parent is not None
+            )
+        except concurrent.futures.BrokenExecutor as exc:
+            # A worker died mid-chunk (OOM kill, hard crash): the pool
+            # is unusable and *every* outstanding future raises.  The
+            # evaluation is deterministic, so rebuild the pool and
+            # retry the whole batch once; a second death is structural
+            # and surfaces as a structured failure instead of a hang.
+            metrics.pool_rebuilds.inc()
+            self._rebuild_pool()
+            try:
+                chunk_times, end_times, results = self._scatter_gather(
+                    problem, chunks, timed=trace_parent is not None
+                )
+            except concurrent.futures.BrokenExecutor as retry_exc:
+                self.close()
+                raise RuntimeError(
+                    f"{self.name} executor pool died evaluating a batch "
+                    f"of {len(genomes)} genomes in {len(chunks)} chunks, "
+                    f"and again after rebuilding the pool: "
+                    f"{type(retry_exc).__name__}: {retry_exc or exc}"
+                ) from retry_exc
         if end_times:
             tracer.record_span_series(
                 "executor.chunk",

@@ -34,6 +34,25 @@ dedup layer):
       GET  /api/metrics                   metrics registry as JSON
       GET  /metrics                       Prometheus text exposition
       GET  /healthz                       liveness
+      GET  /api/healthz                   readiness (version, uptime,
+                                          queue depth, worker counts)
+
+  Started with a :class:`~repro.service.distributed.WorkCoordinator`
+  (``repro serve --workers-remote``), the distributed-execution
+  protocol mounts alongside::
+
+      POST /api/workers                   worker handshake/registration
+      GET  /api/workers                   workers table
+      POST /api/workers/<id>/heartbeat    renew leases, learn lost units
+      POST /api/units/lease               lease the next work unit
+      POST /api/units/<id>/result         submit a unit outcome
+                                          (idempotent on the unit id)
+
+  and with a shared ``cache``, the batched remote-cache envelope::
+
+      GET  /api/cache                     cache info
+      POST /api/cache/get_many            {"keys": [...]}
+      POST /api/cache/put_many            {"entries": {key: [objs]}}
 
   The ``/api/runs`` family answers 404 unless the server was given a
   :class:`~repro.store.runstore.RunStore` (the same instance the queue
@@ -63,12 +82,13 @@ from __future__ import annotations
 
 import asyncio
 import json
+import random
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import AsyncIterator, Iterator
 from urllib import request as _urllib_request
-from urllib.error import HTTPError
+from urllib.error import HTTPError, URLError
 from urllib.parse import parse_qs, quote as _quote, urlparse
 
 from repro.obs.admission import AdmissionController, AdmissionError
@@ -326,10 +346,20 @@ class _CampaignHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:
         self._dispatch("POST")
 
-    #: Paths that never start a request span: health probes and scrape /
-    #: trace-inspection endpoints would otherwise flood the trace ring
-    #: with their own polling traffic.
-    _UNTRACED_PREFIXES = ("/healthz", "/metrics", "/api/traces")
+    #: Paths that never start a request span: health probes, scrape /
+    #: trace-inspection endpoints, and the distributed-protocol polling
+    #: traffic (lease/heartbeat/cache batches fire continuously) would
+    #: otherwise flood the trace ring.  Unit evaluations are traced
+    #: through the coordinator's ``unit.evaluate`` spans instead.
+    _UNTRACED_PREFIXES = (
+        "/healthz",
+        "/metrics",
+        "/api/healthz",
+        "/api/traces",
+        "/api/workers",
+        "/api/units",
+        "/api/cache",
+    )
 
     def _dispatch(self, method: str) -> None:
         started = time.perf_counter()
@@ -400,6 +430,15 @@ class _CampaignHandler(BaseHTTPRequestHandler):
         if method == "GET" and parts == ["healthz"]:
             self._route_template = "/healthz"
             return {"status": "ok"}, 200
+        if method == "GET" and parts == ["api", "healthz"]:
+            self._route_template = "/api/healthz"
+            return self._healthz(), 200
+        if parts[:2] == ["api", "workers"]:
+            return self._workers_route(method, parts[2:], url)
+        if parts[:2] == ["api", "units"]:
+            return self._units_route(method, parts[2:], url)
+        if parts[:2] == ["api", "cache"]:
+            return self._cache_route(method, parts[2:], url)
         if method == "GET" and parts == ["metrics"]:
             self._route_template = "/metrics"
             text = self.server.registry.render_prometheus()
@@ -655,6 +694,135 @@ class _CampaignHandler(BaseHTTPRequestHandler):
             "done": done,
         }
 
+    # Distributed execution ------------------------------------------------
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except json.JSONDecodeError as exc:
+            raise _ApiError(
+                400, f"request body is not valid JSON: {exc}", "invalid_json"
+            ) from None
+        if not isinstance(payload, dict):
+            raise _ApiError(400, "request body must be a JSON object")
+        return payload
+
+    def _healthz(self) -> dict:
+        """Readiness: version, uptime, queue depth, worker counts.
+
+        The worker handshake and smoke scripts poll this instead of
+        sleeping; unlike ``/healthz`` it only answers once the queue is
+        actually constructed and serving.
+        """
+        import repro
+
+        payload = {
+            "status": "ok",
+            "version": repro.__version__,
+            "uptime_s": round(time.monotonic() - self.server.started_at, 3),
+            "queue_depth": self.server.queue.pending_count(),
+            "workers": self.server.queue.stats.workers,
+        }
+        coordinator = self.server.coordinator
+        if coordinator is not None:
+            payload["distributed"] = coordinator.stats()
+        return payload
+
+    def _coordinator(self):
+        coordinator = self.server.coordinator
+        if coordinator is None:
+            raise _ApiError(
+                404,
+                "this server has no work coordinator "
+                "(start it with --workers-remote)",
+                "no_coordinator",
+            )
+        return coordinator
+
+    def _workers_route(self, method: str, tail: list[str], url) -> tuple[dict, int]:
+        coordinator = self._coordinator()
+        if not tail:
+            if method == "POST":
+                self._route_template = "/api/workers"
+                payload = self._read_json()
+                return coordinator.register_worker(
+                    worker_id=payload.get("worker_id"),
+                    meta=payload.get("meta"),
+                ), 200
+            self._route_template = "/api/workers"
+            return {"workers": coordinator.workers_info()}, 200
+        if len(tail) == 2 and tail[1] == "heartbeat" and method == "POST":
+            self._route_template = "/api/workers/<id>/heartbeat"
+            payload = self._read_json()
+            return coordinator.heartbeat(
+                tail[0], list(payload.get("units") or ())
+            ), 200
+        raise _ApiError(404, f"unknown workers path {url.path!r}")
+
+    def _units_route(self, method: str, tail: list[str], url) -> tuple[dict, int]:
+        coordinator = self._coordinator()
+        if tail == ["lease"] and method == "POST":
+            self._route_template = "/api/units/lease"
+            payload = self._read_json()
+            worker_id = payload.get("worker_id")
+            if not worker_id:
+                raise _ApiError(400, "lease needs a worker_id")
+            unit = coordinator.lease(worker_id)
+            return {"unit": unit, "retry_after_s": None if unit else 0.5}, 200
+        if len(tail) == 2 and tail[1] == "result" and method == "POST":
+            self._route_template = "/api/units/<id>/result"
+            payload = self._read_json()
+            worker_id = payload.get("worker_id")
+            if not worker_id:
+                raise _ApiError(400, "result submission needs a worker_id")
+            return coordinator.submit_result(worker_id, tail[0], payload), 200
+        raise _ApiError(404, f"unknown units path {url.path!r}")
+
+    def _cache_route(self, method: str, tail: list[str], url) -> tuple[dict, int]:
+        cache = self.server.cache
+        if cache is None:
+            raise _ApiError(
+                404, "this server has no shared cache", "no_cache"
+            )
+        if not tail and method == "GET":
+            self._route_template = "/api/cache"
+            return cache.info(), 200
+        if tail == ["get_many"] and method == "POST":
+            self._route_template = "/api/cache/get_many"
+            keys = self._read_json().get("keys")
+            if not isinstance(keys, list):
+                raise _ApiError(400, "get_many needs a JSON list of keys")
+            hits = cache.get_many([str(key) for key in keys])
+            found = {
+                key: list(value)
+                for key, value in zip(keys, hits)
+                if value is not None
+            }
+            return {"found": found, "entries": len(cache)}, 200
+        if tail == ["put_many"] and method == "POST":
+            self._route_template = "/api/cache/put_many"
+            entries = self._read_json().get("entries")
+            if not isinstance(entries, dict):
+                raise _ApiError(
+                    400, "put_many needs a JSON object of key -> objectives"
+                )
+            try:
+                cache.put_many(
+                    {
+                        str(key): tuple(float(v) for v in values)
+                        for key, values in entries.items()
+                    }
+                )
+            except (TypeError, ValueError) as exc:
+                raise _ApiError(
+                    400, f"bad objectives payload: {exc}"
+                ) from None
+            return {"stored": len(entries), "entries": len(cache)}, 200
+        raise _ApiError(404, f"unknown cache path {url.path!r}")
+
 
 class CampaignHTTPServer(ThreadingHTTPServer):
     """Stdlib HTTP/JSON front-end bound to one job queue.
@@ -679,6 +847,13 @@ class CampaignHTTPServer(ThreadingHTTPServer):
             ``repro.http`` JSON-lines logger).
         tracer: span tracer for request tracing and the ``/api/traces``
             endpoints (defaults to the process-global tracer).
+        coordinator: optional
+            :class:`~repro.service.distributed.WorkCoordinator`; mounts
+            the ``/api/workers`` + ``/api/units`` protocol so external
+            ``repro worker`` processes can lease and evaluate units.
+        cache: optional :class:`~repro.service.cache.EvaluationCache`
+            served over ``/api/cache`` as the workers' shared dedup
+            layer (the ``remote`` cache backend's other half).
     """
 
     daemon_threads = True
@@ -693,6 +868,8 @@ class CampaignHTTPServer(ThreadingHTTPServer):
         admission: AdmissionController | None = None,
         logger: JsonLogger | None = None,
         tracer: Tracer | None = None,
+        coordinator=None,
+        cache=None,
     ) -> None:
         super().__init__(address, _CampaignHandler)
         self.queue = queue
@@ -702,6 +879,9 @@ class CampaignHTTPServer(ThreadingHTTPServer):
         self.admission = admission
         self.logger = logger if logger is not None else get_logger("repro.http")
         self.tracer = tracer if tracer is not None else get_tracer()
+        self.coordinator = coordinator
+        self.cache = cache
+        self.started_at = time.monotonic()
         self._m_requests = self.registry.counter(
             "repro_http_requests_total",
             "HTTP requests served, by route template",
@@ -765,6 +945,7 @@ def serve(
     admission: AdmissionController | None = None,
     logger: JsonLogger | None = None,
     tracer: Tracer | None = None,
+    coordinator=None,
 ) -> CampaignHTTPServer:
     """Build a ready-to-run HTTP server (queue included unless given).
 
@@ -775,18 +956,44 @@ def serve(
     drives ``server.serve_forever()`` (or ``serve_in_background()``)
     and is responsible for closing the queue on shutdown —
     :func:`repro.cli.main`'s ``repro serve`` shows the full lifecycle.
+
+    With a ``coordinator``
+    (:class:`~repro.service.distributed.WorkCoordinator`), an owned
+    queue runs campaigns through
+    :class:`~repro.service.distributed.DistributedRunner` — external
+    ``repro worker`` processes lease the units over ``/api/workers`` /
+    ``/api/units`` — and, with a store attached, per-unit worker rows
+    are flushed into ``RunStore.record_work_units`` once each run is
+    recorded.  The ``cache`` (when given) is additionally served over
+    ``/api/cache`` so workers can share it as their dedup layer.
     """
-    queue = queue or JobQueue(
-        library=library,
-        cache=cache,
-        executor=executor,
-        workers=max(1, workers),
-        event_buffer_size=event_buffer_size,
-        ttl_s=ttl_s,
-        store=store,
-        registry=registry,
-        logger=logger,
-    )
+    if queue is None:
+        runner = None
+        on_recorded = None
+        if coordinator is not None:
+            from repro.service.distributed import DistributedRunner
+
+            runner = DistributedRunner(coordinator)
+            if store is not None and hasattr(store, "record_work_units"):
+                def on_recorded(job, _store=store, _coord=coordinator):
+                    if job.run_id is None:
+                        return
+                    rows = _coord.take_unit_rows(job.request.fingerprint())
+                    if rows:
+                        _store.record_work_units(job.run_id, rows)
+        queue = JobQueue(
+            runner=runner,
+            library=library,
+            cache=cache,
+            executor=executor,
+            workers=max(1, workers),
+            event_buffer_size=event_buffer_size,
+            ttl_s=ttl_s,
+            store=store,
+            registry=registry,
+            logger=logger,
+            on_recorded=on_recorded,
+        )
     return CampaignHTTPServer(
         (host, port),
         queue,
@@ -796,6 +1003,8 @@ def serve(
         admission=admission,
         logger=logger,
         tracer=tracer,
+        coordinator=coordinator,
+        cache=cache,
     )
 
 
@@ -807,11 +1016,41 @@ class CampaignClient:
 
     Every method raises :class:`RuntimeError` on non-2xx answers,
     carrying the server's structured error envelope (code + message).
+
+    With ``retries > 0``, *transient* transport failures (connection
+    refused/reset, timeouts — anything surfacing as ``URLError`` or
+    ``TimeoutError`` rather than an HTTP status) are retried with
+    exponential backoff and jitter before giving up; HTTP error
+    answers are never retried (the server spoke — repeating a POST
+    could duplicate work).  The final failure carries the attempt
+    count and the last underlying error.
+
+    Args:
+        base_url: server root, e.g. ``http://127.0.0.1:8000``.
+        timeout: per-request socket timeout in seconds.
+        retries: additional attempts after the first failure.
+        backoff_s: initial sleep before the first retry; doubles per
+            attempt up to ``backoff_cap_s``, with up to 25% random
+            jitter so a fleet of workers does not retry in lockstep.
     """
 
-    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 60.0,
+        retries: int = 0,
+        backoff_s: float = 0.1,
+        backoff_cap_s: float = 2.0,
+        _sleep=time.sleep,
+    ) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self._sleep = _sleep
 
     @staticmethod
     def _error_detail(raw: bytes) -> str:
@@ -842,15 +1081,32 @@ class CampaignClient:
             method=method,
             headers=headers,
         )
-        try:
-            with _urllib_request.urlopen(req, timeout=self.timeout) as answer:
-                return json.loads(answer.read().decode("utf-8"))
-        except HTTPError as exc:
-            detail = self._error_detail(exc.read())
-            raise RuntimeError(
-                f"{method} {path} failed: HTTP {exc.code}"
-                + (f" ({detail})" if detail else "")
-            ) from None
+        attempts = self.retries + 1
+        last_error: Exception | None = None
+        for attempt in range(attempts):
+            if attempt:
+                delay = min(
+                    self.backoff_s * (2 ** (attempt - 1)), self.backoff_cap_s
+                )
+                self._sleep(delay * (1.0 + random.random() * 0.25))
+            try:
+                with _urllib_request.urlopen(
+                    req, timeout=self.timeout
+                ) as answer:
+                    return json.loads(answer.read().decode("utf-8"))
+            except HTTPError as exc:
+                # The server answered: a real status, never retried.
+                detail = self._error_detail(exc.read())
+                raise RuntimeError(
+                    f"{method} {path} failed: HTTP {exc.code}"
+                    + (f" ({detail})" if detail else "")
+                ) from None
+            except (URLError, TimeoutError, ConnectionError) as exc:
+                last_error = exc
+        raise RuntimeError(
+            f"{method} {path} failed after {attempts} attempt"
+            f"{'s' if attempts != 1 else ''}: {last_error}"
+        ) from last_error
 
     def submit(self, request: CampaignRequest) -> str:
         """Submit a campaign; returns the job id."""
@@ -952,3 +1208,61 @@ class CampaignClient:
             return self._call("GET", "/healthz").get("status") == "ok"
         except Exception:
             return False
+
+    def health(self) -> dict:
+        """The full ``/api/healthz`` readiness payload."""
+        return self._call("GET", "/api/healthz")
+
+    # Distributed execution -------------------------------------------------
+    def register_worker(
+        self, worker_id: str | None = None, meta: dict | None = None
+    ) -> dict:
+        """Worker handshake; returns id + lease terms."""
+        payload: dict = {}
+        if worker_id:
+            payload["worker_id"] = worker_id
+        if meta:
+            payload["meta"] = meta
+        return self._call("POST", "/api/workers", payload)
+
+    def workers(self) -> list[dict]:
+        """The coordinator's workers table."""
+        return self._call("GET", "/api/workers")["workers"]
+
+    def worker_heartbeat(self, worker_id: str, unit_ids: list[str]) -> dict:
+        """Renew leases; the answer lists ``renewed`` and ``lost`` units."""
+        return self._call(
+            "POST",
+            f"/api/workers/{_quote(worker_id)}/heartbeat",
+            {"units": list(unit_ids)},
+        )
+
+    def lease_unit(self, worker_id: str) -> dict | None:
+        """Lease the next work unit (``None`` when the queue is empty)."""
+        answer = self._call(
+            "POST", "/api/units/lease", {"worker_id": worker_id}
+        )
+        return answer.get("unit")
+
+    def submit_unit_result(
+        self, worker_id: str, unit_id: str, payload: dict
+    ) -> dict:
+        """Report a unit outcome (idempotent on the unit id)."""
+        body = dict(payload)
+        body["worker_id"] = worker_id
+        return self._call(
+            "POST", f"/api/units/{_quote(unit_id)}/result", body
+        )
+
+    # Remote cache ----------------------------------------------------------
+    def cache_info(self) -> dict:
+        """The server-side shared cache's info payload."""
+        return self._call("GET", "/api/cache")
+
+    def cache_get_many(self, keys: list[str]) -> dict:
+        """Batched lookup against the server's shared cache."""
+        return self._call("POST", "/api/cache/get_many", {"keys": keys})
+
+    def cache_put_many(self, entries: dict) -> dict:
+        """Batched store into the server's shared cache."""
+        return self._call("POST", "/api/cache/put_many", {"entries": entries})

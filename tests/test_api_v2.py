@@ -274,6 +274,7 @@ class TestProgrammaticFingerprint:
         del legacy_config["nsga2"]["backend"]
         del legacy_config["exhaustive_threshold"]
         del legacy_config["cache_flush_every"]
+        del legacy_config["cache_backend"]
         assert _campaign_fingerprint(specs, config) == stable_hash(
             {
                 "specs": [dataclasses.asdict(s) for s in specs],

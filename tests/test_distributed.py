@@ -1,0 +1,507 @@
+"""Tests for distributed campaign execution.
+
+Coordinator protocol (leases, heartbeats, expiry, idempotent results,
+bounded attempts), the HTTP worker round trip and its bit-parity with
+the in-process path, the remote cache backend's cross-worker dedup,
+client retries, and the run-store / dashboard plumbing.  Tests marked
+``distributed`` additionally spawn real ``repro serve`` / ``repro
+worker`` subprocesses.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.service.api import CampaignRequest, SpecRequest
+from repro.service.cache import EvaluationCache
+from repro.service.distributed import WorkCoordinator
+from repro.service.events import CampaignCancelled
+from repro.service.server import CampaignClient, serve
+from repro.service.worker import CampaignWorker, worker_cache
+
+
+def tiny_request(**overrides) -> CampaignRequest:
+    payload = dict(
+        specs=(SpecRequest(4096, "INT4"), SpecRequest(8192, "INT8")),
+        population_size=16,
+        generations=4,
+        seed=1,
+        exhaustive_threshold=0,
+    )
+    payload.update(overrides)
+    return CampaignRequest(**payload)
+
+
+def done_payload(evaluations: int = 3) -> dict:
+    return {
+        "status": "done",
+        "front": [],
+        "evaluations": evaluations,
+        "generations_run": 4,
+        "strategy": "ga",
+        "engine_backend": "python",
+        "ga_backend": "python",
+        "cache_stats": None,
+        "wall_time_s": 0.01,
+    }
+
+
+def run_execute(coordinator, request, should_stop=None):
+    """Drive ``coordinator.execute`` on a thread; return (thread, box)."""
+    box = {}
+
+    def target():
+        try:
+            box["response"] = coordinator.execute(
+                request, should_stop=should_stop
+            )
+        except Exception as exc:  # surfaced by the test
+            box["error"] = exc
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    return thread, box
+
+
+def finished(client: CampaignClient, job_id: str):
+    """Block on the event stream, then fetch the job's response."""
+    for _ in client.watch(job_id, poll_s=0.1):
+        pass
+    return client.result(job_id)
+
+
+def wait_for(predicate, timeout_s: float = 10.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.01)
+    raise AssertionError("condition not reached in time")
+
+
+class TestWorkCoordinator:
+    def test_unit_ids_content_addressed(self):
+        coord = WorkCoordinator()
+        request = tiny_request()
+        first = coord._decompose("dc-1", request, request.fingerprint())
+        second = coord._decompose("dc-2", request, request.fingerprint())
+        assert [u.unit_id for u in first] == [u.unit_id for u in second]
+        assert len({u.unit_id for u in first}) == len(first)
+        other = tiny_request(seed=2)
+        third = coord._decompose("dc-3", other, other.fingerprint())
+        assert {u.unit_id for u in third}.isdisjoint(
+            u.unit_id for u in first
+        )
+
+    def test_unit_request_rebases_seed_single_spec(self):
+        coord = WorkCoordinator()
+        request = tiny_request(seed=7)
+        units = coord._decompose("dc-1", request, request.fingerprint())
+        assert [u.request_payload["seed"] for u in units] == [7, 8]
+        for unit in units:
+            assert len(unit.request_payload["specs"]) == 1
+            assert unit.request_payload["workers"] == 1
+
+    def test_lease_heartbeat_and_expiry_requeue(self):
+        now = [0.0]
+        coord = WorkCoordinator(lease_ttl_s=10.0, clock=lambda: now[0])
+        thread, box = run_execute(coord, tiny_request())
+        wait_for(lambda: coord.stats()["units_pending"] == 2)
+
+        first = coord.lease("w1")
+        second = coord.lease("w1")
+        assert first is not None and second is not None
+        assert first["attempt"] == 1
+        assert coord.lease("w1") is None  # queue drained
+
+        # Heartbeats renew the lease: advance past the original
+        # deadline in renewed steps and nothing expires.
+        for _ in range(3):
+            now[0] += 6.0
+            answer = coord.heartbeat("w1", [first["unit_id"], second["unit_id"]])
+            assert sorted(answer["renewed"]) == sorted(
+                [first["unit_id"], second["unit_id"]]
+            )
+            assert answer["lost"] == []
+
+        # Stop heartbeating: the leases expire and both units requeue.
+        now[0] += 11.0
+        reassigned = coord.lease("w2")
+        assert reassigned is not None
+        assert reassigned["attempt"] == 2
+        # The late worker learns it lost the unit on its next heartbeat.
+        answer = coord.heartbeat("w1", [reassigned["unit_id"]])
+        assert answer["lost"] == [reassigned["unit_id"]]
+
+        other = coord.lease("w2")
+        for unit in (reassigned, other):
+            coord.submit_result("w2", unit["unit_id"], done_payload())
+        thread.join(timeout=10)
+        assert "response" in box
+        assert box["response"].evaluations == 6
+
+    def test_duplicate_result_submission_is_idempotent(self):
+        coord = WorkCoordinator(lease_ttl_s=10.0)
+        thread, box = run_execute(coord, tiny_request())
+        wait_for(lambda: coord.stats()["units_pending"] == 2)
+        units = [coord.lease("w1"), coord.lease("w1")]
+        first = coord.submit_result("w1", units[0]["unit_id"], done_payload())
+        assert first == {"accepted": True, "status": "done"}
+        again = coord.submit_result("w2", units[0]["unit_id"], done_payload())
+        assert again == {"accepted": False, "duplicate": True}
+        unknown = coord.submit_result("w2", "no-such-unit", done_payload())
+        assert unknown == {"accepted": False, "reason": "unknown_unit"}
+        coord.submit_result("w1", units[1]["unit_id"], done_payload())
+        thread.join(timeout=10)
+        assert box["response"].evaluations == 6
+
+    def test_attempts_exhausted_fails_campaign_structurally(self):
+        coord = WorkCoordinator(lease_ttl_s=10.0, max_attempts=2)
+        request = tiny_request(specs=(SpecRequest(4096, "INT4"),))
+        thread, box = run_execute(coord, request)
+        wait_for(lambda: coord.stats()["units_pending"] == 1)
+        for _ in range(2):  # both attempts fail
+            unit = coord.lease("w1")
+            coord.submit_result(
+                "w1",
+                unit["unit_id"],
+                {"status": "failed", "error": "boom: divide by zero"},
+            )
+        thread.join(timeout=10)
+        error = box.get("error")
+        assert isinstance(error, RuntimeError)
+        message = str(error)
+        assert "failed after 2 attempts" in message
+        assert "boom: divide by zero" in message
+        assert "spec" in message
+
+    def test_should_stop_cancels_leased_units(self):
+        coord = WorkCoordinator(lease_ttl_s=10.0)
+        stop = threading.Event()
+        thread, box = run_execute(
+            coord, tiny_request(), should_stop=stop.is_set
+        )
+        wait_for(lambda: coord.stats()["units_pending"] == 2)
+        unit = coord.lease("w1")
+        stop.set()
+        thread.join(timeout=10)
+        assert isinstance(box.get("error"), CampaignCancelled)
+        # A straggler result for the cancelled unit is dropped.
+        answer = coord.submit_result("w1", unit["unit_id"], done_payload())
+        assert answer["accepted"] is False
+
+    def test_workers_info_states(self):
+        now = [0.0]
+        coord = WorkCoordinator(lease_ttl_s=1.0, clock=lambda: now[0])
+        coord.register_worker("alpha", meta={"host": "box1"})
+        rows = coord.workers_info()
+        assert rows[0]["worker_id"] == "alpha"
+        assert rows[0]["state"] == "idle"
+        assert rows[0]["host"] == "box1"
+        now[0] += 10.0
+        assert coord.workers_info()[0]["state"] == "lost"
+
+
+@pytest.fixture()
+def distributed_setup(tmp_path):
+    """A serving coordinator + two in-thread workers + a run registry."""
+    from repro.store import RunStore
+
+    store = RunStore(tmp_path / "runs.sqlite")
+    coordinator = WorkCoordinator(lease_ttl_s=5.0)
+    cache = EvaluationCache()
+    server = serve(
+        port=0, workers=2, cache=cache, store=store, coordinator=coordinator
+    )
+    server.serve_in_background()
+    workers, threads = [], []
+    for _ in range(2):
+        worker = CampaignWorker(
+            server.url,
+            cache=worker_cache("remote", server.url),
+            poll_s=0.05,
+        )
+        thread = threading.Thread(target=worker.run, daemon=True)
+        thread.start()
+        workers.append(worker)
+        threads.append(thread)
+    yield CampaignClient(server.url), server, workers, store
+    for worker in workers:
+        worker.stop()
+    for thread in threads:
+        thread.join(timeout=10)
+    server.shutdown()
+    server.queue.close(wait=False)
+    store.close()
+    cache.close()
+
+
+class TestDistributedRoundTrip:
+    def test_healthz_payload(self, distributed_setup):
+        client, _, _, _ = distributed_setup
+        payload = client.health()
+        assert payload["status"] == "ok"
+        assert payload["version"]
+        assert payload["uptime_s"] >= 0
+        assert payload["queue_depth"] == 0
+        assert payload["distributed"]["lease_ttl_s"] == 5.0
+
+    def test_two_workers_bit_identical_to_in_process(
+        self, distributed_setup
+    ):
+        from repro.service.campaign import execute_request
+
+        client, _, workers, store = distributed_setup
+        request = tiny_request()
+        reference = execute_request(request, cache=EvaluationCache())
+
+        job_id = client.submit(request)
+        response = finished(client, job_id)
+
+        assert [p.to_dict() for p in response.frontier] == [
+            p.to_dict() for p in reference.frontier
+        ]
+        assert response.evaluations == reference.evaluations
+        assert response.per_spec_evaluations == (
+            reference.per_spec_evaluations
+        )
+        # The recorded run carries the same request fingerprint as the
+        # in-process path would, and both units landed with worker ids.
+        run = store.list_runs()[0]
+        assert run.fingerprint == request.fingerprint()
+        rows = store.work_units(run.run_id)
+        assert [row["spec_index"] for row in rows] == [0, 1]
+        assert all(row["status"] == "done" for row in rows)
+        assert all(row["worker_id"] for row in rows)
+        worker_ids = {w.worker_id for w in workers}
+        assert {row["worker_id"] for row in rows} <= worker_ids
+
+        # The workers table aggregates across runs, and the dashboard
+        # renders it.
+        summary = store.worker_summary()
+        assert sum(row["units_done"] for row in summary) == 2
+        from repro.reporting.dashboard import render_dashboard
+
+        html = render_dashboard(store)
+        assert "Distributed workers" in html
+        assert rows[0]["worker_id"] in html
+
+    def test_remote_cache_dedups_across_workers(self, distributed_setup):
+        client, server, _, _ = distributed_setup
+        first = finished(client, client.submit(tiny_request()))
+        assert first.fresh_evaluations > 0
+        assert len(server.cache) == first.fresh_evaluations
+
+        # A distinct campaign (different fingerprint, same evaluation
+        # space) re-runs every unit — but every genome any worker
+        # evaluated is already in the shared remote cache.
+        second_request = tiny_request(workers=3)
+        assert second_request.fingerprint() != tiny_request().fingerprint()
+        second = finished(client, client.submit(second_request))
+        assert second.fresh_evaluations == 0
+        assert second.evaluations == first.evaluations
+        assert [p.to_dict() for p in second.frontier] == [
+            p.to_dict() for p in first.frontier
+        ]
+        assert second.cache_stats["hits"] == second.evaluations
+
+    def test_workers_endpoint_lists_registered_workers(
+        self, distributed_setup
+    ):
+        client, _, workers, _ = distributed_setup
+        finished(client, client.submit(tiny_request()))
+        rows = client.workers()
+        assert {row["worker_id"] for row in rows} == {
+            w.worker_id for w in workers
+        }
+        assert all(row["state"] in ("idle", "active") for row in rows)
+
+    def test_remote_cache_endpoint_round_trip(self, distributed_setup):
+        client, _, _, _ = distributed_setup
+        stored = client.cache_put_many(
+            {"key-a": (1.0, 2.0), "key-b": (3.0, 4.0)}
+        )
+        assert stored["stored"] == 2
+        answer = client.cache_get_many(["key-a", "key-b", "key-c"])
+        assert answer["found"] == {
+            "key-a": [1.0, 2.0], "key-b": [3.0, 4.0]
+        }
+        assert client.cache_info()["entries"] >= 2
+
+
+class TestWorkerFaultTolerance:
+    def test_dead_worker_lease_expires_and_unit_requeues(self, tmp_path):
+        """A worker that leases a unit and dies must not wedge the run."""
+        from repro.store import RunStore
+
+        store = RunStore(tmp_path / "runs.sqlite")
+        coordinator = WorkCoordinator(lease_ttl_s=0.5)
+        server = serve(
+            port=0,
+            workers=1,
+            cache=EvaluationCache(),
+            store=store,
+            coordinator=coordinator,
+        )
+        server.serve_in_background()
+        client = CampaignClient(server.url)
+        try:
+            request = tiny_request(specs=(SpecRequest(4096, "INT4"),))
+            job_id = client.submit(request)
+            # "Worker" that leases the only unit and then disappears —
+            # no heartbeat, no result.
+            client.register_worker(worker_id="doomed")
+            wait_for(
+                lambda: client.lease_unit("doomed") is not None,
+                timeout_s=10.0,
+            )
+
+            # A healthy worker shows up after the lease has expired and
+            # completes the campaign.
+            worker = CampaignWorker(
+                server.url,
+                cache=worker_cache("remote", server.url),
+                poll_s=0.05,
+                max_units=1,
+            )
+            thread = threading.Thread(target=worker.run, daemon=True)
+            thread.start()
+            response = finished(client, job_id)
+            worker.stop()
+            thread.join(timeout=10)
+            assert response.frontier
+
+            rows = store.work_units(store.list_runs()[0].run_id)
+            assert len(rows) == 1
+            assert rows[0]["status"] == "done"
+            assert rows[0]["attempts"] == 2  # doomed lease + real one
+            assert rows[0]["worker_id"] == worker.worker_id
+        finally:
+            server.shutdown()
+            server.queue.close(wait=False)
+            store.close()
+
+    def test_campaign_fails_structured_when_attempts_run_out(self):
+        coordinator = WorkCoordinator(lease_ttl_s=0.2, max_attempts=2)
+        server = serve(
+            port=0, workers=1, cache=EvaluationCache(),
+            coordinator=coordinator,
+        )
+        server.serve_in_background()
+        client = CampaignClient(server.url)
+        try:
+            request = tiny_request(specs=(SpecRequest(4096, "INT4"),))
+            job_id = client.submit(request)
+            client.register_worker(worker_id="doomed")
+            # Burn through every attempt without ever reporting back.
+            for _ in range(2):
+                wait_for(
+                    lambda: client.lease_unit("doomed") is not None,
+                    timeout_s=10.0,
+                )
+            with pytest.raises(RuntimeError) as excinfo:
+                finished(client, job_id)
+            assert "failed after 2 attempts" in str(excinfo.value)
+            assert "lease expired" in str(excinfo.value)
+        finally:
+            server.shutdown()
+            server.queue.close(wait=False)
+
+
+class TestClientRetry:
+    def test_retries_connection_errors_with_backoff(self):
+        sleeps = []
+        # Nothing listens on this port: every attempt fails fast.
+        client = CampaignClient(
+            "http://127.0.0.1:9",
+            timeout=0.2,
+            retries=3,
+            backoff_s=0.1,
+            backoff_cap_s=0.25,
+            _sleep=sleeps.append,
+        )
+        with pytest.raises(RuntimeError) as excinfo:
+            client.health()
+        assert "failed after 4 attempts" in str(excinfo.value)
+        assert len(sleeps) == 3
+        # Exponential with a cap, plus up to 25% jitter.
+        assert 0.1 <= sleeps[0] <= 0.125
+        assert 0.2 <= sleeps[1] <= 0.25
+        assert 0.25 <= sleeps[2] <= 0.3125
+
+    def test_http_errors_are_never_retried(self, distributed_setup):
+        client, server, _, _ = distributed_setup
+        sleeps = []
+        retrying = CampaignClient(
+            server.url, retries=5, _sleep=sleeps.append
+        )
+        with pytest.raises(RuntimeError):
+            retrying.status("job-does-not-exist")
+        assert sleeps == []  # the server answered; retrying can't help
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignClient("http://127.0.0.1:9", retries=-1)
+
+
+@pytest.mark.distributed
+class TestSubprocessRoundTrip:
+    """Real ``repro serve --workers-remote`` + ``repro worker`` processes."""
+
+    def test_two_worker_processes_match_in_process(self, tmp_path):
+        import os
+        import subprocess
+        import sys
+
+        from repro.service.campaign import execute_request
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, ["src", env.get("PYTHONPATH")])
+        )
+        serve_proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port", "0", "--workers-remote", "--lease-ttl", "10",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            env=env,
+        )
+        workers = []
+        try:
+            line = serve_proc.stdout.readline()
+            assert "serving campaigns on" in line, line
+            url = line.split()[3]
+            for _ in range(2):
+                workers.append(
+                    subprocess.Popen(
+                        [
+                            sys.executable, "-m", "repro.cli", "worker",
+                            "--url", url, "--poll", "0.05",
+                            "--exit-idle", "30",
+                        ],
+                        stdout=subprocess.DEVNULL,
+                        stderr=subprocess.DEVNULL,
+                        env=env,
+                    )
+                )
+            client = CampaignClient(url, retries=4)
+            wait_for(lambda: client.healthy(), timeout_s=30.0)
+            request = tiny_request()
+            response = finished(client, client.submit(request))
+            reference = execute_request(request, cache=EvaluationCache())
+            assert [p.to_dict() for p in response.frontier] == [
+                p.to_dict() for p in reference.frontier
+            ]
+            assert response.evaluations == reference.evaluations
+            # Both worker processes registered with the coordinator.
+            assert len(client.workers()) == 2
+        finally:
+            for proc in workers:
+                proc.terminate()
+            serve_proc.terminate()
+            for proc in [*workers, serve_proc]:
+                proc.wait(timeout=30)

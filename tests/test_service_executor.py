@@ -196,3 +196,49 @@ class TestNsga2AcrossBackends:
         )
         assert self._front(warm) == self._front(baseline)
         assert counting.genomes == 0  # every genome came from the cache
+
+
+class _CrashOnceProblem:
+    """Kills its worker process on the first evaluation, then behaves.
+
+    The marker file is the cross-process "already crashed" flag — the
+    rebuilt pool's fresh workers see it and evaluate normally.
+    """
+
+    def __init__(self, marker: str) -> None:
+        self.marker = marker
+
+    def evaluate(self, genome):
+        import os
+
+        if not os.path.exists(self.marker):
+            open(self.marker, "w").close()
+            os._exit(1)
+        return (float(genome), 0.0)
+
+
+class _AlwaysCrashProblem:
+    def evaluate(self, genome):
+        import os
+
+        os._exit(1)
+
+
+class TestPoolCrashRecovery:
+    def test_worker_death_mid_chunk_is_retried_not_hung(self, tmp_path):
+        marker = str(tmp_path / "crashed-once")
+        with ProcessPoolExecutor(workers=2, chunk_size=2) as pool:
+            before = pool._metrics.resolve(pool.name).pool_rebuilds.value
+            out = pool.evaluate_batch(_CrashOnceProblem(marker), list(range(8)))
+            rebuilds = pool._metrics.resolve(pool.name).pool_rebuilds.value
+        assert out == [(float(g), 0.0) for g in range(8)]
+        assert rebuilds == before + 1
+
+    def test_persistent_worker_death_fails_structurally(self):
+        with ProcessPoolExecutor(workers=2, chunk_size=2) as pool:
+            with pytest.raises(RuntimeError) as excinfo:
+                pool.evaluate_batch(_AlwaysCrashProblem(), list(range(8)))
+        message = str(excinfo.value)
+        assert "pool died" in message
+        assert "again after rebuilding" in message
+        assert "8 genomes" in message
